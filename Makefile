@@ -1,0 +1,26 @@
+# Convenience targets; everything is plain pytest underneath.
+
+.PHONY: test bench bench-full figures examples lint-docstrings clean
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_FULL=1 pytest benchmarks/ --benchmark-only
+
+figures:
+	python -m repro figure table2
+	python -m repro figure fig8
+
+examples:
+	for ex in examples/*.py; do python $$ex; done
+
+lint-docstrings:
+	pytest tests/test_docstrings.py -q
+
+clean:
+	rm -rf .pytest_cache benchmarks/out benchmarks/out-full .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

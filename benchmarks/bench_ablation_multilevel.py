@@ -1,0 +1,79 @@
+"""Ablation: multi-level-cache padding (paper, Section 2.1.2 remark).
+
+"This technique can easily be generalized for multilevel caches.  The
+only modification is to compute conflict distances with respect to each
+cache configuration and then to pad as needed if any distance is less
+than the corresponding cache line size."
+
+We quantify the remark with two streamed vectors exactly one L2 size
+apart: an L1-targeted pad of one 32-byte L1 line clears L1 but leaves the
+pair within one 128-byte L2 line of a 128K multiple, so every L2 access
+still conflicts; the two-level pad condition separates them for both
+geometries at once.
+"""
+
+from benchmarks.common import save_and_print
+from repro import CacheConfig
+from repro.cache import CacheHierarchy
+from repro.experiments.reporting import format_table
+from repro.frontend import parse_program
+from repro.padding import PadParams
+from repro.padding.drivers import original, pad
+from repro.trace import trace_program
+
+L1 = CacheConfig(size_bytes=8 * 1024, line_bytes=32, associativity=1)
+L2 = CacheConfig(size_bytes=128 * 1024, line_bytes=128, associativity=1)
+
+SRC = """
+program twostreams
+  param N = 16384
+  real*8 X(N), Y(N)
+  real*8 S
+  do r = 1, 4
+    do i = 1, N
+      S = S + X(i) * Y(i)
+    end do
+  end do
+end
+"""
+
+
+def _simulate(prog, layout):
+    hierarchy = CacheHierarchy([L1, L2])
+    for addrs, writes in trace_program(prog, layout):
+        hierarchy.access_chunk(addrs, writes)
+    l1, l2 = hierarchy.all_stats()
+    return l1.miss_rate_pct, l2.miss_rate_pct
+
+
+def test_multilevel_padding(benchmark):
+    def run():
+        prog = parse_program(SRC)
+        rows = []
+        baseline = original(prog)
+        rows.append(("original", *_simulate(prog, baseline.layout)))
+        l1_only = pad(prog, PadParams.for_cache(L1))
+        rows.append(("PAD for L1 only", *_simulate(l1_only.prog, l1_only.layout)))
+        both = pad(prog, PadParams(caches=(L1, L2)))
+        rows.append(("PAD for L1+L2", *_simulate(both.prog, both.layout)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print(
+        "ablation_multilevel",
+        format_table(
+            f"Ablation: multilevel padding ({L1.describe()} + {L2.describe()}; "
+            f"miss rate %)",
+            ("Configuration", "L1 miss%", "L2 miss% (of L1 misses)"),
+            rows,
+        ),
+    )
+    rates = {r[0]: (r[1], r[2]) for r in rows}
+    orig_l1, orig_l2 = rates["original"]
+    l1o_l1, l1o_l2 = rates["PAD for L1 only"]
+    both_l1, both_l2 = rates["PAD for L1+L2"]
+    # L1-targeted padding fixes L1 either way.
+    assert l1o_l1 < orig_l1 / 2
+    assert both_l1 < orig_l1 / 2
+    # Only the two-level pad condition also protects L2.
+    assert both_l2 <= l1o_l2 - 10.0

@@ -1,0 +1,75 @@
+"""Ablation: variable reordering before greedy placement.
+
+Section 4.1 gives the compiler two levers — reorder fields and insert
+pads — but the paper only evaluates pads.  This ablation measures what
+reordering adds: for each program, pad bytes consumed and miss rate under
+PADLITE with declaration order vs. size-descending vs. size-interleaved
+pre-orders.  Expected: reordering occasionally trades pad bytes around
+but padding itself does the heavy lifting — supporting the paper's choice
+to keep declaration order.
+"""
+
+from benchmarks.common import SUBSET_PROGRAMS, save_and_print, shared_runner
+from repro.bench.suites import get_spec
+from repro.cache.config import base_cache
+from repro.cache.fastsim import make_simulator
+from repro.experiments.reporting import format_table
+from repro.padding import PadParams, padlite
+from repro.padding.reorder import reorder_variables
+from repro.trace.env import DataEnv
+from repro.trace.interpreter import TraceInterpreter, truncate_outer_loops
+
+STRATEGIES = ("declaration", "size_descending", "interleave_sizes")
+
+
+def _run(name: str, strategy: str):
+    spec = get_spec(name)
+    prog = reorder_variables(spec.build(), strategy)
+    result = padlite(prog, PadParams.for_cache(base_cache()))
+    run_prog = result.prog
+    layout = result.layout
+    if spec.max_outer:
+        run_prog = truncate_outer_loops(run_prog, spec.max_outer)
+        from repro.experiments.runner import _rebind_layout
+
+        layout = _rebind_layout(layout, run_prog)
+    sim = make_simulator(base_cache())
+    for addrs, writes in TraceInterpreter(run_prog, layout, DataEnv()).trace():
+        sim.access_chunk(addrs, writes)
+    return sim.stats.miss_rate_pct, result.bytes_skipped
+
+
+def test_reordering_vs_declaration_order(benchmark):
+    programs = [p for p in SUBSET_PROGRAMS if p not in ("irr", "fftpde")]
+
+    def run():
+        rows = []
+        for name in programs:
+            cells = []
+            for strategy in STRATEGIES:
+                rate, pad_bytes = _run(name, strategy)
+                cells.extend([rate, float(pad_bytes)])
+            rows.append((name, *cells))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    header = ("Program",) + tuple(
+        f"{s.split('_')[0]}-{metric}"
+        for s in STRATEGIES
+        for metric in ("miss%", "padB")
+    )
+    save_and_print(
+        "ablation_reorder",
+        format_table(
+            "Ablation: PADLITE with variable reordering (16K DM)",
+            header,
+            rows,
+        ),
+    )
+    # Shape: reordering is not a magic bullet — across programs the
+    # average miss rate stays within a couple of points of declaration
+    # order (pads do the work), supporting the paper's design choice.
+    avg_decl = sum(r[1] for r in rows) / len(rows)
+    for offset in (3, 5):
+        avg_other = sum(r[offset] for r in rows) / len(rows)
+        assert abs(avg_other - avg_decl) < 5.0

@@ -1,0 +1,65 @@
+"""Substrate throughput benchmarks.
+
+Not a paper figure: these measure the reproduction's own machinery —
+trace generation and the two cache engines — so performance regressions
+in the substrate are caught the same way result regressions are.  Uses
+multiple rounds (unlike the figure benches) since the workloads are small
+and deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.kernels import jacobi
+from repro.cache.config import base_cache, set_associative
+from repro.cache.fastsim import FastDirectMapped, FastSetAssociative
+from repro.layout import original_layout
+from repro.trace import TraceInterpreter
+
+
+@pytest.fixture(scope="module")
+def jacobi_trace():
+    prog = jacobi(256)
+    layout = original_layout(prog)
+    parts = list(TraceInterpreter(prog, layout).trace())
+    addrs = np.concatenate([a for a, _ in parts])
+    writes = np.concatenate([w for _, w in parts])
+    return addrs, writes
+
+
+def test_trace_generation_throughput(benchmark):
+    prog = jacobi(256)
+    layout = original_layout(prog)
+
+    def run():
+        total = 0
+        for addrs, _ in TraceInterpreter(prog, layout).trace():
+            total += len(addrs)
+        return total
+
+    total = benchmark(run)
+    assert total == 254 * 254 * 5 + 254 * 254 * 2
+
+
+def test_direct_mapped_throughput(benchmark, jacobi_trace):
+    addrs, writes = jacobi_trace
+
+    def run():
+        sim = FastDirectMapped(base_cache())
+        sim.access_chunk(addrs, writes)
+        return sim.stats.misses
+
+    misses = benchmark(run)
+    assert misses > 0
+
+
+def test_set_associative_throughput(benchmark, jacobi_trace):
+    addrs, writes = jacobi_trace
+
+    def run():
+        sim = FastSetAssociative(set_associative(16 * 1024, 16))
+        sim.access_chunk(addrs, writes)
+        return sim.stats.misses
+
+    misses = benchmark(run)
+    assert misses > 0

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 10 (padding impact vs associativity)."""
+
+from benchmarks.common import bench_programs, save_and_print, shared_runner
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark):
+    runner = shared_runner()
+
+    def run():
+        return fig10.compute(runner, programs=bench_programs())
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig10", fig10.render(rows))
+    by_name = {r[0]: r for r in rows}
+    # Shape: DOT benefits hugely on direct-mapped but not on 2/4-way
+    # (the paper's observation for DGEFA, DOT, JACOBI).
+    assert by_name["dot"][1] > 30
+    assert by_name["dot"][2] < 10
+    # Benefits shrink (or stay flat) as associativity grows on average.
+    avg = [sum(r[i] for r in rows) / len(rows) for i in (1, 2, 3)]
+    assert avg[0] >= avg[2] - 0.5

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 11 (padding impact vs cache size)."""
+
+from benchmarks.common import bench_programs, save_and_print, shared_runner
+from repro.cache.config import PAPER_CACHE_SIZES
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark):
+    runner = shared_runner()
+
+    def run():
+        return fig11.compute(runner, programs=bench_programs())
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig11", fig11.render(rows, PAPER_CACHE_SIZES))
+    # Shape: averaged over programs, padding matters at every size and
+    # is at least as important on the smallest cache as on the largest.
+    avg = [sum(r[i] for r in rows) / len(rows) for i in range(1, 5)]
+    assert max(avg) > 5.0
+    assert avg[0] >= avg[3] - 2.0

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 12 (intra-variable padding benefit)."""
+
+from benchmarks.common import bench_programs, save_and_print, shared_runner
+from repro.cache.config import PAPER_CACHE_SIZES
+from repro.experiments import fig12
+
+
+def test_fig12(benchmark):
+    runner = shared_runner()
+
+    def run():
+        return fig12.compute(runner, programs=bench_programs())
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig12", fig12.render(rows, PAPER_CACHE_SIZES))
+    # Shape: intra padding helps few programs at 16K but more / more
+    # strongly as the cache shrinks (larger average benefit at 2K).
+    avg_2k = sum(r[1] for r in rows) / len(rows)
+    avg_16k = sum(r[4] for r in rows) / len(rows)
+    assert avg_2k >= avg_16k - 1.0

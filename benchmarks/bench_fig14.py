@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 14 (precision of analysis vs cache size)."""
+
+from benchmarks.common import bench_programs, save_and_print, shared_runner
+from repro.cache.config import PAPER_CACHE_SIZES
+from repro.experiments import fig14
+
+
+def test_fig14(benchmark):
+    runner = shared_runner()
+
+    def run():
+        return fig14.compute(runner, programs=bench_programs())
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig14", fig14.render(rows, PAPER_CACHE_SIZES))
+    # Shape: PAD's extra precision pays off more on smaller caches.
+    avg_2k = sum(r[1] for r in rows) / len(rows)
+    avg_16k = sum(r[4] for r in rows) / len(rows)
+    assert avg_2k >= avg_16k - 1.0

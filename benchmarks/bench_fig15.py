@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 15 (execution-time improvement)."""
+
+from benchmarks.common import bench_programs, save_and_print, shared_runner
+from repro.experiments import fig15
+
+
+def test_fig15(benchmark):
+    runner = shared_runner()
+
+    def run():
+        return fig15.compute(runner, programs=bench_programs())
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig15", fig15.render(rows))
+    # Shape: miss-rate wins translate to time wins on every machine, with
+    # the most miss-sensitive profile (UltraSparc2) gaining the most.
+    avgs = [sum(r[i] for r in rows) / len(rows) for i in (1, 2, 3)]
+    assert all(a > 0 for a in avgs)
+    assert avgs[1] == max(avgs)

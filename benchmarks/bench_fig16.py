@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figure 16 (miss rate vs problem size 250-520).
+
+Curves: original / PADLITE / PAD on the 16K DM cache, and the original on
+a 16-way associative cache, for EXPL, SHAL, DGEFA and CHOL.
+"""
+
+from benchmarks.common import (
+    SWEEP_KERNELS_BENCH,
+    SWEEP_SIZES,
+    save_and_print,
+    shared_runner,
+)
+from repro.experiments import fig16
+
+
+def test_fig16(benchmark):
+    runner = shared_runner()
+
+    def run():
+        return fig16.compute(runner, kernels=SWEEP_KERNELS_BENCH, sizes=SWEEP_SIZES)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig16", fig16.render(results))
+    save_and_print("fig16_charts", fig16.render_charts(results))
+
+    for result in results:
+        orig = result.curves["original"]
+        pad = result.curves["pad"]
+        lite = result.curves["padlite"]
+        assoc = result.curves["16-way"]
+        # PAD is stable: its worst point stays close to its best point,
+        # while the original has severe spikes somewhere in the sweep.
+        assert max(pad) - min(pad) < 6.0, result.kernel
+        assert max(orig) - min(orig) > 4.0, result.kernel
+        # PAD never does much worse than 16-way associativity.
+        for p, a in zip(pad, assoc):
+            assert p < a + 6.0, result.kernel
+        # PAD is at least as stable as PADLITE across the sweep.
+        assert max(pad) <= max(lite) + 0.5, result.kernel

@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Figure 17 (LINPAD1 vs LINPAD2 across sizes).
+
+Each heuristic is applied to every array, followed by INTERPADLITE; the
+reported value is the miss-rate change relative to INTERPADLITE alone.
+"""
+
+from benchmarks.common import (
+    SWEEP_KERNELS_BENCH,
+    SWEEP_SIZES,
+    save_and_print,
+    shared_runner,
+)
+from repro.experiments import fig17
+
+
+def test_fig17(benchmark):
+    runner = shared_runner()
+
+    def run():
+        return fig17.compute(runner, kernels=SWEEP_KERNELS_BENCH, sizes=SWEEP_SIZES)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig17", fig17.render(results))
+    save_and_print("fig17_charts", fig17.render_charts(results))
+
+    by_kernel = {r.kernel: r for r in results}
+    # Shape: on the linear-algebra kernels the heuristics matter — some
+    # problem size gains several points; LINPAD2 catches at least as many
+    # CHOL sizes as LINPAD1 (its pad condition subsumes LINPAD1's).
+    for kernel in ("dgefa", "chol"):
+        curves = by_kernel[kernel].curves
+        assert max(curves["linpad1"] + curves["linpad2"]) > 2.0, kernel
+        wins1 = sum(1 for v in curves["linpad1"] if v > 1.0)
+        wins2 = sum(1 for v in curves["linpad2"] if v > 1.0)
+        assert wins2 >= wins1 - 1, kernel
+    # On the stencils both produce only small perturbations on average.
+    for kernel in ("expl", "shal"):
+        curves = by_kernel[kernel].curves
+        for name in ("linpad1", "linpad2"):
+            avg = sum(curves[name]) / len(curves[name])
+            assert abs(avg) < 15.0, (kernel, name)

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 8 (miss rates, original vs PAD)."""
+
+from benchmarks.common import bench_programs, save_and_print, shared_runner
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark):
+    runner = shared_runner()
+
+    def run():
+        return fig8.compute(runner, programs=bench_programs())
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig8", fig8.render(rows))
+    # Shape check: padding never *increases* the average miss rate, and the
+    # known conflict-heavy programs improve substantially.
+    by_name = {r[0]: r for r in rows}
+    assert by_name["jacobi"][3] > 10.0
+    assert by_name["expl"][3] > 10.0
+    assert abs(by_name["irr"][3]) < 1.0  # irregular: nothing to pad
+    assert abs(by_name["fftpde"][3]) < 1.0  # unpaddable parameters

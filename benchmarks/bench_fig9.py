@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 9 (PAD on DM vs higher associativity)."""
+
+from benchmarks.common import bench_programs, save_and_print, shared_runner
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark):
+    runner = shared_runner()
+
+    def run():
+        return fig9.compute(runner, programs=bench_programs())
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print("fig9", fig9.render(rows))
+    by_name = {r[0]: r for r in rows}
+    # Shape: for the big stencil winners, PAD on a DM cache achieves an
+    # improvement in the same league as 16-way associativity.
+    for name in ("jacobi", "expl", "shal"):
+        pad_dm, w16 = by_name[name][1], by_name[name][4]
+        assert pad_dm > 0.5 * w16

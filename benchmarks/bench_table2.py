@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 2 (compile-time statistics for PAD).
+
+Pure compile-time work — this also measures the cost of running the PAD
+analysis itself, which the paper reports as "a very small percentage of
+overall compilation time".
+"""
+
+from benchmarks.common import bench_programs, save_and_print, shared_runner
+from repro.experiments import table2
+from repro.experiments.runner import Runner
+
+
+def test_table2(benchmark):
+    def run():
+        return table2.compute(Runner(), programs=bench_programs())
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    save_and_print("table2", table2.render(rows))
+    assert len(rows) == len(bench_programs())

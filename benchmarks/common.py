@@ -1,0 +1,82 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures and prints the
+rows/series the paper reports.  Two fidelity levels:
+
+* default — a representative program subset and coarse sweep steps, sized
+  so the whole ``pytest benchmarks/ --benchmark-only`` run finishes in
+  minutes;
+* ``REPRO_BENCH_FULL=1`` — the full 36-program suite and the paper's
+  250..520 sweep at step 10.
+
+The rendered output of every benchmark is also written to
+``benchmarks/out/<name>.txt`` so results survive pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.experiments.runner import Runner
+
+FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+
+# A representative subset: big winners (stencils, dot), linear algebra,
+# and the null cases (irregular gather, unpaddable FFT).
+SUBSET_PROGRAMS = (
+    "adi",
+    "dot",
+    "jacobi",
+    "chol",
+    "dgefa",
+    "expl",
+    "shal",
+    "tomcatv",
+    "swim",
+    "irr",
+    "fftpde",
+    "mgrid",
+)
+
+# Sweeps *must* include the sizes where the paper's spikes live (powers
+# of two and their near-multiples); a plain arithmetic grid samples only
+# the flat regions (250, 260, ... never hits 256, 384 or 512).
+_SPIKE_SIZES = (256, 273, 288, 320, 384, 416, 448, 512)
+SWEEP_SIZES = (
+    tuple(sorted(set(range(250, 521, 10)) | set(_SPIKE_SIZES)))
+    if FULL
+    else tuple(sorted({250, 300, 340, 400, 480, 520} | set(_SPIKE_SIZES)))
+)
+SWEEP_KERNELS_BENCH = ("expl", "shal", "dgefa", "chol")
+
+# Full-fidelity runs keep their outputs separately so a quick subset run
+# never overwrites the recorded full-suite results.
+OUT_DIR = pathlib.Path(__file__).resolve().parent / ("out-full" if FULL else "out")
+
+
+def bench_programs():
+    """Program list for the current fidelity level."""
+    if FULL:
+        from repro.bench.suites import kernel_names
+
+        return tuple(kernel_names())
+    return SUBSET_PROGRAMS
+
+
+def save_and_print(name: str, text: str) -> None:
+    """Persist a figure's rendering and echo it to stdout."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+_SHARED_RUNNER = Runner()
+
+
+def shared_runner() -> Runner:
+    """One memoizing runner shared across all benchmark modules, so
+    figures that reuse (program, heuristic, cache) combinations do not
+    re-simulate them."""
+    return _SHARED_RUNNER

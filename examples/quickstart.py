@@ -1,0 +1,48 @@
+"""Quickstart: eliminate the paper's Figure-1 conflict with padding.
+
+Two 16KB vectors laid out back to back land exactly one cache size apart
+on a 16K direct-mapped cache, so ``A(i)`` and ``B(i)`` evict each other on
+every iteration.  PAD moves B's base address; miss rate drops from 100%
+to the spatial-reuse floor.
+
+Run: python examples/quickstart.py
+"""
+
+from repro import base_cache, original, pad, parse_program, simulate_program
+
+DOT_SRC = """
+program dot
+  param N = 2048
+  real*8 A(N), B(N)
+  real*8 S
+  do i = 1, N
+    S = S + A(i) * B(i)
+  end do
+end
+"""
+
+
+def main():
+    prog = parse_program(DOT_SRC)
+    cache = base_cache()
+    print(f"cache: {cache.describe()}")
+
+    baseline = original(prog)
+    stats = simulate_program(prog, baseline.layout, cache)
+    print(f"original layout: A at {baseline.layout.base('A')}, "
+          f"B at {baseline.layout.base('B')}")
+    print(f"  miss rate: {stats.miss_rate_pct:.1f}%  ({stats.describe()})")
+
+    padded = pad(prog)
+    stats_padded = simulate_program(prog, padded.layout, cache)
+    print(f"after PAD: B moved to {padded.layout.base('B')} "
+          f"({padded.bytes_skipped} pad bytes inserted)")
+    print(f"  miss rate: {stats_padded.miss_rate_pct:.1f}%  "
+          f"({stats_padded.describe()})")
+
+    improvement = stats.miss_rate_pct - stats_padded.miss_rate_pct
+    print(f"improvement: {improvement:.1f} percentage points")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""repro — reproduction of Rivera & Tseng, "Data Transformations for
+Eliminating Conflict Misses" (PLDI 1998).
+
+Quickstart::
+
+    from repro import parse_program, pad, base_cache, simulate_program
+
+    prog = parse_program(JACOBI_SRC)          # or repro.bench factories
+    result = pad(prog)                        # PAD: analysis-driven padding
+    stats = simulate_program(prog, result.layout, base_cache())
+    print(stats.miss_rate_pct)
+
+Subpackages: :mod:`repro.ir` (loop-nest IR), :mod:`repro.frontend` (kernel
+DSL), :mod:`repro.analysis` (conflict analysis), :mod:`repro.padding` (the
+PADLITE/PAD heuristics), :mod:`repro.layout`, :mod:`repro.cache`
+(simulator), :mod:`repro.trace` (interpreter), :mod:`repro.timing`,
+:mod:`repro.bench` (benchmarks) and :mod:`repro.experiments` (the paper's
+tables and figures).
+"""
+
+from repro.analysis import first_conflict
+from repro.cache import (
+    CacheConfig,
+    CacheStats,
+    base_cache,
+    direct_mapped,
+    fully_associative,
+    make_simulator,
+    set_associative,
+)
+from repro.errors import ReproError
+from repro.frontend import parse_program
+from repro.ir import Program, pretty
+from repro.layout import MemoryLayout, original_layout
+from repro.padding import (
+    PadParams,
+    PaddingResult,
+    interpad_only,
+    interpadlite_only,
+    original,
+    pad,
+    padlite,
+)
+from repro.timing import PAPER_MACHINES, MachineModel
+from repro.trace import DataEnv, TraceInterpreter, trace_program
+
+__version__ = "1.0.0"
+
+
+def simulate_program(prog, layout, cache=None, env=None) -> CacheStats:
+    """Trace a program under a layout through a cache; return statistics."""
+    sim = make_simulator(cache or base_cache())
+    for addrs, writes in trace_program(prog, layout, env):
+        sim.access_chunk(addrs, writes)
+    return sim.stats
+
+
+__all__ = [
+    "CacheConfig",
+    "CacheStats",
+    "DataEnv",
+    "MachineModel",
+    "MemoryLayout",
+    "PAPER_MACHINES",
+    "PadParams",
+    "PaddingResult",
+    "Program",
+    "ReproError",
+    "TraceInterpreter",
+    "base_cache",
+    "direct_mapped",
+    "first_conflict",
+    "fully_associative",
+    "interpad_only",
+    "interpadlite_only",
+    "make_simulator",
+    "original",
+    "original_layout",
+    "pad",
+    "padlite",
+    "parse_program",
+    "pretty",
+    "set_associative",
+    "simulate_program",
+    "trace_program",
+    "__version__",
+]

@@ -1,0 +1,69 @@
+"""Program analyses: linearization, uniformly generated references,
+conflict distances, the Euclidean FirstConflict algorithm, pattern
+detection, and padding-safety analysis."""
+
+from repro.analysis.conflict import (
+    circular_distance,
+    conflicts,
+    max_needed_pad,
+    needed_pad,
+)
+from repro.analysis.euclid import (
+    conflicting_j_values,
+    distinct_column_mappings,
+    first_conflict,
+    first_conflict_brute,
+)
+from repro.analysis.linearize import (
+    constant_distance,
+    linearize,
+    linearized_distance,
+)
+from repro.analysis.patterns import is_linear_algebra_code, linear_algebra_arrays
+from repro.analysis.safety import (
+    ArraySafety,
+    analyze_safety,
+    controllable_variables,
+    safe_arrays,
+    safety_counts,
+)
+from repro.analysis.stats import ProgramStats, collect_stats
+from repro.analysis.uniform import (
+    UniformGroup,
+    conforming,
+    uniform_groups,
+    uniform_pairs_between,
+    uniform_pairs_same_array,
+    uniform_ref_fraction,
+    uniformly_generated,
+)
+
+__all__ = [
+    "ArraySafety",
+    "ProgramStats",
+    "UniformGroup",
+    "analyze_safety",
+    "circular_distance",
+    "collect_stats",
+    "conflicting_j_values",
+    "conflicts",
+    "conforming",
+    "constant_distance",
+    "controllable_variables",
+    "distinct_column_mappings",
+    "first_conflict",
+    "first_conflict_brute",
+    "is_linear_algebra_code",
+    "linear_algebra_arrays",
+    "linearize",
+    "linearized_distance",
+    "max_needed_pad",
+    "needed_pad",
+    "safe_arrays",
+    "safety_counts",
+    "uniform_groups",
+    "uniform_pairs_between",
+    "uniform_pairs_same_array",
+    "uniform_ref_fraction",
+    "uniformly_generated",
+]

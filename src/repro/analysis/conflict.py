@@ -1,0 +1,112 @@
+"""Conflict distances.
+
+The paper defines the *conflict distance* between two memory locations as
+their address difference mod the cache size ``Cs``; a conflict miss may
+arise when that distance (taken circularly — an address just *below* a
+multiple of Cs conflicts too, cf. the N=934 JACOBI example where the
+distance is ≡ -2 mod Cs) is smaller than the line size ``Ls``.
+
+This module provides the modular-arithmetic helpers shared by every
+heuristic, plus :func:`needed_pad`, which computes the smallest base-address
+increment that clears a pad condition — the core of the greedy placement
+loop of Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import ConfigError
+
+
+def circular_distance(delta: int, cache_size: int) -> int:
+    """Distance from ``delta`` to the nearest multiple of ``cache_size``.
+
+    Always in ``[0, cache_size // 2]``.  This is the symmetric reading of
+    the paper's "difference in addresses mod Cs": locations ``+2`` and
+    ``-2`` away from a cache-size multiple both conflict.
+    """
+    if cache_size <= 0:
+        raise ConfigError(f"cache size must be positive, got {cache_size}")
+    m = delta % cache_size
+    return min(m, cache_size - m)
+
+
+def conflicts(delta: int, cache_size: int, threshold: int) -> bool:
+    """Pad condition: the circular conflict distance is below ``threshold``.
+
+    ``threshold`` is ``Ls`` for the PAD heuristics and ``M * Ls`` for the
+    PADLITE heuristics (M in cache lines).
+    """
+    return circular_distance(delta, cache_size) < threshold
+
+
+def severe_conflict(delta: int, cache_size: int, line_size: int) -> bool:
+    """The PAD heuristics' pad condition for a reference pair.
+
+    A conflict miss may arise when the circular conflict distance is below
+    the line size — "unless the addresses are actually located on the same
+    cache line" (paper, Section 2).  Two references whose *absolute*
+    distance is below a line share (or straddle adjacent) lines: that is
+    spatial group reuse, not a conflict, and no amount of padding could
+    separate them anyway (e.g. JACOBI's ``A(j-1,i)`` vs ``A(j+1,i)``).
+    """
+    if abs(delta) < line_size:
+        return False
+    return circular_distance(delta, cache_size) < line_size
+
+
+def severe_needed_pad(delta: int, cache_size: int, line_size: int) -> int:
+    """Pad needed to clear :func:`severe_conflict` (0 when none)."""
+    if not severe_conflict(delta, cache_size, line_size):
+        return 0
+    return needed_pad(delta, cache_size, line_size)
+
+
+def needed_pad(delta: int, cache_size: int, threshold: int) -> int:
+    """Smallest pad ``p >= 0`` such that ``delta + p`` no longer conflicts.
+
+    Used when placing variable A after the placed variable B: ``delta`` is
+    ``addr(ref in A) - addr(ref in B)`` and grows one-for-one with A's base
+    address.  Returns 0 when there is no conflict.  Requires
+    ``2 * threshold <= cache_size`` (otherwise no pad can succeed).
+    """
+    if threshold <= 0:
+        return 0
+    if 2 * threshold > cache_size:
+        raise ConfigError(
+            f"threshold {threshold} too large for cache size {cache_size}: "
+            f"no placement can satisfy it"
+        )
+    m = delta % cache_size
+    if m >= threshold and m <= cache_size - threshold:
+        return 0
+    # Move m up to `threshold` (wrapping past Cs when m started above
+    # Cs - threshold).
+    return (threshold - m) % cache_size
+
+
+def max_needed_pad(
+    deltas: Iterable[int], cache_size: int, threshold: int
+) -> int:
+    """The largest single-pair pad over a set of distances.
+
+    The greedy algorithm of Figure 5 advances the tentative address by the
+    maximum needed pad and retests, because one increment can create new
+    conflicts with other pairs.
+    """
+    best = 0
+    for delta in deltas:
+        p = needed_pad(delta, cache_size, threshold)
+        if p > best:
+            best = p
+    return best
+
+
+def conflict_distance_of_refs(
+    delta_bytes: Optional[int], cache_size: int
+) -> Optional[int]:
+    """Circular conflict distance of a constant byte distance (None-safe)."""
+    if delta_bytes is None:
+        return None
+    return circular_distance(delta_bytes, cache_size)

@@ -1,0 +1,172 @@
+"""Conflict diagnostics: explain *why* a layout misses.
+
+The padding heuristics decide; these helpers show their work.  Given a
+program and a layout, :func:`conflict_report` enumerates every uniformly
+generated reference pair whose conflict distance violates a threshold —
+the same information INTERPAD/INTRAPAD act on, surfaced for humans, for
+tests, and for the examples.  :func:`set_pressure` renders the static
+cache-set footprint of the hot references, which makes conflict clusters
+visible as spikes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.conflict import circular_distance, severe_conflict
+from repro.analysis.linearize import linearize, linearized_distance
+from repro.analysis.uniform import uniform_groups
+from repro.cache.config import CacheConfig
+from repro.ir.program import Program
+from repro.ir.refs import ArrayRef
+from repro.layout.layout import MemoryLayout
+
+
+@dataclass(frozen=True)
+class ConflictFinding:
+    """One conflicting uniformly generated reference pair."""
+
+    nest_index: int
+    array_a: str
+    ref_a: ArrayRef
+    array_b: str
+    ref_b: ArrayRef
+    distance: int
+    conflict_distance: int
+    severe: bool
+
+    @property
+    def kind(self) -> str:
+        """'intra' for same-array pairs, 'inter' otherwise."""
+        return "intra" if self.array_a == self.array_b else "inter"
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        marker = "SEVERE" if self.severe else "near"
+        return (
+            f"nest {self.nest_index}: {self.ref_a} vs {self.ref_b} "
+            f"[{self.kind}] distance {self.distance} "
+            f"(conflict distance {self.conflict_distance}, {marker})"
+        )
+
+
+def conflict_report(
+    prog: Program,
+    layout: MemoryLayout,
+    cache: CacheConfig,
+    threshold: Optional[int] = None,
+) -> List[ConflictFinding]:
+    """All uniformly generated pairs with conflict distance < threshold.
+
+    ``threshold`` defaults to the cache line size (the PAD condition).
+    Pairs whose absolute distance is within one line are reported with
+    ``severe=False`` — they share lines (group reuse); everything else
+    below the threshold is a real conflict the heuristics would pad.
+    """
+    threshold = cache.line_bytes if threshold is None else threshold
+    findings: List[ConflictFinding] = []
+    for nest_index, nest in enumerate(prog.loop_nests()):
+        for group in uniform_groups(prog, nest):
+            refs = group.refs
+            for i in range(len(refs)):
+                for j in range(i + 1, len(refs)):
+                    (name_a, ref_a), (name_b, ref_b) = refs[i], refs[j]
+                    if name_a == name_b and ref_a.subscripts == ref_b.subscripts:
+                        continue
+                    delta = linearized_distance(
+                        ref_a,
+                        prog.array(name_a),
+                        ref_b,
+                        prog.array(name_b),
+                        layout.dim_sizes(name_a),
+                        layout.dim_sizes(name_b),
+                        layout.base(name_a),
+                        layout.base(name_b),
+                    )
+                    if not delta.is_constant:
+                        continue
+                    cd = circular_distance(delta.const, cache.size_bytes)
+                    if cd >= threshold:
+                        continue
+                    findings.append(
+                        ConflictFinding(
+                            nest_index=nest_index,
+                            array_a=name_a,
+                            ref_a=ref_a,
+                            array_b=name_b,
+                            ref_b=ref_b,
+                            distance=delta.const,
+                            conflict_distance=cd,
+                            severe=severe_conflict(
+                                delta.const, cache.size_bytes, cache.line_bytes
+                            ),
+                        )
+                    )
+    return findings
+
+
+def severe_conflicts(
+    prog: Program, layout: MemoryLayout, cache: CacheConfig
+) -> List[ConflictFinding]:
+    """Only the severe findings (what PAD must eliminate)."""
+    return [f for f in conflict_report(prog, layout, cache) if f.severe]
+
+
+def set_pressure(
+    prog: Program,
+    layout: MemoryLayout,
+    cache: CacheConfig,
+    buckets: int = 32,
+) -> Dict[str, List[int]]:
+    """Static per-array cache-set footprints of first-iteration references.
+
+    For each array, linearize each reference at the lexically smallest
+    iteration point of its nest and histogram the cache sets its column
+    (first dimension sweep) touches.  Arrays whose footprints overlap in
+    the same buckets are conflict suspects.
+    """
+    num_sets = cache.num_sets
+    bucket_size = max(1, num_sets // buckets)
+    pressure: Dict[str, List[int]] = {}
+    for nest in prog.loop_nests():
+        point = _first_iteration(nest)
+        for ref in nest.refs():
+            if not ref.is_affine:
+                continue
+            decl = prog.array(ref.array)
+            addr = linearize(
+                ref, decl, layout.dim_sizes(ref.array), layout.base(ref.array)
+            ).evaluate(point)
+            line = addr // cache.line_bytes
+            bucket = (line % num_sets) // bucket_size
+            histogram = pressure.setdefault(ref.array, [0] * buckets)
+            histogram[min(bucket, buckets - 1)] += 1
+    return pressure
+
+
+def _first_iteration(nest) -> Dict[str, int]:
+    """The lexically first iteration point of a nest (approximate for
+    bounds that depend on outer variables)."""
+    point: Dict[str, int] = {}
+    stack = [nest]
+    while stack:
+        loop = stack.pop()
+        try:
+            point[loop.var] = loop.lower.evaluate(point)
+        except Exception:
+            point[loop.var] = 1
+        for node in loop.body:
+            if hasattr(node, "var"):
+                stack.append(node)
+    return point
+
+
+def render_report(findings: List[ConflictFinding]) -> str:
+    """Text rendering of a conflict report."""
+    if not findings:
+        return "no conflicting reference pairs"
+    lines = [f"{len(findings)} conflicting pair(s):"]
+    for f in findings:
+        lines.append("  " + f.describe())
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""The FirstConflict algorithm (paper, Section 2.3.2 and Figure 4).
+
+``FirstConflict(Cs, Col, Ls)`` returns the smallest ``j > 0`` such that
+``j * Col`` lands within ``Ls`` of a multiple of the cache size ``Cs`` —
+that is, columns ``j`` apart map to (nearly) the same cache location.
+
+The implementation is the paper's generalization of the Euclidean
+algorithm.  It maintains the invariant
+
+    c_k * Col ≡ ±r_k  (mod Cs)
+
+where the ``r_k`` are the Euclidean remainder sequence of ``(Cs, Col)`` and
+the ``c_k`` are the corresponding continued-fraction denominators.  By the
+best-approximation property of continued fractions, no ``j < c_{k+1}``
+achieves a residue smaller than ``r_k``; so the first ``c`` whose remainder
+drops below ``Ls`` is exactly the smallest conflicting ``j``.  Property
+tests verify this against brute force.
+
+The run time is O(log Cs), which is what lets PAD test LINPAD2's condition
+cheaply while iterating over candidate column sizes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import AnalysisError
+
+
+def first_conflict(cache_size: int, column_size: int, line_size: int) -> int:
+    """Smallest ``j > 0`` with ``min(j*Col mod Cs, Cs - j*Col mod Cs) < Ls``.
+
+    All quantities share one unit (bytes throughout the library; the paper's
+    examples use elements).  ``line_size`` must be at least 1 — a residue of
+    exactly 0 always conflicts.
+    """
+    if cache_size <= 0:
+        raise AnalysisError(f"cache size must be positive, got {cache_size}")
+    if column_size <= 0:
+        raise AnalysisError(f"column size must be positive, got {column_size}")
+    if line_size < 1:
+        raise AnalysisError(f"line size must be at least 1, got {line_size}")
+    r_prev, r_cur = cache_size, column_size % cache_size
+    c_prev, c_cur = 0, 1
+    while r_cur >= line_size:
+        quotient = r_prev // r_cur
+        r_prev, r_cur = r_cur, r_prev % r_cur
+        c_prev, c_cur = c_cur, quotient * c_cur + c_prev
+    return c_cur
+
+
+def first_conflict_brute(cache_size: int, column_size: int, line_size: int) -> int:
+    """Reference implementation by direct search (for tests and docs)."""
+    if line_size < 1:
+        raise AnalysisError(f"line size must be at least 1, got {line_size}")
+    j = 1
+    while True:
+        residue = (j * column_size) % cache_size
+        if min(residue, cache_size - residue) < line_size:
+            return j
+        j += 1
+
+
+def distinct_column_mappings(cache_size: int, column_size: int) -> int:
+    """How many distinct cache locations multiples of ``Col`` occupy.
+
+    Section 2.3.1: with ``d = gcd(Cs, Col)``, only the first ``Cs / d``
+    multiples of the column size map to distinct locations; a large ``d``
+    (column size sharing a large power-of-two factor with the cache size)
+    concentrates the columns onto few locations, causing the semi-severe
+    conflicts LINPAD1 avoids.
+    """
+    if cache_size <= 0 or column_size <= 0:
+        raise AnalysisError("cache and column sizes must be positive")
+    return cache_size // math.gcd(cache_size, column_size)
+
+
+def conflicting_j_values(
+    cache_size: int, column_size: int, line_size: int, limit: int
+) -> list:
+    """All conflicting ``j`` in ``1..limit`` (direct enumeration).
+
+    Small helper used by diagnostics and tests; e.g. with Cs=1024, Col=273,
+    Ls=4 the conflicting values below 50 are [15, 30, 45], matching the
+    paper's worked example.
+    """
+    out = []
+    for j in range(1, limit + 1):
+        residue = (j * column_size) % cache_size
+        if min(residue, cache_size - residue) < line_size:
+            out.append(j)
+    return out

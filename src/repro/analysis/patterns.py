@@ -1,0 +1,62 @@
+"""Linear-algebra access-pattern detection.
+
+PAD applies the aggressive LINPAD2 heuristic only to arrays that appear in
+computations shaped like Figure 3 of the paper::
+
+    do k
+      do j
+        do i
+          ... A(i, j) ... A(i, k) ...
+
+i.e. the same array is referenced with *different* loop variables selecting
+columns (or higher subarrays).  As ``j`` and ``k`` vary, columns a varying
+distance apart are touched together, so conflicts depend on the gcd
+structure of the column size — exactly what LINPAD2 tests.
+
+The detector looks for two uniformly shaped references to one array within
+one loop nest whose shapes differ in some non-lowest dimension position
+(different index variables, or variable vs. constant).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.ir.program import Program
+
+
+def linear_algebra_arrays(prog: Program) -> Set[str]:
+    """Names of arrays accessed with the Figure-3 linear-algebra pattern."""
+    found: Set[str] = set()
+    for nest in prog.loop_nests():
+        by_array = {}
+        for ref in nest.refs():
+            shape = ref.uniform_shape()
+            if shape is None or len(shape) < 2:
+                continue
+            by_array.setdefault(ref.array, []).append(shape)
+        for array, shapes in by_array.items():
+            if array in found:
+                continue
+            if _has_column_variation(shapes):
+                found.add(array)
+    return found
+
+
+def _has_column_variation(shapes: List[tuple]) -> bool:
+    """Two shapes agreeing on dim 0 but differing in a higher dimension."""
+    for i in range(len(shapes)):
+        for j in range(i + 1, len(shapes)):
+            a, b = shapes[i], shapes[j]
+            if len(a) != len(b):
+                continue
+            if a[0] != b[0]:
+                continue
+            if any(a[k] != b[k] for k in range(1, len(a))):
+                return True
+    return False
+
+
+def is_linear_algebra_code(prog: Program) -> bool:
+    """True when any array in the program shows the Figure-3 pattern."""
+    return bool(linear_algebra_arrays(prog))

@@ -1,0 +1,94 @@
+"""Safety analysis for padding (paper, Section 4.1).
+
+The SUIF implementation determines for each array:
+
+* whether **intra-variable padding** is safe — padding changes the memory
+  position of every element, so it is unsafe when the array's layout is
+  observable elsewhere: formal parameters (declared in another procedure),
+  arrays with storage association (EQUIVALENCE), and members of COMMON
+  blocks that sequence association forbids splitting;
+* whether the compiler controls the **base address** — needed for
+  inter-variable padding.  Formal parameters are placed by the caller;
+  members of unsplittable COMMON blocks move only as a block.
+
+The paper's Table 2 reports the resulting ``ARRAYS SAFE`` count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
+
+from repro.ir.arrays import ArrayDecl
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class ArraySafety:
+    """Safety verdict for one array."""
+
+    name: str
+    intra_safe: bool
+    base_controllable: bool
+    reason: str
+
+
+def analyze_safety(prog: Program) -> Dict[str, ArraySafety]:
+    """Safety verdicts for every array in the program."""
+    verdicts: Dict[str, ArraySafety] = {}
+    for decl in prog.arrays:
+        verdicts[decl.name] = _analyze_one(decl)
+    return verdicts
+
+
+def _analyze_one(decl: ArrayDecl) -> ArraySafety:
+    if decl.is_parameter:
+        return ArraySafety(
+            decl.name,
+            intra_safe=False,
+            base_controllable=False,
+            reason="formal parameter: declared elsewhere",
+        )
+    if decl.storage_association:
+        return ArraySafety(
+            decl.name,
+            intra_safe=False,
+            base_controllable=True,
+            reason="storage association (EQUIVALENCE)",
+        )
+    if decl.common_block and not decl.common_splittable:
+        return ArraySafety(
+            decl.name,
+            intra_safe=False,
+            base_controllable=False,
+            reason=f"member of unsplittable common block /{decl.common_block}/",
+        )
+    return ArraySafety(
+        decl.name, intra_safe=True, base_controllable=True, reason="safe"
+    )
+
+
+def safe_arrays(prog: Program) -> Set[str]:
+    """Arrays that may be intra-variable padded."""
+    return {
+        name for name, v in analyze_safety(prog).items() if v.intra_safe
+    }
+
+
+def controllable_variables(prog: Program) -> Set[str]:
+    """Variables whose base address the compiler may move.
+
+    Includes scalars (always controllable — they are globalized into the
+    struct like everything else).
+    """
+    out: Set[str] = {s.name for s in prog.scalars}
+    for name, verdict in analyze_safety(prog).items():
+        if verdict.base_controllable:
+            out.add(name)
+    return out
+
+
+def safety_counts(prog: Program) -> Tuple[int, int]:
+    """(number of arrays, number safely intra-paddable) — for Table 2."""
+    verdicts = analyze_safety(prog)
+    return len(verdicts), sum(1 for v in verdicts.values() if v.intra_safe)

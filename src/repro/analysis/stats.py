@@ -1,0 +1,58 @@
+"""Compile-time program statistics (feeds Table 2).
+
+Collects the per-program counts the paper reports before padding runs:
+global arrays, percentage of uniformly generated references, reference and
+loop-nest counts.  The padding-specific columns (arrays padded, pad sizes,
+bytes skipped) come from :mod:`repro.padding.report` after a heuristic has
+run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.safety import safety_counts
+from repro.analysis.uniform import uniform_ref_fraction
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class ProgramStats:
+    """Static facts about one program."""
+
+    name: str
+    suite: str
+    source_lines: int
+    global_arrays: int
+    scalars: int
+    total_refs: int
+    uniform_ref_pct: float
+    arrays_safe: int
+    loop_nests: int
+    data_bytes: int
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.name}: {self.global_arrays} arrays, "
+            f"{self.uniform_ref_pct:.0f}% uniform refs, "
+            f"{self.arrays_safe} safely paddable, "
+            f"{self.data_bytes} data bytes"
+        )
+
+
+def collect_stats(prog: Program) -> ProgramStats:
+    """Gather compile-time statistics for one program."""
+    num_arrays, num_safe = safety_counts(prog)
+    return ProgramStats(
+        name=prog.name,
+        suite=prog.suite,
+        source_lines=prog.source_lines,
+        global_arrays=num_arrays,
+        scalars=len(prog.scalars),
+        total_refs=sum(1 for _ in prog.refs()),
+        uniform_ref_pct=100.0 * uniform_ref_fraction(prog),
+        arrays_safe=num_safe,
+        loop_nests=len(prog.loop_nests()),
+        data_bytes=prog.total_data_bytes(),
+    )

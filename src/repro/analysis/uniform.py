@@ -1,0 +1,187 @@
+"""Uniformly generated references and conforming arrays.
+
+Two references are *uniformly generated* (Gannon, Jalby and Gallivan [9],
+extended by the paper to conforming arrays) when:
+
+* both reference *conforming* arrays — equal dimension sizes in all but the
+  highest dimension and equal element sizes (references to the same array
+  trivially conform), and
+* each subscript pair in matching positions has the form ``i_j + r_j`` and
+  ``i_j + s_j`` with the *same* index variable ``i_j`` (or both constant).
+
+Such a pair accesses addresses a constant distance apart on every
+iteration of the surrounding loops, which is what makes compile-time
+conflict-distance computation possible.
+
+This module finds, per loop nest, the groups of references sharing a
+uniform shape, plus the fraction of references that are analyzable at all
+(the ``% UNIF. REFS`` column of Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.arrays import ArrayDecl
+from repro.ir.loops import Loop
+from repro.ir.program import Program
+from repro.ir.refs import ArrayRef
+
+
+def conforming(decl_a: ArrayDecl, decl_b: ArrayDecl) -> bool:
+    """True when two arrays conform (paper, Section 2.1.2).
+
+    Conforming arrays have equal element sizes and equal dimension sizes in
+    all but the highest dimension.  One-dimensional arrays of different
+    sizes conform (their only dimension is the highest).  Arrays of unequal
+    rank do not conform.
+    """
+    if decl_a.name == decl_b.name:
+        return True
+    if decl_a.rank != decl_b.rank:
+        return False
+    if decl_a.element_size != decl_b.element_size:
+        return False
+    return decl_a.dim_sizes[:-1] == decl_b.dim_sizes[:-1]
+
+
+def uniformly_generated(
+    ref_a: ArrayRef,
+    decl_a: ArrayDecl,
+    ref_b: ArrayRef,
+    decl_b: ArrayDecl,
+) -> bool:
+    """True when the pair of references is uniformly generated."""
+    if not conforming(decl_a, decl_b):
+        return False
+    shape_a = ref_a.uniform_shape()
+    shape_b = ref_b.uniform_shape()
+    if shape_a is None or shape_b is None:
+        return False
+    return shape_a == shape_b
+
+
+@dataclass
+class UniformGroup:
+    """References in one loop nest sharing a uniform shape.
+
+    ``shape`` is the per-dimension tuple of index-variable names (None for
+    constant subscripts).  Grouping is by shape only: whether a pair drawn
+    from a group really has a constant conflict distance also depends on
+    the arrays' (padded) dimension sizes, so consumers confirm each pair
+    with :func:`repro.analysis.linearize.constant_distance` — which is the
+    check that correctly rejects pairs that stopped conforming after
+    intra-variable padding (the paper's JACOBI walkthrough, N=512 Cs=1024).
+    """
+
+    shape: Tuple[Optional[str], ...]
+    refs: List[Tuple[str, ArrayRef]] = field(default_factory=list)
+
+    def arrays(self) -> Tuple[str, ...]:
+        """Distinct arrays referenced by the group."""
+        seen: List[str] = []
+        for name, _ in self.refs:
+            if name not in seen:
+                seen.append(name)
+        return tuple(seen)
+
+    def pairs(self):
+        """All unordered pairs of member references."""
+        for i in range(len(self.refs)):
+            for j in range(i + 1, len(self.refs)):
+                yield self.refs[i], self.refs[j]
+
+
+def uniform_groups(prog: Program, nest: Loop) -> List[UniformGroup]:
+    """Group the references of one loop nest by uniform shape.
+
+    References that are not analyzable (indirect, non-unit coefficients,
+    multiple variables in one subscript) are omitted.
+    """
+    groups: Dict[Tuple, UniformGroup] = {}
+    for ref in nest.refs():
+        shape = ref.uniform_shape()
+        if shape is None:
+            continue
+        if not prog.has_decl(ref.array):
+            continue
+        group = groups.get(shape)
+        if group is None:
+            group = UniformGroup(shape=shape)
+            groups[shape] = group
+        group.refs.append((ref.array, ref))
+    return [g for g in groups.values()]
+
+
+def uniform_pairs_same_array(
+    prog: Program, nest: Loop, array: str
+) -> List[Tuple[ArrayRef, ArrayRef]]:
+    """Uniformly generated pairs of references to one array in one nest.
+
+    Used by INTRAPAD (Section 2.2.2): any two same-shaped references to the
+    same array form a pair; distinct refs only (a reference never conflicts
+    with itself).
+    """
+    pairs: List[Tuple[ArrayRef, ArrayRef]] = []
+    for group in uniform_groups(prog, nest):
+        members = [ref for name, ref in group.refs if name == array]
+        seen = set()
+        uniques = []
+        for ref in members:
+            key = (ref.subscripts,)
+            if key not in seen:
+                seen.add(key)
+                uniques.append(ref)
+        for i in range(len(uniques)):
+            for j in range(i + 1, len(uniques)):
+                pairs.append((uniques[i], uniques[j]))
+    return pairs
+
+
+def uniform_pairs_between(
+    prog: Program, nest: Loop, array_a: str, array_b: str
+) -> List[Tuple[ArrayRef, ArrayRef]]:
+    """Uniformly generated pairs between two different arrays in one nest.
+
+    Used by INTERPAD (Section 2.1.2).  Each returned pair is ordered
+    ``(ref to array_a, ref to array_b)``.  Duplicate textual references are
+    collapsed.
+    """
+    pairs: List[Tuple[ArrayRef, ArrayRef]] = []
+    for group in uniform_groups(prog, nest):
+        a_refs = _unique([ref for name, ref in group.refs if name == array_a])
+        b_refs = _unique([ref for name, ref in group.refs if name == array_b])
+        for ra in a_refs:
+            for rb in b_refs:
+                pairs.append((ra, rb))
+    return pairs
+
+
+def _unique(refs: Sequence[ArrayRef]) -> List[ArrayRef]:
+    seen = set()
+    out = []
+    for ref in refs:
+        key = ref.subscripts
+        if key not in seen:
+            seen.add(key)
+            out.append(ref)
+    return out
+
+
+def uniform_ref_fraction(prog: Program) -> float:
+    """Fraction of references the compiler classifies as uniformly generated.
+
+    This reproduces the ``% UNIF. REFS`` column of Table 2: a reference
+    counts as uniformly generated when it has the required subscript shape
+    (each subscript an index variable plus a constant, or a constant).
+    """
+    total = 0
+    uniform = 0
+    for ref in prog.refs():
+        total += 1
+        if ref.uniform_shape() is not None:
+            uniform += 1
+    if total == 0:
+        return 1.0
+    return uniform / total

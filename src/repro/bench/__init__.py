@@ -1,0 +1,22 @@
+"""Benchmark programs: the paper's 13 kernels plus NAS/SPEC proxies."""
+
+from repro.bench.sources import KERNEL_SOURCES, kernel_source
+from repro.bench.suites import (
+    ALL_SPECS,
+    SWEEP_KERNELS,
+    KernelSpec,
+    get_spec,
+    kernel_names,
+    specs_by_suite,
+)
+
+__all__ = [
+    "ALL_SPECS",
+    "KERNEL_SOURCES",
+    "KernelSpec",
+    "SWEEP_KERNELS",
+    "get_spec",
+    "kernel_names",
+    "kernel_source",
+    "specs_by_suite",
+]

@@ -1,0 +1,144 @@
+"""Benchmark registry.
+
+:data:`ALL_SPECS` lists every program of the evaluation (Table 2's 13
+kernels + 8 NAS + 9 SPEC95 + 5 SPEC92), each with its factory, default
+problem size and a ``max_outer`` fidelity knob: O(N^3) linear-algebra
+kernels are truncated to a prefix of their outermost loop during
+simulation (their conflict behaviour is periodic across outer iterations,
+so the miss-rate *shape* is preserved at a fraction of the trace cost —
+see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bench import kernels, nas, spec
+from repro.errors import ConfigError
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One registered benchmark program."""
+
+    name: str
+    factory: Callable[..., Program]
+    suite: str
+    description: str
+    default_size: int
+    category: str  # stencil | linalg | irregular | mixed | compute
+    max_outer: Optional[int] = None  # truncate outermost loops when tracing
+    paper_lines: int = 0
+
+    def build(self, n: Optional[int] = None) -> Program:
+        """Instantiate the program, optionally at a different size."""
+        if n is None:
+            return self.factory()
+        return self.factory(n)
+
+
+ALL_SPECS: Tuple[KernelSpec, ...] = (
+    # -- kernels -----------------------------------------------------------
+    KernelSpec("adi", kernels.adi, "kernel", "2D ADI Integration Fragment (Liv8)",
+               128, "stencil", paper_lines=63),
+    KernelSpec("chol", kernels.chol, "kernel", "Cholesky Factorization",
+               256, "linalg", max_outer=6, paper_lines=165),
+    KernelSpec("dgefa", kernels.dgefa, "kernel", "Gaussian Elimination w/Pivoting",
+               256, "linalg", max_outer=6, paper_lines=75),
+    KernelSpec("dot", kernels.dot, "kernel", "Vector Dot Product (Liv3)",
+               2048, "stencil", paper_lines=32),
+    KernelSpec("erle", kernels.erle, "kernel", "3D Tridiagonal Solver",
+               64, "stencil", max_outer=24, paper_lines=612),
+    KernelSpec("expl", kernels.expl, "kernel", "2D Explicit Hydrodynamics (Liv18)",
+               512, "stencil", max_outer=96, paper_lines=64),
+    KernelSpec("irr", kernels.irr, "kernel", "Relaxation over Irregular Mesh",
+               250000, "irregular", paper_lines=196),
+    KernelSpec("jacobi", kernels.jacobi, "kernel", "2D Jacobi Iteration",
+               512, "stencil", max_outer=128, paper_lines=52),
+    KernelSpec("linpackd", kernels.linpackd, "kernel", "LINPACK Gaussian Elimination",
+               200, "linalg", max_outer=8, paper_lines=795),
+    KernelSpec("mult", kernels.mult, "kernel", "Matrix Multiplication (Liv21)",
+               300, "linalg", max_outer=8, paper_lines=29),
+    KernelSpec("rb", kernels.rb, "kernel", "2D Red-Black Over-Relaxation",
+               512, "stencil", max_outer=128, paper_lines=52),
+    KernelSpec("shal", kernels.shal, "kernel", "Shallow Water Model",
+               512, "stencil", max_outer=64, paper_lines=235),
+    KernelSpec("simple", kernels.simple, "kernel", "2D Hydrodynamics",
+               256, "stencil", max_outer=128, paper_lines=1346),
+    # -- NAS ----------------------------------------------------------------
+    KernelSpec("appbt", nas.appbt, "nas", "Block-Tridiagonal PDE Solver",
+               32, "stencil", paper_lines=4441),
+    KernelSpec("applu", nas.applu, "nas", "Parabolic/Elliptic PDE Solver",
+               32, "stencil", paper_lines=3417),
+    KernelSpec("appsp", nas.appsp, "nas", "Scalar-Pentadiagonal PDE Solver",
+               32, "stencil", paper_lines=3991),
+    KernelSpec("buk", nas.buk, "nas", "Integer Bucket Sort",
+               65536, "irregular", paper_lines=305),
+    KernelSpec("cgm", nas.cgm, "nas", "Sparse Conjugate Gradient",
+               16384, "irregular", max_outer=4096, paper_lines=855),
+    KernelSpec("embar", nas.embar, "nas", "Monte Carlo",
+               65536, "compute", paper_lines=265),
+    KernelSpec("fftpde", nas.fftpde, "nas", "3D Fast Fourier Transform",
+               64, "mixed", paper_lines=773),
+    KernelSpec("mgrid", nas.mgrid, "nas", "Multigrid Solver",
+               64, "stencil", paper_lines=680),
+    # -- SPEC95 ----------------------------------------------------------------
+    KernelSpec("applu95", spec.applu95, "spec95", "Parabolic/Elliptic PDE Solver",
+               33, "stencil", paper_lines=3868),
+    KernelSpec("apsi", spec.apsi, "spec95", "Pseudospectral Air Pollution",
+               56, "stencil", paper_lines=7361),
+    KernelSpec("fpppp", spec.fpppp, "spec95", "2 Electron Integral Derivative",
+               96, "irregular", paper_lines=2784),
+    KernelSpec("hydro2d", spec.hydro2d, "spec95", "Navier-Stokes",
+               402, "stencil", max_outer=128, paper_lines=4292),
+    KernelSpec("mgrid95", spec.mgrid95, "spec95", "Multigrid Solver",
+               64, "stencil", paper_lines=484),
+    KernelSpec("su2cor", spec.su2cor, "spec95", "Vector Quantum Physics",
+               32, "mixed", paper_lines=2332),
+    KernelSpec("swim", spec.swim, "spec95", "Shallow Water Physics",
+               512, "stencil", max_outer=64, paper_lines=429),
+    KernelSpec("tomcatv", spec.tomcatv, "spec95", "Vectorized Mesh Generation",
+               513, "stencil", max_outer=96, paper_lines=190),
+    KernelSpec("turb3d", spec.turb3d, "spec95", "Isotropic Turbulence",
+               64, "mixed", paper_lines=2100),
+    KernelSpec("wave5", spec.wave5, "spec95", "Maxwell's Equations",
+               65536, "mixed", paper_lines=7764),
+    # -- SPEC92 --------------------------------------------------------------
+    KernelSpec("doduc", spec.doduc, "spec92", "Thermohydraulical Modelization",
+               64, "stencil", paper_lines=5334),
+    KernelSpec("mdljdp2", spec.mdljdp2, "spec92", "Molecular Dynamics (double)",
+               4096, "irregular", max_outer=2048, paper_lines=4316),
+    KernelSpec("mdljsp2", spec.mdljsp2, "spec92", "Molecular Dynamics (single)",
+               4096, "irregular", max_outer=2048, paper_lines=3885),
+    KernelSpec("nasa7", spec.nasa7, "spec92", "NASA Ames Fortran Kernels",
+               128, "linalg", max_outer=8, paper_lines=1204),
+    KernelSpec("ora", spec.ora, "spec92", "Ray Tracing",
+               16, "compute", paper_lines=453),
+)
+
+_BY_NAME: Dict[str, KernelSpec] = {s.name: s for s in ALL_SPECS}
+
+SWEEP_KERNELS = ("expl", "shal", "dgefa", "chol")
+"""The four kernels of the problem-size sweeps (Figures 16 and 17)."""
+
+
+def get_spec(name: str) -> KernelSpec:
+    """Look up one benchmark by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown benchmark {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def specs_by_suite(suite: str) -> List[KernelSpec]:
+    """All benchmarks of one suite (kernel / nas / spec95 / spec92)."""
+    return [s for s in ALL_SPECS if s.suite == suite]
+
+
+def kernel_names() -> List[str]:
+    """All registered benchmark names, registry order."""
+    return [s.name for s in ALL_SPECS]

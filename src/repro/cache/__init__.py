@@ -1,0 +1,39 @@
+"""Cache simulation substrate (replaces the paper's SHADE setup)."""
+
+from repro.cache.config import (
+    PAPER_ASSOCIATIVITIES,
+    PAPER_CACHE_SIZES,
+    CacheConfig,
+    base_cache,
+    direct_mapped,
+    fully_associative,
+    set_associative,
+)
+from repro.cache.fastsim import FastDirectMapped, FastSetAssociative, make_simulator
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.sim import ReferenceCache
+from repro.cache.stats import (
+    CacheStats,
+    MissBreakdown,
+    classify_misses,
+    miss_rate_improvement,
+)
+
+__all__ = [
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheStats",
+    "FastDirectMapped",
+    "FastSetAssociative",
+    "MissBreakdown",
+    "PAPER_ASSOCIATIVITIES",
+    "PAPER_CACHE_SIZES",
+    "ReferenceCache",
+    "base_cache",
+    "classify_misses",
+    "direct_mapped",
+    "fully_associative",
+    "make_simulator",
+    "miss_rate_improvement",
+    "set_associative",
+]

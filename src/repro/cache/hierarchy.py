@@ -1,0 +1,77 @@
+"""Multi-level cache hierarchies.
+
+The paper notes its technique "can easily be generalized for multilevel
+caches": compute conflict distances for each configuration and pad when any
+distance is below the corresponding line size.  This module provides the
+simulation side: an inclusive hierarchy where L1 misses are replayed
+against L2 (and so on), so multi-level padding decisions can be validated
+experimentally.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cache.config import CacheConfig
+from repro.cache.fastsim import make_simulator
+from repro.cache.stats import CacheStats
+from repro.errors import SimulationError
+
+
+class CacheHierarchy:
+    """A stack of cache levels; accesses filter down on misses."""
+
+    def __init__(self, configs: Sequence[CacheConfig]):
+        if not configs:
+            raise SimulationError("hierarchy needs at least one level")
+        for upper, lower in zip(configs, configs[1:]):
+            if lower.size_bytes < upper.size_bytes:
+                raise SimulationError(
+                    "cache levels must be ordered smallest (L1) to largest"
+                )
+        self.levels = [make_simulator(c) for c in configs]
+
+    def reset(self) -> None:
+        """Clear every level."""
+        for level in self.levels:
+            level.reset()
+
+    def access(self, address: int, is_write: bool = False) -> int:
+        """One access; returns the number of levels that missed."""
+        missed = self.access_chunk([address], [is_write])
+        return int(missed[0])
+
+    def access_chunk(
+        self,
+        addresses: Sequence[int],
+        writes: Optional[Sequence[bool]] = None,
+    ) -> np.ndarray:
+        """Simulate a chunk; returns per-access count of levels missed."""
+        addrs = np.asarray(addresses, dtype=np.int64)
+        wr = (
+            np.zeros(len(addrs), dtype=bool)
+            if writes is None
+            else np.asarray(writes, dtype=bool)
+        )
+        depth = np.zeros(len(addrs), dtype=np.int64)
+        cur_addrs, cur_writes = addrs, wr
+        cur_index = np.arange(len(addrs))
+        for level in self.levels:
+            if len(cur_addrs) == 0:
+                break
+            misses = level.access_chunk(cur_addrs, cur_writes)
+            depth[cur_index[misses]] += 1
+            cur_addrs = cur_addrs[misses]
+            cur_writes = cur_writes[misses]
+            cur_index = cur_index[misses]
+        return depth
+
+    def stats(self, level: int = 0) -> CacheStats:
+        """Statistics of one level (0 = L1)."""
+        return self.levels[level].stats
+
+    def all_stats(self) -> List[CacheStats]:
+        """Statistics of every level, L1 first."""
+        return [level.stats for level in self.levels]

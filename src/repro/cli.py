@@ -1,0 +1,281 @@
+"""Command-line interface.
+
+Usage (``python -m repro <command>``):
+
+* ``pad FILE`` — run a padding heuristic on a DSL kernel and print the
+  decisions, the final layout and the Table-2 row.
+* ``simulate FILE`` — simulate a kernel before/after padding and print
+  miss rates.
+* ``conflicts FILE`` — print the conflict diagnostics for a layout.
+* ``trace FILE OUT.npz`` — dump a kernel's address trace for external
+  tools.
+* ``bench`` — list the registered benchmark programs, or run one.
+* ``figure NAME`` — regenerate one of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.cache.config import CacheConfig
+from repro.errors import ReproError
+from repro.experiments.runner import HEURISTICS
+
+
+def _parse_size(text: str) -> int:
+    """Parse '16K', '2048', '1M' into bytes."""
+    text = text.strip().upper()
+    factor = 1
+    if text.endswith("K"):
+        factor, text = 1024, text[:-1]
+    elif text.endswith("M"):
+        factor, text = 1024 * 1024, text[:-1]
+    return int(text) * factor
+
+
+def _parse_params(items: Optional[List[str]]) -> Dict[str, int]:
+    params: Dict[str, int] = {}
+    for item in items or []:
+        if "=" not in item:
+            raise SystemExit(f"--param expects NAME=VALUE, got {item!r}")
+        name, value = item.split("=", 1)
+        params[name.strip()] = int(value)
+    return params
+
+
+def _cache_from_args(args) -> CacheConfig:
+    return CacheConfig(
+        size_bytes=_parse_size(args.cache),
+        line_bytes=_parse_size(args.line),
+        associativity=args.assoc,
+    )
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache", default="16K", help="cache size (default 16K)")
+    parser.add_argument("--line", default="32", help="line size in bytes (default 32)")
+    parser.add_argument("--assoc", type=int, default=1, help="associativity (default 1)")
+
+
+def _add_program_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("file", help="DSL kernel file (- for stdin)")
+    parser.add_argument(
+        "--param", action="append", metavar="NAME=VALUE",
+        help="override a 'param' in the kernel (repeatable)",
+    )
+
+
+def _load_program(args):
+    from repro.frontend import parse_program
+
+    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    return parse_program(source, params=_parse_params(args.param))
+
+
+def _run_heuristic(prog, name: str, cache: CacheConfig, m_lines: int):
+    from repro.padding.common import PadParams
+
+    if name not in HEURISTICS:
+        raise SystemExit(f"unknown heuristic {name!r}; known: {sorted(HEURISTICS)}")
+    params = PadParams.for_cache(cache, m_lines=m_lines)
+    return HEURISTICS[name](prog, params)
+
+
+def cmd_pad(args) -> int:
+    """Run a padding heuristic and print decisions, layout, Table-2 row."""
+    from repro.padding import format_table2, table2_row
+
+    prog = _load_program(args)
+    cache = _cache_from_args(args)
+    result = _run_heuristic(prog, args.heuristic, cache, args.m)
+    print(f"{result.heuristic} targeting {cache.describe()}")
+    for d in result.intra_decisions:
+        print(f"  intra {d.array}: dim {d.dim_index} += {d.elements} ({d.heuristic})")
+    for d in result.inter_decisions:
+        if d.pad_bytes:
+            print(f"  inter {d.unit}: +{d.pad_bytes} bytes (at {d.final})")
+        if d.gave_up:
+            print(f"  inter {d.unit}: gave up, kept original address")
+    print("\nlayout:")
+    for decl in result.prog.decls:
+        dims = ""
+        if hasattr(decl, "dims"):
+            dims = "(" + ",".join(map(str, result.layout.dim_sizes(decl.name))) + ")"
+        print(f"  {decl.name}{dims} @ {result.layout.base(decl.name)}")
+    print()
+    print(format_table2([table2_row(result)]))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    """Simulate a kernel before/after padding and print miss rates."""
+    from repro import simulate_program
+    from repro.padding.drivers import original
+
+    prog = _load_program(args)
+    cache = _cache_from_args(args)
+    baseline = original(prog)
+    before = simulate_program(prog, baseline.layout, cache)
+    print(f"cache {cache.describe()}")
+    print(f"original: {before.describe()}")
+    if args.heuristic != "original":
+        result = _run_heuristic(prog, args.heuristic, cache, args.m)
+        after = simulate_program(result.prog, result.layout, cache)
+        print(f"{args.heuristic}: {after.describe()}")
+        print(
+            f"improvement: {before.miss_rate_pct - after.miss_rate_pct:.2f} points"
+        )
+    return 0
+
+
+def cmd_conflicts(args) -> int:
+    """Diagnose conflicting reference pairs; exit 1 if any are severe."""
+    from repro.analysis.diagnostics import conflict_report, render_report
+    from repro.padding.drivers import original
+
+    prog = _load_program(args)
+    cache = _cache_from_args(args)
+    result = (
+        original(prog)
+        if args.heuristic == "original"
+        else _run_heuristic(prog, args.heuristic, cache, args.m)
+    )
+    findings = conflict_report(result.prog, result.layout, cache)
+    print(render_report(findings))
+    return 1 if any(f.severe for f in findings) else 0
+
+
+def cmd_trace(args) -> int:
+    """Dump a kernel's address trace to a compressed .npz file."""
+    from repro.trace.io import save_trace
+
+    prog = _load_program(args)
+    cache = _cache_from_args(args)
+    result = _run_heuristic(prog, args.heuristic, cache, args.m)
+    count = save_trace(args.out, result.prog, result.layout)
+    print(f"wrote {count} accesses to {args.out} "
+          f"({args.heuristic} layout, pad target {cache.describe()})")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """List the registered benchmarks, or run one under a heuristic."""
+    from repro.bench import ALL_SPECS, get_spec
+    from repro.experiments.runner import Runner
+
+    if not args.name:
+        for spec in ALL_SPECS:
+            print(f"{spec.name:10s} [{spec.suite:6s}] {spec.description}")
+        return 0
+    runner = Runner()
+    cache = _cache_from_args(args)
+    spec = get_spec(args.name)
+    orig = runner.miss_rate(args.name, "original", cache, size=args.n)
+    padded = runner.miss_rate(args.name, args.heuristic, cache, size=args.n)
+    print(f"{spec.name} (n={args.n or spec.default_size}) on {cache.describe()}:")
+    print(f"  original miss rate: {orig:.2f}%")
+    print(f"  {args.heuristic} miss rate: {padded:.2f}%  "
+          f"(improvement {orig - padded:.2f})")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    """Regenerate one of the paper's tables/figures and print it."""
+    from repro import experiments
+
+    modules = {
+        "table2": experiments.table2,
+        "summary": experiments.summary,
+        "conflicts3c": experiments.conflict_fraction,
+        **{f"fig{i}": getattr(experiments, f"fig{i}") for i in range(8, 18)},
+    }
+    if args.name not in modules:
+        raise SystemExit(f"unknown figure {args.name!r}; known: {sorted(modules)}")
+    module = modules[args.name]
+    programs = tuple(args.programs) if args.programs else None
+    if args.name == "summary":
+        result = module.summarize(programs=programs)
+    elif args.name in ("fig16", "fig17"):
+        sizes = tuple(range(250, 521, args.step))
+        result = module.compute(sizes=sizes)
+        if args.charts:
+            print(module.render_charts(result))
+            return 0
+    elif programs:
+        result = module.compute(programs=programs)
+    else:
+        result = module.compute()
+    print(module.render(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Rivera & Tseng, PLDI 1998 "
+        "(conflict-miss-eliminating data transformations)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("pad", help="pad a DSL kernel and show decisions")
+    _add_program_args(p)
+    _add_cache_args(p)
+    p.add_argument("--heuristic", default="pad", help="heuristic name (default pad)")
+    p.add_argument("--m", type=int, default=4, help="PADLITE separation M in lines")
+    p.set_defaults(fn=cmd_pad)
+
+    p = sub.add_parser("simulate", help="simulate a kernel before/after padding")
+    _add_program_args(p)
+    _add_cache_args(p)
+    p.add_argument("--heuristic", default="pad")
+    p.add_argument("--m", type=int, default=4)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("conflicts", help="diagnose conflicting reference pairs")
+    _add_program_args(p)
+    _add_cache_args(p)
+    p.add_argument("--heuristic", default="original")
+    p.add_argument("--m", type=int, default=4)
+    p.set_defaults(fn=cmd_conflicts)
+
+    p = sub.add_parser("trace", help="dump a kernel's address trace to .npz")
+    _add_program_args(p)
+    _add_cache_args(p)
+    p.add_argument("out", help="output .npz path")
+    p.add_argument("--heuristic", default="original")
+    p.add_argument("--m", type=int, default=4)
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("bench", help="list or run registered benchmarks")
+    p.add_argument("name", nargs="?", help="benchmark name (omit to list)")
+    p.add_argument("--n", type=int, default=None, help="problem size override")
+    p.add_argument("--heuristic", default="pad")
+    _add_cache_args(p)
+    p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("figure", help="regenerate a paper table/figure")
+    p.add_argument("name", help="table2 or fig8..fig17")
+    p.add_argument("--programs", nargs="*", help="restrict to these benchmarks")
+    p.add_argument("--step", type=int, default=30, help="sweep step for fig16/17")
+    p.add_argument("--charts", action="store_true",
+                   help="render fig16/17 as ASCII charts instead of tables")
+    p.set_defaults(fn=cmd_figure)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

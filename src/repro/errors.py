@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch one type.  Subsystems refine it:
+IR construction errors, DSL front-end errors, analysis errors, layout and
+simulation errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Malformed IR: bad declarations, references, or loop structure."""
+
+
+class ValidationError(IRError):
+    """A structural validation pass rejected a program."""
+
+
+class FrontendError(ReproError):
+    """Base class for DSL front-end errors (lexing, parsing, lowering)."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}:{column}: {message}"
+        super().__init__(message)
+
+
+class LexError(FrontendError):
+    """The tokenizer encountered an invalid character or literal."""
+
+
+class ParseError(FrontendError):
+    """The parser encountered an unexpected token."""
+
+
+class LowerError(FrontendError):
+    """AST-to-IR lowering failed (unknown name, non-affine subscript, ...)."""
+
+
+class AnalysisError(ReproError):
+    """A program analysis was asked something it cannot answer."""
+
+
+class NotUniformError(AnalysisError):
+    """A reference pair is not uniformly generated (no constant distance)."""
+
+
+class LayoutError(ReproError):
+    """Inconsistent memory layout (overlap, missing variable, bad pad)."""
+
+
+class SimulationError(ReproError):
+    """Cache or trace simulation was misconfigured."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value (cache geometry, machine model, ...)."""

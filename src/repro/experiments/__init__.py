@@ -1,0 +1,42 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+All figures share :class:`repro.experiments.runner.Runner`, which memoizes
+(program, heuristic, cache) simulation results so the full evaluation
+reuses work across figures.
+"""
+
+from repro.experiments import (
+    conflict_fraction,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    summary,
+    table2,
+)
+from repro.experiments.runner import DEFAULT_RUNNER, HEURISTICS, Runner
+
+__all__ = [
+    "DEFAULT_RUNNER",
+    "conflict_fraction",
+    "HEURISTICS",
+    "Runner",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "summary",
+    "table2",
+]

@@ -1,0 +1,94 @@
+"""Figure 17: LINPAD1 vs LINPAD2 across problem sizes.
+
+For each sweep kernel, apply LINPAD1 or LINPAD2 (on every array) followed
+by INTERPADLITE, and report the miss-rate change relative to INTERPADLITE
+alone (positive = the linear-algebra heuristic helped).  Expected shapes
+(paper): on the stencils (EXPL, SHAL) both heuristics produce small,
+essentially random perturbations — LINPAD1 padding frequently, LINPAD2
+rarely; on the linear-algebra kernels LINPAD1 already fixes DGEFA while
+CHOL has many sizes only LINPAD2 catches.  This is the evidence for using
+LINPAD1 in PADLITE and reserving LINPAD2 for PAD's pattern-gated arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.suites import SWEEP_KERNELS
+from repro.cache.config import CacheConfig, base_cache
+from repro.experiments.reporting import format_ascii_chart, format_series
+from repro.experiments.runner import DEFAULT_RUNNER, Runner
+
+DEFAULT_SIZES = tuple(range(250, 521, 10))
+CURVES = ("linpad1", "linpad2")
+
+
+@dataclass
+class LinpadSweep:
+    """Improvement curves for one kernel."""
+
+    kernel: str
+    sizes: Sequence[int]
+    curves: Dict[str, List[float]]
+
+
+def compute_kernel(
+    kernel: str,
+    runner: Optional[Runner] = None,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    cache: Optional[CacheConfig] = None,
+) -> LinpadSweep:
+    """Sweep one kernel: LINPADn+INTERPADLITE minus INTERPADLITE alone."""
+    runner = runner or DEFAULT_RUNNER
+    cache = cache or base_cache()
+    curves: Dict[str, List[float]] = {name: [] for name in CURVES}
+    for n in sizes:
+        baseline = runner.miss_rate(kernel, "interpadlite", cache, size=n)
+        curves["linpad1"].append(
+            baseline - runner.miss_rate(kernel, "linpad1+interpadlite", cache, size=n)
+        )
+        curves["linpad2"].append(
+            baseline - runner.miss_rate(kernel, "linpad2+interpadlite", cache, size=n)
+        )
+    return LinpadSweep(kernel, list(sizes), curves)
+
+
+def compute(
+    runner: Optional[Runner] = None,
+    kernels: Sequence[str] = SWEEP_KERNELS,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    cache: Optional[CacheConfig] = None,
+) -> List[LinpadSweep]:
+    """Sweep every Figure-17 kernel."""
+    return [compute_kernel(k, runner, sizes, cache) for k in kernels]
+
+
+def render(results: List[LinpadSweep]) -> str:
+    """Text rendering, one block per kernel."""
+    blocks = []
+    for result in results:
+        blocks.append(
+            format_series(
+                f"Figure 17 [{result.kernel}]: miss-rate improvement vs "
+                f"INTERPADLITE alone",
+                "N",
+                result.sizes,
+                result.curves,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_charts(results) -> str:
+    """ASCII-chart rendering, one plot per kernel (paper-figure style)."""
+    blocks = []
+    for result in results:
+        blocks.append(
+            format_ascii_chart(
+                f"{result.kernel}: improvement vs problem size",
+                result.sizes,
+                result.curves,
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,103 @@
+"""Text rendering for experiment results.
+
+Every figure module returns plain data (lists of labelled rows or series);
+these helpers render them the way the paper's figures read — programs down
+the side, configurations across the top — so benchmark output can be
+compared to the published charts at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def format_table(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence],
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render rows (first column = label, rest numeric) as aligned text."""
+    formatted: List[Tuple[str, ...]] = [tuple(str(h) for h in header)]
+    for row in rows:
+        cells = [str(row[0])]
+        for value in row[1:]:
+            if isinstance(value, float):
+                cells.append(value_format.format(value))
+            else:
+                cells.append(str(value))
+        formatted.append(tuple(cells))
+    widths = [
+        max(len(r[i]) for r in formatted) for i in range(len(header))
+    ]
+    lines = [title, "=" * len(title)]
+    for index, row in enumerate(formatted):
+        line = "  ".join(
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(row)
+        )
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: Dict[str, Sequence[float]],
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render x-indexed series (problem-size sweeps) as a column table."""
+    header = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(title, header, rows, value_format)
+
+
+def summarize_average(rows: Sequence[Sequence], column: int = 1) -> float:
+    """Mean of one numeric column across rows (paper-style averages)."""
+    values = [row[column] for row in rows]
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def format_ascii_chart(
+    title: str,
+    xs: Sequence,
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    markers: str = "ox*+#@",
+) -> str:
+    """Render series as an ASCII scatter chart (paper-figure style).
+
+    One column per x value, one marker per series; overlapping points show
+    the later series' marker.  Y axis is linear from 0 to the data max.
+    """
+    names = list(series)
+    top = max((max(v) for v in series.values() if len(v)), default=1.0)
+    top = max(top, 1e-9)
+    grid = [[" "] * len(xs) for _ in range(height)]
+    for index, name in enumerate(names):
+        marker = markers[index % len(markers)]
+        for col, value in enumerate(series[name]):
+            row = height - 1 - int(round((value / top) * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            grid[row][col] = marker
+    lines = [title, "=" * len(title)]
+    for row_index, row in enumerate(grid):
+        level = top * (height - 1 - row_index) / (height - 1)
+        lines.append(f"{level:7.1f} |" + "".join(row))
+    axis_width = len(xs)
+    lines.append(" " * 8 + "+" + "-" * axis_width)
+    first, last = str(xs[0]), str(xs[-1])
+    pad_len = max(0, axis_width - len(first) - len(last))
+    lines.append(" " * 9 + first + " " * pad_len + last)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

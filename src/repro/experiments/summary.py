@@ -1,0 +1,172 @@
+"""One-shot reproduction summary.
+
+Runs every table/figure on a chosen program set and condenses each to the
+headline numbers the paper reports, next to the paper's own values — the
+machine-readable core of EXPERIMENTS.md.  Intended for moderate program
+subsets; the full sweep lives in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments import (
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    table2,
+)
+from repro.experiments.reporting import summarize_average
+from repro.experiments.runner import DEFAULT_RUNNER, Runner
+
+
+@dataclass(frozen=True)
+class SummaryLine:
+    """One experiment's headline comparison."""
+
+    experiment: str
+    metric: str
+    paper: str
+    measured: str
+    shape_holds: bool
+
+
+def summarize(
+    runner: Optional[Runner] = None,
+    programs: Optional[Sequence[str]] = None,
+) -> List[SummaryLine]:
+    """Compute headline numbers for Table 2 and Figures 8-15."""
+    runner = runner or DEFAULT_RUNNER
+    lines: List[SummaryLine] = []
+
+    rows = table2.compute(runner, programs)
+    pct_size = max(r.size_increase_pct for r in rows)
+    lines.append(
+        SummaryLine(
+            "Table 2",
+            "max % data-size increase",
+            "< 1% for all programs",
+            f"{pct_size:.2f}%",
+            pct_size < 1.0,
+        )
+    )
+
+    rows8 = fig8.compute(runner, programs)
+    avg_orig = summarize_average(rows8, 1)
+    avg_pad = summarize_average(rows8, 2)
+    lines.append(
+        SummaryLine(
+            "Figure 8",
+            "average miss rate original -> PAD",
+            "16.8% -> 7.9%",
+            f"{avg_orig:.1f}% -> {avg_pad:.1f}%",
+            avg_pad < avg_orig,
+        )
+    )
+
+    rows9 = fig9.compute(runner, programs)
+    pad_dm = summarize_average(rows9, 1)
+    w16 = summarize_average(rows9, 4)
+    lines.append(
+        SummaryLine(
+            "Figure 9",
+            "avg improvement: PAD(DM) vs 16-way",
+            "16-way needed to match PAD",
+            f"{pad_dm:.1f} vs {w16:.1f}",
+            pad_dm > 0.5 * w16,
+        )
+    )
+
+    rows10 = fig10.compute(runner, programs)
+    avgs10 = [summarize_average(rows10, i) for i in (1, 2, 3)]
+    lines.append(
+        SummaryLine(
+            "Figure 10",
+            "avg PAD gain at 1/2/4-way",
+            "decreasing with associativity",
+            "/".join(f"{a:.1f}" for a in avgs10),
+            avgs10[0] >= avgs10[2] - 0.5,
+        )
+    )
+
+    rows11 = fig11.compute(runner, programs)
+    avgs11 = [summarize_average(rows11, i) for i in (1, 2, 3, 4)]
+    lines.append(
+        SummaryLine(
+            "Figure 11",
+            "avg PAD gain at 2K/4K/8K/16K",
+            "larger for smaller caches",
+            "/".join(f"{a:.1f}" for a in avgs11),
+            avgs11[0] >= avgs11[3] - 2.0,
+        )
+    )
+
+    rows12 = fig12.compute(runner, programs)
+    avgs12 = [summarize_average(rows12, i) for i in (1, 4)]
+    lines.append(
+        SummaryLine(
+            "Figure 12",
+            "avg intra-padding benefit 2K vs 16K",
+            "wider applicability at small caches",
+            f"{avgs12[0]:.1f} vs {avgs12[1]:.1f}",
+            avgs12[0] >= avgs12[1] - 1.0,
+        )
+    )
+
+    rows13 = fig13.compute(runner, programs)
+    worst_m1 = min(r[1] for r in rows13)
+    lines.append(
+        SummaryLine(
+            "Figure 13",
+            "worst program at M=1 vs M=4",
+            "M=1 insufficient for several programs",
+            f"{worst_m1:.1f} points",
+            worst_m1 < 0.0,
+        )
+    )
+
+    rows14 = fig14.compute(runner, programs)
+    avgs14 = [summarize_average(rows14, i) for i in (1, 4)]
+    lines.append(
+        SummaryLine(
+            "Figure 14",
+            "avg PAD-over-PADLITE 2K vs 16K",
+            "precision matters more at 2K",
+            f"{avgs14[0]:.1f} vs {avgs14[1]:.1f}",
+            avgs14[0] >= avgs14[1] - 1.0,
+        )
+    )
+
+    rows15 = fig15.compute(runner, programs)
+    avgs15 = [summarize_average(rows15, i) for i in (1, 2, 3)]
+    lines.append(
+        SummaryLine(
+            "Figure 15",
+            "avg time improvement Alpha/USII/P2",
+            "6.0% / 7.5% / 5.9%",
+            "/".join(f"{a:.1f}%" for a in avgs15),
+            all(a > 0 for a in avgs15) and avgs15[1] == max(avgs15),
+        )
+    )
+    return lines
+
+
+def render(lines: List[SummaryLine]) -> str:
+    """Markdown table rendering."""
+    out = [
+        "| Experiment | Metric | Paper | Measured | Shape |",
+        "|---|---|---|---|---|",
+    ]
+    for line in lines:
+        mark = "holds" if line.shape_holds else "DIFFERS"
+        out.append(
+            f"| {line.experiment} | {line.metric} | {line.paper} | "
+            f"{line.measured} | {mark} |"
+        )
+    return "\n".join(out)

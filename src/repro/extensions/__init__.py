@@ -1,0 +1,31 @@
+"""Extensions beyond the paper's core contribution.
+
+Three additions the paper points at without implementing:
+
+* :mod:`repro.extensions.tiling` — Coleman & McKinley's Euclidean
+  tile-size selection (reference [7]; the LINPAD2 algorithm is derived
+  from it), plus a tiled-matmul program generator to evaluate it.
+* :mod:`repro.extensions.xorcache` — XOR-based placement functions
+  (González et al., reference [11]), the hardware alternative to padding
+  the related-work section discusses; lets the ablation benches compare
+  software padding against pseudo-random placement.
+* :mod:`repro.extensions.estimate` — a static severe-conflict miss
+  estimator, the "simplified version of cache miss equations" the paper
+  describes using to detect when large numbers of conflict misses occur.
+"""
+
+from repro.extensions.estimate import ConflictEstimate, estimate_conflicts
+from repro.extensions.tiling import TileChoice, select_tile, tile_candidates, tiled_matmul
+from repro.extensions.xorcache import XorDirectMapped, XorSetAssociative, make_xor_simulator
+
+__all__ = [
+    "ConflictEstimate",
+    "TileChoice",
+    "XorDirectMapped",
+    "XorSetAssociative",
+    "estimate_conflicts",
+    "make_xor_simulator",
+    "select_tile",
+    "tile_candidates",
+    "tiled_matmul",
+]

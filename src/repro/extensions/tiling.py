@@ -1,0 +1,173 @@
+"""Euclidean tile-size selection (Coleman & McKinley, PLDI 1995).
+
+The paper's LINPAD2 heuristic is a generalization of this algorithm
+(Section 2.3.2 credits it directly): both walk the Euclidean remainder
+sequence of (cache size, column size).  Where LINPAD2 *changes the data*
+so nearby columns stop colliding, tile-size selection *changes the loop
+structure* so the reused working set never self-interferes.
+
+Candidate tile heights are the Euclidean remainders of ``(Cs, Col)`` —
+each remainder is the smallest circular gap achievable between the start
+addresses of some number of consecutive columns, so a tile no taller than
+a remainder packs that many columns without overlap.  For each candidate
+height this module computes the exact self-interference-free width by
+direct construction (placing column offsets and checking circular gaps),
+then picks the candidate maximizing cache utilization.
+
+:func:`tiled_matmul` generates a tiled matrix multiply in the project DSL
+so the choice can be validated by simulation (see the tiling ablation
+benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cache.config import CacheConfig
+from repro.errors import ConfigError
+from repro.frontend import parse_program
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class TileChoice:
+    """One candidate (or selected) tile."""
+
+    height: int  # elements along the column (fastest) dimension
+    width: int  # columns
+    footprint_bytes: int
+    utilization: float  # footprint / cache size
+
+    def describe(self) -> str:
+        """Short human-readable summary."""
+        return (
+            f"{self.height} x {self.width} "
+            f"({self.footprint_bytes}B, {100 * self.utilization:.0f}% of cache)"
+        )
+
+
+def _max_width(cache_size: int, column_bytes: int, height_bytes: int) -> int:
+    """Largest w such that w consecutive columns' tile segments do not
+    overlap on the cache (exact, by construction)."""
+    if height_bytes > cache_size:
+        return 0
+    offsets: List[int] = []
+    width = 0
+    offset = 0
+    while width < cache_size:  # cannot exceed Cs distinct columns
+        # Check the new column's segment [offset, offset+height) against
+        # all placed segments, circularly.
+        for placed in offsets:
+            gap = (offset - placed) % cache_size
+            if gap < height_bytes or cache_size - gap < height_bytes:
+                if gap != 0 or width == 0:
+                    return width
+                return width
+        offsets.append(offset)
+        width += 1
+        offset = (offset + column_bytes) % cache_size
+        if (width + 1) * height_bytes > cache_size:
+            # Capacity bound: no more segments can fit regardless.
+            return width
+    return width
+
+
+def tile_candidates(
+    cache: CacheConfig, column_bytes: int, element_size: int
+) -> List[TileChoice]:
+    """Candidate tiles from the Euclidean remainder sequence."""
+    if column_bytes <= 0 or element_size <= 0:
+        raise ConfigError("column and element sizes must be positive")
+    cs = cache.size_bytes
+    candidates: List[TileChoice] = []
+    seen_heights = set()
+    r = column_bytes % cs
+    if r == 0:
+        r = cs  # degenerate: columns exactly overlap; only height-1 tiles
+    remainders = [cs, r]
+    while remainders[-1] > 0:
+        remainders.append(remainders[-2] % remainders[-1])
+    for rem in remainders[1:-1]:
+        height_elems = max(1, rem // element_size)
+        if height_elems in seen_heights:
+            continue
+        seen_heights.add(height_elems)
+        height_bytes = height_elems * element_size
+        width = _max_width(cs, column_bytes, height_bytes)
+        if width == 0:
+            continue
+        footprint = height_bytes * width
+        candidates.append(
+            TileChoice(
+                height=height_elems,
+                width=width,
+                footprint_bytes=footprint,
+                utilization=footprint / cs,
+            )
+        )
+    return candidates
+
+
+def select_tile(
+    cache: CacheConfig,
+    column_elems: int,
+    element_size: int,
+    max_height: int = 0,
+    max_width: int = 0,
+) -> TileChoice:
+    """The candidate with the best cache utilization (ties: taller first).
+
+    ``max_height``/``max_width`` clip candidates to the loop bounds
+    (0 = unbounded).
+    """
+    candidates = tile_candidates(cache, column_elems * element_size, element_size)
+    best = None
+    for cand in candidates:
+        height = min(cand.height, max_height) if max_height else cand.height
+        width = min(cand.width, max_width) if max_width else cand.width
+        footprint = height * element_size * width
+        clipped = TileChoice(height, width, footprint, footprint / cache.size_bytes)
+        if best is None or (clipped.utilization, clipped.height) > (
+            best.utilization,
+            best.height,
+        ):
+            best = clipped
+    if best is None:
+        # Pathological column (multiple of the cache size): single column.
+        height = min(max_height or 1, cache.size_bytes // element_size)
+        footprint = height * element_size
+        best = TileChoice(height, 1, footprint, footprint / cache.size_bytes)
+    return best
+
+
+def tiled_matmul(n: int, tile_height: int, tile_width: int) -> Program:
+    """A tiled jki matrix multiply: the A(i,k) tile is the resident set.
+
+    Requires the tile sizes to divide ``n`` (the DSL has no ``min`` for
+    ragged edge tiles).
+    """
+    if n % tile_height or n % tile_width:
+        raise ConfigError(
+            f"tile {tile_height}x{tile_width} must divide the matrix size {n}"
+        )
+    src = f"""
+program tiled_matmul
+  param N = {n}
+  param TH = {tile_height}
+  param TW = {tile_width}
+  real*8 A(N,N), B(N,N), C(N,N)
+  do kk = 1, N, TW
+    do ii = 1, N, TH
+      do j = 1, N
+        do k = kk, kk + TW - 1
+          do i = ii, ii + TH - 1
+            C(i,j) = C(i,j) + A(i,k) * B(k,j)
+          end do
+        end do
+      end do
+    end do
+  end do
+end
+"""
+    return parse_program(src, suite="extension", description="Tiled Matrix Multiply")

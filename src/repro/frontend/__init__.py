@@ -1,0 +1,15 @@
+"""Fortran-like kernel DSL front end."""
+
+from repro.frontend.evaluate import Evaluator, evaluate_program
+from repro.frontend.lexer import tokenize
+from repro.frontend.lower import lower_ast, parse_program
+from repro.frontend.parser import parse_source
+
+__all__ = [
+    "Evaluator",
+    "evaluate_program",
+    "lower_ast",
+    "parse_program",
+    "parse_source",
+    "tokenize",
+]

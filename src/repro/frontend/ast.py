@@ -1,0 +1,169 @@
+"""Abstract syntax tree for the kernel DSL.
+
+The AST mirrors source structure; lowering (:mod:`repro.frontend.lower`)
+turns it into the analysis IR, folding parameters, checking affinity of
+subscripts and extracting the reference stream from arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# -- expressions ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    """A numeric literal (float literals allowed only in RHS arithmetic)."""
+
+    value: Union[int, float]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Name:
+    """A bare identifier: parameter, loop variable or scalar."""
+
+    ident: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Call:
+    """``name(arg, ...)`` — an array reference or intrinsic function call."""
+
+    ident: str
+    args: Tuple["Expr", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Binary arithmetic: ``+ - * /``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class UnOp:
+    """Unary minus/plus."""
+
+    op: str
+    operand: "Expr"
+    line: int = 0
+
+
+Expr = Union[Num, Name, Call, BinOp, UnOp]
+
+
+# -- declarations and directives -----------------------------------------------
+
+
+@dataclass(frozen=True)
+class DimSpec:
+    """One declared dimension: size expression, optional lower bound.
+
+    ``lower:upper`` syntax gives both; a single expression means lower 1.
+    """
+
+    size: Optional[Expr]
+    lower: Optional[Expr] = None
+    upper: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Entity:
+    """One declared name with optional dimensions."""
+
+    ident: str
+    dims: Tuple[DimSpec, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class DeclStmt:
+    """A type declaration line, e.g. ``real*8 A(N,N), B(N,N)``."""
+
+    type_name: str
+    entities: Tuple[Entity, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ParamStmt:
+    """``param N = 512`` — a compile-time integer parameter."""
+
+    ident: str
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Directive:
+    """Safety / storage directives: unsafe, parameter_array, local, common."""
+
+    kind: str
+    names: Tuple[str, ...]
+    block: str = ""
+    nosplit: bool = False
+    line: int = 0
+
+
+# -- executable statements --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AssignStmt:
+    """``lhs = rhs`` where lhs is an array reference or scalar name."""
+
+    target: Expr
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class TouchStmt:
+    """``touch ref, ref`` — explicit read-only accesses."""
+
+    refs: Tuple[Expr, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class AccessStmt:
+    """``access load ref, store ref`` — fully explicit reference list."""
+
+    items: Tuple[Tuple[str, Expr], ...]
+    line: int = 0
+
+
+@dataclass
+class DoStmt:
+    """``do var = lo, hi [, step]`` ... ``end do``."""
+
+    var: str
+    lower: Expr
+    upper: Expr
+    step: Optional[Expr]
+    body: List["Node"] = field(default_factory=list)
+    line: int = 0
+
+
+Node = Union[AssignStmt, TouchStmt, AccessStmt, DoStmt]
+
+
+@dataclass
+class ProgramAST:
+    """A parsed program before lowering."""
+
+    name: str
+    params: List[ParamStmt] = field(default_factory=list)
+    decls: List[DeclStmt] = field(default_factory=list)
+    directives: List[Directive] = field(default_factory=list)
+    body: List[Node] = field(default_factory=list)
+    source_lines: int = 0

@@ -1,0 +1,202 @@
+"""Executable semantics for the kernel DSL.
+
+The analysis IR deliberately keeps only references; this module instead
+interprets the *AST*, actually computing the arithmetic over numpy-backed
+arrays.  Uses:
+
+* golden numeric tests for the DSL front end (a Jacobi sweep really
+  smooths, a dot product really sums products);
+* sanity-checking hand-written kernels before they join the benchmark
+  registry;
+* demonstrating that padding is a pure layout change — the *values* a
+  program computes do not depend on any layout decision.
+
+The evaluator is scalar (one iteration at a time) and intended for small
+problem sizes; trace generation for cache studies stays with the fast IR
+interpreter.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import LowerError, SimulationError
+from repro.frontend import ast
+from repro.frontend.parser import parse_source
+from repro.ir.types import element_type_from_name
+
+_INTRINSICS = {
+    "sqrt": math.sqrt,
+    "abs": abs,
+    "exp": math.exp,
+    "log": math.log,
+    "sin": math.sin,
+    "cos": math.cos,
+    "min": min,
+    "max": max,
+}
+
+
+class Evaluator:
+    """Numeric interpreter for a parsed DSL program."""
+
+    def __init__(self, tree: ast.ProgramAST, params: Optional[Dict[str, int]] = None):
+        self.tree = tree
+        self.params: Dict[str, int] = {}
+        self.arrays: Dict[str, np.ndarray] = {}
+        self.lower_bounds: Dict[str, tuple] = {}
+        self.scalars: Dict[str, float] = {}
+        self._setup(params or {})
+
+    # -- setup ------------------------------------------------------------
+
+    def _const(self, expr: ast.Expr) -> int:
+        value = self._eval(expr, {})
+        if value != int(value):
+            raise LowerError(f"expected integer constant, got {value}")
+        return int(value)
+
+    def _setup(self, overrides: Dict[str, int]) -> None:
+        for p in self.tree.params:
+            self.params[p.ident] = int(overrides.get(p.ident, self._const(p.value)))
+        for decl in self.tree.decls:
+            dtype = (
+                np.int64
+                if element_type_from_name(decl.type_name).fortran_name.startswith("integer")
+                else np.float64
+            )
+            for entity in decl.entities:
+                if not entity.dims:
+                    self.scalars[entity.ident] = 0.0
+                    continue
+                sizes = []
+                lowers = []
+                for dim in entity.dims:
+                    if dim.size is not None:
+                        sizes.append(self._const(dim.size))
+                        lowers.append(1)
+                    else:
+                        lo = self._const(dim.lower)
+                        hi = self._const(dim.upper)
+                        sizes.append(hi - lo + 1)
+                        lowers.append(lo)
+                self.arrays[entity.ident] = np.zeros(tuple(sizes), dtype=dtype)
+                self.lower_bounds[entity.ident] = tuple(lowers)
+
+    def set_array(self, name: str, values) -> None:
+        """Initialize an array's contents (logical layout, column major
+        per dimension order of the declaration)."""
+        target = self.arrays[name]
+        values = np.asarray(values, dtype=target.dtype)
+        if values.shape != target.shape:
+            raise SimulationError(
+                f"{name}: expected shape {target.shape}, got {values.shape}"
+            )
+        self.arrays[name] = values.copy()
+
+    def array(self, name: str) -> np.ndarray:
+        """Current contents of an array."""
+        return self.arrays[name]
+
+    def scalar(self, name: str) -> float:
+        """Current value of a scalar."""
+        return self.scalars[name]
+
+    # -- expression evaluation ------------------------------------------------
+
+    def _index(self, name: str, args, env) -> tuple:
+        lowers = self.lower_bounds[name]
+        idx = []
+        for expr, lo in zip(args, lowers):
+            value = int(self._eval(expr, env))
+            position = value - lo
+            if not 0 <= position < self.arrays[name].shape[len(idx)]:
+                raise SimulationError(
+                    f"{name} subscript {value} out of bounds"
+                )
+            idx.append(position)
+        return tuple(idx)
+
+    def _eval(self, expr: ast.Expr, env: Dict[str, float]) -> float:
+        if isinstance(expr, ast.Num):
+            return expr.value
+        if isinstance(expr, ast.Name):
+            if expr.ident in env:
+                return env[expr.ident]
+            if expr.ident in self.params:
+                return self.params[expr.ident]
+            if expr.ident in self.scalars:
+                return self.scalars[expr.ident]
+            raise LowerError(f"unknown name {expr.ident!r}", expr.line)
+        if isinstance(expr, ast.UnOp):
+            value = self._eval(expr.operand, env)
+            return -value if expr.op == "-" else value
+        if isinstance(expr, ast.BinOp):
+            left = self._eval(expr.left, env)
+            right = self._eval(expr.right, env)
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            return left / right
+        if isinstance(expr, ast.Call):
+            if expr.ident in self.arrays:
+                if len(expr.args) != self.arrays[expr.ident].ndim:
+                    raise LowerError(f"rank mismatch on {expr.ident!r}", expr.line)
+                return float(self.arrays[expr.ident][self._index(expr.ident, expr.args, env)])
+            fn = _INTRINSICS.get(expr.ident.lower())
+            if fn is None:
+                raise LowerError(f"unknown intrinsic {expr.ident!r}", expr.line)
+            return fn(*[self._eval(a, env) for a in expr.args])
+        raise LowerError(f"cannot evaluate {expr!r}")
+
+    # -- statement execution ----------------------------------------------------
+
+    def run(self) -> None:
+        """Execute the whole program body once."""
+        self._run_body(self.tree.body, {})
+
+    def _run_body(self, body, env) -> None:
+        for node in body:
+            if isinstance(node, ast.DoStmt):
+                lo = int(self._eval(node.lower, env))
+                hi = int(self._eval(node.upper, env))
+                step = int(self._eval(node.step, env)) if node.step else 1
+                value = lo
+                while (value <= hi) if step > 0 else (value >= hi):
+                    env[node.var] = value
+                    self._run_body(node.body, env)
+                    value += step
+                env.pop(node.var, None)
+            elif isinstance(node, ast.AssignStmt):
+                self._assign(node, env)
+            elif isinstance(node, (ast.TouchStmt, ast.AccessStmt)):
+                continue  # reference-only statements compute nothing
+            else:
+                raise LowerError(f"cannot execute {node!r}")
+
+    def _assign(self, node: ast.AssignStmt, env) -> None:
+        value = self._eval(node.value, env)
+        target = node.target
+        if isinstance(target, ast.Name):
+            if target.ident not in self.scalars:
+                raise LowerError(f"assignment to unknown scalar {target.ident!r}")
+            self.scalars[target.ident] = value
+            return
+        if isinstance(target, ast.Call) and target.ident in self.arrays:
+            arr = self.arrays[target.ident]
+            arr[self._index(target.ident, target.args, env)] = value
+            return
+        raise LowerError("invalid assignment target")
+
+
+def evaluate_program(
+    source: str, params: Optional[Dict[str, int]] = None
+) -> Evaluator:
+    """Parse a DSL program and return an initialized evaluator."""
+    return Evaluator(parse_source(source), params)

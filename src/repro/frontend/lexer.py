@@ -1,0 +1,88 @@
+"""Tokenizer for the kernel DSL.
+
+Line-oriented: logical statements end at newlines, which the lexer emits
+as NEWLINE tokens (consecutive blank lines collapse).  Comments start with
+``#`` or ``!`` and run to end of line.  Numbers may be integers or simple
+decimals (decimals appear only inside right-hand-side arithmetic, where
+their value is irrelevant to the trace).  Names may contain letters,
+digits, underscores and ``$``, starting with a letter or underscore.
+
+Fortran type names like ``real*8`` lex as NAME STAR NUMBER; the parser
+reassembles them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LexError
+from repro.frontend.tokens import Token, TokenKind
+
+_SINGLE = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    ":": TokenKind.COLON,
+}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize DSL source text into a token list ending with EOF."""
+    tokens: List[Token] = []
+    line_no = 1
+    for raw_line in source.splitlines():
+        _tokenize_line(raw_line, line_no, tokens)
+        line_no += 1
+    if tokens and tokens[-1].kind != TokenKind.NEWLINE:
+        tokens.append(Token(TokenKind.NEWLINE, "\n", line_no, 1))
+    tokens.append(Token(TokenKind.EOF, "", line_no, 1))
+    return tokens
+
+
+def _tokenize_line(text: str, line_no: int, tokens: List[Token]) -> None:
+    i = 0
+    emitted = False
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch in "#!":
+            break
+        column = i + 1
+        if ch in _SINGLE:
+            tokens.append(Token(_SINGLE[ch], ch, line_no, column))
+            i += 1
+            emitted = True
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and text[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < length and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+                if text[i] == ".":
+                    # A dot not followed by a digit ends the number (e.g. `1.`)
+                    if i + 1 >= length or not text[i + 1].isdigit():
+                        break
+                    seen_dot = True
+                i += 1
+            lexeme = text[start:i]
+            value = float(lexeme) if "." in lexeme else int(lexeme)
+            tokens.append(Token(TokenKind.NUMBER, lexeme, line_no, column, value))
+            emitted = True
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (text[i].isalnum() or text[i] in "_$"):
+                i += 1
+            tokens.append(Token(TokenKind.NAME, text[start:i], line_no, column))
+            emitted = True
+            continue
+        raise LexError(f"unexpected character {ch!r}", line_no, column)
+    if emitted:
+        tokens.append(Token(TokenKind.NEWLINE, "\n", line_no, length + 1))

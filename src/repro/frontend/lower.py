@@ -1,0 +1,341 @@
+"""Lowering: DSL AST -> analysis IR.
+
+Responsibilities:
+
+* evaluate ``param`` definitions (optionally overridden by the caller —
+  this is how one kernel source serves a whole problem-size sweep);
+* resolve declarations to :class:`ArrayDecl`/:class:`ScalarDecl`, folding
+  dimension expressions to integers;
+* apply directives (``unsafe``, ``parameter_array``, ``local``,
+  ``common``) to declaration flags;
+* lower subscripts to affine expressions over loop variables — a nested
+  reference to a declared rank-1 integer array becomes an
+  :class:`IndirectExpr`;
+* extract the reference stream from right-hand-side arithmetic in textual
+  order (reads), append the left-hand-side write, and drop scalar names
+  (registers).  Calls to undeclared names are treated as pure intrinsic
+  functions: their arguments are scanned for references.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.errors import LowerError
+from repro.frontend import ast
+from repro.frontend.parser import parse_source
+from repro.ir.arrays import ArrayDecl, Dim, ScalarDecl
+from repro.ir.expr import AffineExpr, IndirectExpr, Subscript
+from repro.ir.loops import Loop
+from repro.ir.program import Program
+from repro.ir.refs import ArrayRef
+from repro.ir.stmts import Statement
+from repro.ir.types import element_type_from_name
+from repro.ir.validate import validate_program
+
+
+class _Lowerer:
+    def __init__(self, tree: ast.ProgramAST, params: Optional[Dict[str, int]]):
+        self.tree = tree
+        self.params: Dict[str, int] = {}
+        self.overrides = dict(params or {})
+        self.decls: Dict[str, Union[ArrayDecl, ScalarDecl]] = {}
+        self.decl_order: List[str] = []
+        self.loop_vars: List[str] = []
+
+    # -- parameters ------------------------------------------------------
+
+    def _eval_const(self, expr: ast.Expr) -> int:
+        """Fold an expression over params to an integer constant."""
+        affine = self._affine(expr, allow_loop_vars=False)
+        if not affine.is_constant:
+            raise LowerError(
+                f"expression is not constant: {affine}", getattr(expr, "line", 0)
+            )
+        return affine.const
+
+    def _lower_params(self) -> None:
+        for p in self.tree.params:
+            if p.ident in self.params:
+                raise LowerError(f"parameter {p.ident!r} redefined", p.line)
+            if p.ident in self.overrides:
+                self.params[p.ident] = int(self.overrides[p.ident])
+            else:
+                self.params[p.ident] = self._eval_const(p.value)
+        unknown = set(self.overrides) - set(self.params)
+        if unknown:
+            raise LowerError(
+                f"override(s) for undeclared parameter(s): {sorted(unknown)}"
+            )
+
+    # -- declarations ------------------------------------------------------
+
+    def _lower_decls(self) -> None:
+        for decl in self.tree.decls:
+            element_type = element_type_from_name(decl.type_name)
+            for entity in decl.entities:
+                if entity.ident in self.decls:
+                    raise LowerError(f"{entity.ident!r} declared twice", entity.line)
+                if entity.ident in self.params:
+                    raise LowerError(
+                        f"{entity.ident!r} is already a parameter", entity.line
+                    )
+                if entity.dims:
+                    dims = [self._lower_dim(d, entity) for d in entity.dims]
+                    self.decls[entity.ident] = ArrayDecl(
+                        entity.ident, dims, element_type
+                    )
+                else:
+                    self.decls[entity.ident] = ScalarDecl(entity.ident, element_type)
+                self.decl_order.append(entity.ident)
+        self._apply_directives()
+
+    def _lower_dim(self, spec: ast.DimSpec, entity: ast.Entity) -> Dim:
+        if spec.size is not None:
+            size = self._eval_const(spec.size)
+            if size <= 0:
+                raise LowerError(
+                    f"dimension of {entity.ident!r} must be positive, got {size}",
+                    entity.line,
+                )
+            return Dim(size)
+        lower = self._eval_const(spec.lower)
+        upper = self._eval_const(spec.upper)
+        if upper < lower:
+            raise LowerError(
+                f"empty dimension {lower}:{upper} for {entity.ident!r}", entity.line
+            )
+        return Dim(upper - lower + 1, lower)
+
+    def _apply_directives(self) -> None:
+        flags: Dict[str, Dict] = {name: {} for name in self.decls}
+        for directive in self.tree.directives:
+            for name in directive.names:
+                if name not in self.decls:
+                    raise LowerError(
+                        f"directive names undeclared variable {name!r}", directive.line
+                    )
+                entry = flags[name]
+                if directive.kind == "unsafe":
+                    entry["storage_association"] = True
+                elif directive.kind == "parameter_array":
+                    entry["is_parameter"] = True
+                elif directive.kind == "local":
+                    entry["is_local"] = True
+                elif directive.kind == "common":
+                    entry["common_block"] = directive.block
+                    entry["common_splittable"] = not directive.nosplit
+        for name, entry in flags.items():
+            if not entry:
+                continue
+            decl = self.decls[name]
+            if isinstance(decl, ScalarDecl):
+                raise LowerError(f"directives apply to arrays, {name!r} is a scalar")
+            self.decls[name] = ArrayDecl(
+                decl.name,
+                decl.dims,
+                decl.element_type,
+                is_parameter=entry.get("is_parameter", False),
+                storage_association=entry.get("storage_association", False),
+                common_block=entry.get("common_block"),
+                common_splittable=entry.get("common_splittable", True),
+                is_local=entry.get("is_local", False),
+            )
+
+    # -- expressions -> affine --------------------------------------------------
+
+    def _affine(self, expr: ast.Expr, allow_loop_vars: bool = True) -> AffineExpr:
+        """Lower an index expression to an affine form (params folded)."""
+        if isinstance(expr, ast.Num):
+            if isinstance(expr.value, float):
+                raise LowerError("float literal in index expression", expr.line)
+            return AffineExpr.const_expr(expr.value)
+        if isinstance(expr, ast.Name):
+            if expr.ident in self.params:
+                return AffineExpr.const_expr(self.params[expr.ident])
+            if allow_loop_vars:
+                return AffineExpr.var(expr.ident)
+            raise LowerError(f"{expr.ident!r} is not a parameter", expr.line)
+        if isinstance(expr, ast.UnOp):
+            inner = self._affine(expr.operand, allow_loop_vars)
+            return inner if expr.op == "+" else -inner
+        if isinstance(expr, ast.BinOp):
+            left = self._affine(expr.left, allow_loop_vars)
+            right = self._affine(expr.right, allow_loop_vars)
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                if left.is_constant:
+                    return right * left.const
+                if right.is_constant:
+                    return left * right.const
+                raise LowerError("product of two variables is not affine", expr.line)
+            if expr.op == "/":
+                if right.is_constant and right.const != 0 and left.is_constant:
+                    if left.const % right.const == 0:
+                        return AffineExpr.const_expr(left.const // right.const)
+                raise LowerError("division in index expression is not affine", expr.line)
+        raise LowerError(f"invalid index expression: {expr!r}", getattr(expr, "line", 0))
+
+    def _subscript(self, expr: ast.Expr) -> Subscript:
+        """Lower one subscript; nested calls to rank-1 arrays go indirect."""
+        if isinstance(expr, ast.Call) and expr.ident in self.decls:
+            decl = self.decls[expr.ident]
+            if isinstance(decl, ArrayDecl) and decl.rank == 1 and len(expr.args) == 1:
+                return IndirectExpr(expr.ident, self._affine(expr.args[0]))
+            raise LowerError(
+                f"subscript uses {expr.ident!r}, which is not a rank-1 index array",
+                expr.line,
+            )
+        return self._affine(expr)
+
+    # -- reference extraction ---------------------------------------------------
+
+    def _collect_reads(self, expr: ast.Expr, out: List[ArrayRef]) -> None:
+        """Append array reads of an arithmetic expression, textual order."""
+        if isinstance(expr, (ast.Num,)):
+            return
+        if isinstance(expr, ast.Name):
+            if expr.ident in self.decls and isinstance(
+                self.decls[expr.ident], ArrayDecl
+            ):
+                raise LowerError(
+                    f"array {expr.ident!r} used without subscripts", expr.line
+                )
+            return  # scalar or loop var: register resident
+        if isinstance(expr, ast.UnOp):
+            self._collect_reads(expr.operand, out)
+            return
+        if isinstance(expr, ast.BinOp):
+            self._collect_reads(expr.left, out)
+            self._collect_reads(expr.right, out)
+            return
+        if isinstance(expr, ast.Call):
+            if expr.ident in self.decls:
+                decl = self.decls[expr.ident]
+                if isinstance(decl, ScalarDecl):
+                    raise LowerError(
+                        f"scalar {expr.ident!r} called with arguments", expr.line
+                    )
+                out.append(self._make_ref(expr, decl, is_write=False))
+            else:
+                # Intrinsic function: scan arguments for references.
+                for arg in expr.args:
+                    self._collect_reads(arg, out)
+            return
+        raise LowerError(f"invalid expression node {expr!r}")
+
+    def _make_ref(self, call: ast.Call, decl: ArrayDecl, is_write: bool) -> ArrayRef:
+        if len(call.args) != decl.rank:
+            raise LowerError(
+                f"{decl.name!r} has rank {decl.rank} but is referenced with "
+                f"{len(call.args)} subscripts",
+                call.line,
+            )
+        subs = [self._subscript(a) for a in call.args]
+        return ArrayRef(decl.name, subs, is_write=is_write)
+
+    # -- statements -----------------------------------------------------------------
+
+    def _lower_assign(self, node: ast.AssignStmt) -> Statement:
+        refs: List[ArrayRef] = []
+        self._collect_reads(node.value, refs)
+        target = node.target
+        if isinstance(target, ast.Name):
+            # Scalar assignment: only the RHS reads reach memory.
+            if target.ident in self.decls and isinstance(
+                self.decls[target.ident], ArrayDecl
+            ):
+                raise LowerError(
+                    f"array {target.ident!r} assigned without subscripts", node.line
+                )
+            return Statement(refs)
+        if isinstance(target, ast.Call) and target.ident in self.decls:
+            decl = self.decls[target.ident]
+            if isinstance(decl, ArrayDecl):
+                # Index-array loads feeding the write's own subscripts are
+                # reads too; IndirectExpr handles them inside the ref.
+                refs.append(self._make_ref(target, decl, is_write=True))
+                return Statement(refs)
+        raise LowerError("assignment target must be a scalar or array reference", node.line)
+
+    def _lower_touch(self, node: ast.TouchStmt) -> Statement:
+        refs: List[ArrayRef] = []
+        for expr in node.refs:
+            self._collect_reads(expr, refs)
+        return Statement(refs)
+
+    def _lower_access(self, node: ast.AccessStmt) -> Statement:
+        refs: List[ArrayRef] = []
+        for mode, expr in node.items:
+            if not isinstance(expr, ast.Call) or expr.ident not in self.decls:
+                raise LowerError(
+                    "access items must be references to declared arrays", node.line
+                )
+            decl = self.decls[expr.ident]
+            if not isinstance(decl, ArrayDecl):
+                raise LowerError(f"{expr.ident!r} is not an array", node.line)
+            refs.append(self._make_ref(expr, decl, is_write=(mode == "store")))
+        return Statement(refs)
+
+    def _lower_body(self, nodes: List[ast.Node]) -> List:
+        out = []
+        for node in nodes:
+            if isinstance(node, ast.DoStmt):
+                lower = self._affine(node.lower)
+                upper = self._affine(node.upper)
+                step = self._eval_const(node.step) if node.step else 1
+                body = self._lower_body(node.body)
+                out.append(Loop(node.var, lower, upper, body, step=step))
+            elif isinstance(node, ast.AssignStmt):
+                out.append(self._lower_assign(node))
+            elif isinstance(node, ast.TouchStmt):
+                out.append(self._lower_touch(node))
+            elif isinstance(node, ast.AccessStmt):
+                out.append(self._lower_access(node))
+            else:
+                raise LowerError(f"unsupported statement {node!r}")
+        return out
+
+    # -- entry point -------------------------------------------------------------
+
+    def lower(self, suite: str = "", description: str = "") -> Program:
+        self._lower_params()
+        self._lower_decls()
+        body = self._lower_body(self.tree.body)
+        prog = Program(
+            self.tree.name,
+            [self.decls[name] for name in self.decl_order],
+            body,
+            source_lines=self.tree.source_lines,
+            suite=suite,
+            description=description,
+        )
+        validate_program(prog)
+        return prog
+
+
+def lower_ast(
+    tree: ast.ProgramAST,
+    params: Optional[Dict[str, int]] = None,
+    suite: str = "",
+    description: str = "",
+) -> Program:
+    """Lower a parsed AST to IR."""
+    return _Lowerer(tree, params).lower(suite, description)
+
+
+def parse_program(
+    source: str,
+    params: Optional[Dict[str, int]] = None,
+    suite: str = "",
+    description: str = "",
+) -> Program:
+    """Parse and lower DSL source in one call.
+
+    ``params`` overrides ``param`` definitions in the source, enabling
+    problem-size sweeps from a single kernel file.
+    """
+    return lower_ast(parse_source(source), params, suite, description)

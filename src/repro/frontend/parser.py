@@ -1,0 +1,338 @@
+"""Recursive-descent parser for the kernel DSL.
+
+Grammar (line oriented; ``#``/``!`` comments; keywords case-insensitive)::
+
+    program   := 'program' NAME NL item* 'end' NL?
+    item      := param | decl | directive | exec
+    param     := 'param' NAME '=' expr NL
+    decl      := typename entity (',' entity)* NL
+    typename  := NAME ('*' NUMBER)? | 'double' 'precision'
+    entity    := NAME ('(' dim (',' dim)* ')')?
+    dim       := expr | expr ':' expr
+    directive := 'unsafe' names | 'parameter_array' names | 'local' names
+               | 'common' '/' NAME '/' names ('nosplit')?
+    exec      := do | assign | touch | access
+    do        := 'do' NAME '=' expr ',' expr (',' expr)? NL exec* 'end' 'do' NL
+    assign    := postfix '=' expr NL
+    touch     := 'touch' postfix (',' postfix)* NL
+    access    := 'access' mode postfix (',' mode postfix)* NL ;  mode := 'load'|'store'
+    expr      := term (('+'|'-') term)*
+    term      := unary (('*'|'/') unary)*
+    unary     := ('-'|'+') unary | postfix
+    postfix   := NAME ('(' expr (',' expr)* ')')? | NUMBER | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.frontend import ast
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import Token, TokenKind
+
+_KEYWORDS = {
+    "program",
+    "end",
+    "do",
+    "param",
+    "touch",
+    "access",
+    "unsafe",
+    "parameter_array",
+    "local",
+    "common",
+    "nosplit",
+    "load",
+    "store",
+}
+
+_TYPE_NAMES = {"real", "integer", "double", "byte"}
+
+
+class Parser:
+    """Token-stream parser producing a :class:`ProgramAST`."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.source_lines = source.count("\n") + 1
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.kind != TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def _check(self, kind: TokenKind, text: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token.kind != kind:
+            return False
+        if text is not None and token.text.lower() != text:
+            return False
+        return True
+
+    def _expect(self, kind: TokenKind, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, text):
+            expected = text or kind.name
+            raise ParseError(
+                f"expected {expected}, found {token.text!r}", token.line, token.column
+            )
+        return self._advance()
+
+    def _keyword(self, word: str) -> bool:
+        return self._check(TokenKind.NAME, word)
+
+    def _skip_newlines(self) -> None:
+        while self._check(TokenKind.NEWLINE):
+            self._advance()
+
+    def _end_of_statement(self) -> None:
+        if self._check(TokenKind.EOF):
+            return
+        self._expect(TokenKind.NEWLINE)
+        self._skip_newlines()
+
+    # -- program structure --------------------------------------------------
+
+    def parse(self) -> ast.ProgramAST:
+        """Parse a whole program."""
+        self._skip_newlines()
+        self._expect(TokenKind.NAME, "program")
+        name = self._expect(TokenKind.NAME).text
+        self._end_of_statement()
+        prog = ast.ProgramAST(name=name, source_lines=self.source_lines)
+        while not self._keyword("end"):
+            token = self._peek()
+            if token.kind == TokenKind.EOF:
+                raise ParseError("unexpected end of file: missing 'end'", token.line, 1)
+            self._parse_item(prog)
+        self._expect(TokenKind.NAME, "end")
+        self._skip_newlines()
+        return prog
+
+    def _parse_item(self, prog: ast.ProgramAST) -> None:
+        token = self._peek()
+        word = token.text.lower() if token.kind == TokenKind.NAME else ""
+        if word == "param":
+            prog.params.append(self._parse_param())
+        elif word in _TYPE_NAMES:
+            prog.decls.append(self._parse_decl())
+        elif word in ("unsafe", "parameter_array", "local"):
+            prog.directives.append(self._parse_flag_directive())
+        elif word == "common":
+            prog.directives.append(self._parse_common())
+        else:
+            prog.body.append(self._parse_exec())
+
+    def _parse_param(self) -> ast.ParamStmt:
+        line = self._expect(TokenKind.NAME, "param").line
+        ident = self._expect(TokenKind.NAME).text
+        self._expect(TokenKind.ASSIGN)
+        value = self._parse_expr()
+        self._end_of_statement()
+        return ast.ParamStmt(ident, value, line)
+
+    def _parse_decl(self) -> ast.DeclStmt:
+        first = self._advance()
+        type_name = first.text.lower()
+        if type_name == "double":
+            nxt = self._expect(TokenKind.NAME)
+            if nxt.text.lower() != "precision":
+                raise ParseError("expected 'precision' after 'double'", nxt.line, nxt.column)
+            type_name = "double precision"
+        elif self._check(TokenKind.STAR):
+            self._advance()
+            width = self._expect(TokenKind.NUMBER)
+            type_name = f"{type_name}*{width.text}"
+        entities = [self._parse_entity()]
+        while self._check(TokenKind.COMMA):
+            self._advance()
+            entities.append(self._parse_entity())
+        self._end_of_statement()
+        return ast.DeclStmt(type_name, tuple(entities), first.line)
+
+    def _parse_entity(self) -> ast.Entity:
+        name_tok = self._expect(TokenKind.NAME)
+        dims: List[ast.DimSpec] = []
+        if self._check(TokenKind.LPAREN):
+            self._advance()
+            dims.append(self._parse_dim())
+            while self._check(TokenKind.COMMA):
+                self._advance()
+                dims.append(self._parse_dim())
+            self._expect(TokenKind.RPAREN)
+        return ast.Entity(name_tok.text, tuple(dims), name_tok.line)
+
+    def _parse_dim(self) -> ast.DimSpec:
+        first = self._parse_expr()
+        if self._check(TokenKind.COLON):
+            self._advance()
+            upper = self._parse_expr()
+            return ast.DimSpec(size=None, lower=first, upper=upper)
+        return ast.DimSpec(size=first)
+
+    def _parse_flag_directive(self) -> ast.Directive:
+        keyword = self._advance()
+        names = [self._expect(TokenKind.NAME).text]
+        while self._check(TokenKind.COMMA):
+            self._advance()
+            names.append(self._expect(TokenKind.NAME).text)
+        self._end_of_statement()
+        return ast.Directive(keyword.text.lower(), tuple(names), line=keyword.line)
+
+    def _parse_common(self) -> ast.Directive:
+        keyword = self._expect(TokenKind.NAME, "common")
+        self._expect(TokenKind.SLASH)
+        block = self._expect(TokenKind.NAME).text
+        self._expect(TokenKind.SLASH)
+        names = [self._expect(TokenKind.NAME).text]
+        while self._check(TokenKind.COMMA):
+            self._advance()
+            names.append(self._expect(TokenKind.NAME).text)
+        nosplit = False
+        if self._keyword("nosplit"):
+            self._advance()
+            nosplit = True
+        self._end_of_statement()
+        return ast.Directive(
+            "common", tuple(names), block=block, nosplit=nosplit, line=keyword.line
+        )
+
+    # -- executable statements -------------------------------------------------
+
+    def _parse_exec(self) -> ast.Node:
+        token = self._peek()
+        word = token.text.lower() if token.kind == TokenKind.NAME else ""
+        if word == "do":
+            return self._parse_do()
+        if word == "touch":
+            return self._parse_touch()
+        if word == "access":
+            return self._parse_access()
+        return self._parse_assign()
+
+    def _parse_do(self) -> ast.DoStmt:
+        do_tok = self._expect(TokenKind.NAME, "do")
+        var = self._expect(TokenKind.NAME).text
+        self._expect(TokenKind.ASSIGN)
+        lower = self._parse_expr()
+        self._expect(TokenKind.COMMA)
+        upper = self._parse_expr()
+        step = None
+        if self._check(TokenKind.COMMA):
+            self._advance()
+            step = self._parse_expr()
+        self._end_of_statement()
+        body: List[ast.Node] = []
+        while True:
+            if self._keyword("end") and self._peek(1).text.lower() == "do":
+                self._advance()
+                self._advance()
+                self._end_of_statement()
+                break
+            if self._check(TokenKind.EOF):
+                raise ParseError(
+                    f"loop over {var!r} never closed with 'end do'",
+                    do_tok.line,
+                    do_tok.column,
+                )
+            body.append(self._parse_exec())
+        return ast.DoStmt(var, lower, upper, step, body, do_tok.line)
+
+    def _parse_touch(self) -> ast.TouchStmt:
+        tok = self._expect(TokenKind.NAME, "touch")
+        refs = [self._parse_postfix()]
+        while self._check(TokenKind.COMMA):
+            self._advance()
+            refs.append(self._parse_postfix())
+        self._end_of_statement()
+        return ast.TouchStmt(tuple(refs), tok.line)
+
+    def _parse_access(self) -> ast.AccessStmt:
+        tok = self._expect(TokenKind.NAME, "access")
+        items: List[Tuple[str, ast.Expr]] = [self._parse_access_item()]
+        while self._check(TokenKind.COMMA):
+            self._advance()
+            items.append(self._parse_access_item())
+        self._end_of_statement()
+        return ast.AccessStmt(tuple(items), tok.line)
+
+    def _parse_access_item(self) -> Tuple[str, ast.Expr]:
+        mode_tok = self._expect(TokenKind.NAME)
+        mode = mode_tok.text.lower()
+        if mode not in ("load", "store"):
+            raise ParseError(
+                f"expected 'load' or 'store', found {mode_tok.text!r}",
+                mode_tok.line,
+                mode_tok.column,
+            )
+        return mode, self._parse_postfix()
+
+    def _parse_assign(self) -> ast.AssignStmt:
+        target = self._parse_postfix()
+        eq = self._expect(TokenKind.ASSIGN)
+        value = self._parse_expr()
+        self._end_of_statement()
+        return ast.AssignStmt(target, value, eq.line)
+
+    # -- expressions ------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        left = self._parse_term()
+        while self._check(TokenKind.PLUS) or self._check(TokenKind.MINUS):
+            op = self._advance()
+            right = self._parse_term()
+            left = ast.BinOp(op.text, left, right, op.line)
+        return left
+
+    def _parse_term(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self._check(TokenKind.STAR) or self._check(TokenKind.SLASH):
+            op = self._advance()
+            right = self._parse_unary()
+            left = ast.BinOp(op.text, left, right, op.line)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._check(TokenKind.MINUS) or self._check(TokenKind.PLUS):
+            op = self._advance()
+            return ast.UnOp(op.text, self._parse_unary(), op.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == TokenKind.NUMBER:
+            self._advance()
+            return ast.Num(token.value, token.line)
+        if token.kind == TokenKind.LPAREN:
+            self._advance()
+            inner = self._parse_expr()
+            self._expect(TokenKind.RPAREN)
+            return inner
+        if token.kind == TokenKind.NAME:
+            self._advance()
+            if self._check(TokenKind.LPAREN):
+                self._advance()
+                args = [self._parse_expr()]
+                while self._check(TokenKind.COMMA):
+                    self._advance()
+                    args.append(self._parse_expr())
+                self._expect(TokenKind.RPAREN)
+                return ast.Call(token.text, tuple(args), token.line)
+            return ast.Name(token.text, token.line)
+        raise ParseError(
+            f"unexpected token {token.text!r} in expression", token.line, token.column
+        )
+
+
+def parse_source(source: str) -> ast.ProgramAST:
+    """Parse DSL source text to an AST."""
+    return Parser(source).parse()

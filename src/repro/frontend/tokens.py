@@ -1,0 +1,39 @@
+"""Token definitions for the kernel DSL."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+
+class TokenKind(enum.Enum):
+    """Lexical token categories."""
+
+    NAME = "name"
+    NUMBER = "number"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    COLON = ":"
+    NEWLINE = "newline"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with source position (1-based)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+    value: Union[int, float, None] = None
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"{self.kind.name}({self.text!r})@{self.line}:{self.column}"

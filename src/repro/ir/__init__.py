@@ -1,0 +1,41 @@
+"""Loop-nest intermediate representation.
+
+The IR captures exactly what the paper's padding analyses need from a
+Fortran program: array declarations (dimension sizes, lower bounds,
+element types, safety flags), loop nests with affine bounds, and array
+references with affine (or indirect) subscripts.
+"""
+
+from repro.ir.arrays import ArrayDecl, Dim, ScalarDecl
+from repro.ir.expr import AffineExpr, IndirectExpr, Subscript
+from repro.ir.loops import Loop, all_refs, all_statements, loop_nests, nest_depth
+from repro.ir.program import Program
+from repro.ir.refs import ArrayRef, read, write
+from repro.ir.stmts import Statement, assign
+from repro.ir.types import ElementType, element_type_from_name
+from repro.ir.validate import validate_program
+from repro.ir.pretty import pretty
+
+__all__ = [
+    "AffineExpr",
+    "ArrayDecl",
+    "ArrayRef",
+    "Dim",
+    "ElementType",
+    "IndirectExpr",
+    "Loop",
+    "Program",
+    "ScalarDecl",
+    "Statement",
+    "Subscript",
+    "all_refs",
+    "all_statements",
+    "assign",
+    "element_type_from_name",
+    "loop_nests",
+    "nest_depth",
+    "pretty",
+    "read",
+    "validate_program",
+    "write",
+]

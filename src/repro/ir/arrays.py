@@ -1,0 +1,263 @@
+"""Array and scalar declarations.
+
+Arrays are Fortran-style: column major, with per-dimension sizes and lower
+bounds (default 1).  A declaration is immutable; padding never mutates a
+declaration but is recorded in a :class:`repro.layout.layout.MemoryLayout`,
+which supplies *padded* dimension sizes when computing strides.
+
+Flags carried by a declaration drive the safety analysis of Section 4.1 of
+the paper:
+
+* ``is_parameter`` — the array is a formal procedure parameter (declared
+  elsewhere); it may be analyzed but must not be intra-padded and its base
+  address is not under compiler control.
+* ``storage_association`` — the array participates in EQUIVALENCE or other
+  storage association, making intra-variable padding unsafe.
+* ``common_block`` — the Fortran COMMON block name, or None.  Blocks that
+  permit sequence-association splitting are broken into separate variables
+  by globalization; otherwise members can neither be reordered nor padded.
+* ``is_local`` — declared local to a procedure; globalization promotes it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import IRError
+from repro.ir.types import ElementType
+
+
+class Dim:
+    """One array dimension: ``size`` elements starting at ``lower``."""
+
+    __slots__ = ("size", "lower")
+
+    def __init__(self, size: int, lower: int = 1):
+        if not isinstance(size, int) or size <= 0:
+            raise IRError(f"dimension size must be a positive int, got {size!r}")
+        if not isinstance(lower, int):
+            raise IRError(f"dimension lower bound must be an int, got {lower!r}")
+        self.size = size
+        self.lower = lower
+
+    @property
+    def upper(self) -> int:
+        """Inclusive upper bound."""
+        return self.lower + self.size - 1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dim):
+            return NotImplemented
+        return self.size == other.size and self.lower == other.lower
+
+    def __hash__(self) -> int:
+        return hash((self.size, self.lower))
+
+    def __repr__(self) -> str:
+        if self.lower == 1:
+            return f"Dim({self.size})"
+        return f"Dim({self.size}, lower={self.lower})"
+
+    def __str__(self) -> str:
+        if self.lower == 1:
+            return str(self.size)
+        return f"{self.lower}:{self.upper}"
+
+
+def _coerce_dim(value) -> Dim:
+    if isinstance(value, Dim):
+        return value
+    if isinstance(value, int):
+        return Dim(value)
+    if isinstance(value, tuple) and len(value) == 2:
+        lower, upper = value
+        return Dim(upper - lower + 1, lower)
+    raise IRError(f"cannot interpret {value!r} as an array dimension")
+
+
+class ArrayDecl:
+    """An array declaration (immutable).
+
+    ``dims`` are ordered from the fastest-varying (column) dimension to the
+    slowest, Fortran style: ``A(N, M)`` has ``dims[0].size == N`` and
+    consecutive elements of a column are adjacent in memory.
+    """
+
+    __slots__ = (
+        "name",
+        "dims",
+        "element_type",
+        "is_parameter",
+        "storage_association",
+        "common_block",
+        "common_splittable",
+        "is_local",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        dims: Sequence,
+        element_type: ElementType = ElementType.REAL8,
+        is_parameter: bool = False,
+        storage_association: bool = False,
+        common_block: Optional[str] = None,
+        common_splittable: bool = True,
+        is_local: bool = False,
+    ):
+        if not isinstance(name, str) or not name:
+            raise IRError("array declaration needs a nonempty name")
+        if not dims:
+            raise IRError(f"array {name!r} needs at least one dimension")
+        self.name = name
+        self.dims: Tuple[Dim, ...] = tuple(_coerce_dim(d) for d in dims)
+        self.element_type = element_type
+        self.is_parameter = bool(is_parameter)
+        self.storage_association = bool(storage_association)
+        self.common_block = common_block
+        self.common_splittable = bool(common_splittable)
+        self.is_local = bool(is_local)
+
+    # -- geometry --------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.dims)
+
+    @property
+    def element_size(self) -> int:
+        """Size of one element in bytes."""
+        return self.element_type.size_bytes
+
+    @property
+    def dim_sizes(self) -> Tuple[int, ...]:
+        """Declared size of each dimension, in elements."""
+        return tuple(d.size for d in self.dims)
+
+    @property
+    def lower_bounds(self) -> Tuple[int, ...]:
+        """Declared lower bound of each dimension."""
+        return tuple(d.lower for d in self.dims)
+
+    @property
+    def num_elements(self) -> int:
+        """Total element count."""
+        total = 1
+        for d in self.dims:
+            total *= d.size
+        return total
+
+    @property
+    def size_bytes(self) -> int:
+        """Total declared size in bytes (unpadded)."""
+        return self.num_elements * self.element_size
+
+    @property
+    def column_size(self) -> int:
+        """Size of the first (fastest) dimension — the paper's ``Col_s``."""
+        return self.dims[0].size
+
+    @property
+    def row_size(self) -> int:
+        """The paper's ``R_s``: size of the second dimension (1 for vectors).
+
+        Used by LINPAD2 to bound ``j*`` — columns further apart than the
+        number of columns can never be accessed together.
+        """
+        if self.rank < 2:
+            return 1
+        return self.dims[1].size
+
+    def strides(self, dim_sizes: Optional[Sequence[int]] = None) -> Tuple[int, ...]:
+        """Column-major strides in *bytes* per unit subscript step.
+
+        ``dim_sizes`` overrides the declared sizes (this is how padded
+        layouts supply their grown dimensions).
+        """
+        sizes = self.dim_sizes if dim_sizes is None else tuple(dim_sizes)
+        if len(sizes) != self.rank:
+            raise IRError(
+                f"array {self.name}: expected {self.rank} dim sizes, got {len(sizes)}"
+            )
+        strides = []
+        acc = self.element_size
+        for size in sizes:
+            strides.append(acc)
+            acc *= size
+        return tuple(strides)
+
+    def with_dims(self, dim_sizes: Sequence[int]) -> "ArrayDecl":
+        """A copy of this declaration with new dimension sizes."""
+        if len(dim_sizes) != self.rank:
+            raise IRError(
+                f"array {self.name}: expected {self.rank} dim sizes, got {len(dim_sizes)}"
+            )
+        dims = [Dim(size, d.lower) for size, d in zip(dim_sizes, self.dims)]
+        return ArrayDecl(
+            self.name,
+            dims,
+            self.element_type,
+            is_parameter=self.is_parameter,
+            storage_association=self.storage_association,
+            common_block=self.common_block,
+            common_splittable=self.common_splittable,
+            is_local=self.is_local,
+        )
+
+    # -- value semantics ---------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ArrayDecl):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.dims == other.dims
+            and self.element_type == other.element_type
+            and self.is_parameter == other.is_parameter
+            and self.storage_association == other.storage_association
+            and self.common_block == other.common_block
+            and self.common_splittable == other.common_splittable
+            and self.is_local == other.is_local
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.dims, self.element_type))
+
+    def __repr__(self) -> str:
+        dims = ", ".join(str(d) for d in self.dims)
+        return f"ArrayDecl({self.name}({dims}) : {self.element_type})"
+
+
+class ScalarDecl:
+    """A scalar variable.
+
+    Scalars are assumed register-allocated inside loop nests (as in the
+    paper's kernels, e.g. the reduction variable of DOT), so they generate
+    no memory traffic in the trace; they still occupy space in the global
+    layout and participate in inter-variable placement.
+    """
+
+    __slots__ = ("name", "element_type")
+
+    def __init__(self, name: str, element_type: ElementType = ElementType.REAL8):
+        if not isinstance(name, str) or not name:
+            raise IRError("scalar declaration needs a nonempty name")
+        self.name = name
+        self.element_type = element_type
+
+    @property
+    def size_bytes(self) -> int:
+        """Size in bytes."""
+        return self.element_type.size_bytes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScalarDecl):
+            return NotImplemented
+        return self.name == other.name and self.element_type == other.element_type
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.element_type))
+
+    def __repr__(self) -> str:
+        return f"ScalarDecl({self.name} : {self.element_type})"

@@ -1,0 +1,125 @@
+"""Fluent helpers for constructing IR programs in Python.
+
+The DSL front end is the friendliest way to write a kernel, but the
+benchmark library and tests often build programs programmatically; these
+helpers keep that terse:
+
+>>> from repro.ir import builder as b
+>>> prog = b.program(
+...     "jacobi",
+...     decls=[b.real8("A", 512, 512), b.real8("B", 512, 512)],
+...     body=[
+...         b.loop("i", 2, 511, [
+...             b.loop("j", 2, 511, [
+...                 b.stmt(b.w("B", "j", "i"),
+...                        b.r("A", b.idx("j", -1), "i"),
+...                        b.r("A", "j", b.idx("i", -1)),
+...                        b.r("A", b.idx("j", 1), "i"),
+...                        b.r("A", "j", b.idx("i", 1))),
+...             ]),
+...         ]),
+...     ],
+... )
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.arrays import ArrayDecl, ScalarDecl
+from repro.ir.expr import AffineExpr, IndirectExpr
+from repro.ir.loops import BodyNode, Loop
+from repro.ir.program import Decl, Program
+from repro.ir.refs import ArrayRef
+from repro.ir.stmts import Statement
+from repro.ir.types import ElementType
+
+
+def idx(var: str, offset: int = 0, coef: int = 1) -> AffineExpr:
+    """The subscript expression ``coef*var + offset``."""
+    return AffineExpr.var(var, coef, offset)
+
+
+def const(value: int) -> AffineExpr:
+    """A constant subscript."""
+    return AffineExpr.const_expr(value)
+
+
+def indirect(index_array: str, subscript) -> IndirectExpr:
+    """An indirect subscript ``index_array(subscript)``."""
+    return IndirectExpr(index_array, AffineExpr.coerce(subscript))
+
+
+def r(array: str, *subscripts) -> ArrayRef:
+    """A read reference."""
+    return ArrayRef(array, subscripts, is_write=False)
+
+
+def w(array: str, *subscripts) -> ArrayRef:
+    """A write reference."""
+    return ArrayRef(array, subscripts, is_write=True)
+
+
+def stmt(target: ArrayRef, *sources: ArrayRef, label: str = "") -> Statement:
+    """An assignment: sources are read in order, then target is written."""
+    reads = tuple(s.with_write(False) for s in sources)
+    return Statement(reads + (target.with_write(True),), label=label)
+
+
+def reads_only(*sources: ArrayRef, label: str = "") -> Statement:
+    """A statement that only reads (e.g. a reduction into a scalar)."""
+    return Statement(tuple(s.with_write(False) for s in sources), label=label)
+
+
+def loop(var: str, lower, upper, body: Sequence[BodyNode], step: int = 1) -> Loop:
+    """A DO loop."""
+    return Loop(var, lower, upper, body, step=step)
+
+
+def real8(name: str, *dim_sizes: int, **flags) -> ArrayDecl:
+    """An 8-byte real array declaration."""
+    return ArrayDecl(name, dim_sizes, ElementType.REAL8, **flags)
+
+
+def real4(name: str, *dim_sizes: int, **flags) -> ArrayDecl:
+    """A 4-byte real array declaration."""
+    return ArrayDecl(name, dim_sizes, ElementType.REAL4, **flags)
+
+
+def int4(name: str, *dim_sizes: int, **flags) -> ArrayDecl:
+    """A 4-byte integer array declaration."""
+    return ArrayDecl(name, dim_sizes, ElementType.INT4, **flags)
+
+
+def byte_array(name: str, *dim_sizes: int, **flags) -> ArrayDecl:
+    """A 1-byte-element array; used in tests to express paper examples
+    directly in "element" units."""
+    return ArrayDecl(name, dim_sizes, ElementType.BYTE, **flags)
+
+
+def scalar(name: str, element_type: ElementType = ElementType.REAL8) -> ScalarDecl:
+    """A scalar declaration."""
+    return ScalarDecl(name, element_type)
+
+
+def program(
+    name: str,
+    decls: Sequence[Decl],
+    body: Sequence[BodyNode],
+    source_lines: int = 0,
+    suite: str = "",
+    description: str = "",
+) -> Program:
+    """Assemble and validate a program."""
+    prog = Program(
+        name,
+        decls,
+        body,
+        source_lines=source_lines,
+        suite=suite,
+        description=description,
+    )
+    from repro.ir.validate import validate_program
+
+    validate_program(prog)
+    return prog

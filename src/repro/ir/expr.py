@@ -1,0 +1,243 @@
+"""Affine expressions over loop variables.
+
+Array subscripts, loop bounds and linearized addresses are all affine
+expressions of the form ``c0 + c1*i1 + c2*i2 + ...`` where the ``i`` are
+loop-index variables.  :class:`AffineExpr` is an immutable value type with
+exact integer arithmetic; it is the workhorse of both the trace interpreter
+(evaluation) and the conflict analysis (symbolic subtraction of linearized
+references, expression (1) of the paper).
+
+An :class:`IndirectExpr` wraps an index-array lookup ``IDX(affine)`` used by
+irregular codes (the paper's IRR benchmark); it is opaque to the conflict
+analysis but the interpreter can evaluate it against a data environment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+from repro.errors import IRError
+
+
+class AffineExpr:
+    """An immutable affine expression ``const + sum(coef[v] * v)``.
+
+    Coefficients are exact Python integers.  Zero coefficients are never
+    stored, so two equal expressions always compare equal.
+    """
+
+    __slots__ = ("const", "_coeffs", "_hash")
+
+    def __init__(self, const: int = 0, coeffs: Mapping[str, int] = None):
+        if not isinstance(const, int):
+            raise IRError(f"affine constant must be int, got {const!r}")
+        cleaned: Dict[str, int] = {}
+        if coeffs:
+            for var, coef in coeffs.items():
+                if not isinstance(var, str) or not var:
+                    raise IRError(f"affine variable must be a nonempty str, got {var!r}")
+                if not isinstance(coef, int):
+                    raise IRError(f"affine coefficient must be int, got {coef!r}")
+                if coef != 0:
+                    cleaned[var] = coef
+        self.const = const
+        self._coeffs = cleaned
+        self._hash = hash((const, tuple(sorted(cleaned.items()))))
+
+    # -- constructors ---------------------------------------------------
+
+    @staticmethod
+    def const_expr(value: int) -> "AffineExpr":
+        """An expression with no variables."""
+        return AffineExpr(value)
+
+    @staticmethod
+    def var(name: str, coef: int = 1, const: int = 0) -> "AffineExpr":
+        """The expression ``coef*name + const``."""
+        return AffineExpr(const, {name: coef})
+
+    @staticmethod
+    def coerce(value: Union["AffineExpr", int, str]) -> "AffineExpr":
+        """Coerce an int (constant) or str (variable name) to an expression."""
+        if isinstance(value, AffineExpr):
+            return value
+        if isinstance(value, int):
+            return AffineExpr(value)
+        if isinstance(value, str):
+            return AffineExpr.var(value)
+        raise IRError(f"cannot coerce {value!r} to an affine expression")
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def coeffs(self) -> Dict[str, int]:
+        """A copy of the variable-coefficient map (zero coefs omitted)."""
+        return dict(self._coeffs)
+
+    def coeff(self, var: str) -> int:
+        """Coefficient of ``var`` (0 when absent)."""
+        return self._coeffs.get(var, 0)
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """Variable names with nonzero coefficients, sorted."""
+        return tuple(sorted(self._coeffs))
+
+    @property
+    def is_constant(self) -> bool:
+        """True when the expression has no variable terms."""
+        return not self._coeffs
+
+    @property
+    def is_single_var(self) -> bool:
+        """True for expressions of the exact shape ``v + c`` (coefficient 1).
+
+        This is the shape required of each subscript of a *uniformly
+        generated* reference in the paper (an index variable plus an
+        integer constant).
+        """
+        if len(self._coeffs) != 1:
+            return False
+        (coef,) = self._coeffs.values()
+        return coef == 1
+
+    @property
+    def single_var(self) -> str:
+        """The variable of a single-variable expression."""
+        if len(self._coeffs) != 1:
+            raise IRError(f"{self} does not have exactly one variable")
+        return next(iter(self._coeffs))
+
+    # -- arithmetic -------------------------------------------------------
+
+    def _binary(self, other: Union["AffineExpr", int], sign: int) -> "AffineExpr":
+        other = AffineExpr.coerce(other)
+        coeffs = dict(self._coeffs)
+        for var, coef in other._coeffs.items():
+            coeffs[var] = coeffs.get(var, 0) + sign * coef
+        return AffineExpr(self.const + sign * other.const, coeffs)
+
+    def __add__(self, other: Union["AffineExpr", int]) -> "AffineExpr":
+        return self._binary(other, +1)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Union["AffineExpr", int]) -> "AffineExpr":
+        return self._binary(other, -1)
+
+    def __rsub__(self, other: Union["AffineExpr", int]) -> "AffineExpr":
+        return AffineExpr.coerce(other)._binary(self, -1)
+
+    def __neg__(self) -> "AffineExpr":
+        return self * -1
+
+    def __mul__(self, factor: int) -> "AffineExpr":
+        if isinstance(factor, AffineExpr):
+            if factor.is_constant:
+                factor = factor.const
+            else:
+                raise IRError("cannot multiply two non-constant affine expressions")
+        if not isinstance(factor, int):
+            raise IRError(f"affine expression can only be scaled by an int, got {factor!r}")
+        return AffineExpr(
+            self.const * factor, {v: c * factor for v, c in self._coeffs.items()}
+        )
+
+    __rmul__ = __mul__
+
+    # -- evaluation / substitution ----------------------------------------
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate with concrete integer values for every variable."""
+        total = self.const
+        for var, coef in self._coeffs.items():
+            try:
+                total += coef * env[var]
+            except KeyError:
+                raise IRError(f"no value for variable {var!r} in environment") from None
+        return total
+
+    def substitute(self, env: Mapping[str, Union["AffineExpr", int]]) -> "AffineExpr":
+        """Replace variables with expressions or constants; others remain."""
+        result = AffineExpr(self.const)
+        for var, coef in self._coeffs.items():
+            if var in env:
+                result = result + AffineExpr.coerce(env[var]) * coef
+            else:
+                result = result + AffineExpr.var(var, coef)
+        return result
+
+    def uses_any(self, names: Iterable[str]) -> bool:
+        """True when any of ``names`` appears with a nonzero coefficient."""
+        return any(name in self._coeffs for name in names)
+
+    # -- value semantics ----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            other = AffineExpr(other)
+        if not isinstance(other, AffineExpr):
+            return NotImplemented
+        return self.const == other.const and self._coeffs == other._coeffs
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"AffineExpr({self})"
+
+    def __str__(self) -> str:
+        parts = []
+        for var in sorted(self._coeffs):
+            coef = self._coeffs[var]
+            if coef == 1:
+                parts.append(f"+{var}" if parts else var)
+            elif coef == -1:
+                parts.append(f"-{var}")
+            else:
+                parts.append(f"{coef:+d}*{var}" if parts else f"{coef}*{var}")
+        if self.const or not parts:
+            parts.append(f"{self.const:+d}" if parts else str(self.const))
+        return "".join(parts)
+
+
+class IndirectExpr:
+    """A subscript that reads an index array: ``array(inner)``.
+
+    Used for irregular accesses such as ``X(IDX(i))``.  ``inner`` is the
+    affine subscript of the one-dimensional index array.  The conflict
+    analysis treats references containing an IndirectExpr as not uniformly
+    generated; the interpreter evaluates them through the data environment.
+    """
+
+    __slots__ = ("array", "inner")
+
+    def __init__(self, array: str, inner: AffineExpr):
+        if not isinstance(array, str) or not array:
+            raise IRError("indirect subscript needs an index-array name")
+        self.array = array
+        self.inner = AffineExpr.coerce(inner)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IndirectExpr):
+            return NotImplemented
+        return self.array == other.array and self.inner == other.inner
+
+    def __hash__(self) -> int:
+        return hash((self.array, self.inner))
+
+    def __repr__(self) -> str:
+        return f"IndirectExpr({self.array}({self.inner}))"
+
+    def __str__(self) -> str:
+        return f"{self.array}({self.inner})"
+
+
+Subscript = Union[AffineExpr, IndirectExpr]
+
+
+def coerce_subscript(value: Union[Subscript, int, str]) -> Subscript:
+    """Coerce ints/strs to affine subscripts, pass indirect ones through."""
+    if isinstance(value, IndirectExpr):
+        return value
+    return AffineExpr.coerce(value)

@@ -1,0 +1,101 @@
+"""Pretty printer: render an IR program back to DSL source.
+
+The output is valid input for :func:`repro.frontend.parse_program`, which
+gives a cheap round-trip test of the whole front end.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.arrays import ArrayDecl, ScalarDecl
+from repro.ir.expr import IndirectExpr, Subscript
+from repro.ir.loops import Loop
+from repro.ir.program import Program
+from repro.ir.refs import ArrayRef
+from repro.ir.stmts import Statement
+
+_INDENT = "  "
+
+
+def format_subscript(sub: Subscript) -> str:
+    """Render one subscript expression."""
+    if isinstance(sub, IndirectExpr):
+        return f"{sub.array}({format_subscript(sub.inner)})"
+    return str(sub)
+
+
+def format_ref(ref: ArrayRef) -> str:
+    """Render one array reference."""
+    subs = ", ".join(format_subscript(s) for s in ref.subscripts)
+    return f"{ref.array}({subs})"
+
+
+def format_statement(stmt: Statement) -> str:
+    """Render a statement in assignment form when possible.
+
+    Statements with exactly one trailing write render as ``w = r1 + r2``;
+    read-only statements render as a ``touch`` directive; anything else as
+    an ``access`` directive listing each reference with its mode.
+    """
+    writes = stmt.writes
+    reads = stmt.reads
+    if len(writes) == 1 and stmt.refs[-1].is_write:
+        rhs = " + ".join(format_ref(rr) for rr in reads) if reads else "0"
+        return f"{format_ref(writes[0])} = {rhs}"
+    if not writes:
+        return "touch " + ", ".join(format_ref(rr) for rr in reads)
+    parts = [
+        ("store " if ref.is_write else "load ") + format_ref(ref) for ref in stmt.refs
+    ]
+    return "access " + ", ".join(parts)
+
+
+def _format_decl(decl) -> str:
+    if isinstance(decl, ScalarDecl):
+        return f"{decl.element_type.fortran_name} {decl.name}"
+    dims = ", ".join(str(d) for d in decl.dims)
+    line = f"{decl.element_type.fortran_name} {decl.name}({dims})"
+    return line
+
+
+def _decl_directives(decl) -> List[str]:
+    out = []
+    if isinstance(decl, ArrayDecl):
+        if decl.is_parameter:
+            out.append(f"parameter_array {decl.name}")
+        if decl.storage_association:
+            out.append(f"unsafe {decl.name}")
+        if decl.common_block:
+            split = "" if decl.common_splittable else " nosplit"
+            out.append(f"common /{decl.common_block}/ {decl.name}{split}")
+        if decl.is_local:
+            out.append(f"local {decl.name}")
+    return out
+
+
+def _emit_body(body, lines: List[str], depth: int) -> None:
+    pad = _INDENT * depth
+    for node in body:
+        if isinstance(node, Loop):
+            head = f"{pad}do {node.var} = {node.lower}, {node.upper}"
+            if node.step != 1:
+                head += f", {node.step}"
+            lines.append(head)
+            _emit_body(node.body, lines, depth + 1)
+            lines.append(f"{pad}end do")
+        else:
+            lines.append(pad + format_statement(node))
+
+
+def pretty(prog: Program) -> str:
+    """Render a whole program to DSL source text."""
+    lines: List[str] = [f"program {prog.name}"]
+    for decl in prog.decls:
+        lines.append(_INDENT + _format_decl(decl))
+    for decl in prog.decls:
+        for directive in _decl_directives(decl):
+            lines.append(_INDENT + directive)
+    _emit_body(prog.body, lines, 1)
+    lines.append("end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,142 @@
+"""The Program container.
+
+A :class:`Program` bundles declarations and a body of loops/statements plus
+the metadata the paper's Table 2 reports (source line counts, benchmark
+suite).  Programs are the unit the padding heuristics and the experiment
+runner operate on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple, Union
+
+from repro.errors import IRError
+from repro.ir.arrays import ArrayDecl, ScalarDecl
+from repro.ir.loops import BodyNode, Loop, all_refs, all_statements, loop_nests
+from repro.ir.refs import ArrayRef
+from repro.ir.stmts import Statement
+
+Decl = Union[ArrayDecl, ScalarDecl]
+
+
+class Program:
+    """A whole program: declarations, body, metadata."""
+
+    __slots__ = ("name", "decls", "body", "source_lines", "suite", "description")
+
+    def __init__(
+        self,
+        name: str,
+        decls: Sequence[Decl],
+        body: Sequence[BodyNode],
+        source_lines: int = 0,
+        suite: str = "",
+        description: str = "",
+    ):
+        if not isinstance(name, str) or not name:
+            raise IRError("program needs a nonempty name")
+        self.name = name
+        self.decls: Tuple[Decl, ...] = tuple(decls)
+        self.body: Tuple[BodyNode, ...] = tuple(body)
+        self.source_lines = int(source_lines)
+        self.suite = suite
+        self.description = description
+        seen = set()
+        for decl in self.decls:
+            if not isinstance(decl, (ArrayDecl, ScalarDecl)):
+                raise IRError(f"declaration must be ArrayDecl or ScalarDecl: {decl!r}")
+            if decl.name in seen:
+                raise IRError(f"duplicate declaration of {decl.name!r}")
+            seen.add(decl.name)
+        for node in self.body:
+            if not isinstance(node, (Loop, Statement)):
+                raise IRError(f"body nodes must be Loop or Statement, got {node!r}")
+
+    # -- declaration lookup ------------------------------------------------
+
+    @property
+    def arrays(self) -> Tuple[ArrayDecl, ...]:
+        """Array declarations, in declaration order."""
+        return tuple(d for d in self.decls if isinstance(d, ArrayDecl))
+
+    @property
+    def scalars(self) -> Tuple[ScalarDecl, ...]:
+        """Scalar declarations, in declaration order."""
+        return tuple(d for d in self.decls if isinstance(d, ScalarDecl))
+
+    def decl(self, name: str) -> Decl:
+        """Look up a declaration by name."""
+        for d in self.decls:
+            if d.name == name:
+                return d
+        raise IRError(f"program {self.name!r} has no declaration {name!r}")
+
+    def array(self, name: str) -> ArrayDecl:
+        """Look up an array declaration by name."""
+        d = self.decl(name)
+        if not isinstance(d, ArrayDecl):
+            raise IRError(f"{name!r} is a scalar, not an array")
+        return d
+
+    def has_decl(self, name: str) -> bool:
+        """True when a declaration with this name exists."""
+        return any(d.name == name for d in self.decls)
+
+    # -- traversal -----------------------------------------------------------
+
+    def loop_nests(self) -> List[Loop]:
+        """Outermost loops of the program body."""
+        return loop_nests(self.body)
+
+    def statements(self) -> Iterator[Statement]:
+        """Every statement, in textual order."""
+        return all_statements(self.body)
+
+    def refs(self) -> Iterator[ArrayRef]:
+        """Every array reference, in textual order."""
+        return all_refs(self.body)
+
+    def refs_to(self, array: str) -> List[ArrayRef]:
+        """Every reference to a given array."""
+        return [r for r in self.refs() if r.array == array]
+
+    def loop_vars(self) -> Tuple[str, ...]:
+        """All loop index variable names used in the program."""
+        names: List[str] = []
+        for nest in self.loop_nests():
+            for var in nest.loop_vars():
+                if var not in names:
+                    names.append(var)
+        return tuple(names)
+
+    # -- derived facts ---------------------------------------------------------
+
+    def total_data_bytes(self) -> int:
+        """Unpadded size of all declared variables in bytes."""
+        return sum(d.size_bytes for d in self.decls)
+
+    def referenced_index_arrays(self) -> Tuple[str, ...]:
+        """Names of arrays used as indirection indices anywhere."""
+        names: List[str] = []
+        for ref in self.refs():
+            for idx in ref.index_arrays:
+                if idx not in names:
+                    names.append(idx)
+        return tuple(names)
+
+    def with_decls(self, decls: Sequence[Decl]) -> "Program":
+        """A copy of the program with a replaced declaration list."""
+        return Program(
+            self.name,
+            decls,
+            self.body,
+            source_lines=self.source_lines,
+            suite=self.suite,
+            description=self.description,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Program({self.name!r}: {len(self.decls)} decls, "
+            f"{len(self.loop_nests())} loop nests)"
+        )

@@ -1,0 +1,118 @@
+"""Array references.
+
+An :class:`ArrayRef` is one textual reference to an array, with one
+subscript expression per dimension and a read/write flag.  References are
+the atoms the conflict analysis works on: a pair of references to
+conforming arrays whose subscripts are all ``index_variable + constant``
+(or pure constants) in matching positions is *uniformly generated* and has
+a constant conflict distance on every iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import IRError
+from repro.ir.expr import AffineExpr, IndirectExpr, Subscript, coerce_subscript
+
+
+class ArrayRef:
+    """A single array reference, e.g. ``A(j-1, i)`` as a read."""
+
+    __slots__ = ("array", "subscripts", "is_write")
+
+    def __init__(self, array: str, subscripts: Sequence, is_write: bool = False):
+        if not isinstance(array, str) or not array:
+            raise IRError("array reference needs an array name")
+        if not subscripts:
+            raise IRError(f"reference to {array!r} needs at least one subscript")
+        self.array = array
+        self.subscripts: Tuple[Subscript, ...] = tuple(
+            coerce_subscript(s) for s in subscripts
+        )
+        self.is_write = bool(is_write)
+
+    @property
+    def rank(self) -> int:
+        """Number of subscripts."""
+        return len(self.subscripts)
+
+    @property
+    def is_affine(self) -> bool:
+        """True when every subscript is affine (no indirect lookups)."""
+        return all(isinstance(s, AffineExpr) for s in self.subscripts)
+
+    @property
+    def index_arrays(self) -> Tuple[str, ...]:
+        """Names of index arrays used by indirect subscripts."""
+        return tuple(
+            s.array for s in self.subscripts if isinstance(s, IndirectExpr)
+        )
+
+    def uniform_shape(self) -> Optional[Tuple[Optional[str], ...]]:
+        """The reference's *uniformly generated shape*, or None.
+
+        The paper requires each subscript to be ``i_j + r_j`` where ``i_j``
+        is an index variable (coefficient 1) or the value 0 (a constant
+        subscript).  The shape is the tuple of variable names per dimension
+        with ``None`` marking constant subscripts.  Two references to
+        conforming arrays are uniformly generated iff their shapes match.
+        Returns None when the reference does not have the required form.
+        """
+        shape = []
+        for sub in self.subscripts:
+            if isinstance(sub, IndirectExpr):
+                return None
+            if sub.is_constant:
+                shape.append(None)
+            elif sub.is_single_var:
+                shape.append(sub.single_var)
+            else:
+                return None
+        return tuple(shape)
+
+    def constant_offsets(self) -> Tuple[int, ...]:
+        """Per-dimension constant parts (the paper's ``r_j``).
+
+        Only meaningful for references with a uniform shape.
+        """
+        offsets = []
+        for sub in self.subscripts:
+            if not isinstance(sub, AffineExpr):
+                raise IRError(f"{self} has an indirect subscript")
+            offsets.append(sub.const)
+        return tuple(offsets)
+
+    def with_write(self, is_write: bool) -> "ArrayRef":
+        """Copy with a different read/write flag."""
+        return ArrayRef(self.array, self.subscripts, is_write)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ArrayRef):
+            return NotImplemented
+        return (
+            self.array == other.array
+            and self.subscripts == other.subscripts
+            and self.is_write == other.is_write
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.array, self.subscripts, self.is_write))
+
+    def __repr__(self) -> str:
+        mode = "write" if self.is_write else "read"
+        return f"ArrayRef({self} [{mode}])"
+
+    def __str__(self) -> str:
+        subs = ", ".join(str(s) for s in self.subscripts)
+        return f"{self.array}({subs})"
+
+
+def read(array: str, *subscripts) -> ArrayRef:
+    """Shorthand for a read reference: ``read("A", "j", "i")``."""
+    return ArrayRef(array, subscripts, is_write=False)
+
+
+def write(array: str, *subscripts) -> ArrayRef:
+    """Shorthand for a write reference: ``write("B", "j", "i")``."""
+    return ArrayRef(array, subscripts, is_write=True)

@@ -1,0 +1,68 @@
+"""Statements.
+
+The IR keeps only what the analyses and the trace interpreter need from a
+statement: the ordered list of array references it performs.  For an
+assignment the convention follows hardware order: all reads issue first,
+then the write.  (Scalar operations are assumed register-resident and do
+not appear.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import IRError
+from repro.ir.refs import ArrayRef
+
+
+class Statement:
+    """An ordered sequence of array references executed once per iteration."""
+
+    __slots__ = ("refs", "label")
+
+    def __init__(self, refs: Sequence[ArrayRef], label: str = ""):
+        refs = tuple(refs)
+        if not all(isinstance(r, ArrayRef) for r in refs):
+            raise IRError("statement refs must all be ArrayRef instances")
+        self.refs: Tuple[ArrayRef, ...] = refs
+        self.label = label
+
+    @property
+    def reads(self) -> Tuple[ArrayRef, ...]:
+        """Read references, in issue order."""
+        return tuple(r for r in self.refs if not r.is_write)
+
+    @property
+    def writes(self) -> Tuple[ArrayRef, ...]:
+        """Write references, in issue order."""
+        return tuple(r for r in self.refs if r.is_write)
+
+    @property
+    def arrays(self) -> Tuple[str, ...]:
+        """Distinct array names referenced, in first-use order."""
+        seen: List[str] = []
+        for ref in self.refs:
+            if ref.array not in seen:
+                seen.append(ref.array)
+        return tuple(seen)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Statement):
+            return NotImplemented
+        return self.refs == other.refs
+
+    def __hash__(self) -> int:
+        return hash(self.refs)
+
+    def __repr__(self) -> str:
+        return f"Statement({', '.join(map(str, self.refs))})"
+
+
+def assign(target: ArrayRef, sources: Iterable[ArrayRef], label: str = "") -> Statement:
+    """Build an assignment statement: reads first, then the write.
+
+    ``target`` is forced to be a write and ``sources`` to be reads, so call
+    sites can pass plain references without worrying about flags.
+    """
+    reads = tuple(r.with_write(False) for r in sources)
+    return Statement(reads + (target.with_write(True),), label=label)

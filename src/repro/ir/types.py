@@ -1,0 +1,59 @@
+"""Element types for array and scalar declarations.
+
+The paper's programs are Fortran scientific codes; the element types that
+matter are 4- and 8-byte reals and integers.  A 1-byte type is provided so
+tests can express paper examples directly in "element" units.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigError
+
+
+class ElementType(enum.Enum):
+    """A machine element type with a fixed size in bytes."""
+
+    BYTE = ("byte", 1)
+    INT4 = ("integer*4", 4)
+    INT8 = ("integer*8", 8)
+    REAL4 = ("real*4", 4)
+    REAL8 = ("real*8", 8)
+
+    def __init__(self, fortran_name: str, size: int):
+        self.fortran_name = fortran_name
+        self.size = size
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of one element in bytes."""
+        return self.size
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.fortran_name
+
+
+_BY_NAME = {
+    "byte": ElementType.BYTE,
+    "integer": ElementType.INT4,
+    "integer*4": ElementType.INT4,
+    "integer*8": ElementType.INT8,
+    "real": ElementType.REAL4,
+    "real*4": ElementType.REAL4,
+    "real*8": ElementType.REAL8,
+    "double": ElementType.REAL8,
+    "double precision": ElementType.REAL8,
+}
+
+
+def element_type_from_name(name: str) -> ElementType:
+    """Look up an element type by its Fortran-ish spelling.
+
+    Accepts ``real``, ``real*4``, ``real*8``, ``double precision``,
+    ``integer``, ``integer*4``, ``integer*8`` and ``byte``.
+    """
+    try:
+        return _BY_NAME[name.strip().lower()]
+    except KeyError:
+        raise ConfigError(f"unknown element type {name!r}") from None

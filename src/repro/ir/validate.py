@@ -1,0 +1,115 @@
+"""Structural validation of IR programs.
+
+Checks performed:
+
+* every referenced array (including indirection index arrays) is declared;
+* reference rank matches declaration rank;
+* every variable used in a subscript or loop bound is a loop index that is
+  in scope at that point (loop bounds may only use *outer* loop variables);
+* loop index variables do not shadow one another or declarations.
+
+Validation raises :class:`repro.errors.ValidationError` with a message that
+names the offending construct.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+from repro.errors import ValidationError
+from repro.ir.arrays import ArrayDecl
+from repro.ir.expr import AffineExpr, IndirectExpr
+from repro.ir.loops import BodyNode, Loop
+from repro.ir.program import Program
+from repro.ir.refs import ArrayRef
+from repro.ir.stmts import Statement
+
+
+def validate_program(prog: Program) -> None:
+    """Validate a whole program; raises ValidationError on the first issue."""
+    decl_names = {d.name for d in prog.decls}
+    _validate_body(prog, prog.body, frozenset(), decl_names)
+
+
+def _validate_body(
+    prog: Program,
+    body: Sequence[BodyNode],
+    in_scope: frozenset,
+    decl_names: Set[str],
+) -> None:
+    for node in body:
+        if isinstance(node, Loop):
+            _validate_loop(prog, node, in_scope, decl_names)
+        else:
+            _validate_statement(prog, node, in_scope)
+
+
+def _validate_loop(
+    prog: Program, loop: Loop, in_scope: frozenset, decl_names: Set[str]
+) -> None:
+    if loop.var in in_scope:
+        raise ValidationError(
+            f"{prog.name}: loop variable {loop.var!r} shadows an enclosing loop"
+        )
+    if loop.var in decl_names:
+        raise ValidationError(
+            f"{prog.name}: loop variable {loop.var!r} shadows a declaration"
+        )
+    for bound, which in ((loop.lower, "lower"), (loop.upper, "upper")):
+        bad = set(bound.variables) - in_scope
+        if bad:
+            raise ValidationError(
+                f"{prog.name}: {which} bound of loop {loop.var!r} uses "
+                f"out-of-scope variable(s) {sorted(bad)}"
+            )
+    _validate_body(prog, loop.body, in_scope | {loop.var}, decl_names)
+
+
+def _validate_statement(prog: Program, stmt: Statement, in_scope: frozenset) -> None:
+    for ref in stmt.refs:
+        _validate_ref(prog, ref, in_scope)
+
+
+def _validate_ref(prog: Program, ref: ArrayRef, in_scope: frozenset) -> None:
+    if not prog.has_decl(ref.array):
+        raise ValidationError(
+            f"{prog.name}: reference to undeclared array {ref.array!r}"
+        )
+    decl = prog.decl(ref.array)
+    if not isinstance(decl, ArrayDecl):
+        raise ValidationError(
+            f"{prog.name}: {ref.array!r} is declared as a scalar but "
+            f"referenced with subscripts"
+        )
+    if ref.rank != decl.rank:
+        raise ValidationError(
+            f"{prog.name}: reference {ref} has rank {ref.rank} but "
+            f"{ref.array!r} is declared with rank {decl.rank}"
+        )
+    for sub in ref.subscripts:
+        if isinstance(sub, IndirectExpr):
+            if not prog.has_decl(sub.array):
+                raise ValidationError(
+                    f"{prog.name}: indirect subscript uses undeclared "
+                    f"index array {sub.array!r}"
+                )
+            idx_decl = prog.decl(sub.array)
+            if not isinstance(idx_decl, ArrayDecl) or idx_decl.rank != 1:
+                raise ValidationError(
+                    f"{prog.name}: index array {sub.array!r} must be a "
+                    f"one-dimensional array"
+                )
+            _check_vars(prog, sub.inner, in_scope, ref)
+        else:
+            _check_vars(prog, sub, in_scope, ref)
+
+
+def _check_vars(
+    prog: Program, expr: AffineExpr, in_scope: frozenset, ref: ArrayRef
+) -> None:
+    bad = set(expr.variables) - in_scope
+    if bad:
+        raise ValidationError(
+            f"{prog.name}: reference {ref} uses out-of-scope variable(s) "
+            f"{sorted(bad)}"
+        )

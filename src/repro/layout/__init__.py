@@ -1,0 +1,21 @@
+"""Memory layout: base-address assignment, padded dimension sizes,
+globalization."""
+
+from repro.layout.globalize import GlobalizationReport, globalize
+from repro.layout.layout import (
+    MemoryLayout,
+    PlacementUnit,
+    original_layout,
+    place_unit,
+    placement_units,
+)
+
+__all__ = [
+    "GlobalizationReport",
+    "MemoryLayout",
+    "PlacementUnit",
+    "globalize",
+    "original_layout",
+    "place_unit",
+    "placement_units",
+]

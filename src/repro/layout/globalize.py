@@ -1,0 +1,84 @@
+"""Globalization (paper, Section 4.1).
+
+Before padding, the SUIF implementation gives the compiler control over
+base addresses:
+
+1. local arrays and structures are promoted to global scope;
+2. Fortran COMMON blocks are split into separate variables where sequence
+   association permits; otherwise they stay one indivisible block;
+3. all globals become fields of one large structure the compiler reorders
+   and pads.
+
+In this reproduction, step 3 *is* the :class:`MemoryLayout`; this module
+performs steps 1 and 2 as a program-to-program transformation and reports
+what it did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.ir.arrays import ArrayDecl
+from repro.ir.program import Program
+
+
+@dataclass
+class GlobalizationReport:
+    """What globalization changed."""
+
+    promoted_locals: List[str] = field(default_factory=list)
+    split_common_members: List[str] = field(default_factory=list)
+    kept_common_blocks: List[str] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        """True when any declaration was rewritten."""
+        return bool(self.promoted_locals or self.split_common_members)
+
+
+def globalize(prog: Program) -> "tuple[Program, GlobalizationReport]":
+    """Promote locals and split splittable COMMON blocks.
+
+    Returns a new program (declarations rewritten, body shared) and a
+    report.  Formal parameters are untouched — they represent variables
+    declared elsewhere and need no promotion.
+    """
+    report = GlobalizationReport()
+    new_decls = []
+    kept_blocks = set()
+    for decl in prog.decls:
+        if not isinstance(decl, ArrayDecl):
+            new_decls.append(decl)
+            continue
+        is_local = decl.is_local
+        block = decl.common_block
+        splittable = decl.common_splittable
+        if decl.is_parameter:
+            new_decls.append(decl)
+            continue
+        changed = False
+        if is_local:
+            report.promoted_locals.append(decl.name)
+            is_local = False
+            changed = True
+        if block is not None and splittable:
+            report.split_common_members.append(decl.name)
+            block = None
+            changed = True
+        elif block is not None:
+            kept_blocks.add(block)
+        if changed:
+            decl = ArrayDecl(
+                decl.name,
+                decl.dims,
+                decl.element_type,
+                is_parameter=decl.is_parameter,
+                storage_association=decl.storage_association,
+                common_block=block,
+                common_splittable=splittable,
+                is_local=is_local,
+            )
+        new_decls.append(decl)
+    report.kept_common_blocks = sorted(kept_blocks)
+    return prog.with_decls(new_decls), report

@@ -1,0 +1,265 @@
+"""Memory layouts.
+
+A :class:`MemoryLayout` records, for one program, everything the padding
+transformations decide:
+
+* per-array **padded dimension sizes** (intra-variable padding), and
+* per-variable **base addresses** (inter-variable padding / placement).
+
+Layouts never mutate declarations; array strides are recomputed from the
+padded sizes on demand.  :func:`original_layout` reproduces the untouched
+program: variables laid out contiguously in declaration order, aligned to
+their element size — the baseline every experiment compares against.
+
+Placement is performed on :class:`PlacementUnit` granularity: normally one
+variable per unit, but members of an unsplittable COMMON block form a
+single unit whose internal order is fixed (the compiler may move the block,
+not its members).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import LayoutError
+from repro.ir.arrays import ArrayDecl, ScalarDecl
+from repro.ir.program import Program
+
+
+def _align(value: int, alignment: int) -> int:
+    if alignment <= 1:
+        return value
+    return (value + alignment - 1) // alignment * alignment
+
+
+@dataclass
+class PlacementUnit:
+    """A group of variables placed as one contiguous block.
+
+    ``members`` lists (name, offset-within-unit) pairs; ``size_bytes`` is
+    the total extent of the unit given the current padded dim sizes.
+    """
+
+    names: Tuple[str, ...]
+    offsets: Tuple[int, ...]
+    size_bytes: int
+    alignment: int
+
+    @property
+    def label(self) -> str:
+        """Display name: the single variable, or the block membership."""
+        if len(self.names) == 1:
+            return self.names[0]
+        return "{" + ",".join(self.names) + "}"
+
+
+class MemoryLayout:
+    """Base addresses plus padded dimension sizes for one program."""
+
+    def __init__(self, prog: Program):
+        self.prog = prog
+        self._dim_sizes: Dict[str, Tuple[int, ...]] = {}
+        self._bases: Dict[str, int] = {}
+        for decl in prog.arrays:
+            self._dim_sizes[decl.name] = decl.dim_sizes
+
+    # -- intra-variable padding ------------------------------------------
+
+    def dim_sizes(self, name: str) -> Tuple[int, ...]:
+        """Current (possibly padded) dimension sizes of an array."""
+        try:
+            return self._dim_sizes[name]
+        except KeyError:
+            raise LayoutError(f"no array {name!r} in layout") from None
+
+    def set_dim_sizes(self, name: str, sizes: Sequence[int]) -> None:
+        """Record padded dimension sizes for an array.
+
+        Sizes may only grow: padding never shrinks an array.
+        """
+        decl = self.prog.array(name)
+        sizes = tuple(int(s) for s in sizes)
+        if len(sizes) != decl.rank:
+            raise LayoutError(
+                f"array {name!r}: expected {decl.rank} sizes, got {len(sizes)}"
+            )
+        for new, old in zip(sizes, decl.dim_sizes):
+            if new < old:
+                raise LayoutError(
+                    f"array {name!r}: padding cannot shrink a dimension "
+                    f"({old} -> {new})"
+                )
+        self._dim_sizes[name] = sizes
+
+    def pad_dim(self, name: str, dim_index: int, elements: int) -> None:
+        """Grow one dimension of an array by ``elements``."""
+        sizes = list(self.dim_sizes(name))
+        if not 0 <= dim_index < len(sizes):
+            raise LayoutError(f"array {name!r} has no dimension {dim_index}")
+        if elements < 0:
+            raise LayoutError("pad amount must be nonnegative")
+        sizes[dim_index] += elements
+        self.set_dim_sizes(name, sizes)
+
+    def intra_pads(self, name: str) -> Tuple[int, ...]:
+        """Per-dimension element increments relative to the declaration."""
+        decl = self.prog.array(name)
+        return tuple(
+            cur - orig for cur, orig in zip(self.dim_sizes(name), decl.dim_sizes)
+        )
+
+    # -- sizes and strides ----------------------------------------------------
+
+    def size_bytes(self, name: str) -> int:
+        """Padded size in bytes of a variable (array or scalar)."""
+        decl = self.prog.decl(name)
+        if isinstance(decl, ScalarDecl):
+            return decl.size_bytes
+        total = decl.element_size
+        for size in self.dim_sizes(name):
+            total *= size
+        return total
+
+    def strides(self, name: str) -> Tuple[int, ...]:
+        """Column-major byte strides of an array under this layout."""
+        decl = self.prog.array(name)
+        return decl.strides(self.dim_sizes(name))
+
+    def column_size_bytes(self, name: str) -> int:
+        """Padded column size in bytes (the paper's Col_s for this layout)."""
+        decl = self.prog.array(name)
+        return self.dim_sizes(name)[0] * decl.element_size
+
+    # -- base addresses --------------------------------------------------------
+
+    def set_base(self, name: str, address: int) -> None:
+        """Record the base address of a variable."""
+        if not self.prog.has_decl(name):
+            raise LayoutError(f"no variable {name!r} in program")
+        if address < 0:
+            raise LayoutError(f"base address must be nonnegative, got {address}")
+        self._bases[name] = address
+
+    def base(self, name: str) -> int:
+        """Base address of a variable."""
+        try:
+            return self._bases[name]
+        except KeyError:
+            raise LayoutError(f"variable {name!r} has no assigned base") from None
+
+    def has_base(self, name: str) -> bool:
+        """True when a variable has been placed."""
+        return name in self._bases
+
+    @property
+    def placed_names(self) -> List[str]:
+        """Names placed so far, in placement order."""
+        return list(self._bases)
+
+    # -- derived whole-layout facts -----------------------------------------
+
+    def end_address(self) -> int:
+        """One past the highest byte used by any placed variable."""
+        end = 0
+        for name, base in self._bases.items():
+            end = max(end, base + self.size_bytes(name))
+        return end
+
+    def total_declared_bytes(self) -> int:
+        """Sum of padded variable sizes (excludes inter-variable gaps)."""
+        return sum(self.size_bytes(d.name) for d in self.prog.decls)
+
+    def validate(self) -> None:
+        """Check that every variable is placed and no two overlap."""
+        intervals = []
+        for decl in self.prog.decls:
+            if decl.name not in self._bases:
+                raise LayoutError(f"variable {decl.name!r} was never placed")
+            base = self._bases[decl.name]
+            intervals.append((base, base + self.size_bytes(decl.name), decl.name))
+        intervals.sort()
+        for (s0, e0, n0), (s1, e1, n1) in zip(intervals, intervals[1:]):
+            if s1 < e0:
+                raise LayoutError(
+                    f"variables {n0!r} [{s0},{e0}) and {n1!r} [{s1},{e1}) overlap"
+                )
+
+    def copy(self) -> "MemoryLayout":
+        """An independent copy (used by heuristics to test placements)."""
+        dup = MemoryLayout(self.prog)
+        dup._dim_sizes = dict(self._dim_sizes)
+        dup._bases = dict(self._bases)
+        return dup
+
+    def __repr__(self) -> str:
+        placed = len(self._bases)
+        return f"MemoryLayout({self.prog.name!r}: {placed} placed, end={self.end_address()})"
+
+
+def placement_units(prog: Program, layout: MemoryLayout) -> List[PlacementUnit]:
+    """Group the program's variables into placement units.
+
+    Declaration order is preserved.  Members of an unsplittable COMMON
+    block collapse into one unit at the position of the first member; their
+    intra-unit offsets follow declaration order with element-size
+    alignment (Fortran sequence association).
+    """
+    units: List[PlacementUnit] = []
+    blocks: Dict[str, int] = {}
+    for decl in prog.decls:
+        block = None
+        if isinstance(decl, ArrayDecl) and decl.common_block and not decl.common_splittable:
+            block = decl.common_block
+        align = (
+            decl.element_type.size_bytes
+            if isinstance(decl, (ArrayDecl, ScalarDecl))
+            else 1
+        )
+        if block is None:
+            units.append(
+                PlacementUnit(
+                    names=(decl.name,),
+                    offsets=(0,),
+                    size_bytes=layout.size_bytes(decl.name),
+                    alignment=align,
+                )
+            )
+        elif block in blocks:
+            unit = units[blocks[block]]
+            offset = _align(unit.size_bytes, align)
+            units[blocks[block]] = PlacementUnit(
+                names=unit.names + (decl.name,),
+                offsets=unit.offsets + (offset,),
+                size_bytes=offset + layout.size_bytes(decl.name),
+                alignment=max(unit.alignment, align),
+            )
+        else:
+            blocks[block] = len(units)
+            units.append(
+                PlacementUnit(
+                    names=(decl.name,),
+                    offsets=(0,),
+                    size_bytes=layout.size_bytes(decl.name),
+                    alignment=align,
+                )
+            )
+    return units
+
+
+def place_unit(layout: MemoryLayout, unit: PlacementUnit, address: int) -> None:
+    """Assign base addresses to every member of a unit."""
+    for name, offset in zip(unit.names, unit.offsets):
+        layout.set_base(name, address + offset)
+
+
+def original_layout(prog: Program) -> MemoryLayout:
+    """The unpadded baseline layout: declaration order, natural alignment."""
+    layout = MemoryLayout(prog)
+    cursor = 0
+    for unit in placement_units(prog, layout):
+        cursor = _align(cursor, unit.alignment)
+        place_unit(layout, unit, cursor)
+        cursor += unit.size_bytes
+    layout.validate()
+    return layout

@@ -1,0 +1,62 @@
+"""Padding heuristics: the paper's primary contribution.
+
+PADLITE and PAD combine inter-variable padding (base-address placement)
+with intra-variable padding (array dimension growth), at two precision
+levels.  See :mod:`repro.padding.drivers` for the combined algorithms and
+the per-heuristic modules for each building block.
+"""
+
+from repro.padding.common import (
+    InterPadDecision,
+    IntraPadDecision,
+    PadParams,
+    PaddingResult,
+)
+from repro.padding.drivers import (
+    interpad_only,
+    interpadlite_only,
+    linpad_plus_interpadlite,
+    original,
+    pad,
+    padlite,
+)
+from repro.padding.interpad import interpad
+from repro.padding.interpadlite import interpadlite
+from repro.padding.intrapad import has_self_conflict, needed_stencil_pad
+from repro.padding.intrapadlite import needed_stencil_pad_lite
+from repro.padding.linpad import (
+    linpad1_condition,
+    linpad2_condition,
+    linpad2_jstar,
+    needed_linalg_pad,
+)
+from repro.padding.reorder import STRATEGIES as REORDER_STRATEGIES
+from repro.padding.reorder import reorder_variables
+from repro.padding.report import Table2Row, format_table2, table2_row
+
+__all__ = [
+    "InterPadDecision",
+    "IntraPadDecision",
+    "PadParams",
+    "PaddingResult",
+    "REORDER_STRATEGIES",
+    "Table2Row",
+    "format_table2",
+    "has_self_conflict",
+    "interpad",
+    "interpad_only",
+    "interpadlite",
+    "interpadlite_only",
+    "linpad1_condition",
+    "linpad2_condition",
+    "linpad2_jstar",
+    "linpad_plus_interpadlite",
+    "needed_linalg_pad",
+    "needed_stencil_pad",
+    "needed_stencil_pad_lite",
+    "original",
+    "pad",
+    "padlite",
+    "reorder_variables",
+    "table2_row",
+]

@@ -1,0 +1,171 @@
+"""Shared machinery for the padding heuristics.
+
+:class:`PadParams` carries every tunable the paper discusses:
+
+* the target cache configuration(s) — a tuple, because the technique
+  "can easily be generalized for multilevel caches: compute conflict
+  distances with respect to each cache configuration and pad as needed if
+  any distance is less than the corresponding cache line size";
+* ``m_lines`` — PADLITE's minimum separation M in cache lines (default 4,
+  justified by Figure 13);
+* ``intra_pad_limit`` — upper bound on intra-variable pad elements per
+  dimension ("an upper bound on pad size is imposed to ensure
+  termination"; the paper observed pads of at most 3 elements);
+* ``linpad_jstar`` — LINPAD2's experimentally chosen ceiling on j* (129).
+
+:class:`PaddingResult` is what every driver returns: the (globalized)
+program, the final layout, and a decision log the Table-2 report reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.cache.config import CacheConfig, base_cache
+from repro.errors import ConfigError
+from repro.ir.program import Program
+from repro.layout.layout import MemoryLayout
+
+
+@dataclass(frozen=True)
+class PadParams:
+    """Tunables shared by all padding heuristics."""
+
+    caches: Tuple[CacheConfig, ...] = (None,)  # replaced in __post_init__
+    m_lines: int = 4
+    intra_pad_limit: int = 16
+    linpad_jstar: int = 129
+
+    def __post_init__(self):
+        caches = self.caches
+        if caches == (None,):
+            caches = (base_cache(),)
+        if not caches:
+            raise ConfigError("PadParams needs at least one cache configuration")
+        caches = tuple(caches)
+        object.__setattr__(self, "caches", caches)
+        if self.m_lines < 1:
+            raise ConfigError("minimum separation M must be at least 1 line")
+        if self.intra_pad_limit < 1:
+            raise ConfigError("intra pad limit must be at least 1 element")
+        if self.linpad_jstar < 1:
+            raise ConfigError("LINPAD2 j* cap must be at least 1")
+
+    @property
+    def primary(self) -> CacheConfig:
+        """The first (usually only) cache configuration."""
+        return self.caches[0]
+
+    def min_separation_bytes(self, cache: CacheConfig) -> int:
+        """PADLITE's separation threshold M, converted to bytes."""
+        return self.m_lines * cache.line_bytes
+
+    @staticmethod
+    def for_cache(
+        cache: CacheConfig,
+        m_lines: int = 4,
+        intra_pad_limit: int = 16,
+        linpad_jstar: int = 129,
+    ) -> "PadParams":
+        """Parameters targeting a single cache level."""
+        return PadParams(
+            caches=(cache,),
+            m_lines=m_lines,
+            intra_pad_limit=intra_pad_limit,
+            linpad_jstar=linpad_jstar,
+        )
+
+
+@dataclass
+class IntraPadDecision:
+    """One intra-variable padding action on one array."""
+
+    array: str
+    heuristic: str
+    dim_index: int
+    elements: int
+    reason: str = ""
+
+
+@dataclass
+class InterPadDecision:
+    """One inter-variable placement: how far a unit was advanced."""
+
+    unit: str
+    tentative: int
+    final: int
+    heuristic: str
+    gave_up: bool = False
+
+    @property
+    def pad_bytes(self) -> int:
+        """Bytes skipped before this unit (0 when placement gave up)."""
+        return self.final - self.tentative if not self.gave_up else 0
+
+
+@dataclass
+class PaddingResult:
+    """Outcome of running a padding heuristic on a program."""
+
+    prog: Program
+    layout: MemoryLayout
+    heuristic: str
+    params: PadParams
+    intra_decisions: List[IntraPadDecision] = field(default_factory=list)
+    inter_decisions: List[InterPadDecision] = field(default_factory=list)
+
+    # -- Table-2 style aggregates -----------------------------------------
+
+    @property
+    def arrays_padded(self) -> List[str]:
+        """Arrays that received any intra-variable padding."""
+        seen: List[str] = []
+        for d in self.intra_decisions:
+            if d.elements > 0 and d.array not in seen:
+                seen.append(d.array)
+        return seen
+
+    def intra_increment(self, array: str) -> int:
+        """Total elements added to one array across all dimensions."""
+        return sum(
+            d.elements for d in self.intra_decisions if d.array == array
+        )
+
+    @property
+    def max_intra_increment(self) -> int:
+        """Largest per-array element increment (Table 2: MAX # INCR)."""
+        per_array = [self.intra_increment(a) for a in self.arrays_padded]
+        return max(per_array) if per_array else 0
+
+    @property
+    def total_intra_increment(self) -> int:
+        """Sum of all element increments (Table 2: TOTAL # INCR)."""
+        return sum(d.elements for d in self.intra_decisions)
+
+    @property
+    def bytes_skipped(self) -> int:
+        """Total inter-variable pad bytes (Table 2: BYTES SKIPPED)."""
+        return sum(d.pad_bytes for d in self.inter_decisions)
+
+    @property
+    def inter_failures(self) -> List[str]:
+        """Units for which greedy placement found no satisfying address."""
+        return [d.unit for d in self.inter_decisions if d.gave_up]
+
+    def size_increase_pct(self) -> float:
+        """Percent growth of total variable size (Table 2: % SIZE INCR)."""
+        orig = self.prog.total_data_bytes()
+        if orig == 0:
+            return 0.0
+        padded = self.layout.end_address()
+        return 100.0 * (padded - orig) / orig
+
+    def describe(self) -> str:
+        """One-line summary of the padding applied."""
+        return (
+            f"{self.heuristic}({self.prog.name}): "
+            f"{len(self.arrays_padded)} arrays intra-padded "
+            f"(total {self.total_intra_increment} elements), "
+            f"{self.bytes_skipped} bytes skipped inter-variable"
+        )

@@ -1,0 +1,202 @@
+"""Combined padding drivers: PADLITE and PAD (paper, Sections 2.4-2.6).
+
+Both algorithms run intra-variable padding first (it changes array sizes
+and therefore every later base address), then inter-variable padding:
+
+* **PADLITE** = (INTRAPADLITE + LINPAD1) then INTERPADLITE.  LINPAD1 is the
+  conservative linear-algebra test because PADLITE cannot recognize linear
+  algebra codes and applies it to every array.
+* **PAD** = (INTRAPAD + LINPAD2) then INTERPAD.  LINPAD2 is applied only to
+  arrays matching the Figure-3 access pattern.
+
+The intra-variable combination follows Figure 6: per array, repeatedly take
+``max(neededStencilPad, neededLinAlgPad)`` column increments until both pad
+conditions clear, then (for rank-3+ arrays) fix higher subarray levels.
+
+Partial drivers used by the evaluation figures are also provided:
+INTERPAD-only (Figure 12), INTERPADLITE-only and LINPADn+INTERPADLITE
+(Figure 17).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Set
+
+from repro.analysis.patterns import linear_algebra_arrays
+from repro.analysis.safety import safe_arrays
+from repro.ir.program import Program
+from repro.layout.globalize import globalize
+from repro.layout.layout import MemoryLayout
+from repro.padding.common import IntraPadDecision, PadParams, PaddingResult
+from repro.padding.interpad import interpad
+from repro.padding.interpadlite import interpadlite
+from repro.padding.intrapad import (
+    needed_stencil_pad,
+    pad_remaining_dims,
+)
+from repro.padding.intrapadlite import (
+    needed_stencil_pad_lite,
+    pad_higher_levels,
+)
+from repro.padding.linpad import needed_linalg_pad
+
+
+def _intra_phase(
+    prog: Program,
+    layout: MemoryLayout,
+    params: PadParams,
+    stencil_fn: Optional[Callable],
+    linpad_which: int,
+    linpad_arrays: Optional[Set[str]],
+    higher_fn: Optional[Callable],
+    heuristic: str,
+) -> list:
+    """The Figure-6 loop over every safely paddable array."""
+    decisions = []
+    paddable = safe_arrays(prog)
+    for decl in prog.arrays:
+        if decl.name not in paddable:
+            continue
+        column_added = 0
+        # Combined column loop: max of the stencil and linear-algebra pads.
+        while column_added < params.intra_pad_limit:
+            stencil_pad = stencil_fn(layout, decl) if stencil_fn else 0
+            lin_pad = 0
+            if linpad_which and (linpad_arrays is None or decl.name in linpad_arrays):
+                if decl.rank >= 2:
+                    lin_pad = needed_linalg_pad(
+                        decl, layout.dim_sizes(decl.name)[0], params, linpad_which
+                    )
+            pad = max(stencil_pad, lin_pad)
+            if pad == 0:
+                break
+            pad = min(pad, params.intra_pad_limit - column_added)
+            if pad == 0:
+                break
+            layout.pad_dim(decl.name, 0, pad)
+            column_added += pad
+        if column_added:
+            decisions.append(
+                IntraPadDecision(
+                    array=decl.name,
+                    heuristic=heuristic,
+                    dim_index=0,
+                    elements=column_added,
+                    reason="combined stencil/linear-algebra column pad",
+                )
+            )
+        if higher_fn and decl.rank >= 3:
+            decisions.extend(higher_fn(layout, decl))
+    return decisions
+
+
+def padlite(
+    prog: Program,
+    params: Optional[PadParams] = None,
+    use_linpad: bool = True,
+) -> PaddingResult:
+    """The PADLITE algorithm: size-only analysis, link-time friendly.
+
+    ``use_linpad=False`` disables the LINPAD1 component (the configuration
+    of the paper's Section-3 walkthrough examples and of the Figure-17
+    ablation baseline).
+    """
+    params = params or PadParams()
+    prog, _ = globalize(prog)
+    layout = MemoryLayout(prog)
+    intra = _intra_phase(
+        prog,
+        layout,
+        params,
+        stencil_fn=lambda lay, decl: needed_stencil_pad_lite(lay, decl, params),
+        linpad_which=1 if use_linpad else 0,
+        linpad_arrays=None,
+        higher_fn=lambda lay, decl: pad_higher_levels(lay, decl, params),
+        heuristic="INTRAPADLITE+LINPAD1" if use_linpad else "INTRAPADLITE",
+    )
+    inter = interpadlite(prog, layout, params)
+    layout.validate()
+    return PaddingResult(prog, layout, "PADLITE", params, intra, inter)
+
+
+def pad(
+    prog: Program,
+    params: Optional[PadParams] = None,
+    use_linpad: bool = True,
+) -> PaddingResult:
+    """The PAD algorithm: full reference analysis.
+
+    ``use_linpad=False`` disables the LINPAD2 component (applied, when
+    enabled, only to arrays matching the Figure-3 linear-algebra pattern).
+    """
+    params = params or PadParams()
+    prog, _ = globalize(prog)
+    layout = MemoryLayout(prog)
+    linalg = linear_algebra_arrays(prog) if use_linpad else set()
+    intra = _intra_phase(
+        prog,
+        layout,
+        params,
+        stencil_fn=lambda lay, decl: needed_stencil_pad(prog, lay, decl, params),
+        linpad_which=2 if use_linpad else 0,
+        linpad_arrays=linalg,
+        higher_fn=lambda lay, decl: pad_remaining_dims(prog, lay, decl, params),
+        heuristic="INTRAPAD+LINPAD2" if use_linpad else "INTRAPAD",
+    )
+    inter = interpad(prog, layout, params)
+    layout.validate()
+    return PaddingResult(prog, layout, "PAD", params, intra, inter)
+
+
+def interpad_only(prog: Program, params: Optional[PadParams] = None) -> PaddingResult:
+    """INTERPAD with no intra-variable padding (Figure 12 baseline)."""
+    params = params or PadParams()
+    prog, _ = globalize(prog)
+    layout = MemoryLayout(prog)
+    inter = interpad(prog, layout, params)
+    layout.validate()
+    return PaddingResult(prog, layout, "INTERPAD", params, [], inter)
+
+
+def interpadlite_only(
+    prog: Program, params: Optional[PadParams] = None
+) -> PaddingResult:
+    """INTERPADLITE with no intra-variable padding (Figure 17 baseline)."""
+    params = params or PadParams()
+    prog, _ = globalize(prog)
+    layout = MemoryLayout(prog)
+    inter = interpadlite(prog, layout, params)
+    layout.validate()
+    return PaddingResult(prog, layout, "INTERPADLITE", params, [], inter)
+
+
+def linpad_plus_interpadlite(
+    prog: Program, which: int, params: Optional[PadParams] = None
+) -> PaddingResult:
+    """LINPAD1 or LINPAD2 on every array, then INTERPADLITE (Figure 17)."""
+    if which not in (1, 2):
+        raise ValueError("which must be 1 or 2")
+    params = params or PadParams()
+    prog, _ = globalize(prog)
+    layout = MemoryLayout(prog)
+    intra = _intra_phase(
+        prog,
+        layout,
+        params,
+        stencil_fn=None,
+        linpad_which=which,
+        linpad_arrays=None,
+        higher_fn=None,
+        heuristic=f"LINPAD{which}",
+    )
+    inter = interpadlite(prog, layout, params)
+    layout.validate()
+    return PaddingResult(prog, layout, f"LINPAD{which}+INTERPADLITE", params, intra, inter)
+
+
+def original(prog: Program) -> PaddingResult:
+    """No padding at all: the baseline layout wrapped as a PaddingResult."""
+    from repro.layout.layout import original_layout
+
+    layout = original_layout(prog)
+    return PaddingResult(prog, layout, "ORIGINAL", PadParams(), [], [])

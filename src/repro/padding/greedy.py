@@ -1,0 +1,80 @@
+"""The greedy base-address assignment skeleton (paper, Figure 5).
+
+Both INTERPADLITE and INTERPAD share this structure: variables (placement
+units) receive base addresses one at a time, in declaration order.  Each
+unit starts at the next available address; while some pad condition holds
+against an already-placed variable, the tentative address advances by the
+needed pad and every condition is retested (one increment can create new
+conflicts).  If the address drifts more than the cache size past its
+original position no satisfactory address exists and the original is kept.
+
+The two heuristics differ only in ``needed_pad_fn``, mirroring the paper's
+abstract ``neededPad`` function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.analysis.safety import controllable_variables
+from repro.ir.program import Program
+from repro.layout.layout import (
+    MemoryLayout,
+    PlacementUnit,
+    place_unit,
+    placement_units,
+)
+from repro.padding.common import InterPadDecision, PadParams
+
+NeededPadFn = Callable[[MemoryLayout, PlacementUnit, int], int]
+
+
+def _align(value: int, alignment: int) -> int:
+    if alignment <= 1:
+        return value
+    return (value + alignment - 1) // alignment * alignment
+
+
+def greedy_place(
+    prog: Program,
+    layout: MemoryLayout,
+    params: PadParams,
+    needed_pad_fn: NeededPadFn,
+    heuristic: str,
+) -> List[InterPadDecision]:
+    """Assign base addresses to every placement unit of the program.
+
+    ``needed_pad_fn(layout, unit, tentative_address)`` returns the largest
+    byte increment required to clear any pad condition between the unit at
+    that address and the already-placed variables (0 when none).
+    """
+    decisions: List[InterPadDecision] = []
+    controllable = controllable_variables(prog)
+    give_up_distance = max(c.size_bytes for c in params.caches)
+    cursor = 0
+    for unit in placement_units(prog, layout):
+        tentative = _align(cursor, unit.alignment)
+        address = tentative
+        gave_up = False
+        if all(name in controllable for name in unit.names):
+            while True:
+                pad = needed_pad_fn(layout, unit, address)
+                if pad == 0:
+                    break
+                address = _align(address + pad, unit.alignment)
+                if address - tentative > give_up_distance:
+                    address = tentative
+                    gave_up = True
+                    break
+        place_unit(layout, unit, address)
+        decisions.append(
+            InterPadDecision(
+                unit=unit.label,
+                tentative=tentative,
+                final=address,
+                heuristic=heuristic,
+                gave_up=gave_up,
+            )
+        )
+        cursor = address + unit.size_bytes
+    return decisions

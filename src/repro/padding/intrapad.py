@@ -1,0 +1,92 @@
+"""INTRAPAD (paper, Section 2.2.2).
+
+Intra-variable padding guided by analysis: find uniformly generated
+reference pairs *to the same array* within each loop nest; because base
+addresses cancel, their distance (expression (2)) depends only on the
+subscript constants and the array's dimension sizes.  When any pair's
+conflict distance drops below the line size for any cache level, grow a
+lower dimension until no pair conflicts.
+
+Pads of one element are attempted on the column first (the combined
+algorithm of Figure 6 grows ``Col``); if the column alone cannot fix a
+rank-3+ array within the pad limit, the remaining lower dimensions are
+tried in turn, per the paper's description.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.conflict import severe_conflict
+from repro.analysis.linearize import linearized_distance
+from repro.analysis.uniform import uniform_pairs_same_array
+from repro.ir.arrays import ArrayDecl
+from repro.ir.program import Program
+from repro.layout.layout import MemoryLayout
+from repro.padding.common import IntraPadDecision, PadParams
+
+HEURISTIC = "INTRAPAD"
+
+
+def has_self_conflict(
+    prog: Program, layout: MemoryLayout, decl: ArrayDecl, params: PadParams
+) -> bool:
+    """True when some same-array pair conflicts under the current sizes."""
+    dims = layout.dim_sizes(decl.name)
+    for nest in prog.loop_nests():
+        for ref_a, ref_b in uniform_pairs_same_array(prog, nest, decl.name):
+            delta = linearized_distance(
+                ref_a, decl, ref_b, decl, dims, dims, 0, 0
+            )
+            if not delta.is_constant:
+                continue
+            for cache in params.caches:
+                if severe_conflict(delta.const, cache.size_bytes, cache.line_bytes):
+                    return True
+    return False
+
+
+def needed_stencil_pad(
+    prog: Program, layout: MemoryLayout, decl: ArrayDecl, params: PadParams
+) -> int:
+    """Column pad requested by INTRAPAD this round: 1 while conflicts remain.
+
+    The heuristic pads a single element at a time and retests, exactly as
+    the paper describes ("a pad of one element is attempted ... until this
+    pad condition is no longer true").
+    """
+    if decl.rank < 2:
+        return 0
+    return 1 if has_self_conflict(prog, layout, decl, params) else 0
+
+
+def pad_remaining_dims(
+    prog: Program, layout: MemoryLayout, decl: ArrayDecl, params: PadParams
+) -> List[IntraPadDecision]:
+    """Fallback for rank-3+ arrays the column pad could not fix.
+
+    Tries each lower dimension (1 .. rank-2) in turn, one element at a
+    time, bounded by the pad limit per dimension.
+    """
+    decisions: List[IntraPadDecision] = []
+    for dim_index in range(1, decl.rank - 1):
+        if not has_self_conflict(prog, layout, decl, params):
+            break
+        added = 0
+        while (
+            has_self_conflict(prog, layout, decl, params)
+            and added < params.intra_pad_limit
+        ):
+            layout.pad_dim(decl.name, dim_index, 1)
+            added += 1
+        if added:
+            decisions.append(
+                IntraPadDecision(
+                    array=decl.name,
+                    heuristic=HEURISTIC,
+                    dim_index=dim_index,
+                    elements=added,
+                    reason="self-conflicting uniformly generated pair",
+                )
+            )
+    return decisions

@@ -1,0 +1,94 @@
+"""INTRAPADLITE (paper, Section 2.2.1).
+
+Intra-variable padding without reference analysis: nearby columns of an
+array conflict when the column size (or twice it — adjacent-but-one
+columns, e.g. ``B(i, j-1)`` against ``B(i+1, j+1)`` patterns) lands within
+M of a multiple of the cache size.  The column size is increased until
+neither ``Col`` nor ``2*Col`` has a conflict distance below ``M`` (in
+bytes: ``M * Ls``).
+
+Arrays of rank three or higher are handled level by level: when 1x or 2x
+the size of any subarray is within M of a multiple of Cs, the dimension
+just below that level grows until the condition clears.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.conflict import circular_distance
+from repro.ir.arrays import ArrayDecl
+from repro.layout.layout import MemoryLayout
+from repro.padding.common import IntraPadDecision, PadParams
+
+HEURISTIC = "INTRAPADLITE"
+
+
+def _subarray_bytes(layout: MemoryLayout, decl: ArrayDecl, level: int) -> int:
+    """Size in bytes of a level-``level`` subarray (level 1 = a column)."""
+    sizes = layout.dim_sizes(decl.name)
+    total = decl.element_size
+    for k in range(level):
+        total *= sizes[k]
+    return total
+
+
+def _level_conflicts(size_bytes: int, params: PadParams) -> bool:
+    """Pad condition: 1x or 2x the subarray size within M of a Cs multiple."""
+    for cache in params.caches:
+        threshold = params.min_separation_bytes(cache)
+        if circular_distance(size_bytes, cache.size_bytes) < threshold:
+            return True
+        if circular_distance(2 * size_bytes, cache.size_bytes) < threshold:
+            return True
+    return False
+
+
+def needed_stencil_pad_lite(
+    layout: MemoryLayout, decl: ArrayDecl, params: PadParams
+) -> int:
+    """Minimal *column* pad (elements) clearing the level-1 condition.
+
+    Returns 0 when the current column is fine or when no pad within the
+    limit helps.  Provided ``Cs > 3*M`` a pad of at most 2M elements always
+    suffices (paper).
+    """
+    if decl.rank < 2:
+        return 0
+    sizes = layout.dim_sizes(decl.name)
+    es = decl.element_size
+    if not _level_conflicts(sizes[0] * es, params):
+        return 0
+    for pad in range(1, params.intra_pad_limit + 1):
+        if not _level_conflicts((sizes[0] + pad) * es, params):
+            return pad
+    return 0
+
+
+def pad_higher_levels(
+    layout: MemoryLayout, decl: ArrayDecl, params: PadParams
+) -> List[IntraPadDecision]:
+    """Clear the subarray condition at levels 2..rank-1 (rank >= 3 arrays).
+
+    Works bottom-up; a violation at level ``l`` grows dimension ``l-1``.
+    """
+    decisions: List[IntraPadDecision] = []
+    for level in range(2, decl.rank):
+        added = 0
+        while (
+            _level_conflicts(_subarray_bytes(layout, decl, level), params)
+            and added < params.intra_pad_limit
+        ):
+            layout.pad_dim(decl.name, level - 1, 1)
+            added += 1
+        if added:
+            decisions.append(
+                IntraPadDecision(
+                    array=decl.name,
+                    heuristic=HEURISTIC,
+                    dim_index=level - 1,
+                    elements=added,
+                    reason=f"level-{level} subarray within M of a Cs multiple",
+                )
+            )
+    return decisions

@@ -1,0 +1,80 @@
+"""LINPAD1 and LINPAD2 (paper, Section 2.3).
+
+Linear-algebra computations (Figure 3: ``A(i,j)`` with ``A(i,k)`` under
+varying ``j``/``k``) touch columns a *varying* distance apart, producing
+semi-severe conflicts whenever some small multiple of the column size maps
+near a multiple of the cache size.  Two rejection tests for column sizes:
+
+* **LINPAD1** — reject column sizes evenly divided by ``2*Ls``.  Such sizes
+  share a large gcd with the (power-of-two) cache size, so multiples fold
+  onto ``Cs/gcd`` distinct locations.
+* **LINPAD2** — reject column sizes whose :func:`first_conflict` value is
+  smaller than ``j* = min(129, Rs, Cs/Ls)``: some pair of columns fewer
+  than ``j*`` apart would collide within a cache line.  Subsumes LINPAD1.
+
+Both return the minimal column pad (in elements) that reaches an
+acceptable size, searching upward as the combined drivers of Figure 6 do.
+"""
+
+from __future__ import annotations
+
+
+from repro.analysis.euclid import first_conflict
+from repro.ir.arrays import ArrayDecl
+from repro.padding.common import PadParams
+
+
+def linpad1_condition(column_bytes: int, params: PadParams) -> bool:
+    """True when LINPAD1 rejects this column size (for any cache level)."""
+    return any(
+        column_bytes % (2 * cache.line_bytes) == 0 for cache in params.caches
+    )
+
+
+def linpad2_jstar(row_size: int, cache_size: int, line_size: int, cap: int) -> int:
+    """The paper's ``j* = min(129, Rs, Cs/Ls)``."""
+    return min(cap, max(1, row_size), cache_size // line_size)
+
+
+def linpad2_condition(
+    column_bytes: int, row_size: int, params: PadParams
+) -> bool:
+    """True when LINPAD2 rejects this column size (for any cache level)."""
+    for cache in params.caches:
+        jstar = linpad2_jstar(
+            row_size, cache.size_bytes, cache.line_bytes, params.linpad_jstar
+        )
+        if first_conflict(cache.size_bytes, column_bytes, cache.line_bytes) < jstar:
+            return True
+    return False
+
+
+def needed_linalg_pad(
+    decl: ArrayDecl,
+    current_column: int,
+    params: PadParams,
+    which: int,
+) -> int:
+    """Minimal column pad (elements) reaching an accepted column size.
+
+    ``which`` selects LINPAD1 or LINPAD2.  Returns 0 both when the current
+    size is already acceptable and when no size within the pad limit is
+    (the caller's loop then terminates; the paper bounds the search — with
+    ``j* <= Cs/Ls``, 2*Ls consecutive candidates always contain an
+    acceptable size, so the default limit never truncates in practice).
+    """
+    es = decl.element_size
+    row = decl.row_size
+
+    def rejected(col_elems: int) -> bool:
+        col_bytes = col_elems * es
+        if which == 1:
+            return linpad1_condition(col_bytes, params)
+        return linpad2_condition(col_bytes, row, params)
+
+    if not rejected(current_column):
+        return 0
+    for pad in range(1, params.intra_pad_limit + 1):
+        if not rejected(current_column + pad):
+            return pad
+    return 0

@@ -1,0 +1,97 @@
+"""Variable reordering before placement.
+
+Section 4.1: after globalization "the compiler can now modify variable
+base addresses by reordering fields in the structure and inserting pad
+variables" — but the paper's heuristics only insert pads, keeping
+declaration order.  This module adds the reordering half as an optional
+preprocessing step for the greedy placer:
+
+* ``size_descending`` — place large arrays first.  Pads are bounded by the
+  cache size, so one pad's relative overhead shrinks when it separates
+  many small variables packed after the big ones; it also gives the
+  greedy loop maximal freedom when the hard-to-place (equal, huge) arrays
+  are handled before the fragmentary tail.
+* ``interleave_sizes`` — alternate unlike sizes so equally sized variables
+  (the INTERPADLITE conflict suspects) are rarely adjacent, reducing the
+  number of pads needed at all.
+
+Reordering never changes program semantics (variables are independent
+globals); the ablation benchmark measures pad bytes and miss rates
+against declaration order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.errors import ConfigError
+from repro.ir.program import Decl, Program
+
+Strategy = Callable[[Sequence[Decl]], List[Decl]]
+
+
+def size_descending(decls: Sequence[Decl]) -> List[Decl]:
+    """Largest variables first (stable within equal sizes)."""
+    return sorted(decls, key=lambda d: -d.size_bytes)
+
+
+def interleave_sizes(decls: Sequence[Decl]) -> List[Decl]:
+    """Round-robin across size classes so equal sizes are non-adjacent."""
+    classes: Dict[int, List[Decl]] = {}
+    for decl in decls:
+        classes.setdefault(decl.size_bytes, []).append(decl)
+    ordered_classes = [classes[size] for size in sorted(classes, reverse=True)]
+    out: List[Decl] = []
+    index = 0
+    while any(ordered_classes):
+        bucket = ordered_classes[index % len(ordered_classes)]
+        if bucket:
+            out.append(bucket.pop(0))
+        index += 1
+        if index > 10 * len(decls) + 10:
+            break
+    # Anything left (defensive): append in original order.
+    for bucket in ordered_classes:
+        out.extend(bucket)
+    return out
+
+
+STRATEGIES: Dict[str, Strategy] = {
+    "declaration": lambda decls: list(decls),
+    "size_descending": size_descending,
+    "interleave_sizes": interleave_sizes,
+}
+
+
+def reorder_variables(prog: Program, strategy: str = "size_descending") -> Program:
+    """A copy of the program with its declarations reordered.
+
+    Members of a common block keep their relative order and stay grouped
+    at the position of their first member (sequence association).
+    """
+    if strategy not in STRATEGIES:
+        raise ConfigError(
+            f"unknown reorder strategy {strategy!r}; known: {sorted(STRATEGIES)}"
+        )
+    groups: List[List[Decl]] = []
+    block_index: Dict[str, int] = {}
+    for decl in prog.decls:
+        block = getattr(decl, "common_block", None)
+        if block and not getattr(decl, "common_splittable", True):
+            if block in block_index:
+                groups[block_index[block]].append(decl)
+                continue
+            block_index[block] = len(groups)
+        groups.append([decl])
+
+    class _GroupProxy:
+        def __init__(self, members):
+            self.members = members
+            self.size_bytes = sum(m.size_bytes for m in members)
+
+    proxies = [_GroupProxy(g) for g in groups]
+    ordered = STRATEGIES[strategy](proxies)
+    decls: List[Decl] = []
+    for proxy in ordered:
+        decls.extend(proxy.members)
+    return prog.with_decls(decls)

@@ -1,0 +1,95 @@
+"""Compile-time statistics report (reproduces Table 2).
+
+For each program, combine the static analysis counts with the decisions a
+padding run made: number of global arrays, percent uniformly generated
+references, arrays safely paddable, arrays actually intra-padded, maximum
+and total element increments, bytes skipped by inter-variable padding, and
+the percent growth of total data size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis.stats import collect_stats
+from repro.padding.common import PaddingResult
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One program's row of Table 2."""
+
+    program: str
+    suite: str
+    lines: int
+    global_arrays: int
+    uniform_ref_pct: float
+    arrays_safe: int
+    arrays_padded: int
+    max_increment: int
+    total_increment: int
+    bytes_skipped: int
+    size_increase_pct: float
+
+    HEADER = (
+        "Program",
+        "Suite",
+        "Lines",
+        "Arrays",
+        "%Unif",
+        "Safe",
+        "Padded",
+        "Max#Incr",
+        "Tot#Incr",
+        "BytesSkip",
+        "%SizeIncr",
+    )
+
+    def cells(self) -> tuple:
+        """Formatted cell values in header order."""
+        return (
+            self.program,
+            self.suite,
+            str(self.lines),
+            str(self.global_arrays),
+            f"{self.uniform_ref_pct:.0f}",
+            str(self.arrays_safe),
+            str(self.arrays_padded),
+            str(self.max_increment),
+            str(self.total_increment),
+            str(self.bytes_skipped),
+            f"{self.size_increase_pct:.2f}",
+        )
+
+
+def table2_row(result: PaddingResult) -> Table2Row:
+    """Build one row from a padding result."""
+    stats = collect_stats(result.prog)
+    return Table2Row(
+        program=result.prog.name,
+        suite=result.prog.suite,
+        lines=result.prog.source_lines,
+        global_arrays=stats.global_arrays,
+        uniform_ref_pct=stats.uniform_ref_pct,
+        arrays_safe=stats.arrays_safe,
+        arrays_padded=len(result.arrays_padded),
+        max_increment=result.max_intra_increment,
+        total_increment=result.total_intra_increment,
+        bytes_skipped=result.bytes_skipped,
+        size_increase_pct=result.size_increase_pct(),
+    )
+
+
+def format_table2(rows: Sequence[Table2Row]) -> str:
+    """Render rows as an aligned text table."""
+    header = Table2Row.HEADER
+    matrix: List[tuple] = [header] + [row.cells() for row in rows]
+    widths = [max(len(r[i]) for r in matrix) for i in range(len(header))]
+    lines = []
+    for r, row in enumerate(matrix):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if r == 0:
+            lines.append("-" * len(lines[0]))
+    return "\n".join(lines)

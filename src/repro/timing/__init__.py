@@ -1,0 +1,17 @@
+"""Analytic execution-time model (replaces the paper's hardware timing)."""
+
+from repro.timing.machines import (
+    ALPHA_21064,
+    PAPER_MACHINES,
+    PENTIUM2,
+    ULTRASPARC2,
+)
+from repro.timing.model import MachineModel
+
+__all__ = [
+    "ALPHA_21064",
+    "MachineModel",
+    "PAPER_MACHINES",
+    "PENTIUM2",
+    "ULTRASPARC2",
+]

@@ -1,0 +1,23 @@
+"""Trace generation: execute loop nests into exact address streams."""
+
+from repro.trace.env import DataEnv
+from repro.trace.io import load_trace, replay_trace, save_trace
+from repro.trace.interpreter import (
+    TraceInterpreter,
+    simulate,
+    trace_addresses,
+    trace_program,
+    truncate_outer_loops,
+)
+
+__all__ = [
+    "DataEnv",
+    "load_trace",
+    "replay_trace",
+    "save_trace",
+    "TraceInterpreter",
+    "simulate",
+    "trace_addresses",
+    "trace_program",
+    "truncate_outer_loops",
+]

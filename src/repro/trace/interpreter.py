@@ -1,0 +1,341 @@
+"""Trace interpreter: execute a program's loop nests into address chunks.
+
+The interpreter walks the loop structure with concrete index values and
+emits, in exact program order, the byte address and read/write flag of
+every array reference.  Addresses come from the :class:`MemoryLayout`
+(base addresses + padded strides), so the same program traced under two
+layouts yields the padded and unpadded address streams the experiments
+compare.
+
+Performance: outer loops run in Python but any loop whose body is purely
+statements (the innermost loops of all kernels) is vectorized — each
+reference's address across the whole iteration range is one numpy
+expression, and per-iteration interleaving is a reshape.  Chunks are
+yielded once they reach ``chunk_target`` accesses.
+
+Indirect references ``X(IDX(i))`` emit the load of ``IDX(i)`` followed by
+the gathered access to ``X``, matching what the hardware would do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.ir.expr import IndirectExpr
+from repro.ir.loops import BodyNode, Loop
+from repro.ir.program import Program
+from repro.ir.refs import ArrayRef
+from repro.ir.stmts import Statement
+from repro.layout.layout import MemoryLayout
+from repro.trace.env import DataEnv
+
+Chunk = Tuple[np.ndarray, np.ndarray]
+
+
+class _RefPlan:
+    """Precomputed addressing data for one reference under one layout."""
+
+    __slots__ = ("ref", "base", "strides", "lowers", "subplans", "is_write")
+
+    def __init__(self, ref: ArrayRef, layout: MemoryLayout):
+        decl = layout.prog.array(ref.array)
+        self.ref = ref
+        self.base = layout.base(ref.array)
+        self.strides = layout.strides(ref.array)
+        self.lowers = decl.lower_bounds
+        self.is_write = ref.is_write
+        # Per-dimension: (kind, subscript, stride, lower bound, upper bound).
+        subplans = []
+        for sub, stride, dim in zip(ref.subscripts, self.strides, decl.dims):
+            kind = "indirect" if isinstance(sub, IndirectExpr) else "affine"
+            subplans.append((kind, sub, stride, dim.lower, dim.upper))
+        self.subplans = tuple(subplans)
+
+    @property
+    def slot_count(self) -> int:
+        """Trace slots per execution: 1, plus 1 per indirect subscript."""
+        return 1 + sum(1 for kind, *_ in self.subplans if kind == "indirect")
+
+
+class TraceInterpreter:
+    """Executes a program under a layout, yielding address chunks."""
+
+    def __init__(
+        self,
+        prog: Program,
+        layout: MemoryLayout,
+        env: Optional[DataEnv] = None,
+        chunk_target: int = 1 << 16,
+    ):
+        if layout.prog is not prog and layout.prog.name != prog.name:
+            raise SimulationError("layout was built for a different program")
+        self.prog = prog
+        self.layout = layout
+        self.env = env or DataEnv()
+        self.env.populate_defaults(prog)
+        self.chunk_target = int(chunk_target)
+        self._plans: Dict[int, _RefPlan] = {}
+        self._pending_addrs: List[np.ndarray] = []
+        self._pending_writes: List[np.ndarray] = []
+        self._pending_count = 0
+
+    # -- plan cache --------------------------------------------------------
+
+    def _plan(self, ref: ArrayRef) -> _RefPlan:
+        key = id(ref)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = _RefPlan(ref, self.layout)
+            self._plans[key] = plan
+        return plan
+
+    # -- public API ------------------------------------------------------
+
+    def trace(self) -> Iterator[Chunk]:
+        """Yield (addresses, write-flags) chunks in exact program order."""
+        self._pending_addrs = []
+        self._pending_writes = []
+        self._pending_count = 0
+        env: Dict[str, int] = {}
+        yield from self._run_body(self.prog.body, env)
+        if self._pending_count:
+            yield self._flush()
+
+    def count_accesses(self) -> int:
+        """Total accesses the trace would contain (runs the interpreter)."""
+        return sum(len(addrs) for addrs, _ in self.trace())
+
+    # -- execution --------------------------------------------------------
+
+    def _run_body(self, body: Sequence[BodyNode], env: Dict[str, int]) -> Iterator[Chunk]:
+        for node in body:
+            if isinstance(node, Statement):
+                self._emit_statement_once(node, env)
+                if self._pending_count >= self.chunk_target:
+                    yield self._flush()
+            elif node.is_innermost:
+                self._emit_vector_loop(node, env)
+                if self._pending_count >= self.chunk_target:
+                    yield self._flush()
+            else:
+                yield from self._run_loop(node, env)
+
+    def _run_loop(self, loop: Loop, env: Dict[str, int]) -> Iterator[Chunk]:
+        lo = loop.lower.evaluate(env)
+        hi = loop.upper.evaluate(env)
+        step = loop.step
+        value = lo
+        while (value <= hi) if step > 0 else (value >= hi):
+            env[loop.var] = value
+            yield from self._run_body(loop.body, env)
+            value += step
+        env.pop(loop.var, None)
+
+    # -- vectorized innermost loop ----------------------------------------
+
+    def _emit_vector_loop(self, loop: Loop, env: Dict[str, int]) -> None:
+        lo = loop.lower.evaluate(env)
+        hi = loop.upper.evaluate(env)
+        step = loop.step
+        if step > 0:
+            count = max(0, (hi - lo) // step + 1)
+        else:
+            count = max(0, (lo - hi) // (-step) + 1)
+        if count == 0:
+            return
+        values = lo + step * np.arange(count, dtype=np.int64)
+
+        columns: List[np.ndarray] = []
+        write_flags: List[bool] = []
+        for stmt in loop.body:
+            for ref in stmt.refs:
+                self._append_ref_columns(
+                    self._plan(ref), loop.var, values, env, columns, write_flags
+                )
+        if not columns:
+            return
+        matrix = np.stack(columns, axis=1)
+        addrs = matrix.reshape(-1)
+        writes = np.tile(np.asarray(write_flags, dtype=bool), count)
+        self._push(addrs, writes)
+
+    def _append_ref_columns(
+        self,
+        plan: _RefPlan,
+        var: str,
+        values: np.ndarray,
+        env: Dict[str, int],
+        columns: List[np.ndarray],
+        write_flags: List[bool],
+    ) -> None:
+        """Append this ref's address column(s) for a vectorized loop.
+
+        Indirect subscripts contribute an extra column for the index-array
+        load that precedes the main access.
+        """
+        total = np.full_like(values, plan.base)
+        for kind, sub, stride, lower, upper in plan.subplans:
+            if kind == "affine":
+                coef = sub.coeff(var)
+                const = sub.const + sum(
+                    c * env[v] for v, c in sub.coeffs.items() if v != var
+                )
+                total = total + (const - lower) * stride + coef * stride * values
+            else:
+                idx_values, idx_addrs = self._indirect_values(
+                    sub, var, values, env
+                )
+                if len(idx_values) and (
+                    idx_values.min() < lower or idx_values.max() > upper
+                ):
+                    raise SimulationError(
+                        f"index array {sub.array!r} yields subscript outside "
+                        f"[{lower}, {upper}] for {plan.ref}"
+                    )
+                columns.append(idx_addrs)
+                write_flags.append(False)
+                total = total + (idx_values - lower) * stride
+        columns.append(total)
+        write_flags.append(plan.is_write)
+
+    def _indirect_values(
+        self,
+        sub: IndirectExpr,
+        var: str,
+        values: np.ndarray,
+        env: Dict[str, int],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(gathered subscript values, addresses of the index-array loads)."""
+        idx_decl = self.prog.array(sub.array)
+        inner = sub.inner
+        coef = inner.coeff(var)
+        const = inner.const + sum(
+            c * env[v] for v, c in inner.coeffs.items() if v != var
+        )
+        positions = const + coef * values - idx_decl.dims[0].lower
+        data = self.env.values(sub.array)
+        if positions.min() < 0 or positions.max() >= len(data):
+            raise SimulationError(
+                f"index array {sub.array!r} subscript out of range "
+                f"[{positions.min()}, {positions.max()}]"
+            )
+        gathered = data[positions]
+        idx_base = self.layout.base(sub.array)
+        idx_stride = self.layout.strides(sub.array)[0]
+        idx_addrs = idx_base + positions * idx_stride
+        return gathered, idx_addrs
+
+    # -- scalar (non-vectorized) statement execution -------------------------
+
+    def _emit_statement_once(self, stmt: Statement, env: Dict[str, int]) -> None:
+        addrs: List[int] = []
+        writes: List[bool] = []
+        for ref in stmt.refs:
+            plan = self._plan(ref)
+            total = plan.base
+            for kind, sub, stride, lower, upper in plan.subplans:
+                if kind == "affine":
+                    total += (sub.evaluate(env) - lower) * stride
+                else:
+                    inner_val = sub.inner.evaluate(env)
+                    idx_decl = self.prog.array(sub.array)
+                    position = inner_val - idx_decl.dims[0].lower
+                    data = self.env.values(sub.array)
+                    if not 0 <= position < len(data):
+                        raise SimulationError(
+                            f"index array {sub.array!r} subscript {inner_val} "
+                            f"out of range"
+                        )
+                    value = int(data[position])
+                    if not lower <= value <= upper:
+                        raise SimulationError(
+                            f"index array {sub.array!r} yields subscript "
+                            f"{value} outside [{lower}, {upper}] for {plan.ref}"
+                        )
+                    idx_base = self.layout.base(sub.array)
+                    idx_stride = self.layout.strides(sub.array)[0]
+                    addrs.append(idx_base + position * idx_stride)
+                    writes.append(False)
+                    total += (value - lower) * stride
+            addrs.append(total)
+            writes.append(plan.is_write)
+        self._push(np.asarray(addrs, dtype=np.int64), np.asarray(writes, dtype=bool))
+
+    # -- chunk management -------------------------------------------------
+
+    def _push(self, addrs: np.ndarray, writes: np.ndarray) -> None:
+        self._pending_addrs.append(addrs)
+        self._pending_writes.append(writes)
+        self._pending_count += len(addrs)
+
+    def _flush(self) -> Chunk:
+        addrs = np.concatenate(self._pending_addrs)
+        writes = np.concatenate(self._pending_writes)
+        self._pending_addrs = []
+        self._pending_writes = []
+        self._pending_count = 0
+        return addrs, writes
+
+
+def trace_program(
+    prog: Program,
+    layout: MemoryLayout,
+    env: Optional[DataEnv] = None,
+    chunk_target: int = 1 << 16,
+) -> Iterator[Chunk]:
+    """Convenience wrapper: iterate address chunks for a program."""
+    return TraceInterpreter(prog, layout, env, chunk_target).trace()
+
+
+def trace_addresses(
+    prog: Program,
+    layout: MemoryLayout,
+    env: Optional[DataEnv] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The full trace as two arrays (small programs / tests only)."""
+    addr_parts: List[np.ndarray] = []
+    write_parts: List[np.ndarray] = []
+    for addrs, writes in trace_program(prog, layout, env):
+        addr_parts.append(addrs)
+        write_parts.append(writes)
+    if not addr_parts:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
+    return np.concatenate(addr_parts), np.concatenate(write_parts)
+
+
+def simulate(prog: Program, layout: MemoryLayout, simulator, env=None):
+    """Drive a cache simulator with a program's trace; returns its stats."""
+    for addrs, writes in trace_program(prog, layout, env):
+        simulator.access_chunk(addrs, writes)
+    return simulator.stats
+
+
+def truncate_outer_loops(prog: Program, max_trips: int) -> Program:
+    """Limit every outermost loop to at most ``max_trips`` iterations.
+
+    Used by the experiment runner to bound O(N^3) linear-algebra kernels:
+    their conflict behaviour repeats across outer iterations, so a prefix
+    of the outer loop preserves the miss-rate shape.  Only outermost loops
+    with constant bounds are truncated.
+    """
+    if max_trips <= 0:
+        raise SimulationError("max_trips must be positive")
+    new_body = []
+    for node in prog.body:
+        if isinstance(node, Loop) and node.lower.is_constant and node.upper.is_constant:
+            trips = node.trip_count({})
+            if trips > max_trips:
+                new_upper = node.lower.const + (max_trips - 1) * node.step
+                node = Loop(node.var, node.lower, new_upper, node.body, step=node.step)
+        new_body.append(node)
+    return Program(
+        prog.name,
+        prog.decls,
+        new_body,
+        source_lines=prog.source_lines,
+        suite=prog.suite,
+        description=prog.description,
+    )

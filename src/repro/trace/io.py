@@ -1,0 +1,86 @@
+"""Trace persistence.
+
+Traces are the interface between the interpreter and the cache simulator;
+being able to dump them makes results auditable and lets external tools
+(dinero-style simulators, custom analyses) consume the same streams.
+Format: a compressed ``.npz`` with two arrays, ``addresses`` (int64 byte
+addresses) and ``writes`` (bool), plus a tiny metadata record.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.ir.program import Program
+from repro.layout.layout import MemoryLayout
+from repro.trace.env import DataEnv
+from repro.trace.interpreter import trace_program
+
+PathLike = Union[str, Path]
+
+
+def save_trace(
+    path: PathLike,
+    prog: Program,
+    layout: MemoryLayout,
+    env: Optional[DataEnv] = None,
+) -> int:
+    """Trace a program and write the stream to ``path``; returns the
+    number of accesses written."""
+    addr_parts = []
+    write_parts = []
+    for addrs, writes in trace_program(prog, layout, env):
+        addr_parts.append(addrs)
+        write_parts.append(writes)
+    if addr_parts:
+        addresses = np.concatenate(addr_parts)
+        writes = np.concatenate(write_parts)
+    else:
+        addresses = np.zeros(0, dtype=np.int64)
+        writes = np.zeros(0, dtype=bool)
+    meta = json.dumps(
+        {
+            "program": prog.name,
+            "accesses": int(len(addresses)),
+            "format": "repro-trace-v1",
+        }
+    )
+    np.savez_compressed(
+        str(path),
+        addresses=addresses,
+        writes=writes,
+        meta=np.frombuffer(meta.encode(), dtype=np.uint8),
+    )
+    return int(len(addresses))
+
+
+def load_trace(path: PathLike) -> Tuple[np.ndarray, np.ndarray, dict]:
+    """Load a trace; returns (addresses, writes, metadata)."""
+    with np.load(str(path)) as data:
+        try:
+            addresses = data["addresses"]
+            writes = data["writes"]
+            meta = json.loads(bytes(data["meta"]).decode())
+        except KeyError as exc:
+            raise SimulationError(f"not a repro trace file: missing {exc}") from exc
+    if meta.get("format") != "repro-trace-v1":
+        raise SimulationError(f"unknown trace format {meta.get('format')!r}")
+    if len(addresses) != len(writes):
+        raise SimulationError("corrupt trace: array length mismatch")
+    return addresses, writes, meta
+
+
+def replay_trace(path: PathLike, simulator) -> "object":
+    """Feed a saved trace through a cache simulator; returns its stats."""
+    addresses, writes, _ = load_trace(path)
+    chunk = 1 << 16
+    for start in range(0, len(addresses), chunk):
+        simulator.access_chunk(
+            addresses[start : start + chunk], writes[start : start + chunk]
+        )
+    return simulator.stats

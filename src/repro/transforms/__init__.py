@@ -1,0 +1,36 @@
+"""Computation-reordering transformations (the baseline family the paper
+contrasts its data transformations against): dependence analysis and
+legality-checked loop interchange."""
+
+from repro.transforms.dependence import (
+    Dependence,
+    nest_dependences,
+    nest_loop_order,
+    permutation_legal,
+)
+from repro.transforms.transpose import best_transpose, transpose_array, transpose_safe
+from repro.transforms.fusion import fuse, fuse_all, fuse_program, fusion_legal
+from repro.transforms.interchange import (
+    apply_interchange,
+    best_locality_order,
+    interchange,
+    optimize_program_locality,
+)
+
+__all__ = [
+    "Dependence",
+    "apply_interchange",
+    "best_transpose",
+    "fuse",
+    "fuse_all",
+    "fuse_program",
+    "fusion_legal",
+    "best_locality_order",
+    "interchange",
+    "nest_dependences",
+    "nest_loop_order",
+    "optimize_program_locality",
+    "permutation_legal",
+    "transpose_array",
+    "transpose_safe",
+]

@@ -1,0 +1,138 @@
+"""Array transposition — the other *data* transformation family.
+
+The related-work section cites array transpose (O'Boyle & Knijnenburg;
+Cierniak & Li; Kandemir et al.) as a non-singular data transformation for
+locality: instead of reordering the loops around a badly strided
+reference, permute the array's dimensions (and rewrite every reference)
+so the existing loop order walks it contiguously.  Together with padding
+this completes the data-side toolbox: transpose fixes stride, padding
+fixes placement.
+
+Transposition is safe under the same conditions as intra-variable padding
+(the layout must not be observable elsewhere) plus one more: every
+reference to the array must be affine — an indirect subscript's values
+are data, and renumbering dimensions under it would change semantics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.analysis.safety import analyze_safety
+from repro.errors import AnalysisError
+from repro.ir.arrays import ArrayDecl
+from repro.ir.loops import Loop
+from repro.ir.program import Program
+from repro.ir.refs import ArrayRef
+from repro.ir.stmts import Statement
+
+
+def transpose_safe(prog: Program, name: str) -> Tuple[bool, str]:
+    """May this array's dimensions be permuted?  (verdict, reason)."""
+    decl = prog.array(name)
+    if decl.rank < 2:
+        return False, "rank-1 arrays have nothing to transpose"
+    verdict = analyze_safety(prog)[name]
+    if not verdict.intra_safe:
+        return False, verdict.reason
+    for ref in prog.refs_to(name):
+        if not ref.is_affine:
+            return False, f"non-affine reference {ref}"
+    if name in prog.referenced_index_arrays():
+        return False, "used as an index array"
+    return True, "safe"
+
+
+def transpose_array(
+    prog: Program, name: str, perm: Sequence[int]
+) -> Program:
+    """A copy of the program with one array's dimensions permuted.
+
+    ``perm[k]`` gives the original dimension stored at position ``k`` of
+    the new declaration; every reference is rewritten accordingly (the
+    program computes the same thing on a relaid-out array).
+    """
+    decl = prog.array(name)
+    if sorted(perm) != list(range(decl.rank)):
+        raise AnalysisError(
+            f"perm {perm!r} is not a permutation of 0..{decl.rank - 1}"
+        )
+    safe, reason = transpose_safe(prog, name)
+    if not safe:
+        raise AnalysisError(f"cannot transpose {name!r}: {reason}")
+    new_dims = [decl.dims[p] for p in perm]
+    new_decl = ArrayDecl(
+        decl.name,
+        new_dims,
+        decl.element_type,
+        is_parameter=decl.is_parameter,
+        storage_association=decl.storage_association,
+        common_block=decl.common_block,
+        common_splittable=decl.common_splittable,
+        is_local=decl.is_local,
+    )
+    decls = [new_decl if d.name == name else d for d in prog.decls]
+
+    def rewrite_ref(ref: ArrayRef) -> ArrayRef:
+        if ref.array != name:
+            return ref
+        return ArrayRef(
+            name, [ref.subscripts[p] for p in perm], is_write=ref.is_write
+        )
+
+    def rewrite_body(body) -> List:
+        out = []
+        for node in body:
+            if isinstance(node, Loop):
+                out.append(
+                    Loop(node.var, node.lower, node.upper,
+                         rewrite_body(node.body), step=node.step)
+                )
+            else:
+                out.append(
+                    Statement([rewrite_ref(r) for r in node.refs], node.label)
+                )
+        return out
+
+    return Program(
+        prog.name,
+        decls,
+        rewrite_body(prog.body),
+        source_lines=prog.source_lines,
+        suite=prog.suite,
+        description=prog.description,
+    )
+
+
+def _innermost_var(nest: Loop) -> str:
+    current = nest
+    while True:
+        inner = [n for n in current.body if isinstance(n, Loop)]
+        if not inner:
+            return current.var
+        current = inner[0]
+
+
+def best_transpose(prog: Program, name: str) -> Tuple[int, ...]:
+    """The dimension order making the innermost loops walk contiguously.
+
+    Scores each dimension by how often the programs' innermost loop
+    variables index it; the most-frequently-innermost dimension moves to
+    position 0.  Returns the identity when the array is already best (or
+    cannot be analyzed).
+    """
+    decl = prog.array(name)
+    scores = [0] * decl.rank
+    for nest in prog.loop_nests():
+        inner_var = _innermost_var(nest)
+        for ref in nest.refs():
+            if ref.array != name:
+                continue
+            shape = ref.uniform_shape()
+            if shape is None:
+                continue
+            for dim, var in enumerate(shape):
+                if var == inner_var:
+                    scores[dim] += 1
+    order = sorted(range(decl.rank), key=lambda d: -scores[d])
+    return tuple(order)

@@ -1,0 +1,71 @@
+"""Shared test fixtures and program builders.
+
+Paper examples are expressed in "element" units using 1-byte elements so
+cache sizes/line sizes written as element counts (Cs=1024, Ls=4) can be
+used directly as byte counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.ir import builder as b
+from repro.ir.arrays import ArrayDecl
+from repro.ir.program import Program
+from repro.ir.types import ElementType
+
+
+def jacobi_program(n: int, element_type: ElementType = ElementType.BYTE) -> Program:
+    """The paper's Figure-7 JACOBI kernel at size ``n``."""
+    return b.program(
+        "jacobi",
+        decls=[
+            ArrayDecl("A", (n, n), element_type),
+            ArrayDecl("B", (n, n), element_type),
+        ],
+        body=[
+            b.loop("i", 2, n - 1, [
+                b.loop("j", 2, n - 1, [
+                    b.stmt(
+                        b.w("B", "j", "i"),
+                        b.r("A", b.idx("j", -1), "i"),
+                        b.r("A", "j", b.idx("i", -1)),
+                        b.r("A", b.idx("j", 1), "i"),
+                        b.r("A", "j", b.idx("i", 1)),
+                    ),
+                ]),
+            ]),
+            b.loop("i", 2, n - 1, [
+                b.loop("j", 2, n - 1, [
+                    b.stmt(b.w("A", "j", "i"), b.r("B", "j", "i")),
+                ]),
+            ]),
+        ],
+    )
+
+
+def vector_sum_program(n: int, element_type: ElementType = ElementType.REAL8) -> Program:
+    """``S = S + A(i) * B(i)`` — the paper's Figure-1 kernel."""
+    return b.program(
+        "dot",
+        decls=[
+            ArrayDecl("A", (n,), element_type),
+            ArrayDecl("B", (n,), element_type),
+        ],
+        body=[
+            b.loop("i", 1, n, [b.reads_only(b.r("A", "i"), b.r("B", "i"))]),
+        ],
+    )
+
+
+@pytest.fixture
+def paper_cache_2048() -> CacheConfig:
+    """Cs=2048, Ls=4 in element(=byte) units."""
+    return CacheConfig(2048, 4, 1)
+
+
+@pytest.fixture
+def paper_cache_1024() -> CacheConfig:
+    """Cs=1024, Ls=4 in element(=byte) units."""
+    return CacheConfig(1024, 4, 1)

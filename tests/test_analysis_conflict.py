@@ -1,0 +1,128 @@
+"""Tests for conflict-distance arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.conflict import (
+    circular_distance,
+    conflicts,
+    max_needed_pad,
+    needed_pad,
+    severe_conflict,
+    severe_needed_pad,
+)
+from repro.errors import ConfigError
+
+
+class TestCircularDistance:
+    def test_zero(self):
+        assert circular_distance(0, 1024) == 0
+        assert circular_distance(1024, 1024) == 0
+        assert circular_distance(-2048, 1024) == 0
+
+    def test_wraps_both_sides(self):
+        assert circular_distance(2, 1024) == 2
+        assert circular_distance(-2, 1024) == 2
+        assert circular_distance(1022, 1024) == 2
+
+    def test_max_is_half(self):
+        assert circular_distance(512, 1024) == 512
+
+    def test_paper_case_934(self):
+        """934*934 - 934 == -2 (mod 1024): conflict distance 2."""
+        assert circular_distance(934 * 934 - 934, 1024) == 2
+
+    def test_rejects_bad_cache_size(self):
+        with pytest.raises(ConfigError):
+            circular_distance(5, 0)
+
+
+class TestConflicts:
+    def test_threshold(self):
+        assert conflicts(3, 1024, 4)
+        assert not conflicts(4, 1024, 4)
+        assert conflicts(1021, 1024, 4)
+        assert not conflicts(512, 1024, 4)
+
+
+class TestSevereConflict:
+    def test_same_line_pairs_exempt(self):
+        """|delta| below a line is spatial reuse, not a conflict (the
+        JACOBI A(j-1,i)/A(j+1,i) case)."""
+        assert not severe_conflict(2, 1024, 4)
+        assert not severe_conflict(-2, 1024, 4)
+
+    def test_far_pairs_conflict(self):
+        assert severe_conflict(1024, 1024, 4)
+        assert severe_conflict(2048 + 2, 1024, 4)
+        assert severe_conflict(-(1024 - 2), 1024, 4)
+
+    def test_clear_pairs(self):
+        assert not severe_conflict(512, 1024, 4)
+        assert not severe_conflict(100, 1024, 4)
+
+
+class TestNeededPad:
+    def test_no_pad_when_clear(self):
+        assert needed_pad(512, 1024, 4) == 0
+        assert needed_pad(4, 1024, 4) == 0
+
+    def test_pad_from_below(self):
+        assert needed_pad(0, 1024, 4) == 4
+        assert needed_pad(3, 1024, 4) == 1
+
+    def test_pad_wrapping_from_above(self):
+        # m = 1022 conflicts; smallest pad lands at threshold: 4 - 1022 mod 1024 = 6
+        assert needed_pad(1022, 1024, 4) == 6
+
+    def test_threshold_too_large(self):
+        with pytest.raises(ConfigError):
+            needed_pad(0, 8, 5)
+
+    def test_zero_threshold(self):
+        assert needed_pad(0, 1024, 0) == 0
+
+    def test_max_needed_pad(self):
+        assert max_needed_pad([512, 3, 1022], 1024, 4) == 6
+        assert max_needed_pad([], 1024, 4) == 0
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        delta=st.integers(min_value=-(10**9), max_value=10**9),
+        log_cs=st.integers(min_value=3, max_value=16),
+        threshold=st.integers(min_value=1, max_value=64),
+    )
+    def test_property_pad_clears_and_is_minimal(self, delta, log_cs, threshold):
+        cs = 1 << log_cs
+        threshold = min(threshold, cs // 2)
+        pad = needed_pad(delta, cs, threshold)
+        assert 0 <= pad < cs
+        assert not conflicts(delta + pad, cs, threshold)
+        if pad > 0:
+            assert conflicts(delta, cs, threshold)
+            # minimality: every smaller pad still conflicts
+            for smaller in range(pad):
+                if not conflicts(delta + smaller, cs, threshold):
+                    raise AssertionError(
+                        f"pad {pad} not minimal: {smaller} suffices"
+                    )
+
+
+class TestSevereNeededPad:
+    def test_zero_for_same_line(self):
+        assert severe_needed_pad(2, 1024, 4) == 0
+
+    def test_pads_severe(self):
+        assert severe_needed_pad(1024, 1024, 4) == 4
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        delta=st.integers(min_value=-(10**6), max_value=10**6),
+        log_cs=st.integers(min_value=5, max_value=14),
+    )
+    def test_property_clears(self, delta, log_cs):
+        cs = 1 << log_cs
+        ls = 32 if cs >= 64 else cs // 2
+        pad = severe_needed_pad(delta, cs, ls)
+        assert not severe_conflict(delta + pad, cs, ls)

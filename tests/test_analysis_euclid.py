@@ -1,0 +1,98 @@
+"""Tests for the FirstConflict (generalized Euclidean) algorithm."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.euclid import (
+    conflicting_j_values,
+    distinct_column_mappings,
+    first_conflict,
+    first_conflict_brute,
+)
+from repro.errors import AnalysisError
+
+
+class TestPaperExamples:
+    def test_cs1024_col273_ls4(self):
+        """The paper's worked example: 15 x 273 == -1 (mod 1024)."""
+        assert first_conflict(1024, 273, 4) == 15
+
+    def test_conflicting_multiples_of_15(self):
+        """30 x 273 == -2 and 45 x 273 == -3 (mod 1024)."""
+        assert conflicting_j_values(1024, 273, 4, 50) == [15, 30, 45]
+
+    def test_gcd_equals_ls_gives_cs_over_ls(self):
+        """Any column size with gcd(Col, Cs) = 4 has FirstConflict 256."""
+        for col in (4, 12, 20, 28, 36, 100, 252):
+            assert math.gcd(col, 1024) == 4
+            assert first_conflict(1024, col, 4) == 256
+
+    def test_multiple_of_cache_size(self):
+        assert first_conflict(1024, 1024, 4) == 1
+        assert first_conflict(1024, 2048, 4) == 1
+
+    def test_column_768_concentrates(self):
+        """Section 2.3.1: Cs=1024, Col=768 -> gcd 256 -> 4 distinct slots."""
+        assert distinct_column_mappings(1024, 768) == 4
+        assert first_conflict(1024, 768, 1) == 4
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("cache_size", [64, 256, 1024, 4096, 16384])
+    @pytest.mark.parametrize("line_size", [1, 4, 32])
+    def test_systematic_small(self, cache_size, line_size):
+        for col in range(1, 300, 7):
+            assert first_conflict(cache_size, col, line_size) == \
+                first_conflict_brute(cache_size, col, line_size), (cache_size, col)
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        log_cs=st.integers(min_value=4, max_value=16),
+        col=st.integers(min_value=1, max_value=100000),
+        log_ls=st.integers(min_value=0, max_value=6),
+    )
+    def test_property_matches_brute(self, log_cs, col, log_ls):
+        cs = 1 << log_cs
+        ls = 1 << min(log_ls, log_cs - 1)
+        assert first_conflict(cs, col, ls) == first_conflict_brute(cs, col, ls)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        log_cs=st.integers(min_value=4, max_value=14),
+        col=st.integers(min_value=1, max_value=50000),
+        log_ls=st.integers(min_value=0, max_value=5),
+    )
+    def test_result_actually_conflicts(self, log_cs, col, log_ls):
+        cs = 1 << log_cs
+        ls = 1 << min(log_ls, log_cs - 1)
+        j = first_conflict(cs, col, ls)
+        residue = (j * col) % cs
+        assert min(residue, cs - residue) < ls
+        assert j >= 1
+
+
+class TestValidation:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(AnalysisError):
+            first_conflict(0, 10, 4)
+        with pytest.raises(AnalysisError):
+            first_conflict(1024, 0, 4)
+        with pytest.raises(AnalysisError):
+            first_conflict(1024, 10, 0)
+        with pytest.raises(AnalysisError):
+            first_conflict_brute(1024, 10, 0)
+        with pytest.raises(AnalysisError):
+            distinct_column_mappings(0, 5)
+
+
+class TestBounds:
+    def test_never_exceeds_cs_over_ls_bound(self):
+        """2.3.2: with gcd(Col,Cs)=Ls the value is exactly Cs/Ls, and no
+        column ever needs more than Cs/gcd steps to wrap to zero."""
+        cs, ls = 1024, 4
+        for col in range(1, 2000):
+            j = first_conflict(cs, col, ls)
+            assert j <= cs // math.gcd(col, cs)

@@ -1,0 +1,140 @@
+"""Tests for symbolic linearization (expression (1) of the paper)."""
+
+import pytest
+
+from repro.analysis.linearize import (
+    constant_distance,
+    linearize,
+    linearized_distance,
+)
+from repro.errors import AnalysisError
+from repro.ir import builder as b
+from repro.ir.arrays import ArrayDecl
+from repro.ir.expr import AffineExpr
+from repro.ir.types import ElementType
+
+
+class TestLinearize:
+    def test_vector(self):
+        decl = ArrayDecl("A", (100,), ElementType.REAL8)
+        expr = linearize(b.r("A", "i"), decl, base_address=1000)
+        # 1000 + (i - 1) * 8
+        assert expr == AffineExpr(992, {"i": 8})
+
+    def test_matrix_column_major(self):
+        decl = ArrayDecl("A", (10, 20), ElementType.REAL8)
+        expr = linearize(b.r("A", "j", "i"), decl)
+        # (j-1)*8 + (i-1)*80
+        assert expr == AffineExpr(-88, {"j": 8, "i": 80})
+
+    def test_constant_subscripts(self):
+        decl = ArrayDecl("A", (10, 20), ElementType.REAL4)
+        expr = linearize(b.r("A", 3, 4), decl, base_address=16)
+        assert expr == AffineExpr(16 + (2 * 4) + (3 * 40))
+
+    def test_lower_bounds(self):
+        decl = ArrayDecl("A", ((0, 9), (0, 19)), ElementType.BYTE)
+        expr = linearize(b.r("A", "j", "i"), decl)
+        assert expr == AffineExpr(0, {"j": 1, "i": 10})
+
+    def test_padded_dim_sizes(self):
+        decl = ArrayDecl("A", (10, 20), ElementType.REAL8)
+        expr = linearize(b.r("A", "j", "i"), decl, dim_sizes=(12, 20))
+        assert expr.coeff("i") == 96  # 12 * 8
+
+    def test_matches_interpreter_addresses(self):
+        """Symbolic linearization equals concrete interpreter addressing."""
+        from repro.layout import original_layout
+        from repro.trace import trace_addresses
+
+        prog = b.program(
+            "p",
+            decls=[b.real8("A", 7, 9)],
+            body=[
+                b.loop("i", 1, 9, [
+                    b.loop("j", 1, 7, [b.stmt(b.w("A", "j", "i"))]),
+                ]),
+            ],
+        )
+        lay = original_layout(prog)
+        addrs, _ = trace_addresses(prog, lay)
+        decl = prog.array("A")
+        expr = linearize(b.w("A", "j", "i"), decl, base_address=lay.base("A"))
+        expected = [
+            expr.evaluate({"i": i, "j": j})
+            for i in range(1, 10)
+            for j in range(1, 8)
+        ]
+        assert list(addrs) == expected
+
+    def test_indirect_rejected(self):
+        decl = ArrayDecl("A", (10,), ElementType.REAL8)
+        with pytest.raises(AnalysisError):
+            linearize(b.r("A", b.indirect("IDX", "i")), decl)
+
+    def test_rank_mismatch_rejected(self):
+        decl = ArrayDecl("A", (10, 10), ElementType.REAL8)
+        with pytest.raises(AnalysisError):
+            linearize(b.r("A", "i"), decl)
+
+    def test_name_mismatch_rejected(self):
+        decl = ArrayDecl("A", (10,), ElementType.REAL8)
+        with pytest.raises(AnalysisError):
+            linearize(b.r("B", "i"), decl)
+
+
+class TestDistance:
+    def test_uniform_pair_distance_constant(self):
+        decl = ArrayDecl("A", (512, 512), ElementType.BYTE)
+        d = linearized_distance(
+            b.r("A", "j", b.idx("i", 1)), decl, b.r("A", "j", b.idx("i", -1)), decl
+        )
+        assert d.is_constant
+        assert d.const == 2 * 512  # two columns apart
+
+    def test_base_addresses_enter_distance(self):
+        decl_a = ArrayDecl("A", (100,), ElementType.BYTE)
+        decl_b = ArrayDecl("B", (100,), ElementType.BYTE)
+        d = constant_distance(
+            b.r("A", "i"), decl_a, b.r("B", "i"), decl_b, base_a=500, base_b=100
+        )
+        assert d == 400
+
+    def test_offset_constants(self):
+        decl = ArrayDecl("A", (100,), ElementType.REAL8)
+        d = constant_distance(
+            b.r("A", b.idx("i", 3)), decl, b.r("A", b.idx("i", -2)), decl
+        )
+        assert d == 5 * 8
+
+    def test_nonconforming_padded_shapes_not_constant(self):
+        """After padding A's column, A(j,i) and B(j,i) no longer have a
+        constant distance — the i terms fail to cancel."""
+        decl_a = ArrayDecl("A", (512, 512), ElementType.BYTE)
+        decl_b = ArrayDecl("B", (512, 512), ElementType.BYTE)
+        d = constant_distance(
+            b.r("A", "j", "i"), decl_a, b.r("B", "j", "i"), decl_b,
+            dim_sizes_a=(514, 512),
+        )
+        assert d is None
+
+    def test_different_loop_vars_not_constant(self):
+        decl = ArrayDecl("A", (64, 64), ElementType.BYTE)
+        d = constant_distance(b.r("A", "i", "j"), decl, b.r("A", "i", "k"), decl)
+        assert d is None
+
+    def test_indirect_gives_none(self):
+        decl = ArrayDecl("A", (64,), ElementType.BYTE)
+        d = constant_distance(
+            b.r("A", b.indirect("IDX", "i")), decl, b.r("A", "i"), decl
+        )
+        assert d is None
+
+    def test_conforming_1d_different_sizes(self):
+        """1-D arrays of different sizes still conform (paper 2.1.2)."""
+        decl_a = ArrayDecl("A", (100,), ElementType.REAL8)
+        decl_b = ArrayDecl("B", (300,), ElementType.REAL8)
+        d = constant_distance(
+            b.r("A", "i"), decl_a, b.r("B", b.idx("i", -2)), decl_b, base_b=800
+        )
+        assert d == -800 + 2 * 8

@@ -1,0 +1,129 @@
+"""Tests for linear-algebra pattern detection and padding-safety analysis."""
+
+from repro.analysis.patterns import is_linear_algebra_code, linear_algebra_arrays
+from repro.analysis.safety import (
+    analyze_safety,
+    controllable_variables,
+    safe_arrays,
+    safety_counts,
+)
+from repro.analysis.stats import collect_stats
+from repro.bench.kernels import chol, dgefa, jacobi, mult
+from repro.ir import builder as b
+from repro.ir.arrays import ArrayDecl
+from repro.ir.types import ElementType
+
+
+class TestLinearAlgebraPattern:
+    def test_chol_detected(self):
+        prog = chol(32)
+        assert "A" in linear_algebra_arrays(prog)
+        assert is_linear_algebra_code(prog)
+
+    def test_dgefa_detected(self):
+        assert "A" in linear_algebra_arrays(dgefa(32))
+
+    def test_jacobi_not_detected(self):
+        assert not is_linear_algebra_code(jacobi(32))
+
+    def test_mult_c_not_flagged_but_pattern_may_apply_to_operands(self):
+        arrays = linear_algebra_arrays(mult(16))
+        # C(i,j) always uses (i,j); A(i,k) always (i,k); B(k,j) always (k,j):
+        # no single array is referenced with two different column variables.
+        assert arrays == set()
+
+    def test_figure3_shape(self):
+        prog = b.program(
+            "fig3",
+            decls=[b.real8("A", 16, 16)],
+            body=[
+                b.loop("k", 1, 16, [
+                    b.loop("j", 1, 16, [
+                        b.loop("i", 1, 16, [
+                            b.reads_only(b.r("A", "i", "j"), b.r("A", "i", "k")),
+                        ]),
+                    ]),
+                ]),
+            ],
+        )
+        assert linear_algebra_arrays(prog) == {"A"}
+
+    def test_variable_vs_constant_column(self):
+        prog = b.program(
+            "p",
+            decls=[b.real8("A", 16, 16)],
+            body=[
+                b.loop("j", 1, 16, [
+                    b.loop("i", 1, 16, [
+                        b.reads_only(b.r("A", "i", "j"), b.r("A", "i", 1)),
+                    ]),
+                ]),
+            ],
+        )
+        assert linear_algebra_arrays(prog) == {"A"}
+
+
+class TestSafety:
+    def _prog(self, **flags):
+        decls = [
+            ArrayDecl("A", (8, 8), ElementType.REAL8, **flags),
+            ArrayDecl("B", (8, 8), ElementType.REAL8),
+        ]
+        return b.program(
+            "p",
+            decls=decls,
+            body=[
+                b.loop("i", 1, 8, [
+                    b.loop("j", 1, 8, [
+                        b.stmt(b.w("B", "j", "i"), b.r("A", "j", "i")),
+                    ]),
+                ]),
+            ],
+        )
+
+    def test_plain_arrays_safe(self):
+        prog = self._prog()
+        assert safe_arrays(prog) == {"A", "B"}
+        assert safety_counts(prog) == (2, 2)
+
+    def test_parameter_unsafe_and_uncontrollable(self):
+        prog = self._prog(is_parameter=True)
+        verdict = analyze_safety(prog)["A"]
+        assert not verdict.intra_safe
+        assert not verdict.base_controllable
+        assert "A" not in controllable_variables(prog)
+
+    def test_storage_association_unsafe_but_movable(self):
+        prog = self._prog(storage_association=True)
+        verdict = analyze_safety(prog)["A"]
+        assert not verdict.intra_safe
+        assert verdict.base_controllable
+
+    def test_unsplittable_common_blocks(self):
+        prog = self._prog(common_block="blk", common_splittable=False)
+        verdict = analyze_safety(prog)["A"]
+        assert not verdict.intra_safe
+        assert not verdict.base_controllable
+
+    def test_splittable_common_is_safe(self):
+        prog = self._prog(common_block="blk", common_splittable=True)
+        assert analyze_safety(prog)["A"].intra_safe
+
+    def test_scalars_always_controllable(self):
+        prog = b.program(
+            "p", decls=[b.scalar("S"), b.real8("A", 4)],
+            body=[b.loop("i", 1, 4, [b.stmt(b.w("A", "i"))])],
+        )
+        assert "S" in controllable_variables(prog)
+
+
+class TestStats:
+    def test_collect_stats_jacobi(self):
+        stats = collect_stats(jacobi(64))
+        assert stats.global_arrays == 2
+        assert stats.arrays_safe == 2
+        assert stats.uniform_ref_pct == 100.0
+        assert stats.loop_nests == 2
+        assert stats.total_refs == 7
+        assert stats.data_bytes == 2 * 64 * 64 * 8
+        assert "jacobi" in stats.describe()

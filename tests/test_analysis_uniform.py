@@ -1,0 +1,143 @@
+"""Tests for uniformly generated references and conforming arrays."""
+
+from repro.analysis.uniform import (
+    conforming,
+    uniform_groups,
+    uniform_pairs_between,
+    uniform_pairs_same_array,
+    uniform_ref_fraction,
+    uniformly_generated,
+)
+from repro.ir import builder as b
+from repro.ir.arrays import ArrayDecl
+from repro.ir.types import ElementType
+from tests.conftest import jacobi_program
+
+
+class TestConforming:
+    def test_same_array(self):
+        a = ArrayDecl("A", (10, 20), ElementType.REAL8)
+        assert conforming(a, a)
+
+    def test_equal_lower_dims(self):
+        a = ArrayDecl("A", (10, 20), ElementType.REAL8)
+        c = ArrayDecl("B", (10, 99), ElementType.REAL8)
+        assert conforming(a, c)
+
+    def test_unequal_lower_dims(self):
+        a = ArrayDecl("A", (10, 20), ElementType.REAL8)
+        c = ArrayDecl("B", (11, 20), ElementType.REAL8)
+        assert not conforming(a, c)
+
+    def test_unequal_element_size(self):
+        a = ArrayDecl("A", (10, 20), ElementType.REAL8)
+        c = ArrayDecl("B", (10, 20), ElementType.REAL4)
+        assert not conforming(a, c)
+
+    def test_unequal_rank(self):
+        a = ArrayDecl("A", (10,), ElementType.REAL8)
+        c = ArrayDecl("B", (10, 20), ElementType.REAL8)
+        assert not conforming(a, c)
+
+    def test_1d_different_sizes_conform(self):
+        a = ArrayDecl("A", (10,), ElementType.REAL8)
+        c = ArrayDecl("B", (500,), ElementType.REAL8)
+        assert conforming(a, c)
+
+
+class TestUniformlyGenerated:
+    def test_matching_shapes(self):
+        a = ArrayDecl("A", (10, 20), ElementType.REAL8)
+        c = ArrayDecl("B", (10, 30), ElementType.REAL8)
+        assert uniformly_generated(
+            b.r("A", b.idx("j", -1), "i"), a, b.r("B", "j", b.idx("i", 2)), c
+        )
+
+    def test_shape_mismatch(self):
+        a = ArrayDecl("A", (10, 20), ElementType.REAL8)
+        assert not uniformly_generated(
+            b.r("A", "j", "i"), a, b.r("A", "i", "j"), a
+        )
+
+    def test_constant_vs_variable_mismatch(self):
+        a = ArrayDecl("A", (10, 20), ElementType.REAL8)
+        assert not uniformly_generated(b.r("A", "j", "i"), a, b.r("A", "j", 5), a)
+
+    def test_nonconforming_rejected(self):
+        a = ArrayDecl("A", (10, 20), ElementType.REAL8)
+        c = ArrayDecl("B", (11, 20), ElementType.REAL8)
+        assert not uniformly_generated(b.r("A", "j", "i"), a, b.r("B", "j", "i"), c)
+
+
+class TestGroups:
+    def test_jacobi_groups(self):
+        prog = jacobi_program(16)
+        nest1 = prog.loop_nests()[0]
+        groups = uniform_groups(prog, nest1)
+        # shapes present: (j,i) for B(j,i), A(j-1,i), A(j+1,i), A(j,i-1), A(j,i+1)
+        assert len(groups) == 1
+        assert groups[0].shape == ("j", "i")
+        assert len(groups[0].refs) == 5
+        assert set(groups[0].arrays()) == {"A", "B"}
+
+    def test_same_array_pairs_jacobi(self):
+        prog = jacobi_program(16)
+        nest1 = prog.loop_nests()[0]
+        pairs = uniform_pairs_same_array(prog, nest1, "A")
+        # 4 distinct A refs -> C(4,2) = 6 pairs
+        assert len(pairs) == 6
+
+    def test_between_pairs_jacobi(self):
+        prog = jacobi_program(16)
+        nest1 = prog.loop_nests()[0]
+        pairs = uniform_pairs_between(prog, nest1, "A", "B")
+        assert len(pairs) == 4  # each A ref with the single B ref
+        for ra, rb in pairs:
+            assert ra.array == "A" and rb.array == "B"
+
+    def test_duplicate_refs_collapsed(self):
+        prog = b.program(
+            "p",
+            decls=[b.real8("A", 8)],
+            body=[
+                b.loop("i", 1, 8, [
+                    b.stmt(b.w("A", "i"), b.r("A", "i"), b.r("A", "i")),
+                ]),
+            ],
+        )
+        pairs = uniform_pairs_same_array(prog, prog.loop_nests()[0], "A")
+        assert pairs == []  # all refs identical -> no distinct pair
+
+
+class TestUniformFraction:
+    def test_all_uniform(self):
+        prog = jacobi_program(16)
+        assert uniform_ref_fraction(prog) == 1.0
+
+    def test_indirect_lowers_fraction(self):
+        prog = b.program(
+            "p",
+            decls=[b.real8("X", 8), b.int4("IDX", 8)],
+            body=[
+                b.loop("i", 1, 8, [
+                    b.stmt(b.w("X", "i"), b.r("X", b.indirect("IDX", "i"))),
+                ]),
+            ],
+        )
+        assert uniform_ref_fraction(prog) == 0.5
+
+    def test_strided_refs_not_uniform(self):
+        prog = b.program(
+            "p",
+            decls=[b.real8("X", 64)],
+            body=[
+                b.loop("i", 1, 32, [
+                    b.stmt(b.w("X", b.idx("i", 0, coef=2)), b.r("X", "i")),
+                ]),
+            ],
+        )
+        assert uniform_ref_fraction(prog) == 0.5
+
+    def test_empty_program(self):
+        prog = b.program("p", decls=[], body=[])
+        assert uniform_ref_fraction(prog) == 1.0

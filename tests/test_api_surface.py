@@ -1,0 +1,82 @@
+"""Direct tests for helper APIs exercised only indirectly elsewhere."""
+
+import pytest
+
+from repro.analysis.conflict import conflict_distance_of_refs
+from repro.frontend.lower import lower_ast
+from repro.frontend.parser import parse_source
+from repro.ir import builder as b
+from repro.ir.loops import all_refs, all_statements
+
+
+class TestLoopHelpers:
+    def _body(self):
+        return [
+            b.stmt(b.w("A", 1)),
+            b.loop("i", 1, 3, [b.stmt(b.w("A", "i"), b.r("A", b.idx("i", 1)))]),
+        ]
+
+    def test_all_statements_includes_top_level(self):
+        prog = b.program("p", decls=[b.real8("A", 8)], body=self._body())
+        stmts = list(all_statements(prog.body))
+        assert len(stmts) == 2
+
+    def test_all_refs(self):
+        prog = b.program("p", decls=[b.real8("A", 8)], body=self._body())
+        refs = list(all_refs(prog.body))
+        assert len(refs) == 3
+        assert sum(r.is_write for r in refs) == 2
+
+
+class TestConflictDistanceOfRefs:
+    def test_none_passthrough(self):
+        assert conflict_distance_of_refs(None, 1024) is None
+
+    def test_value(self):
+        assert conflict_distance_of_refs(1026, 1024) == 2
+        assert conflict_distance_of_refs(-2, 1024) == 2
+
+
+class TestLowerAst:
+    def test_explicit_two_step(self):
+        tree = parse_source(
+            "program p\nparam N = 4\nreal*8 A(N)\ndo i = 1, N\nA(i) = 0\nend do\nend\n"
+        )
+        prog = lower_ast(tree, params={"N": 9}, suite="s", description="d")
+        assert prog.array("A").dim_sizes == (9,)
+        assert prog.suite == "s"
+        assert prog.description == "d"
+
+
+class TestTopLevelReexports:
+    def test_version_and_simulate(self):
+        import repro
+
+        assert repro.__version__
+        prog = b.program(
+            "p", decls=[b.real8("A", 64)],
+            body=[b.loop("i", 1, 64, [b.stmt(b.w("A", "i"))])],
+        )
+        from repro.layout import original_layout
+
+        stats = repro.simulate_program(prog, original_layout(prog))
+        assert stats.accesses == 64
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackage_all_exports_resolve(self):
+        import importlib
+
+        for pkg in (
+            "repro.ir", "repro.analysis", "repro.cache", "repro.trace",
+            "repro.padding", "repro.layout", "repro.timing", "repro.bench",
+            "repro.experiments", "repro.transforms", "repro.extensions",
+            "repro.frontend",
+        ):
+            module = importlib.import_module(pkg)
+            for name in getattr(module, "__all__", []):
+                assert getattr(module, name, None) is not None, (pkg, name)

@@ -1,0 +1,113 @@
+"""Tests for the benchmark library: every program builds, validates,
+traces, and carries the reference patterns its paper row depends on."""
+
+import pytest
+
+from repro.analysis.patterns import linear_algebra_arrays
+from repro.analysis.safety import safe_arrays
+from repro.analysis.uniform import uniform_ref_fraction
+from repro.bench import ALL_SPECS, SWEEP_KERNELS, get_spec, kernel_names, specs_by_suite
+from repro.errors import ConfigError
+from repro.ir.validate import validate_program
+from repro.layout import original_layout
+from repro.trace import TraceInterpreter, truncate_outer_loops
+
+
+class TestRegistry:
+    def test_program_count(self):
+        assert len(ALL_SPECS) == 36
+
+    def test_suites(self):
+        assert len(specs_by_suite("kernel")) == 13
+        assert len(specs_by_suite("nas")) == 8
+        assert len(specs_by_suite("spec95")) == 10
+        assert len(specs_by_suite("spec92")) == 5
+
+    def test_unique_names(self):
+        names = kernel_names()
+        assert len(names) == len(set(names))
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(ConfigError):
+            get_spec("nonexistent")
+
+    def test_sweep_kernels_registered(self):
+        for name in SWEEP_KERNELS:
+            assert get_spec(name) is not None
+
+
+@pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+class TestEveryProgram:
+    def test_builds_and_validates(self, spec):
+        prog = spec.build()
+        validate_program(prog)
+        assert prog.name == spec.name
+        assert prog.suite == spec.suite
+
+    def test_traces_nonempty(self, spec):
+        prog = spec.build()
+        prog = truncate_outer_loops(prog, 2)
+        layout = original_layout(prog)
+        total = 0
+        for addrs, writes in TraceInterpreter(prog, layout).trace():
+            assert len(addrs) == len(writes)
+            assert (addrs >= 0).all()
+            total += len(addrs)
+        assert total > 0
+
+    def test_addresses_inside_layout(self, spec):
+        import numpy as np
+
+        prog = truncate_outer_loops(spec.build(), 2)
+        layout = original_layout(prog)
+        end = layout.end_address()
+        for addrs, _ in TraceInterpreter(prog, layout).trace():
+            assert int(addrs.max()) < end
+
+
+class TestResizable:
+    @pytest.mark.parametrize("name", SWEEP_KERNELS)
+    def test_sweep_kernels_resize(self, name):
+        spec = get_spec(name)
+        small = spec.build(40)
+        for decl in small.arrays:
+            if decl.rank == 2:
+                assert max(decl.dim_sizes) <= 41
+
+
+class TestPaperProperties:
+    def test_linear_algebra_kernels_detected(self):
+        assert "A" in linear_algebra_arrays(get_spec("chol").build(64))
+        assert "A" in linear_algebra_arrays(get_spec("dgefa").build(64))
+
+    def test_stencils_not_linear_algebra(self):
+        assert not linear_algebra_arrays(get_spec("jacobi").build(64))
+        assert not linear_algebra_arrays(get_spec("expl").build(64))
+
+    def test_cgm_fftpde_unpaddable(self):
+        """Table 2: ARRAYS SAFE is 0 for CGM and FFTPDE (parameters)."""
+        assert safe_arrays(get_spec("cgm").build()) == set()
+        assert safe_arrays(get_spec("fftpde").build()) == set()
+
+    def test_irr_mostly_nonuniform_gather(self):
+        frac = uniform_ref_fraction(get_spec("irr").build(1000))
+        assert frac < 1.0
+
+    def test_mgrid_strided_refs_lower_uniform_fraction(self):
+        frac = uniform_ref_fraction(get_spec("mgrid").build())
+        assert 0.5 < frac < 1.0
+
+    def test_jacobi_fully_uniform(self):
+        assert uniform_ref_fraction(get_spec("jacobi").build(64)) == 1.0
+
+    def test_shal_has_14_arrays(self):
+        assert len(get_spec("shal").build(64).arrays) == 14
+
+    def test_expl_has_9_arrays(self):
+        assert len(get_spec("expl").build(64).arrays) == 9
+
+    def test_mdljsp2_single_precision(self):
+        prog = get_spec("mdljsp2").build()
+        assert prog.array("X").element_size == 4
+        prog_dp = get_spec("mdljdp2").build()
+        assert prog_dp.array("X").element_size == 8

@@ -1,0 +1,77 @@
+"""Golden access-count tests: the trace volume of each faithful kernel
+matches its closed-form reference count, pinning interpreter and kernel
+structure simultaneously."""
+
+import pytest
+
+from repro.bench.kernels import chol, dgefa, dot, irr, jacobi, mult, rb
+from repro.layout import original_layout
+from repro.trace import TraceInterpreter
+
+
+def _count(prog):
+    return TraceInterpreter(prog, original_layout(prog)).count_accesses()
+
+
+class TestClosedFormCounts:
+    def test_jacobi(self):
+        n = 20
+        inner = (n - 2) ** 2
+        assert _count(jacobi(n)) == inner * 5 + inner * 2
+
+    def test_dot(self):
+        assert _count(dot(128)) == 128 * 2
+
+    def test_rb(self):
+        n = 20
+        # Fortran DO bounds are inclusive: j = 2, N-1, 2 etc.
+        red = (n - 2) * len(range(2, n, 2))
+        black = (n - 2) * len(range(3, n, 2))
+        assert _count(rb(n)) == (red + black) * 5
+
+    def test_mult(self):
+        n = 10
+        assert _count(mult(n)) == n * n * n * 4  # C read, A, B, C write
+
+    def test_irr(self):
+        m = 100
+        # loop1: Y read, COEF read, IDX load, X gather, Y write = 5
+        # loop2: X read, Y read, X write = 3
+        assert _count(irr(m)) == m * 5 + m * 3
+
+    def test_dgefa(self):
+        n = 12
+        total = 0
+        for k in range(1, n):
+            total += 1  # touch IPVT(k)
+            total += (n - k) * 3  # A(i,k) = A(i,k) / A(k,k)
+            total += (n - k) * (n - k) * 4  # update loop
+        assert _count(dgefa(n)) == total
+
+    def test_chol(self):
+        n = 12
+        total = 0
+        for k in range(1, n + 1):
+            total += 3  # D(k) = D(k) + A(k,k)
+            total += (n - k + 1) * 3  # scale column
+            for j in range(k + 1, n + 1):
+                total += (n - j + 1) * 4
+        assert _count(chol(n)) == total
+
+
+class TestWriteFractions:
+    @pytest.mark.parametrize(
+        "factory,frac",
+        [
+            (jacobi, 2 / 7),  # 1 write per 5-ref stmt + 1 per 2-ref stmt
+            (dot, 0.0),  # reduction into a scalar: no array writes
+        ],
+    )
+    def test_write_share(self, factory, frac):
+        prog = factory(16) if factory is not dot else factory(64)
+        layout = original_layout(prog)
+        total = writes = 0
+        for addrs, wr in TraceInterpreter(prog, layout).trace():
+            total += len(addrs)
+            writes += int(wr.sum())
+        assert writes / total == pytest.approx(frac, abs=0.02)

@@ -1,0 +1,77 @@
+"""Tests for cache configuration validation and derived geometry."""
+
+import pytest
+
+from repro.cache.config import (
+    PAPER_ASSOCIATIVITIES,
+    PAPER_CACHE_SIZES,
+    CacheConfig,
+    base_cache,
+    direct_mapped,
+    fully_associative,
+    set_associative,
+)
+from repro.errors import ConfigError
+
+
+class TestGeometry:
+    def test_base_cache(self):
+        c = base_cache()
+        assert c.size_bytes == 16 * 1024
+        assert c.line_bytes == 32
+        assert c.is_direct_mapped
+        assert c.num_lines == 512
+        assert c.num_sets == 512
+
+    def test_set_associative(self):
+        c = set_associative(16 * 1024, 4)
+        assert c.num_sets == 128
+        assert not c.is_direct_mapped
+        assert not c.is_fully_associative
+
+    def test_fully_associative(self):
+        c = fully_associative(1024, 32)
+        assert c.num_sets == 1
+        assert c.associativity == 32
+        assert c.is_fully_associative
+
+    def test_with_associativity_and_size(self):
+        c = base_cache()
+        assert c.with_associativity(2).num_sets == 256
+        assert c.with_size(2048).size_bytes == 2048
+
+    def test_describe(self):
+        assert base_cache().describe() == "16K DM 32B"
+        assert set_associative(16 * 1024, 4).describe() == "16K 4-way 32B"
+        assert fully_associative(1024, 32).describe() == "1K FA 32B"
+
+
+class TestValidation:
+    def test_non_power_of_two_size(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=3000, line_bytes=32)
+
+    def test_non_power_of_two_line(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1024, line_bytes=24)
+
+    def test_line_bigger_than_cache(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=32, line_bytes=64)
+
+    def test_zero_associativity(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1024, line_bytes=32, associativity=0)
+
+    def test_indivisible_ways(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1024, line_bytes=32, associativity=64)
+
+    def test_paper_constants(self):
+        assert PAPER_CACHE_SIZES == (2048, 4096, 8192, 16384)
+        assert PAPER_ASSOCIATIVITIES == (1, 2, 4, 16)
+
+    def test_frozen(self):
+        c = base_cache()
+        with pytest.raises(Exception):
+            c.size_bytes = 1

@@ -1,0 +1,109 @@
+"""Tests for multi-level hierarchies and miss classification."""
+
+import pytest
+
+from repro.cache.config import direct_mapped, fully_associative, set_associative
+from repro.cache.fastsim import make_simulator
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.stats import (
+    CacheStats,
+    classify_misses,
+    miss_rate_improvement,
+)
+from repro.errors import SimulationError
+
+
+class TestHierarchy:
+    def test_l1_miss_filters_to_l2(self):
+        h = CacheHierarchy([direct_mapped(256, 32), direct_mapped(4096, 32)])
+        depth = h.access_chunk([0, 256, 0, 256], [False] * 4)
+        # 0 and 256 conflict in the 256B L1 but coexist in the 4K L2.
+        assert list(depth) == [2, 2, 1, 1]
+        assert h.stats(0).misses == 4
+        assert h.stats(1).misses == 2
+
+    def test_hit_in_l1_never_reaches_l2(self):
+        h = CacheHierarchy([direct_mapped(256, 32), direct_mapped(4096, 32)])
+        h.access_chunk([0, 0, 0], [False] * 3)
+        assert h.stats(1).accesses == 1
+
+    def test_single_access_api(self):
+        h = CacheHierarchy([direct_mapped(256, 32), direct_mapped(4096, 32)])
+        assert h.access(0) == 2
+        assert h.access(0) == 0
+
+    def test_reset(self):
+        h = CacheHierarchy([direct_mapped(256, 32)])
+        h.access(0)
+        h.reset()
+        assert h.stats(0).accesses == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            CacheHierarchy([])
+
+    def test_rejects_shrinking_levels(self):
+        with pytest.raises(SimulationError):
+            CacheHierarchy([direct_mapped(4096), direct_mapped(256)])
+
+    def test_all_stats(self):
+        h = CacheHierarchy([direct_mapped(256), direct_mapped(1024)])
+        assert len(h.all_stats()) == 2
+
+
+class TestStats:
+    def test_miss_rate(self):
+        st = CacheStats(accesses=200, misses=30)
+        assert st.miss_rate == pytest.approx(0.15)
+        assert st.miss_rate_pct == pytest.approx(15.0)
+        assert CacheStats().miss_rate == 0.0
+
+    def test_merge(self):
+        a = CacheStats(accesses=10, misses=2, writebacks=1, cold_misses=2)
+        c = CacheStats(accesses=5, misses=5, writebacks=0, cold_misses=3)
+        m = a.merge(c)
+        assert m.accesses == 15 and m.misses == 7
+        assert m.writebacks == 1 and m.cold_misses == 5
+
+    def test_improvement_sign_convention(self):
+        """10% -> 8% is +2; 10% -> 12% is -2 (paper's convention)."""
+        orig = CacheStats(accesses=100, misses=10)
+        better = CacheStats(accesses=100, misses=8)
+        worse = CacheStats(accesses=100, misses=12)
+        assert miss_rate_improvement(orig, better) == pytest.approx(2.0)
+        assert miss_rate_improvement(orig, worse) == pytest.approx(-2.0)
+
+    def test_describe(self):
+        st = CacheStats(accesses=4, misses=1)
+        assert "25.00%" in st.describe()
+
+
+class TestClassification:
+    def test_conflict_misses_from_comparison(self):
+        """0 and 1024 thrash a 1K DM cache but fit a fully associative one."""
+        dm = make_simulator(direct_mapped(1024, 32))
+        fa = make_simulator(fully_associative(1024, 32))
+        trace = [0, 1024] * 50
+        dm.access_chunk(trace, [False] * 100)
+        fa.access_chunk(trace, [False] * 100)
+        breakdown = classify_misses(dm.stats, fa.stats)
+        assert breakdown.cold == 2
+        assert breakdown.capacity == 0
+        assert breakdown.conflict == 98
+        assert breakdown.total == 100
+        assert breakdown.conflict_fraction == pytest.approx(0.98)
+
+    def test_capacity_misses(self):
+        """A scan over 4x the cache size misses in any organization."""
+        dm = make_simulator(direct_mapped(1024, 32))
+        fa = make_simulator(fully_associative(1024, 32))
+        trace = list(range(0, 4096, 32)) * 2
+        dm.access_chunk(trace, [False] * len(trace))
+        fa.access_chunk(trace, [False] * len(trace))
+        breakdown = classify_misses(dm.stats, fa.stats)
+        assert breakdown.cold == 128
+        assert breakdown.capacity > 0
+        assert breakdown.conflict == 0
+
+    def test_zero_total(self):
+        assert classify_misses(CacheStats(), CacheStats()).conflict_fraction == 0.0

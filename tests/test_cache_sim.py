@@ -1,0 +1,100 @@
+"""Tests for the reference cache simulator (ground truth)."""
+
+import pytest
+
+from repro.cache.config import CacheConfig, direct_mapped, set_associative
+from repro.cache.sim import ReferenceCache
+
+
+class TestDirectMapped:
+    def test_cold_then_hit(self):
+        c = ReferenceCache(direct_mapped(1024, 32))
+        assert c.access(0) is True  # cold miss
+        assert c.access(4) is False  # same line
+        assert c.access(31) is False
+        assert c.access(32) is True  # next line
+
+    def test_conflict_eviction(self):
+        c = ReferenceCache(direct_mapped(1024, 32))
+        assert c.access(0) is True
+        assert c.access(1024) is True  # same set, different tag
+        assert c.access(0) is True  # evicted
+
+    def test_distinct_sets_coexist(self):
+        c = ReferenceCache(direct_mapped(1024, 32))
+        c.access(0)
+        c.access(32)
+        assert c.access(0) is False
+        assert c.access(32) is False
+
+    def test_stats_counters(self):
+        c = ReferenceCache(direct_mapped(1024, 32))
+        c.access(0, is_write=False)
+        c.access(0, is_write=True)
+        c.access(1024, is_write=True)
+        st = c.stats
+        assert st.accesses == 3
+        assert st.reads == 1 and st.writes == 2
+        assert st.misses == 2
+        assert st.read_misses == 1 and st.write_misses == 1
+        assert st.cold_misses == 2
+        assert st.hits == 1
+
+    def test_writeback_on_dirty_eviction(self):
+        c = ReferenceCache(direct_mapped(1024, 32))
+        c.access(0, is_write=True)  # dirty
+        c.access(1024)  # evicts dirty line
+        assert c.stats.writebacks == 1
+        c.access(2048)  # evicts clean line
+        assert c.stats.writebacks == 1
+
+
+class TestLRU:
+    def test_lru_eviction_order(self):
+        c = ReferenceCache(set_associative(128, 2, 32))  # 2 sets, 2 ways
+        c.access(0)      # set 0
+        c.access(128)    # set 0
+        c.access(0)      # touch: 128 now LRU
+        c.access(256)    # set 0: evicts 128
+        assert c.access(0) is False
+        assert c.access(128) is True
+
+    def test_lru_order_inspection(self):
+        c = ReferenceCache(set_associative(128, 2, 32))
+        c.access(0)
+        c.access(128)
+        assert c.lru_order(0) == [0, 4]
+        c.access(0)
+        assert c.lru_order(0) == [4, 0]
+
+    def test_fully_associative_no_conflicts(self):
+        c = ReferenceCache(set_associative(1024, 32, 32))
+        for i in range(32):
+            c.access(i * 1024)  # all map to set 0 in a DM cache
+        for i in range(32):
+            assert c.access(i * 1024) is False  # capacity suffices
+
+    def test_reset(self):
+        c = ReferenceCache(direct_mapped(1024, 32))
+        c.access(0)
+        c.reset()
+        assert c.stats.accesses == 0
+        assert c.access(0) is True
+
+    def test_access_chunk_matches_single(self):
+        import numpy as np
+
+        c1 = ReferenceCache(direct_mapped(256, 32))
+        c2 = ReferenceCache(direct_mapped(256, 32))
+        addrs = [0, 32, 0, 256, 0, 288, 64, 0]
+        writes = [False, True, False, True, False, False, True, False]
+        m1 = [c1.access(a, w) for a, w in zip(addrs, writes)]
+        m2 = c2.access_chunk(np.array(addrs), np.array(writes))
+        assert m1 == list(m2)
+        assert c1.stats == c2.stats
+
+    def test_resident_lines(self):
+        c = ReferenceCache(direct_mapped(1024, 32))
+        c.access(0)
+        c.access(64)
+        assert c.resident_lines() == {0, 2}

@@ -1,0 +1,89 @@
+"""Tests for the conflict diagnostics module."""
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    ConflictFinding,
+    conflict_report,
+    render_report,
+    set_pressure,
+    severe_conflicts,
+)
+from repro.cache.config import CacheConfig
+from repro.layout.layout import original_layout
+from repro.padding import PadParams, pad
+from tests.conftest import jacobi_program, vector_sum_program
+
+
+CACHE = CacheConfig(1024, 4, 1)
+
+
+class TestConflictReport:
+    def test_finds_jacobi_column_conflict(self):
+        prog = jacobi_program(512)  # byte elements; 2 cols = 1024 = Cs
+        layout = original_layout(prog)
+        findings = conflict_report(prog, layout, CACHE)
+        intra = [f for f in findings if f.kind == "intra" and f.severe]
+        assert any(
+            {str(f.ref_a), str(f.ref_b)} == {"A(j, i-1)", "A(j, i+1)"}
+            for f in intra
+        )
+
+    def test_finds_inter_base_conflict(self):
+        prog = jacobi_program(512)
+        layout = original_layout(prog)
+        findings = conflict_report(prog, layout, CACHE)
+        assert any(f.kind == "inter" and f.severe for f in findings)
+
+    def test_same_line_pairs_not_severe(self):
+        prog = jacobi_program(512)
+        layout = original_layout(prog)
+        findings = conflict_report(prog, layout, CACHE)
+        near = [f for f in findings if not f.severe]
+        # A(j-1,i) vs A(j+1,i): distance 2 -> same-line reuse
+        assert any(abs(f.distance) == 2 for f in near)
+
+    def test_pad_clears_severe_findings(self):
+        prog = jacobi_program(512)
+        params = PadParams.for_cache(CACHE, intra_pad_limit=64)
+        result = pad(prog, params, use_linpad=False)
+        assert severe_conflicts(result.prog, result.layout, CACHE) == []
+
+    def test_clean_program_empty_report(self):
+        prog = jacobi_program(300)
+        findings = severe_conflicts(prog, original_layout(prog), CACHE)
+        assert findings == []
+
+    def test_threshold_override(self):
+        prog = jacobi_program(512)
+        layout = original_layout(prog)
+        wide = conflict_report(prog, layout, CACHE, threshold=64)
+        narrow = conflict_report(prog, layout, CACHE, threshold=4)
+        assert len(wide) >= len(narrow)
+
+    def test_render(self):
+        prog = jacobi_program(512)
+        findings = conflict_report(prog, original_layout(prog), CACHE)
+        text = render_report(findings)
+        assert "conflicting pair" in text
+        assert render_report([]) == "no conflicting reference pairs"
+
+
+class TestSetPressure:
+    def test_histogram_shape(self):
+        prog = vector_sum_program(256)
+        layout = original_layout(prog)
+        cache = CacheConfig(2048, 32, 1)
+        pressure = set_pressure(prog, layout, cache, buckets=16)
+        assert set(pressure) == {"A", "B"}
+        assert all(len(h) == 16 for h in pressure.values())
+        assert sum(pressure["A"]) == 1  # one reference to A
+
+    def test_conflicting_arrays_share_buckets(self):
+        prog = vector_sum_program(256)  # A and B exactly Cs apart
+        layout = original_layout(prog)
+        cache = CacheConfig(2048, 32, 1)
+        pressure = set_pressure(prog, layout, cache, buckets=64)
+        bucket_a = pressure["A"].index(1)
+        bucket_b = pressure["B"].index(1)
+        assert bucket_a == bucket_b

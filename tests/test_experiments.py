@@ -1,0 +1,214 @@
+"""Tests for the experiment runner and figure modules (small configs)."""
+
+import pytest
+
+from repro.cache.config import direct_mapped
+from repro.errors import ConfigError
+from repro.experiments import (
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    table2,
+)
+from repro.experiments.runner import HEURISTICS, Runner
+
+SMALL = direct_mapped(2048)
+FAST_PROGRAMS = ("jacobi", "dot")
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner()
+
+
+class TestRunner:
+    def test_memoization(self, runner):
+        first = runner.run("jacobi", "original", SMALL, size=64)
+        second = runner.run("jacobi", "original", SMALL, size=64)
+        assert first is second  # same cached object
+
+    def test_unknown_heuristic(self, runner):
+        with pytest.raises(ConfigError):
+            runner.padding("jacobi", "magic")
+
+    def test_all_heuristics_run(self, runner):
+        for name in HEURISTICS:
+            stats = runner.run("jacobi", name, SMALL, size=48)
+            assert stats.accesses > 0
+
+    def test_improvement_sign(self, runner):
+        # jacobi at 256 with a 2K cache: severe conflicts, padding helps.
+        improvement = runner.improvement("jacobi", "pad", cache=SMALL, size=256)
+        assert improvement > 10.0
+
+    def test_truncation_respected(self, runner):
+        full = Runner().run("jacobi", "original", SMALL, size=64, max_outer=None)
+        short = Runner().run("jacobi", "original", SMALL, size=64, max_outer=4)
+        assert short.accesses < full.accesses
+
+    def test_clear(self):
+        r = Runner()
+        r.run("dot", "original", SMALL, size=128)
+        r.clear()
+        assert r._stats == {}
+
+    def test_pad_cache_differs_from_sim_cache(self, runner):
+        stats = runner.run(
+            "jacobi", "pad", SMALL.with_associativity(2), size=64, pad_cache=SMALL
+        )
+        assert stats.accesses > 0
+
+
+class TestTable2:
+    def test_rows(self, runner):
+        rows = table2.compute(runner, programs=FAST_PROGRAMS, cache=SMALL)
+        assert [r.program for r in rows] == list(FAST_PROGRAMS)
+        text = table2.render(rows)
+        assert "jacobi" in text and "Table 2" in text
+
+
+class TestFigureModules:
+    def test_fig8(self, runner):
+        rows = fig8.compute(runner, FAST_PROGRAMS, SMALL)
+        assert len(rows) == 2
+        for name, orig, padded, improvement in rows:
+            assert improvement == pytest.approx(orig - padded)
+        assert "Figure 8" in fig8.render(rows)
+
+    def test_fig9(self, runner):
+        rows = fig9.compute(runner, ("dot",), SMALL)
+        (name, pad_dm, w2, w4, w16) = rows[0]
+        assert name == "dot"
+        # dot's thrashing is fixed by both padding and any associativity
+        assert pad_dm > 50
+        assert w2 > 50
+        assert "Figure 9" in fig9.render(rows)
+
+    def test_fig10(self, runner):
+        rows = fig10.compute(runner, ("dot",), SMALL)
+        name, w1, w2, w4 = rows[0]
+        assert w1 > 50  # huge gain on direct-mapped
+        assert w2 == pytest.approx(0, abs=5)  # 2-way already fixes dot
+        assert "Figure 10" in fig10.render(rows)
+
+    def test_fig11(self, runner):
+        rows = fig11.compute(runner, ("jacobi",), sizes=(1024, 2048))
+        assert len(rows[0]) == 3
+        assert "Figure 11" in fig11.render(rows, sizes=(1024, 2048))
+
+    def test_fig12(self, runner):
+        rows = fig12.compute(runner, ("jacobi",), sizes=(2048,))
+        assert len(rows[0]) == 2
+        assert "Figure 12" in fig12.render(rows, sizes=(2048,))
+
+    def test_fig13(self, runner):
+        rows = fig13.compute(runner, ("jacobi",), SMALL, m_values=(1, 8))
+        assert len(rows[0]) == 3
+        assert "Figure 13" in fig13.render(rows, m_values=(1, 8))
+
+    def test_fig14(self, runner):
+        rows = fig14.compute(runner, ("jacobi",), sizes=(2048,))
+        assert "Figure 14" in fig14.render(rows, sizes=(2048,))
+
+    def test_fig15(self, runner):
+        rows = fig15.compute(runner, ("dot",), SMALL)
+        name, alpha, usii, p2 = rows[0]
+        assert alpha > 0 and usii > 0 and p2 > 0
+        assert usii > alpha  # highest penalty/base ratio
+        assert "Figure 15" in fig15.render(rows)
+
+    def test_fig16_single_kernel(self, runner):
+        result = fig16.compute_kernel("jacobi", runner, sizes=(60, 64), cache=SMALL)
+        assert set(result.curves) == {"original", "padlite", "pad", "16-way"}
+        assert len(result.curves["pad"]) == 2
+        assert "Figure 16" in fig16.render([result])
+
+    def test_fig17_single_kernel(self, runner):
+        result = fig17.compute_kernel("dgefa", runner, sizes=(64,), cache=SMALL)
+        assert set(result.curves) == {"linpad1", "linpad2"}
+        assert "Figure 17" in fig17.render([result])
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        from repro.experiments.reporting import format_table
+
+        text = format_table("T", ("Program", "X"), [("a", 1.0), ("bb", 2.5)])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "bb" in text and "2.50" in text
+
+    def test_format_series(self):
+        from repro.experiments.reporting import format_series
+
+        text = format_series("S", "N", (1, 2), {"c": [0.1, 0.2]})
+        assert "0.10" in text and "N" in text
+
+    def test_summarize_average(self):
+        from repro.experiments.reporting import summarize_average
+
+        assert summarize_average([("a", 2.0), ("b", 4.0)]) == 3.0
+        assert summarize_average([]) == 0.0
+
+
+class TestAsciiCharts:
+    def test_chart_geometry(self):
+        from repro.experiments.reporting import format_ascii_chart
+
+        text = format_ascii_chart(
+            "T", (1, 2, 3), {"a": [0.0, 5.0, 10.0], "b": [10.0, 10.0, 10.0]},
+            height=5,
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "legend: o=a  x=b" in lines[-1]
+        plot_rows = [l for l in lines if "|" in l]
+        assert len(plot_rows) == 5
+        # 'a' rises: marker in the bottom row at col 0, top row at col 2
+        assert plot_rows[-1].split("|")[1][0] == "o"
+        top_row = plot_rows[0].split("|")[1]
+        assert "x" in top_row or "o" in top_row
+
+    def test_fig16_render_charts(self, runner):
+        from repro.experiments import fig16
+
+        res = fig16.compute_kernel("jacobi", runner, sizes=(60, 64), cache=SMALL)
+        text = fig16.render_charts([res])
+        assert "jacobi" in text and "legend" in text
+
+    def test_fig17_render_charts(self, runner):
+        from repro.experiments import fig17
+
+        res = fig17.compute_kernel("dgefa", runner, sizes=(64,), cache=SMALL)
+        text = fig17.render_charts([res])
+        assert "linpad1" in text
+
+
+class TestAsciiChartEdges:
+    def test_single_point(self):
+        from repro.experiments.reporting import format_ascii_chart
+
+        text = format_ascii_chart("T", (512,), {"a": [5.0]}, height=4)
+        assert "512" in text
+        assert text.count("|") == 4
+
+    def test_all_zero_series(self):
+        from repro.experiments.reporting import format_ascii_chart
+
+        text = format_ascii_chart("T", (1, 2), {"a": [0.0, 0.0]}, height=3)
+        # degenerate top guard: no division by zero, markers at baseline
+        assert "o" in text
+
+    def test_many_series_marker_cycling(self):
+        from repro.experiments.reporting import format_ascii_chart
+
+        series = {f"s{i}": [float(i)] for i in range(8)}
+        text = format_ascii_chart("T", (1,), series, height=4)
+        assert "#=s4" in text  # markers wrap through the cycle string

@@ -1,0 +1,200 @@
+"""Tests for the extensions: XOR placement, tile-size selection, and the
+static conflict estimator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cache.config import CacheConfig, direct_mapped, set_associative
+from repro.errors import ConfigError
+from repro.extensions.estimate import estimate_conflicts
+from repro.extensions.tiling import (
+    select_tile,
+    tile_candidates,
+    tiled_matmul,
+)
+from repro.extensions.xorcache import (
+    XorDirectMapped,
+    XorSetAssociative,
+    make_xor_simulator,
+)
+from repro.layout.layout import original_layout
+from repro.padding import PadParams, pad
+from tests.conftest import jacobi_program, vector_sum_program
+
+
+class TestXorCache:
+    def test_engine_selection(self):
+        assert isinstance(make_xor_simulator(direct_mapped(1024)), XorDirectMapped)
+        assert isinstance(
+            make_xor_simulator(set_associative(1024, 4)), XorSetAssociative
+        )
+
+    def test_breaks_cache_size_stride_conflict(self):
+        """Addresses one cache size apart conflict in a modulo cache but
+        usually not under XOR placement."""
+        config = direct_mapped(1024, 32)
+        mod = __import__("repro.cache.fastsim", fromlist=["x"]).FastDirectMapped(config)
+        xor = XorDirectMapped(config)
+        trace = np.array([0, 1024, 0, 1024] * 40, dtype=np.int64)
+        writes = np.zeros(len(trace), dtype=bool)
+        mod.access_chunk(trace, writes)
+        xor.access_chunk(trace, writes)
+        assert mod.stats.misses == len(trace)  # total thrash
+        assert xor.stats.misses <= 4  # scattered: only cold misses
+
+    def test_same_capacity_behaviour_on_streams(self):
+        """Pure streaming misses are placement-independent."""
+        config = direct_mapped(1024, 32)
+        mod = __import__("repro.cache.fastsim", fromlist=["x"]).FastDirectMapped(config)
+        xor = XorDirectMapped(config)
+        trace = np.arange(0, 8192, 8, dtype=np.int64)
+        writes = np.zeros(len(trace), dtype=bool)
+        mod.access_chunk(trace, writes)
+        xor.access_chunk(trace, writes)
+        assert mod.stats.misses == xor.stats.misses
+
+    def test_xor_fixes_dot_without_padding(self):
+        from repro import original, trace_program
+
+        prog = vector_sum_program(256)  # 2K vectors exactly Cs apart
+        layout = original(prog).layout
+        config = direct_mapped(2048, 32)
+        xor = make_xor_simulator(config)
+        for addrs, writes in trace_program(prog, layout):
+            xor.access_chunk(addrs, writes)
+        assert xor.stats.miss_rate_pct < 30.0  # vs 100% on modulo placement
+
+    def test_assoc_variant_runs(self):
+        xor = XorSetAssociative(set_associative(1024, 4, 32))
+        misses = xor.access_chunk([0, 0, 4096, 0], [False] * 4)
+        assert bool(misses[0]) and not bool(misses[1])
+
+
+class TestTileSelection:
+    def test_candidates_have_no_self_interference(self):
+        cache = direct_mapped(2048, 32)
+        for col in (300, 273, 512, 768, 513):
+            for cand in tile_candidates(cache, col * 8, 8):
+                # verify by construction: all column segments disjoint
+                offsets = [(j * col * 8) % 2048 for j in range(cand.width)]
+                h = cand.height * 8
+                for a in range(len(offsets)):
+                    for b in range(a + 1, len(offsets)):
+                        gap = (offsets[a] - offsets[b]) % 2048
+                        assert min(gap, 2048 - gap) >= h, (col, cand)
+
+    def test_candidate_fits_cache(self):
+        cache = direct_mapped(2048, 32)
+        for col in (300, 512, 520):
+            for cand in tile_candidates(cache, col * 8, 8):
+                assert cand.footprint_bytes <= cache.size_bytes
+
+    def test_select_prefers_high_utilization(self):
+        cache = direct_mapped(2048, 32)
+        tile = select_tile(cache, 300, 8)
+        assert tile.utilization > 0.4
+
+    def test_select_respects_bounds(self):
+        cache = direct_mapped(2048, 32)
+        tile = select_tile(cache, 300, 8, max_height=8, max_width=4)
+        assert tile.height <= 8 and tile.width <= 4
+
+    def test_pathological_column(self):
+        """Column an exact multiple of the cache: all columns overlap."""
+        cache = direct_mapped(2048, 32)
+        tile = select_tile(cache, 256, 8)  # 256*8 = 2048 = Cs
+        assert tile.width == 1
+
+    def test_invalid_inputs(self):
+        cache = direct_mapped(2048, 32)
+        with pytest.raises(ConfigError):
+            tile_candidates(cache, 0, 8)
+
+    def test_tiled_matmul_builds(self):
+        prog = tiled_matmul(32, 8, 4)
+        assert prog.array("A").dim_sizes == (32, 32)
+        total = sum(1 for _ in prog.refs())
+        assert total == 4  # C, A, B reads + C write
+
+    def test_tiled_matmul_requires_divisibility(self):
+        with pytest.raises(ConfigError):
+            tiled_matmul(30, 8, 4)
+
+    def test_good_tile_beats_bad_tile(self):
+        """Simulated miss rate: a selected tile beats a pathological one."""
+        from repro import simulate_program
+        from repro.padding.drivers import original
+
+        cache = direct_mapped(2048, 32)
+        n = 64
+        good = select_tile(cache, n, 8, max_height=n, max_width=8)
+        th = max(2, 1 << (good.height.bit_length() - 1))
+        while n % th:
+            th //= 2
+        prog_good = tiled_matmul(n, th, 4)
+        prog_bad = tiled_matmul(n, 32, 32)
+        rate_good = simulate_program(
+            prog_good, original(prog_good).layout, cache
+        ).miss_rate_pct
+        rate_bad = simulate_program(
+            prog_bad, original(prog_bad).layout, cache
+        ).miss_rate_pct
+        assert rate_good < rate_bad
+
+
+class TestEstimator:
+    CACHE = CacheConfig(1024, 4, 1)
+
+    def test_flags_conflicting_layout(self):
+        prog = jacobi_program(512)
+        est = estimate_conflicts(prog, original_layout(prog), self.CACHE)
+        assert est.severe
+        assert est.conflicting_refs > 0
+        assert est.miss_rate_pct > 25.0
+
+    def test_clears_after_padding(self):
+        prog = jacobi_program(512)
+        params = PadParams.for_cache(self.CACHE, intra_pad_limit=64)
+        result = pad(prog, params, use_linpad=False)
+        est = estimate_conflicts(result.prog, result.layout, self.CACHE)
+        assert not est.severe
+        # Residual prediction is the pure streaming rate: 1-byte elements
+        # on 4-byte lines touch a new line every 4th access.
+        assert est.miss_rate_pct == pytest.approx(25.0, abs=1.0)
+
+    def test_ranks_layouts_like_simulation(self):
+        """The estimator orders (original, padded) the same way the
+        simulator does — its actual job in a compiler."""
+        from repro import simulate_program
+        from repro.padding.drivers import original as orig_driver
+
+        prog = jacobi_program(512)
+        params = PadParams.for_cache(self.CACHE, intra_pad_limit=64)
+        padded = pad(prog, params, use_linpad=False)
+        baseline = orig_driver(prog)
+        est_orig = estimate_conflicts(prog, baseline.layout, self.CACHE)
+        est_pad = estimate_conflicts(padded.prog, padded.layout, self.CACHE)
+        sim_orig = simulate_program(prog, baseline.layout, self.CACHE)
+        sim_pad = simulate_program(padded.prog, padded.layout, self.CACHE)
+        assert (est_orig.miss_rate_pct > est_pad.miss_rate_pct) == (
+            sim_orig.miss_rate_pct > sim_pad.miss_rate_pct
+        )
+
+    def test_estimate_tracks_simulation_roughly(self):
+        """On the thrashing dot product the prediction is near-exact."""
+        from repro import simulate_program
+        from repro.padding.drivers import original as orig_driver
+
+        prog = vector_sum_program(256)
+        cache = direct_mapped(2048, 32)
+        layout = orig_driver(prog).layout
+        est = estimate_conflicts(prog, layout, cache)
+        sim = simulate_program(prog, layout, cache)
+        assert est.miss_rate_pct == pytest.approx(sim.miss_rate_pct, abs=2.0)
+
+    def test_per_nest_breakdown(self):
+        prog = jacobi_program(512)
+        est = estimate_conflicts(prog, original_layout(prog), self.CACHE)
+        assert set(est.per_nest) == {0, 1}

@@ -1,0 +1,226 @@
+"""Tests for the DSL front end: lexer, parser, lowering."""
+
+import pytest
+
+from repro.errors import LexError, LowerError, ParseError
+from repro.frontend import parse_program, parse_source, tokenize
+from repro.frontend.tokens import TokenKind
+from repro.ir import pretty
+from repro.ir.expr import AffineExpr, IndirectExpr
+from repro.ir.types import ElementType
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("A(i+1) = 2.5 * B(i)")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [
+            TokenKind.NAME, TokenKind.LPAREN, TokenKind.NAME, TokenKind.PLUS,
+            TokenKind.NUMBER, TokenKind.RPAREN, TokenKind.ASSIGN,
+            TokenKind.NUMBER, TokenKind.STAR, TokenKind.NAME,
+            TokenKind.LPAREN, TokenKind.NAME, TokenKind.RPAREN,
+            TokenKind.NEWLINE, TokenKind.EOF,
+        ]
+
+    def test_number_values(self):
+        tokens = tokenize("42 2.5")
+        assert tokens[0].value == 42
+        assert tokens[1].value == 2.5
+
+    def test_comments_stripped(self):
+        tokens = tokenize("a = 1  # trailing\n! whole line\nb = 2")
+        names = [t.text for t in tokens if t.kind == TokenKind.NAME]
+        assert names == ["a", "b"]
+
+    def test_blank_lines_collapsed(self):
+        tokens = tokenize("a = 1\n\n\nb = 2")
+        newlines = sum(1 for t in tokens if t.kind == TokenKind.NEWLINE)
+        assert newlines == 2
+
+    def test_positions(self):
+        tokens = tokenize("do i = 1, 5")
+        assert tokens[0].line == 1
+        assert tokens[0].column == 1
+        assert tokens[1].column == 4
+
+    def test_bad_character(self):
+        with pytest.raises(LexError) as info:
+            tokenize("a = @b")
+        assert info.value.line == 1
+
+    def test_colon_and_slash(self):
+        tokens = tokenize("0:9 /blk/")
+        kinds = {t.kind for t in tokens}
+        assert TokenKind.COLON in kinds
+        assert TokenKind.SLASH in kinds
+
+
+class TestParser:
+    def test_missing_end(self):
+        with pytest.raises(ParseError):
+            parse_source("program p\nreal*8 A(4)\n")
+
+    def test_unclosed_do(self):
+        with pytest.raises(ParseError):
+            parse_source("program p\ndo i = 1, 4\nend\n")
+
+    def test_bad_access_mode(self):
+        with pytest.raises(ParseError):
+            parse_source("program p\nreal*8 A(4)\naccess fetch A(1)\nend\n")
+
+    def test_step_clause(self):
+        tree = parse_source("program p\nreal*8 A(8)\ndo i = 1, 8, 2\nA(i) = 1\nend do\nend\n")
+        assert tree.body[0].step is not None
+
+    def test_double_precision(self):
+        tree = parse_source("program p\ndouble precision X(4)\nend\n")
+        assert tree.decls[0].type_name == "double precision"
+
+    def test_keywords_case_insensitive(self):
+        tree = parse_source("PROGRAM p\nREAL*8 A(4)\nDO i = 1, 4\nA(i) = 0\nEND DO\nEND\n")
+        assert tree.name == "p"
+
+
+class TestLowering:
+    def test_param_override(self):
+        src = "program p\nparam N = 8\nreal*8 A(N)\ndo i = 1, N\nA(i) = 0\nend do\nend\n"
+        prog = parse_program(src, params={"N": 32})
+        assert prog.array("A").dim_sizes == (32,)
+        nest = prog.loop_nests()[0]
+        assert nest.upper == AffineExpr.const_expr(32)
+
+    def test_unknown_override_rejected(self):
+        src = "program p\nparam N = 8\nreal*8 A(N)\nend\n"
+        with pytest.raises(LowerError):
+            parse_program(src, params={"M": 3})
+
+    def test_param_arithmetic(self):
+        src = "program p\nparam N = 8\nparam H = N/2 + 1\nreal*8 A(H)\nend\n"
+        assert parse_program(src).array("A").dim_sizes == (5,)
+
+    def test_dim_range_syntax(self):
+        src = "program p\nreal*8 A(0:7)\nend\n"
+        decl = parse_program(src).array("A")
+        assert decl.dims[0].lower == 0
+        assert decl.dims[0].size == 8
+
+    def test_element_types(self):
+        src = "program p\nreal*4 A(2)\ninteger*8 K(2)\nbyte Q(2)\nend\n"
+        prog = parse_program(src)
+        assert prog.array("A").element_type is ElementType.REAL4
+        assert prog.array("K").element_type is ElementType.INT8
+        assert prog.array("Q").element_type is ElementType.BYTE
+
+    def test_reads_extracted_in_textual_order(self):
+        src = (
+            "program p\nreal*8 A(8), B(8), C(8)\n"
+            "do i = 1, 8\nC(i) = B(i+1) * 2 + A(i-1)\nend do\nend\n"
+        )
+        prog = parse_program(src)
+        stmt = next(prog.statements())
+        assert [r.array for r in stmt.refs] == ["B", "A", "C"]
+        assert stmt.refs[-1].is_write
+
+    def test_scalars_generate_no_refs(self):
+        src = (
+            "program p\nreal*8 A(8)\nreal*8 S\n"
+            "do i = 1, 8\nS = S + A(i)\nend do\nend\n"
+        )
+        prog = parse_program(src)
+        stmt = next(prog.statements())
+        assert [r.array for r in stmt.refs] == ["A"]
+
+    def test_intrinsic_calls_scanned(self):
+        src = (
+            "program p\nreal*8 A(8), B(8)\n"
+            "do i = 1, 8\nB(i) = sqrt(A(i))\nend do\nend\n"
+        )
+        prog = parse_program(src)
+        stmt = next(prog.statements())
+        assert [r.array for r in stmt.refs] == ["A", "B"]
+
+    def test_indirect_subscript(self):
+        src = (
+            "program p\nreal*8 X(8)\ninteger*4 IDX(8)\n"
+            "do i = 1, 8\nX(i) = X(IDX(i))\nend do\nend\n"
+        )
+        prog = parse_program(src)
+        ref = next(prog.statements()).refs[0]
+        assert isinstance(ref.subscripts[0], IndirectExpr)
+
+    def test_two_dim_index_array_rejected(self):
+        src = (
+            "program p\nreal*8 X(8)\nreal*8 M(8,8)\n"
+            "do i = 1, 8\nX(i) = X(M(i,i))\nend do\nend\n"
+        )
+        with pytest.raises(LowerError):
+            parse_program(src)
+
+    def test_nonaffine_subscript_rejected(self):
+        src = "program p\nreal*8 A(8,8)\ndo i = 1, 8\nA(i*i, 1) = 0\nend do\nend\n"
+        with pytest.raises(LowerError):
+            parse_program(src)
+
+    def test_float_in_subscript_rejected(self):
+        src = "program p\nreal*8 A(8)\ndo i = 1, 8\nA(1.5) = 0\nend do\nend\n"
+        with pytest.raises(LowerError):
+            parse_program(src)
+
+    def test_array_without_subscripts_rejected(self):
+        src = "program p\nreal*8 A(8), B(8)\ndo i = 1, 8\nB(i) = A\nend do\nend\n"
+        with pytest.raises(LowerError):
+            parse_program(src)
+
+    def test_directives(self):
+        src = (
+            "program p\nreal*8 A(8), B(8), C(8), D(8)\n"
+            "unsafe A\nparameter_array B\nlocal C\ncommon /blk/ D nosplit\nend\n"
+        )
+        prog = parse_program(src)
+        assert prog.array("A").storage_association
+        assert prog.array("B").is_parameter
+        assert prog.array("C").is_local
+        assert prog.array("D").common_block == "blk"
+        assert not prog.array("D").common_splittable
+
+    def test_directive_on_undeclared_name(self):
+        with pytest.raises(LowerError):
+            parse_program("program p\nunsafe Z\nend\n")
+
+    def test_touch_and_access(self):
+        src = (
+            "program p\nreal*8 A(8), B(8)\n"
+            "do i = 1, 8\ntouch A(i), B(i)\naccess load A(i), store B(i)\nend do\nend\n"
+        )
+        prog = parse_program(src)
+        stmts = list(prog.statements())
+        assert not any(r.is_write for r in stmts[0].refs)
+        assert [r.is_write for r in stmts[1].refs] == [False, True]
+
+    def test_negative_bounds_and_unary(self):
+        src = "program p\nreal*8 A(-2:2)\ndo i = -2, 2\nA(i) = 0\nend do\nend\n"
+        prog = parse_program(src)
+        assert prog.array("A").dims[0].lower == -2
+        assert prog.array("A").dims[0].size == 5
+
+
+class TestRoundTrip:
+    def test_pretty_reparses_to_same_refs(self):
+        from repro.bench.kernels import expl, jacobi, shal
+
+        for factory in (jacobi, expl, shal):
+            prog = factory(32)
+            again = parse_program(pretty(prog))
+            assert [str(s) for s in again.refs()] == [str(s) for s in prog.refs()]
+            assert [d.name for d in again.decls] == [d.name for d in prog.decls]
+
+    def test_pretty_preserves_directives(self):
+        src = (
+            "program p\nreal*8 A(8), B(8)\nunsafe A\ncommon /c/ B nosplit\n"
+            "do i = 1, 8\nB(i) = A(i)\nend do\nend\n"
+        )
+        prog = parse_program(src)
+        again = parse_program(pretty(prog))
+        assert again.array("A").storage_association
+        assert again.array("B").common_block == "c"
+        assert not again.array("B").common_splittable

@@ -1,0 +1,190 @@
+"""Tests for loop fusion."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.frontend import parse_program
+from repro.transforms.fusion import fuse_all, fuse_program, fusion_legal
+
+COPY_THEN_SCALE = """
+program p
+  param N = 16
+  real*8 A(N,N), B(N,N)
+  do i = 1, N
+    do j = 1, N
+      B(j,i) = A(j,i)
+    end do
+  end do
+  do i = 1, N
+    do j = 1, N
+      A(j,i) = B(j,i) * 2.0
+    end do
+  end do
+end
+"""
+
+FORWARD_READ = """
+program p
+  param N = 16
+  real*8 A(N), B(N)
+  do i = 1, N
+    B(i) = A(i)
+  end do
+  do i = 1, N
+    A(i) = B(i+0) + 1.0
+  end do
+end
+"""
+
+PREVENTING = """
+program p
+  param N = 16
+  real*8 A(N), B(N)
+  do i = 1, N-1
+    B(i) = A(i)
+  end do
+  do i = 1, N-1
+    A(i) = B(i+1)
+  end do
+end
+"""
+
+BACKWARD_OK = """
+program p
+  param N = 16
+  real*8 A(N), B(N)
+  do i = 2, N
+    B(i) = A(i)
+  end do
+  do i = 2, N
+    A(i) = B(i-1)
+  end do
+end
+"""
+
+DIFFERENT_BOUNDS = """
+program p
+  param N = 16
+  real*8 A(N), B(N)
+  do i = 1, N
+    B(i) = A(i)
+  end do
+  do i = 2, N
+    A(i) = B(i)
+  end do
+end
+"""
+
+
+class TestLegality:
+    def test_same_iteration_flow_legal(self):
+        prog = parse_program(COPY_THEN_SCALE)
+        nests = prog.loop_nests()
+        legal, reason = fusion_legal(prog, nests[0], nests[1])
+        assert legal, reason
+
+    def test_backward_read_legal(self):
+        """Nest 2 reads B(i-1): written earlier in the fused order."""
+        prog = parse_program(BACKWARD_OK)
+        nests = prog.loop_nests()
+        assert fusion_legal(prog, nests[0], nests[1])[0]
+
+    def test_forward_read_prevents(self):
+        """Nest 2 reads B(i+1): not yet written after fusion."""
+        prog = parse_program(PREVENTING)
+        nests = prog.loop_nests()
+        legal, reason = fusion_legal(prog, nests[0], nests[1])
+        assert not legal
+        assert "fusion-preventing" in reason
+
+    def test_different_bounds_prevent(self):
+        prog = parse_program(DIFFERENT_BOUNDS)
+        nests = prog.loop_nests()
+        legal, reason = fusion_legal(prog, nests[0], nests[1])
+        assert not legal
+        assert "headers" in reason
+
+    def test_gather_prevents(self):
+        prog = parse_program("""
+program p
+  real*8 A(8), B(8)
+  integer*4 IDX(8)
+  do i = 1, 8
+    B(IDX(i)) = A(i)
+  end do
+  do i = 1, 8
+    A(i) = B(i)
+  end do
+end
+""")
+        nests = prog.loop_nests()
+        assert not fusion_legal(prog, nests[0], nests[1])[0]
+
+
+class TestFuse:
+    def test_fused_structure(self):
+        prog = parse_program(COPY_THEN_SCALE)
+        fused = fuse_program(prog, 0)
+        assert len(fused.loop_nests()) == 1
+        stmts = list(fused.statements())
+        assert len(stmts) == 2
+
+    def test_fused_trace_interleaves(self):
+        from repro.layout import original_layout
+        from repro.trace import trace_addresses
+
+        prog = parse_program(FORWARD_READ)
+        fused = fuse_program(prog, 0)
+        a0, _ = trace_addresses(prog, original_layout(prog))
+        a1, _ = trace_addresses(fused, original_layout(fused))
+        assert sorted(a0) == sorted(a1)
+        assert list(a0) != list(a1)
+
+    def test_illegal_fusion_raises(self):
+        prog = parse_program(PREVENTING)
+        with pytest.raises(AnalysisError):
+            fuse_program(prog, 0)
+
+    def test_bad_index(self):
+        prog = parse_program(COPY_THEN_SCALE)
+        with pytest.raises(AnalysisError):
+            fuse_program(prog, 5)
+
+    def test_fuse_all(self):
+        src = """
+program p
+  param N = 8
+  real*8 A(N), B(N), C(N)
+  do i = 1, N
+    B(i) = A(i)
+  end do
+  do i = 1, N
+    C(i) = B(i)
+  end do
+  do i = 1, N
+    A(i) = C(i)
+  end do
+end
+"""
+        prog = parse_program(src)
+        fused, count = fuse_all(prog)
+        assert count == 2
+        assert len(fused.loop_nests()) == 1
+        assert len(list(fused.statements())) == 3
+
+    def test_fuse_all_respects_illegality(self):
+        prog = parse_program(PREVENTING)
+        fused, count = fuse_all(prog)
+        assert count == 0
+        assert len(fused.loop_nests()) == 2
+
+    def test_jacobi_nests_do_not_fuse(self):
+        """JACOBI's second nest reads B(j,i) written by the first, but the
+        first nest reads A(j+1,i) that the second writes — an
+        anti-dependence with negative distance blocks fusion."""
+        from repro.bench.kernels import jacobi
+
+        prog = jacobi(16)
+        nests = prog.loop_nests()
+        legal, reason = fusion_legal(prog, nests[0], nests[1])
+        assert not legal

@@ -1,0 +1,104 @@
+"""Fuzz round-trip: random IR -> pretty -> parse -> identical programs.
+
+Exercises the printer and the whole front end together over a much wider
+space than the hand-written cases: random declarations (types, ranks,
+lower bounds), directives, nests with steps and offsets, indirect refs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import parse_program
+from repro.ir import builder as b
+from repro.ir.arrays import ArrayDecl, Dim
+from repro.ir.pretty import pretty
+from repro.ir.types import ElementType
+
+_TYPES = [ElementType.REAL8, ElementType.REAL4, ElementType.INT4, ElementType.BYTE]
+
+
+@st.composite
+def fuzz_program(draw):
+    rank = draw(st.integers(1, 3))
+    num_arrays = draw(st.integers(1, 4))
+    decls = []
+    for index in range(num_arrays):
+        dims = []
+        for _ in range(rank):
+            size = draw(st.integers(3, 30))
+            lower = draw(st.sampled_from([1, 1, 0, -1]))
+            dims.append(Dim(size, lower))
+        flags = {}
+        if draw(st.booleans()) and index > 0:
+            flags["storage_association"] = draw(st.booleans())
+            if draw(st.booleans()):
+                flags["common_block"] = "blk"
+                flags["common_splittable"] = draw(st.booleans())
+        decls.append(
+            ArrayDecl(f"V{index}", dims, draw(st.sampled_from(_TYPES)), **flags)
+        )
+    # one rank-1 integer index array for indirect refs
+    idx_decl = ArrayDecl("IDX0", (8,), ElementType.INT4)
+    decls.append(idx_decl)
+
+    loop_vars = ["i", "j", "k"][:rank]
+
+    def subscript(depth_var_ok: bool, dim: int, decl):
+        kind = draw(st.sampled_from(["var", "off", "const", "indirect"]))
+        lo = decl.dims[dim].lower
+        if kind == "indirect" and dim == 0 and decl.rank == 1 and decl.name != "IDX0":
+            return b.indirect("IDX0", "i")
+        if kind == "var":
+            return b.idx(loop_vars[dim % len(loop_vars)])
+        if kind == "off":
+            return b.idx(loop_vars[dim % len(loop_vars)], draw(st.integers(-1, 1)))
+        return b.const(max(lo, 1))
+
+    def make_ref(write: bool):
+        decl = draw(st.sampled_from(decls[:-1]))
+        subs = [subscript(True, d, decl) for d in range(decl.rank)]
+        return (b.w if write else b.r)(decl.name, *subs)
+
+    stmt = b.stmt(make_ref(True), *[make_ref(False) for _ in range(draw(st.integers(0, 3)))])
+    body = [stmt]
+    for var in reversed(loop_vars):
+        step = draw(st.sampled_from([1, 1, 1, 2]))
+        body = [b.loop(var, 2, 3 + draw(st.integers(0, 2)) * step, body, step=step)]
+    return b.program("fuzz", decls=decls, body=body)
+
+
+class TestRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(prog=fuzz_program())
+    def test_pretty_parse_identical(self, prog):
+        text = pretty(prog)
+        again = parse_program(text)
+        assert [d.name for d in again.decls] == [d.name for d in prog.decls]
+        for decl, orig in zip(again.arrays, prog.arrays):
+            assert decl.dims == orig.dims, decl.name
+            assert decl.element_type == orig.element_type
+            assert decl.storage_association == orig.storage_association
+            assert decl.common_block == orig.common_block
+            assert decl.common_splittable == orig.common_splittable
+        assert [str(r) for r in again.refs()] == [str(r) for r in prog.refs()]
+        assert [
+            (r.is_write,) for r in again.refs()
+        ] == [(r.is_write,) for r in prog.refs()]
+
+    @settings(max_examples=40, deadline=None)
+    @given(prog=fuzz_program())
+    def test_roundtrip_traces_identically(self, prog):
+        import numpy as np
+
+        from repro.layout import original_layout
+        from repro.trace import DataEnv, trace_addresses
+
+        text = pretty(prog)
+        again = parse_program(text)
+        a0, w0 = trace_addresses(prog, original_layout(prog), DataEnv(seed=3))
+        a1, w1 = trace_addresses(again, original_layout(again), DataEnv(seed=3))
+        assert np.array_equal(a0, a1)
+        assert np.array_equal(w0, w1)

@@ -1,0 +1,125 @@
+"""Unit tests for array and scalar declarations."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.arrays import ArrayDecl, Dim, ScalarDecl
+from repro.ir.types import ElementType, element_type_from_name
+
+
+class TestDim:
+    def test_default_lower(self):
+        d = Dim(10)
+        assert d.lower == 1
+        assert d.upper == 10
+
+    def test_custom_lower(self):
+        d = Dim(5, lower=0)
+        assert d.upper == 4
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(IRError):
+            Dim(0)
+        with pytest.raises(IRError):
+            Dim(-3)
+
+    def test_equality(self):
+        assert Dim(4) == Dim(4, 1)
+        assert Dim(4) != Dim(4, 0)
+
+
+class TestElementTypes:
+    def test_sizes(self):
+        assert ElementType.REAL8.size_bytes == 8
+        assert ElementType.REAL4.size_bytes == 4
+        assert ElementType.INT4.size_bytes == 4
+        assert ElementType.BYTE.size_bytes == 1
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("real", ElementType.REAL4),
+            ("real*8", ElementType.REAL8),
+            ("double precision", ElementType.REAL8),
+            ("integer", ElementType.INT4),
+            ("INTEGER*8", ElementType.INT8),
+            ("byte", ElementType.BYTE),
+        ],
+    )
+    def test_lookup(self, name, expected):
+        assert element_type_from_name(name) is expected
+
+    def test_unknown_type(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            element_type_from_name("complex*32")
+
+
+class TestArrayDecl:
+    def test_basic_geometry(self):
+        a = ArrayDecl("A", (512, 512), ElementType.REAL8)
+        assert a.rank == 2
+        assert a.num_elements == 512 * 512
+        assert a.size_bytes == 512 * 512 * 8
+        assert a.column_size == 512
+        assert a.row_size == 512
+
+    def test_row_size_of_vector_is_one(self):
+        a = ArrayDecl("V", (100,), ElementType.REAL8)
+        assert a.row_size == 1
+
+    def test_strides_column_major(self):
+        a = ArrayDecl("A", (10, 20, 30), ElementType.REAL8)
+        assert a.strides() == (8, 80, 1600)
+
+    def test_strides_with_padded_sizes(self):
+        a = ArrayDecl("A", (10, 20), ElementType.REAL4)
+        assert a.strides((12, 20)) == (4, 48)
+
+    def test_strides_wrong_rank(self):
+        a = ArrayDecl("A", (10, 20), ElementType.REAL4)
+        with pytest.raises(IRError):
+            a.strides((12,))
+
+    def test_with_dims(self):
+        a = ArrayDecl("A", (10, 20), ElementType.REAL8, storage_association=True)
+        padded = a.with_dims((12, 20))
+        assert padded.dim_sizes == (12, 20)
+        assert padded.storage_association
+        assert a.dim_sizes == (10, 20)  # original untouched
+
+    def test_dims_from_tuples(self):
+        a = ArrayDecl("A", ((0, 9),), ElementType.REAL8)
+        assert a.dims[0].lower == 0
+        assert a.dims[0].size == 10
+
+    def test_rejects_empty_dims(self):
+        with pytest.raises(IRError):
+            ArrayDecl("A", (), ElementType.REAL8)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(IRError):
+            ArrayDecl("", (4,), ElementType.REAL8)
+
+    def test_flags_default_false(self):
+        a = ArrayDecl("A", (4,))
+        assert not a.is_parameter
+        assert not a.storage_association
+        assert a.common_block is None
+        assert a.common_splittable
+        assert not a.is_local
+
+
+class TestScalarDecl:
+    def test_size(self):
+        s = ScalarDecl("S", ElementType.REAL8)
+        assert s.size_bytes == 8
+
+    def test_equality(self):
+        assert ScalarDecl("S") == ScalarDecl("S")
+        assert ScalarDecl("S") != ScalarDecl("T")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(IRError):
+            ScalarDecl("")

@@ -1,0 +1,169 @@
+"""Unit tests for affine expressions."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.expr import AffineExpr, IndirectExpr, coerce_subscript
+
+
+class TestConstruction:
+    def test_constant(self):
+        e = AffineExpr.const_expr(7)
+        assert e.is_constant
+        assert e.const == 7
+        assert e.variables == ()
+
+    def test_variable(self):
+        e = AffineExpr.var("i")
+        assert not e.is_constant
+        assert e.coeff("i") == 1
+        assert e.variables == ("i",)
+
+    def test_variable_with_offset_and_coef(self):
+        e = AffineExpr.var("i", coef=3, const=-2)
+        assert e.coeff("i") == 3
+        assert e.const == -2
+
+    def test_zero_coefficients_dropped(self):
+        e = AffineExpr(5, {"i": 0})
+        assert e.is_constant
+        assert e == AffineExpr.const_expr(5)
+
+    def test_coerce_int_str(self):
+        assert AffineExpr.coerce(4) == AffineExpr.const_expr(4)
+        assert AffineExpr.coerce("k") == AffineExpr.var("k")
+        e = AffineExpr.var("i")
+        assert AffineExpr.coerce(e) is e
+
+    def test_coerce_rejects_float(self):
+        with pytest.raises(IRError):
+            AffineExpr.coerce(1.5)
+
+    def test_rejects_non_int_const(self):
+        with pytest.raises(IRError):
+            AffineExpr(1.5)
+
+    def test_rejects_bad_variable_name(self):
+        with pytest.raises(IRError):
+            AffineExpr(0, {"": 1})
+
+
+class TestArithmetic:
+    def test_add(self):
+        e = AffineExpr.var("i") + AffineExpr.var("j") + 3
+        assert e.coeff("i") == 1
+        assert e.coeff("j") == 1
+        assert e.const == 3
+
+    def test_sub_cancels(self):
+        e = AffineExpr.var("i", const=5) - AffineExpr.var("i", const=2)
+        assert e.is_constant
+        assert e.const == 3
+
+    def test_radd_rsub(self):
+        e = 10 + AffineExpr.var("i")
+        assert e.const == 10
+        e2 = 10 - AffineExpr.var("i")
+        assert e2.const == 10
+        assert e2.coeff("i") == -1
+
+    def test_negate(self):
+        e = -AffineExpr.var("i", const=2)
+        assert e.coeff("i") == -1
+        assert e.const == -2
+
+    def test_scale(self):
+        e = AffineExpr.var("i", const=1) * 8
+        assert e.coeff("i") == 8
+        assert e.const == 8
+
+    def test_scale_by_constant_expr(self):
+        e = AffineExpr.var("i") * AffineExpr.const_expr(4)
+        assert e.coeff("i") == 4
+
+    def test_nonlinear_product_rejected(self):
+        with pytest.raises(IRError):
+            AffineExpr.var("i") * AffineExpr.var("j")
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        e = AffineExpr(3, {"i": 2, "j": -1})
+        assert e.evaluate({"i": 5, "j": 4}) == 3 + 10 - 4
+
+    def test_evaluate_missing_var(self):
+        with pytest.raises(IRError):
+            AffineExpr.var("i").evaluate({})
+
+    def test_substitute_constant(self):
+        e = AffineExpr(1, {"i": 2, "j": 1})
+        out = e.substitute({"i": 10})
+        assert out == AffineExpr(21, {"j": 1})
+
+    def test_substitute_expression(self):
+        e = AffineExpr.var("i")
+        out = e.substitute({"i": AffineExpr.var("k", const=1)})
+        assert out == AffineExpr.var("k", const=1)
+
+    def test_uses_any(self):
+        e = AffineExpr(0, {"i": 1})
+        assert e.uses_any(["i", "z"])
+        assert not e.uses_any(["z"])
+
+
+class TestShape:
+    def test_is_single_var(self):
+        assert AffineExpr.var("i", const=4).is_single_var
+        assert not AffineExpr.var("i", coef=2).is_single_var
+        assert not AffineExpr(0, {"i": 1, "j": 1}).is_single_var
+        assert not AffineExpr.const_expr(3).is_single_var
+
+    def test_single_var_accessor(self):
+        assert AffineExpr.var("i", const=-1).single_var == "i"
+        with pytest.raises(IRError):
+            AffineExpr.const_expr(1).single_var
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = AffineExpr(1, {"i": 2})
+        c = AffineExpr(1, {"i": 2})
+        assert a == c
+        assert hash(a) == hash(c)
+        assert a != AffineExpr(1, {"i": 3})
+
+    def test_eq_with_int(self):
+        assert AffineExpr.const_expr(5) == 5
+        assert AffineExpr.var("i") != 5
+
+    def test_str_rendering(self):
+        assert str(AffineExpr.var("i", const=-1)) == "i-1"
+        assert str(AffineExpr.const_expr(0)) == "0"
+        assert str(AffineExpr(0, {"i": -1})) == "-i"
+        assert str(AffineExpr(2, {"i": 3})) == "3*i+2"
+
+
+class TestIndirect:
+    def test_construction(self):
+        e = IndirectExpr("IDX", AffineExpr.var("i"))
+        assert e.array == "IDX"
+        assert e.inner == AffineExpr.var("i")
+
+    def test_equality(self):
+        a = IndirectExpr("IDX", AffineExpr.var("i"))
+        c = IndirectExpr("IDX", AffineExpr.var("i"))
+        assert a == c
+        assert hash(a) == hash(c)
+        assert a != IndirectExpr("JDX", AffineExpr.var("i"))
+
+    def test_coerce_subscript_passthrough(self):
+        e = IndirectExpr("IDX", AffineExpr.var("i"))
+        assert coerce_subscript(e) is e
+        assert coerce_subscript(3) == AffineExpr.const_expr(3)
+
+    def test_requires_name(self):
+        with pytest.raises(IRError):
+            IndirectExpr("", AffineExpr.var("i"))
+
+    def test_str(self):
+        assert str(IndirectExpr("IDX", AffineExpr.var("i", const=1))) == "IDX(i+1)"

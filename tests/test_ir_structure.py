@@ -1,0 +1,217 @@
+"""Unit tests for references, statements, loops and programs."""
+
+import pytest
+
+from repro.errors import IRError, ValidationError
+from repro.ir import builder as b
+from repro.ir.arrays import ArrayDecl
+from repro.ir.expr import AffineExpr
+from repro.ir.loops import Loop, loop_nests, nest_depth
+from repro.ir.program import Program
+from repro.ir.refs import ArrayRef, read, write
+from repro.ir.stmts import Statement, assign
+from repro.ir.types import ElementType
+
+
+class TestArrayRef:
+    def test_uniform_shape_simple(self):
+        ref = read("A", b.idx("j", -1), "i")
+        assert ref.uniform_shape() == ("j", "i")
+
+    def test_uniform_shape_with_constant(self):
+        ref = read("A", "i", 5)
+        assert ref.uniform_shape() == ("i", None)
+
+    def test_non_uniform_coefficient(self):
+        ref = read("A", b.idx("i", 0, coef=2))
+        assert ref.uniform_shape() is None
+
+    def test_non_uniform_two_vars(self):
+        ref = ArrayRef("A", (AffineExpr(0, {"i": 1, "j": 1}),))
+        assert ref.uniform_shape() is None
+
+    def test_indirect_not_uniform(self):
+        ref = read("A", b.indirect("IDX", "i"))
+        assert ref.uniform_shape() is None
+        assert not ref.is_affine
+        assert ref.index_arrays == ("IDX",)
+
+    def test_constant_offsets(self):
+        ref = read("A", b.idx("j", -1), b.idx("i", 2))
+        assert ref.constant_offsets() == (-1, 2)
+
+    def test_with_write(self):
+        ref = read("A", "i")
+        assert ref.with_write(True).is_write
+        assert not ref.is_write
+
+    def test_rejects_no_subscripts(self):
+        with pytest.raises(IRError):
+            ArrayRef("A", ())
+
+
+class TestStatement:
+    def test_assign_orders_reads_then_write(self):
+        stmt = assign(write("B", "i"), [read("A", "i"), read("C", "i")])
+        assert [r.array for r in stmt.refs] == ["A", "C", "B"]
+        assert stmt.refs[-1].is_write
+        assert len(stmt.reads) == 2
+        assert len(stmt.writes) == 1
+
+    def test_arrays_first_use_order(self):
+        stmt = Statement([read("C", "i"), read("A", "i"), read("C", "i")])
+        assert stmt.arrays == ("C", "A")
+
+    def test_rejects_non_refs(self):
+        with pytest.raises(IRError):
+            Statement(["not a ref"])
+
+
+class TestLoop:
+    def test_trip_count(self):
+        loop = b.loop("i", 1, 10, [])
+        assert loop.trip_count({}) == 10
+        loop = b.loop("i", 2, 10, [], step=2)
+        assert loop.trip_count({}) == 5
+        loop = b.loop("i", 10, 1, [], step=-1)
+        assert loop.trip_count({}) == 10
+        loop = b.loop("i", 5, 4, [])
+        assert loop.trip_count({}) == 0
+
+    def test_trip_count_with_outer_vars(self):
+        loop = Loop("j", AffineExpr.var("k", const=1), AffineExpr.const_expr(10), [])
+        assert loop.trip_count({"k": 3}) == 7
+
+    def test_rejects_zero_step(self):
+        with pytest.raises(IRError):
+            b.loop("i", 1, 10, [], step=0)
+
+    def test_nesting_traversal(self):
+        inner = b.loop("j", 1, 5, [b.stmt(b.w("A", "j", "i"))])
+        outer = b.loop("i", 1, 5, [inner])
+        assert outer.loop_vars() == ("i", "j")
+        assert nest_depth(outer) == 2
+        assert not outer.is_innermost
+        assert inner.is_innermost
+        assert len(list(outer.statements())) == 1
+        assert len(list(outer.refs())) == 1
+
+
+class TestProgram:
+    def _prog(self):
+        return b.program(
+            "p",
+            decls=[b.real8("A", 8, 8), b.scalar("S")],
+            body=[
+                b.loop("i", 1, 8, [
+                    b.loop("j", 1, 8, [
+                        b.stmt(b.w("A", "j", "i"), b.r("A", "j", "i")),
+                    ]),
+                ]),
+            ],
+        )
+
+    def test_lookup(self):
+        p = self._prog()
+        assert p.array("A").rank == 2
+        assert p.decl("S").name == "S"
+        assert p.has_decl("A") and not p.has_decl("Z")
+        with pytest.raises(IRError):
+            p.array("S")
+        with pytest.raises(IRError):
+            p.decl("nope")
+
+    def test_refs_and_nests(self):
+        p = self._prog()
+        assert len(p.loop_nests()) == 1
+        assert len(list(p.refs())) == 2
+        assert len(p.refs_to("A")) == 2
+        assert p.loop_vars() == ("i", "j")
+
+    def test_total_data_bytes(self):
+        p = self._prog()
+        assert p.total_data_bytes() == 8 * 8 * 8 + 8
+
+    def test_duplicate_decl_rejected(self):
+        with pytest.raises(IRError):
+            Program("p", [b.real8("A", 4), b.scalar("A")], [])
+
+    def test_loop_nests_helper(self):
+        p = self._prog()
+        assert loop_nests(p.body) == list(p.loop_nests())
+
+
+class TestValidation:
+    def test_undeclared_array(self):
+        with pytest.raises(ValidationError):
+            b.program("p", decls=[], body=[b.loop("i", 1, 4, [b.stmt(b.w("A", "i"))])])
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValidationError):
+            b.program(
+                "p",
+                decls=[b.real8("A", 4, 4)],
+                body=[b.loop("i", 1, 4, [b.stmt(b.w("A", "i"))])],
+            )
+
+    def test_out_of_scope_variable(self):
+        with pytest.raises(ValidationError):
+            b.program(
+                "p",
+                decls=[b.real8("A", 4)],
+                body=[b.loop("i", 1, 4, [b.stmt(b.w("A", "k"))])],
+            )
+
+    def test_loop_var_shadows_loop(self):
+        with pytest.raises(ValidationError):
+            b.program(
+                "p",
+                decls=[b.real8("A", 4)],
+                body=[b.loop("i", 1, 4, [b.loop("i", 1, 2, [b.stmt(b.w("A", "i"))])])],
+            )
+
+    def test_loop_var_shadows_decl(self):
+        with pytest.raises(ValidationError):
+            b.program(
+                "p",
+                decls=[b.real8("A", 4), b.scalar("i")],
+                body=[b.loop("i", 1, 4, [b.stmt(b.w("A", "i"))])],
+            )
+
+    def test_bound_uses_only_outer_vars(self):
+        with pytest.raises(ValidationError):
+            b.program(
+                "p",
+                decls=[b.real8("A", 4)],
+                body=[b.loop("i", 1, b.idx("j"), [b.stmt(b.w("A", "i"))])],
+            )
+
+    def test_indirect_index_array_must_be_rank1(self):
+        with pytest.raises(ValidationError):
+            b.program(
+                "p",
+                decls=[b.real8("A", 4), b.real8("M", 4, 4)],
+                body=[b.loop("i", 1, 4, [b.stmt(b.w("A", b.indirect("M", "i")))])],
+            )
+
+    def test_scalar_referenced_with_subscripts(self):
+        with pytest.raises(ValidationError):
+            b.program(
+                "p",
+                decls=[b.scalar("S")],
+                body=[b.loop("i", 1, 4, [b.stmt(b.w("S", "i"))])],
+            )
+
+    def test_triangular_bounds_valid(self):
+        p = b.program(
+            "p",
+            decls=[b.real8("A", 8, 8)],
+            body=[
+                b.loop("k", 1, 8, [
+                    b.loop("i", b.idx("k", 1), 8, [
+                        b.stmt(b.w("A", "i", "k")),
+                    ]),
+                ]),
+            ],
+        )
+        assert len(p.loop_nests()) == 1

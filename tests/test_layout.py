@@ -1,0 +1,194 @@
+"""Tests for memory layouts, placement units and globalization."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.ir import builder as b
+from repro.ir.arrays import ArrayDecl
+from repro.ir.types import ElementType
+from repro.layout.globalize import globalize
+from repro.layout.layout import (
+    MemoryLayout,
+    original_layout,
+    place_unit,
+    placement_units,
+)
+
+
+def _simple_prog(**a_flags):
+    return b.program(
+        "p",
+        decls=[
+            ArrayDecl("A", (8, 8), ElementType.REAL8, **a_flags),
+            ArrayDecl("B", (8, 8), ElementType.REAL8),
+            b.scalar("S"),
+        ],
+        body=[
+            b.loop("i", 1, 8, [
+                b.loop("j", 1, 8, [
+                    b.stmt(b.w("B", "j", "i"), b.r("A", "j", "i")),
+                ]),
+            ]),
+        ],
+    )
+
+
+class TestMemoryLayout:
+    def test_dim_sizes_default_to_decl(self):
+        lay = MemoryLayout(_simple_prog())
+        assert lay.dim_sizes("A") == (8, 8)
+
+    def test_pad_dim_grows(self):
+        lay = MemoryLayout(_simple_prog())
+        lay.pad_dim("A", 0, 2)
+        assert lay.dim_sizes("A") == (10, 8)
+        assert lay.intra_pads("A") == (2, 0)
+        assert lay.size_bytes("A") == 10 * 8 * 8
+        assert lay.strides("A") == (8, 80)
+        assert lay.column_size_bytes("A") == 80
+
+    def test_padding_cannot_shrink(self):
+        lay = MemoryLayout(_simple_prog())
+        with pytest.raises(LayoutError):
+            lay.set_dim_sizes("A", (6, 8))
+        with pytest.raises(LayoutError):
+            lay.pad_dim("A", 0, -1)
+
+    def test_unknown_names_rejected(self):
+        lay = MemoryLayout(_simple_prog())
+        with pytest.raises(LayoutError):
+            lay.dim_sizes("Z")
+        with pytest.raises(LayoutError):
+            lay.set_base("Z", 0)
+        with pytest.raises(LayoutError):
+            lay.base("A")  # not yet placed
+
+    def test_scalar_size(self):
+        lay = MemoryLayout(_simple_prog())
+        assert lay.size_bytes("S") == 8
+
+    def test_validate_overlap(self):
+        lay = MemoryLayout(_simple_prog())
+        lay.set_base("A", 0)
+        lay.set_base("B", 100)  # overlaps A (512 bytes)
+        lay.set_base("S", 5000)
+        with pytest.raises(LayoutError):
+            lay.validate()
+
+    def test_validate_missing(self):
+        lay = MemoryLayout(_simple_prog())
+        lay.set_base("A", 0)
+        with pytest.raises(LayoutError):
+            lay.validate()
+
+    def test_copy_independent(self):
+        lay = MemoryLayout(_simple_prog())
+        lay.set_base("A", 0)
+        dup = lay.copy()
+        dup.pad_dim("A", 0, 1)
+        dup.set_base("B", 9999)
+        assert lay.dim_sizes("A") == (8, 8)
+        assert not lay.has_base("B")
+
+    def test_end_address(self):
+        lay = MemoryLayout(_simple_prog())
+        lay.set_base("A", 0)
+        lay.set_base("B", 1024)
+        lay.set_base("S", 2048)
+        assert lay.end_address() == 2056
+
+
+class TestOriginalLayout:
+    def test_declaration_order_contiguous(self):
+        lay = original_layout(_simple_prog())
+        assert lay.base("A") == 0
+        assert lay.base("B") == 512
+        assert lay.base("S") == 1024
+
+    def test_alignment(self):
+        prog = b.program(
+            "p",
+            decls=[
+                ArrayDecl("C", (3,), ElementType.BYTE),
+                ArrayDecl("D", (4,), ElementType.REAL8),
+            ],
+            body=[b.loop("i", 1, 3, [b.stmt(b.w("C", "i"))])],
+        )
+        lay = original_layout(prog)
+        assert lay.base("C") == 0
+        assert lay.base("D") == 8  # aligned up from 3
+
+
+class TestPlacementUnits:
+    def test_each_variable_its_own_unit(self):
+        prog = _simple_prog()
+        units = placement_units(prog, MemoryLayout(prog))
+        assert [u.label for u in units] == ["A", "B", "S"]
+
+    def test_unsplittable_common_merges(self):
+        prog = b.program(
+            "p",
+            decls=[
+                ArrayDecl("A", (8,), ElementType.REAL8,
+                          common_block="blk", common_splittable=False),
+                ArrayDecl("B", (8,), ElementType.REAL8,
+                          common_block="blk", common_splittable=False),
+                ArrayDecl("C", (8,), ElementType.REAL8),
+            ],
+            body=[b.loop("i", 1, 8, [b.stmt(b.w("C", "i"))])],
+        )
+        layout = MemoryLayout(prog)
+        units = placement_units(prog, layout)
+        assert len(units) == 2
+        assert units[0].names == ("A", "B")
+        assert units[0].offsets == (0, 64)
+        assert units[0].size_bytes == 128
+        assert units[0].label == "{A,B}"
+        place_unit(layout, units[0], 1000)
+        assert layout.base("A") == 1000
+        assert layout.base("B") == 1064
+
+    def test_splittable_common_stays_separate(self):
+        prog = b.program(
+            "p",
+            decls=[
+                ArrayDecl("A", (8,), ElementType.REAL8, common_block="blk"),
+                ArrayDecl("B", (8,), ElementType.REAL8, common_block="blk"),
+            ],
+            body=[b.loop("i", 1, 8, [b.stmt(b.w("A", "i"))])],
+        )
+        units = placement_units(prog, MemoryLayout(prog))
+        assert len(units) == 2
+
+
+class TestGlobalize:
+    def test_promotes_locals(self):
+        prog = _simple_prog(is_local=True)
+        out, report = globalize(prog)
+        assert report.promoted_locals == ["A"]
+        assert not out.array("A").is_local
+        assert report.changed
+
+    def test_splits_splittable_commons(self):
+        prog = _simple_prog(common_block="blk", common_splittable=True)
+        out, report = globalize(prog)
+        assert report.split_common_members == ["A"]
+        assert out.array("A").common_block is None
+
+    def test_keeps_unsplittable_commons(self):
+        prog = _simple_prog(common_block="blk", common_splittable=False)
+        out, report = globalize(prog)
+        assert out.array("A").common_block == "blk"
+        assert report.kept_common_blocks == ["blk"]
+        assert not report.changed
+
+    def test_parameters_untouched(self):
+        prog = _simple_prog(is_parameter=True, is_local=True)
+        out, report = globalize(prog)
+        assert out.array("A").is_local
+        assert report.promoted_locals == []
+
+    def test_body_shared(self):
+        prog = _simple_prog(is_local=True)
+        out, _ = globalize(prog)
+        assert out.body is prog.body

@@ -1,0 +1,174 @@
+"""Tests for the combined PADLITE/PAD drivers, including the paper's
+Section-3 JACOBI walkthrough (all three parameter settings)."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.padding import (
+    PadParams,
+    interpad_only,
+    interpadlite_only,
+    linpad_plus_interpadlite,
+    original,
+    pad,
+    padlite,
+)
+from tests.conftest import jacobi_program, vector_sum_program
+
+
+def _params(cs, ls=4, m=4):
+    return PadParams.for_cache(CacheConfig(cs, ls, 1), m_lines=m, intra_pad_limit=64)
+
+
+class TestJacobiWalkthrough:
+    """Paper Section 3, 'Sample Transformations' (element units)."""
+
+    def test_case1_padlite(self):
+        """N=512, Cs=2048, Ls=4: no intra pad; B advanced by M=16."""
+        prog = jacobi_program(512)
+        r = padlite(prog, _params(2048), use_linpad=False)
+        assert r.layout.dim_sizes("A") == (512, 512)
+        assert r.layout.dim_sizes("B") == (512, 512)
+        assert r.layout.base("A") == 0
+        assert r.layout.base("B") == 512 * 512 + 16
+        assert r.bytes_skipped == 16
+
+    def test_case1_pad(self):
+        """N=512, Cs=2048: no intra pad; INTERPAD pads B by 5."""
+        prog = jacobi_program(512)
+        r = pad(prog, _params(2048), use_linpad=False)
+        assert r.layout.dim_sizes("A") == (512, 512)
+        assert r.layout.base("B") == 512 * 512 + 5
+
+    def test_case2_padlite(self):
+        """N=512, Cs=1024: INTRAPADLITE pads column to 520 (8 elements
+        suffice for M=16); B then advanced by M."""
+        prog = jacobi_program(512)
+        r = padlite(prog, _params(1024), use_linpad=False)
+        assert r.layout.dim_sizes("A")[0] == 520
+        assert r.layout.dim_sizes("B")[0] == 520
+        assert r.layout.base("B") == r.layout.size_bytes("A") + 16
+
+    def test_case2_pad(self):
+        """N=512, Cs=1024: INTRAPAD pads A's column by 2 (A(j,i-1) vs
+        A(j,i+1) have conflict distance 0); B is then non-conforming and
+        placed immediately at 514*512."""
+        prog = jacobi_program(512)
+        r = pad(prog, _params(1024), use_linpad=False)
+        assert r.layout.dim_sizes("A") == (514, 512)
+        assert r.layout.dim_sizes("B") == (512, 512)
+        assert r.layout.base("B") == 514 * 512
+        assert r.bytes_skipped == 0
+
+    def test_case3_padlite_misses_conflict(self):
+        """N=934, Cs=1024: 934*934 = 932 mod 1024 is >= M from 0, so
+        INTERPADLITE does nothing — PADLITE fails to fix this conflict."""
+        prog = jacobi_program(934)
+        r = padlite(prog, _params(1024), use_linpad=False)
+        assert r.layout.dim_sizes("A") == (934, 934)
+        assert r.layout.base("B") == 934 * 934
+
+    def test_case3_pad_finds_conflict(self):
+        """N=934, Cs=1024: B(j,i) vs A(j,i+1) distance is -2 mod Cs;
+        INTERPAD pads B by 6."""
+        prog = jacobi_program(934)
+        r = pad(prog, _params(1024), use_linpad=False)
+        assert r.layout.base("B") == 934 * 934 + 6
+
+
+class TestDotExample:
+    def test_figure1_inter_padding(self):
+        """A(N), B(N) with N = Cs: B's base lands on A's exactly."""
+        prog = vector_sum_program(2048)  # real*8: 16K each
+        params = PadParams.for_cache(CacheConfig(16 * 1024, 32, 1))
+        r = pad(prog, params)
+        delta = (r.layout.base("B") - r.layout.base("A")) % (16 * 1024)
+        assert min(delta, 16 * 1024 - delta) >= 32
+
+    def test_original_keeps_conflict(self):
+        prog = vector_sum_program(2048)
+        r = original(prog)
+        delta = (r.layout.base("B") - r.layout.base("A")) % (16 * 1024)
+        assert delta == 0  # the severe conflict the paper motivates with
+
+
+class TestPostconditions:
+    """After PAD, no uniformly generated pair may severely conflict."""
+
+    @pytest.mark.parametrize("n", [256, 300, 512, 700, 934])
+    def test_no_severe_conflicts_after_pad(self, n):
+        from repro.analysis.conflict import severe_conflict
+        from repro.analysis.linearize import linearized_distance
+        from repro.analysis.uniform import uniform_groups
+
+        prog = jacobi_program(n)
+        params = _params(1024)
+        r = pad(prog, params)
+        cache = params.primary
+        for nest in r.prog.loop_nests():
+            for group in uniform_groups(r.prog, nest):
+                refs = group.refs
+                for i in range(len(refs)):
+                    for j in range(i + 1, len(refs)):
+                        (na, ra), (nb, rb) = refs[i], refs[j]
+                        delta = linearized_distance(
+                            ra, r.prog.array(na), rb, r.prog.array(nb),
+                            r.layout.dim_sizes(na), r.layout.dim_sizes(nb),
+                            r.layout.base(na), r.layout.base(nb),
+                        )
+                        if not delta.is_constant:
+                            continue
+                        assert not severe_conflict(
+                            delta.const, cache.size_bytes, cache.line_bytes
+                        ), (n, ra, rb, delta.const)
+
+    def test_layout_validates(self):
+        for heuristic in (pad, padlite, interpad_only, interpadlite_only):
+            r = heuristic(jacobi_program(300), _params(1024))
+            r.layout.validate()  # no overlaps, everything placed
+
+    def test_size_increase_small(self):
+        """Paper: total size growth under 1% for all programs."""
+        r = pad(jacobi_program(512), _params(1024))
+        assert r.size_increase_pct() < 1.0
+
+
+class TestPartialDrivers:
+    def test_interpad_only_never_intra_pads(self):
+        r = interpad_only(jacobi_program(512), _params(1024))
+        assert r.layout.dim_sizes("A") == (512, 512)
+        assert r.intra_decisions == []
+
+    def test_linpad_plus_interpadlite(self):
+        prog = jacobi_program(512)
+        r1 = linpad_plus_interpadlite(prog, 1, _params(1024))
+        # 512 is a multiple of 2*Ls=8 -> LINPAD1 pads every array's column
+        assert r1.layout.dim_sizes("A")[0] > 512
+        r2 = linpad_plus_interpadlite(prog, 2, _params(1024))
+        assert r2.layout.dim_sizes("A")[0] > 512
+
+    def test_linpad_which_validated(self):
+        with pytest.raises(ValueError):
+            linpad_plus_interpadlite(jacobi_program(64), 3)
+
+    def test_heuristic_names(self):
+        prog = jacobi_program(64)
+        assert pad(prog).heuristic == "PAD"
+        assert padlite(prog).heuristic == "PADLITE"
+        assert original(prog).heuristic == "ORIGINAL"
+        assert interpad_only(prog).heuristic == "INTERPAD"
+
+
+class TestResultAccounting:
+    def test_describe(self):
+        r = pad(jacobi_program(512), _params(1024), use_linpad=False)
+        text = r.describe()
+        assert "PAD" in text and "jacobi" in text
+
+    def test_intra_counters(self):
+        r = pad(jacobi_program(512), _params(1024), use_linpad=False)
+        assert r.arrays_padded == ["A"]
+        assert r.max_intra_increment == 2
+        assert r.total_intra_increment == 2
+        assert r.intra_increment("A") == 2
+        assert r.intra_increment("B") == 0

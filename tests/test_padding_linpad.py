@@ -1,0 +1,102 @@
+"""Tests for the LINPAD1/LINPAD2 pad conditions."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.ir.arrays import ArrayDecl
+from repro.ir.types import ElementType
+from repro.padding.common import PadParams
+from repro.padding.linpad import (
+    linpad1_condition,
+    linpad2_condition,
+    linpad2_jstar,
+    needed_linalg_pad,
+)
+
+
+def _params(cs=1024, ls=4, jstar=129):
+    return PadParams.for_cache(CacheConfig(cs, ls, 1), linpad_jstar=jstar)
+
+
+class TestLinpad1:
+    def test_rejects_multiples_of_2ls(self):
+        params = _params()
+        assert linpad1_condition(512, params)
+        assert linpad1_condition(8, params)
+        assert linpad1_condition(768, params)
+
+    def test_accepts_odd_sizes(self):
+        params = _params()
+        assert not linpad1_condition(513, params)
+        assert not linpad1_condition(273, params)
+        assert not linpad1_condition(4, params)  # multiple of Ls but not 2Ls
+
+
+class TestLinpad2:
+    def test_jstar_formula(self):
+        assert linpad2_jstar(row_size=512, cache_size=1024, line_size=4, cap=129) == 129
+        assert linpad2_jstar(row_size=100, cache_size=1024, line_size=4, cap=129) == 100
+        assert linpad2_jstar(row_size=512, cache_size=256, line_size=4, cap=129) == 64
+
+    def test_rejects_paper_example_273(self):
+        """Cs=1024, Col=273: FirstConflict = 15 < j*, rejected."""
+        assert linpad2_condition(273, row_size=512, params=_params())
+
+    def test_accepts_good_column(self):
+        """gcd(Col,Cs)=Ls gives FirstConflict = Cs/Ls = 256 >= j* = 129."""
+        assert not linpad2_condition(260, row_size=512, params=_params())
+
+    def test_row_size_ceiling(self):
+        """Columns further apart than the row count never co-occur."""
+        params = _params()
+        # FirstConflict(1024, 273, 4) = 15: conflicts only for >= 15 columns.
+        assert not linpad2_condition(273, row_size=10, params=params)
+        assert linpad2_condition(273, row_size=16, params=params)
+
+    def test_subsumes_linpad1(self):
+        """Any column LINPAD1 rejects, LINPAD2 rejects too (paper claim),
+        for columns that can actually conflict (row size large)."""
+        params = _params()
+        for col in range(8, 1200, 8):  # multiples of 2*Ls
+            assert linpad2_condition(col, row_size=1024, params=params), col
+
+
+class TestNeededPad:
+    def _decl(self, col, rows=512):
+        return ArrayDecl("A", (col, rows), ElementType.BYTE)
+
+    def test_zero_when_accepted(self):
+        decl = self._decl(513)
+        assert needed_linalg_pad(decl, 513, _params(), which=1) == 0
+
+    def test_linpad1_minimal_pad(self):
+        decl = self._decl(512)
+        assert needed_linalg_pad(decl, 512, _params(), which=1) == 1
+
+    def test_linpad2_searches_upward(self):
+        decl = self._decl(273)
+        params = _params()
+        pad = needed_linalg_pad(decl, 273, params, which=2)
+        assert pad > 0
+        assert not linpad2_condition(273 + pad, decl.row_size, params)
+        for smaller in range(pad):
+            assert linpad2_condition(273 + smaller, decl.row_size, params)
+
+    def test_bounded_search_terminates(self):
+        """2*Ls consecutive candidates always include an acceptable size
+        when j* <= Cs/Ls (paper, Section 2.3.2)."""
+        params = _params(jstar=129)
+        for col in range(250, 530):
+            decl = self._decl(col)
+            pad = needed_linalg_pad(decl, col, params, which=2)
+            assert pad <= 2 * 4  # 2 * Ls elements
+
+    def test_element_size_scaling(self):
+        """The same logic in real*8 units: paper's base cache has
+        Cs=2048 elements, Ls=4 elements."""
+        cache = CacheConfig(16 * 1024, 32, 1)
+        params = PadParams.for_cache(cache)
+        decl = ArrayDecl("A", (512, 512), ElementType.REAL8)
+        assert linpad1_condition(512 * 8, params)
+        pad = needed_linalg_pad(decl, 512, params, which=2)
+        assert 0 < pad <= 8

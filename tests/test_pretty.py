@@ -1,0 +1,93 @@
+"""Tests for the pretty printer."""
+
+from repro.frontend import parse_program
+from repro.ir import builder as b
+from repro.ir.pretty import format_ref, format_statement, format_subscript, pretty
+
+
+class TestSubscripts:
+    def test_affine(self):
+        assert format_subscript(b.idx("i", -1)) == "i-1"
+        assert format_subscript(b.const(5)) == "5"
+        assert format_subscript(b.idx("i", 0, coef=2)) == "2*i"
+
+    def test_indirect(self):
+        assert format_subscript(b.indirect("IDX", b.idx("i", 1))) == "IDX(i+1)"
+
+    def test_ref(self):
+        assert format_ref(b.r("A", "j", b.idx("i", 2))) == "A(j, i+2)"
+
+
+class TestStatements:
+    def test_assignment_form(self):
+        stmt = b.stmt(b.w("B", "i"), b.r("A", "i"), b.r("C", "i"))
+        assert format_statement(stmt) == "B(i) = A(i) + C(i)"
+
+    def test_write_only(self):
+        stmt = b.stmt(b.w("B", "i"))
+        assert format_statement(stmt) == "B(i) = 0"
+
+    def test_touch_form(self):
+        stmt = b.reads_only(b.r("A", "i"), b.r("B", "i"))
+        assert format_statement(stmt) == "touch A(i), B(i)"
+
+    def test_access_form_for_multi_write(self):
+        from repro.ir.stmts import Statement
+
+        stmt = Statement([b.w("A", "i"), b.w("B", "i")])
+        text = format_statement(stmt)
+        assert text.startswith("access ")
+        assert "store A(i)" in text and "store B(i)" in text
+
+
+class TestWholeProgram:
+    def test_step_loops_rendered(self):
+        prog = b.program(
+            "p",
+            decls=[b.real8("A", 8)],
+            body=[b.loop("i", 1, 8, [b.stmt(b.w("A", "i"))], step=2)],
+        )
+        text = pretty(prog)
+        assert "do i = 1, 8, 2" in text
+        again = parse_program(text)
+        assert again.loop_nests()[0].step == 2
+
+    def test_lower_bound_dims_rendered(self):
+        from repro.ir.arrays import ArrayDecl
+        from repro.ir.types import ElementType
+
+        prog = b.program(
+            "p",
+            decls=[ArrayDecl("A", ((0, 7),), ElementType.REAL8)],
+            body=[b.loop("i", 0, 7, [b.stmt(b.w("A", "i"))])],
+        )
+        text = pretty(prog)
+        assert "A(0:7)" in text
+        again = parse_program(text)
+        assert again.array("A").dims[0].lower == 0
+
+    def test_access_statements_roundtrip(self):
+        src = (
+            "program p\nreal*8 A(8), B(8)\n"
+            "do i = 1, 8\naccess load A(i), store B(i)\nend do\nend\n"
+        )
+        prog = parse_program(src)
+        again = parse_program(pretty(prog))
+        assert [r.is_write for r in next(again.statements()).refs] == [False, True]
+
+    def test_every_benchmark_roundtrips(self):
+        """pretty() output reparses with identical reference streams for
+        the entire benchmark registry (small sizes)."""
+        from repro.bench import ALL_SPECS
+
+        small = {
+            "irr": 100, "buk": 256, "cgm": 64, "embar": 64, "wave5": 256,
+            "mdljdp2": 64, "mdljsp2": 64, "dot": 64,
+        }
+        for spec in ALL_SPECS:
+            prog = spec.build(small.get(spec.name))
+            again = parse_program(pretty(prog))
+            assert [str(r) for r in again.refs()] == [
+                str(r) for r in prog.refs()
+            ], spec.name
+            assert [d.name for d in again.decls] == [d.name for d in prog.decls]

@@ -1,0 +1,41 @@
+"""Tests for the reproduction summary module (tiny program subset)."""
+
+import pytest
+
+from repro.experiments.runner import Runner
+from repro.experiments.summary import SummaryLine, render, summarize
+
+
+@pytest.fixture(scope="module")
+def lines():
+    return summarize(Runner(), programs=("dot", "jacobi"))
+
+
+class TestSummary:
+    def test_all_experiments_present(self, lines):
+        names = [l.experiment for l in lines]
+        assert names == [
+            "Table 2",
+            "Figure 8",
+            "Figure 9",
+            "Figure 10",
+            "Figure 11",
+            "Figure 12",
+            "Figure 13",
+            "Figure 14",
+            "Figure 15",
+        ]
+
+    def test_headline_shapes_hold_on_conflict_programs(self, lines):
+        by_name = {l.experiment: l for l in lines}
+        # dot+jacobi are severe-conflict programs: the core shapes must hold.
+        assert by_name["Figure 8"].shape_holds
+        assert by_name["Figure 9"].shape_holds
+        assert by_name["Table 2"].shape_holds
+        assert by_name["Figure 15"].shape_holds
+
+    def test_render_markdown(self, lines):
+        text = render(lines)
+        assert text.startswith("| Experiment |")
+        assert "Figure 8" in text
+        assert "16.8%" in text

@@ -1,0 +1,73 @@
+"""Tests for the execution-time model."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.errors import ConfigError
+from repro.timing.machines import ALPHA_21064, PAPER_MACHINES, PENTIUM2, ULTRASPARC2
+from repro.timing.model import MachineModel
+
+
+class TestModel:
+    def test_cycles(self):
+        m = MachineModel("m", clock_mhz=100, base_cpa=2.0, miss_penalty=20.0)
+        st = CacheStats(accesses=1000, misses=100)
+        assert m.cycles(st) == 2000 + 2000
+
+    def test_seconds(self):
+        m = MachineModel("m", clock_mhz=100, base_cpa=1.0, miss_penalty=0.0)
+        st = CacheStats(accesses=10**8, misses=0)
+        assert m.seconds(st) == pytest.approx(1.0)
+
+    def test_improvement_depends_only_on_misses(self):
+        m = MachineModel("m", clock_mhz=100, base_cpa=2.0, miss_penalty=20.0)
+        orig = CacheStats(accesses=1000, misses=200)
+        padded = CacheStats(accesses=1000, misses=50)
+        improvement = m.improvement_pct(orig, padded)
+        expected = 100 * (6000.0 - 3000.0) / 6000.0
+        assert improvement == pytest.approx(expected)
+        assert m.speedup(orig, padded) == pytest.approx(2.0)
+
+    def test_no_misses_no_improvement(self):
+        m = ALPHA_21064
+        st = CacheStats(accesses=1000, misses=0)
+        assert m.improvement_pct(st, st) == 0.0
+        assert m.speedup(st, st) == 1.0
+
+    def test_zero_cycle_edge_cases(self):
+        m = ALPHA_21064
+        empty = CacheStats()
+        assert m.improvement_pct(empty, empty) == 0.0
+        assert m.speedup(empty, empty) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MachineModel("m", clock_mhz=0, base_cpa=1, miss_penalty=1)
+        with pytest.raises(ConfigError):
+            MachineModel("m", clock_mhz=1, base_cpa=0, miss_penalty=1)
+        with pytest.raises(ConfigError):
+            MachineModel("m", clock_mhz=1, base_cpa=1, miss_penalty=-1)
+
+
+class TestProfiles:
+    def test_three_machines(self):
+        assert len(PAPER_MACHINES) == 3
+        names = {m.name for m in PAPER_MACHINES}
+        assert names == {"Alpha 21064", "UltraSparc2", "Pentium2"}
+
+    def test_ultrasparc_most_miss_sensitive(self):
+        """The paper's largest average improvement is on UltraSparc2; our
+        profile orders penalty/base ratios accordingly."""
+        ratios = {
+            m.name: m.miss_penalty / m.base_cpa for m in PAPER_MACHINES
+        }
+        assert ratios["UltraSparc2"] > ratios["Alpha 21064"]
+        assert ratios["UltraSparc2"] > ratios["Pentium2"]
+
+    def test_improvement_ordering_consistent(self):
+        orig = CacheStats(accesses=1000, misses=150)
+        padded = CacheStats(accesses=1000, misses=30)
+        improvements = {
+            m.name: m.improvement_pct(orig, padded) for m in PAPER_MACHINES
+        }
+        assert improvements["UltraSparc2"] == max(improvements.values())
