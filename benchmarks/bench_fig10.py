@@ -1,11 +1,12 @@
 """Benchmark: regenerate Figure 10 (padding impact vs associativity)."""
 
-from benchmarks.common import bench_programs, save_and_print, shared_runner
+from benchmarks.common import bench_programs, prefetch, save_and_print, shared_runner
 from repro.experiments import fig10
 
 
 def test_fig10(benchmark):
     runner = shared_runner()
+    prefetch(fig10.compute, programs=bench_programs())
 
     def run():
         return fig10.compute(runner, programs=bench_programs())

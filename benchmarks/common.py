@@ -11,6 +11,11 @@ rows/series the paper reports.  Two fidelity levels:
 
 The rendered output of every benchmark is also written to
 ``benchmarks/out/<name>.txt`` so results survive pytest's capture.
+
+``REPRO_BENCH_JOBS=N`` (N >= 2) routes each figure's simulations through
+the fault-tolerant parallel engine (:mod:`repro.engine`) before the
+serial compute pass, which then runs entirely from memoized results —
+see :func:`prefetch`.
 """
 
 from __future__ import annotations
@@ -74,9 +79,35 @@ def save_and_print(name: str, text: str) -> None:
 
 _SHARED_RUNNER = Runner()
 
+ENGINE_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0"))
+
 
 def shared_runner() -> Runner:
     """One memoizing runner shared across all benchmark modules, so
     figures that reuse (program, heuristic, cache) combinations do not
     re-simulate them."""
     return _SHARED_RUNNER
+
+
+def prefetch(compute, *args, **kwargs) -> None:
+    """Simulate a figure's runs through the parallel engine ahead of time.
+
+    ``compute`` is a figure module's ``compute`` function; its remaining
+    arguments are forwarded.  The call is replayed against a
+    :class:`~repro.engine.plan.PlanningRunner` to learn which runs it
+    needs, those runs execute on ``REPRO_BENCH_JOBS`` fault-tolerant
+    workers, and the results are primed into the shared runner so the
+    benchmark's own (timed) compute pass is pure cache hits.  No-op
+    unless ``REPRO_BENCH_JOBS`` >= 2.
+    """
+    if ENGINE_JOBS < 2:
+        return
+    from repro.engine.core import EngineConfig, ExperimentEngine
+    from repro.engine.plan import PlanningRunner
+
+    planner = PlanningRunner()
+    compute(planner, *args, **kwargs)
+    engine = ExperimentEngine(EngineConfig(jobs=ENGINE_JOBS))
+    for outcome in engine.run_many(planner.requests):
+        if outcome.stats is not None:
+            _SHARED_RUNNER.prime(outcome.request, outcome.stats)

@@ -40,9 +40,13 @@ class CacheConfig:
         if not _is_pow2(self.line_bytes):
             raise ConfigError(f"line size must be a power of two, got {self.line_bytes}")
         if self.line_bytes > self.size_bytes:
-            raise ConfigError("line size cannot exceed cache size")
+            raise ConfigError(
+                f"line size {self.line_bytes} exceeds cache size {self.size_bytes}"
+            )
         if self.associativity < 1:
-            raise ConfigError("associativity must be at least 1")
+            raise ConfigError(
+                f"associativity must be at least 1, got {self.associativity}"
+            )
         if self.size_bytes % (self.line_bytes * self.associativity) != 0:
             raise ConfigError(
                 f"cache of {self.size_bytes}B cannot be divided into "

@@ -11,6 +11,11 @@ Usage (``python -m repro <command>``):
   tools.
 * ``bench`` — list the registered benchmark programs, or run one.
 * ``figure NAME`` — regenerate one of the paper's tables/figures.
+* ``run-all`` — run a whole figure set through the fault-tolerant
+  parallel engine (``--jobs/--timeout/--retries/--inject-faults``).
+
+Exit codes: 0 success, 1 partial results (some runs failed), 2 usage or
+library error, and 4-7 for engine failures (see :data:`EXIT_CODES`).
 """
 
 from __future__ import annotations
@@ -20,8 +25,31 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.cache.config import CacheConfig
-from repro.errors import ReproError
+from repro.errors import (
+    EngineError,
+    ReproError,
+    RunTimeout,
+    StoreCorruption,
+    WorkerCrashed,
+)
 from repro.experiments.runner import HEURISTICS
+
+EXIT_CODES = (
+    (StoreCorruption, 7),
+    (WorkerCrashed, 6),
+    (RunTimeout, 5),
+    (EngineError, 4),
+    (ReproError, 2),
+)
+"""Most-specific-first mapping from error class to process exit code."""
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Exit code for an uncaught :class:`ReproError` (default 2)."""
+    for klass, code in EXIT_CODES:
+        if isinstance(exc, klass):
+            return code
+    return 2
 
 
 def _parse_size(text: str) -> int:
@@ -211,6 +239,51 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def cmd_run_all(args) -> int:
+    """Run a figure set through the fault-tolerant parallel engine."""
+    from repro.engine.core import EngineConfig
+    from repro.engine.faults import parse_fault_spec
+    from repro.engine.plan import DEFAULT_FIGURES, run_figures
+
+    faults = parse_fault_spec(args.inject_faults) if args.inject_faults else None
+    config = EngineConfig(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        fallback=not args.no_fallback,
+        faults=faults,
+    )
+    report = run_figures(
+        figures=tuple(args.figures) if args.figures else DEFAULT_FIGURES,
+        programs=tuple(args.programs) if args.programs else None,
+        config=config,
+        cache_dir=args.cache_dir,
+        journal_path=args.journal,
+    )
+    for text in report.renders.values():
+        print(text)
+        print()
+    counts = report.counts()
+    summary = ", ".join(
+        f"{counts[status]} {status}"
+        for status in ("ok", "degraded", "cached", "failed")
+        if status in counts
+    )
+    print(
+        f"run-all: {len(report.outcomes)} runs ({summary}) "
+        f"in {report.wall_time:.1f}s with {args.jobs} worker(s)"
+    )
+    if report.journal_path:
+        print(f"journal: {report.journal_path}")
+    for outcome in report.failures:
+        print(
+            f"failed: {outcome.key} after {outcome.attempts} attempts: "
+            f"{outcome.error}",
+            file=sys.stderr,
+        )
+    return 1 if report.failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -264,6 +337,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="render fig16/17 as ASCII charts instead of tables")
     p.set_defaults(fn=cmd_figure)
 
+    p = sub.add_parser(
+        "run-all",
+        help="run a figure set through the fault-tolerant parallel engine",
+    )
+    p.add_argument("--figures", nargs="*",
+                   help="figure names (default: table2 + fig8..fig15)")
+    p.add_argument("--programs", nargs="*", help="restrict to these benchmarks")
+    p.add_argument("--jobs", type=int, default=4,
+                   help="parallel worker processes (default 4)")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="per-run wall-clock budget in seconds (default 300)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="extra attempts per run before fallback (default 2)")
+    p.add_argument("--inject-faults", metavar="SPEC",
+                   help="chaos testing, e.g. timeout=0.1,kill=0.05,"
+                        "corrupt=0.05,seed=7")
+    p.add_argument("--cache-dir",
+                   help="crash-safe result store directory (makes the sweep "
+                        "resumable)")
+    p.add_argument("--journal",
+                   help="JSONL run journal path (default: "
+                        "<cache-dir>/journal.jsonl)")
+    p.add_argument("--no-fallback", action="store_true",
+                   help="fail instead of degrading to the reference simulator")
+    p.set_defaults(fn=cmd_run_all)
+
     return parser
 
 
@@ -274,7 +373,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.fn(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

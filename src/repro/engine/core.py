@@ -1,0 +1,391 @@
+"""Fault-tolerant parallel execution engine.
+
+:class:`ExperimentEngine` runs many :class:`~repro.experiments.runner.RunRequest`
+simulations across worker subprocesses with:
+
+* **crash containment** — a worker segfault/OOM/exception marks that run
+  and the sweep continues on a fresh worker;
+* **per-run wall-clock timeouts** — hung workers are killed, not waited on;
+* **bounded retries** with exponential backoff and deterministic jitter;
+* **graceful degradation** — when the fast engines keep failing, one last
+  attempt runs on the reference simulator and a success is tagged
+  ``degraded``;
+* **resumability** — completed runs found in the crash-safe store are
+  returned as ``cached`` without re-simulation;
+* **observability** — every attempt is journaled (see
+  :mod:`repro.engine.journal`).
+
+A sweep never raises out of :meth:`ExperimentEngine.run_many` because one
+run misbehaved: every request comes back as a :class:`RunOutcome` whose
+status is ``ok``, ``degraded``, ``cached`` or ``failed``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
+from typing import Dict, List, Optional, Sequence
+
+from repro.cache.stats import CacheStats
+from repro.engine.faults import FaultPlan, unit_interval
+from repro.engine.journal import NullJournal
+from repro.engine.store import checksum
+from repro.engine.worker import worker_main
+from repro.errors import EngineError, RunTimeout, WorkerCrashed
+from repro.experiments.runner import (
+    RunRequest,
+    pack_record,
+    request_key,
+    unpack_record,
+)
+
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_FAILED = "failed"
+STATUS_CACHED = "cached"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Execution policy for a sweep."""
+
+    jobs: int = 4
+    timeout: float = 300.0  # per-attempt wall clock, seconds
+    retries: int = 2  # extra attempts after the first, per simulator stage
+    backoff_base: float = 0.25  # seconds; 0 disables waiting (tests)
+    backoff_cap: float = 30.0
+    fallback: bool = True  # degrade to the reference simulator
+    fallback_timeout_factor: float = 4.0  # reference sim is slower
+    seed: int = 0  # jitter seed
+    faults: Optional[FaultPlan] = None
+
+
+@dataclass
+class RunOutcome:
+    """Terminal state of one request."""
+
+    request: RunRequest
+    status: str
+    stats: Optional[CacheStats] = None
+    attempts: int = 0
+    duration: float = 0.0  # wall clock across all attempts
+    error: Optional[str] = None
+
+    @property
+    def key(self) -> str:
+        return request_key(self.request)
+
+
+@dataclass
+class _Task:
+    index: int
+    request: RunRequest
+    key: str
+    simulator: str = "fast"
+    attempts: int = 0  # attempts started in the current stage
+    total_attempts: int = 0  # across stages (fault-plan and jitter index)
+    started_at: float = 0.0
+    total_time: float = 0.0
+    fallback_used: bool = False
+    last_error: Optional[str] = None
+
+
+class _Worker:
+    """One subprocess plus its pipe and current assignment."""
+
+    def __init__(self, ctx):
+        self.conn, child = ctx.Pipe()
+        self.proc = ctx.Process(target=worker_main, args=(child,), daemon=True)
+        self.proc.start()
+        child.close()
+        self.task: Optional[_Task] = None
+        self.deadline = float("inf")
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+            self.proc.join(5)
+        except (OSError, ValueError):  # pragma: no cover - already gone
+            pass
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def stop(self) -> None:
+        """Polite shutdown for an idle worker."""
+        try:
+            self.conn.send(("stop",))
+            self.proc.join(2)
+        except (OSError, ValueError):
+            pass
+        if self.proc.is_alive():  # pragma: no cover - stubborn worker
+            self.kill()
+        else:
+            try:
+                self.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+class ExperimentEngine:
+    """Run simulation requests in parallel, surviving worker failure."""
+
+    def __init__(self, config: Optional[EngineConfig] = None):
+        self.config = config or EngineConfig()
+
+    # -- public API ---------------------------------------------------------
+
+    def run_many(
+        self,
+        requests: Sequence[RunRequest],
+        store=None,
+        journal=None,
+    ) -> List[RunOutcome]:
+        """Execute every request; one outcome per input, in input order.
+
+        ``store`` is a :class:`~repro.engine.store.CrashSafeStore` (or
+        anything with get/put of packed records): hits short-circuit to
+        ``cached`` outcomes and new results are persisted as they finish,
+        which is what makes a killed sweep resumable.  ``journal`` is a
+        :class:`~repro.engine.journal.RunJournal`.
+        """
+        journal = journal or NullJournal()
+        outcomes: Dict[str, RunOutcome] = {}
+        tasks: List[_Task] = []
+        scheduled = set()
+        for request in requests:
+            key = request_key(request)
+            if key in outcomes or key in scheduled:
+                continue
+            scheduled.add(key)
+            cached = self._lookup(store, key)
+            if cached is not None:
+                stats, status = cached
+                outcomes[key] = RunOutcome(request, STATUS_CACHED, stats)
+                journal.emit(
+                    "finish", run=key, status=STATUS_CACHED,
+                    stored_status=status, attempts=0, duration=0.0,
+                )
+            else:
+                tasks.append(_Task(index=len(tasks), request=request, key=key))
+        if tasks:
+            self._execute(tasks, outcomes, store, journal)
+        return [outcomes[request_key(r)] for r in requests]
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _lookup(store, key: str):
+        if store is None:
+            return None
+        record = store.get(key)
+        if record is None:
+            return None
+        try:
+            return unpack_record(record)
+        except (TypeError, KeyError):
+            return None  # malformed entry: re-run it
+
+    def _execute(self, tasks, outcomes, store, journal) -> None:
+        cfg = self.config
+        ctx = _mp_context()
+        workers = [_Worker(ctx) for _ in range(max(1, min(cfg.jobs, len(tasks))))]
+        ready: List[_Task] = list(tasks)
+        delayed: List = []  # heap of (ready_time, tiebreak, task)
+        seq = 0
+        remaining = len(tasks)
+
+        def finish(task: _Task, status: str, stats=None, error=None) -> None:
+            nonlocal remaining
+            outcomes[task.key] = RunOutcome(
+                task.request, status, stats,
+                attempts=task.total_attempts,
+                duration=round(task.total_time, 6),
+                error=error,
+            )
+            journal.emit(
+                "finish", run=task.key, status=status,
+                attempts=task.total_attempts,
+                duration=round(task.total_time, 6),
+                **({"error": error} if error else {}),
+            )
+            if stats is not None and store is not None:
+                store.put(task.key, pack_record(stats, status))
+            remaining -= 1
+
+        def attempt_failed(task: _Task, exc: EngineError) -> None:
+            nonlocal seq
+            now = time.monotonic()
+            task.total_time += now - task.started_at
+            task.last_error = f"{type(exc).__name__}: {exc}"
+            if task.attempts <= cfg.retries:
+                delay = self._backoff(task)
+                journal.emit(
+                    "retry", run=task.key, attempt=task.total_attempts,
+                    delay=round(delay, 3), reason=task.last_error,
+                )
+                seq += 1
+                heapq.heappush(delayed, (now + delay, seq, task))
+            elif cfg.fallback and not task.fallback_used:
+                task.fallback_used = True
+                task.simulator = "reference"
+                task.attempts = 0
+                journal.emit(
+                    "fallback", run=task.key, simulator="reference",
+                    reason=task.last_error,
+                )
+                seq += 1
+                heapq.heappush(delayed, (now, seq, task))
+            else:
+                finish(task, STATUS_FAILED, error=task.last_error)
+
+        def handle_result(worker: _Worker, msg) -> None:
+            task = worker.task
+            worker.task = None
+            worker.deadline = float("inf")
+            if msg[0] == "error":
+                attempt_failed(task, EngineError(msg[2]))
+                return
+            _, _, payload, digest = msg
+            stats = self._validate(payload, digest)
+            if stats is None:
+                attempt_failed(
+                    task, WorkerCrashed("result payload failed checksum")
+                )
+                return
+            task.total_time += time.monotonic() - task.started_at
+            status = STATUS_DEGRADED if task.simulator == "reference" else STATUS_OK
+            finish(task, status, stats=stats)
+
+        try:
+            while remaining > 0:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    ready.append(heapq.heappop(delayed)[2])
+                for worker in workers:
+                    if worker.task is None and ready:
+                        task = ready.pop(0)
+                        if not self._dispatch(worker, task, journal):
+                            self._replace(workers, worker, ctx)
+                            attempt_failed(
+                                task,
+                                WorkerCrashed("worker unreachable at dispatch"),
+                            )
+                busy = [w for w in workers if w.task is not None]
+                if not busy:
+                    if delayed:
+                        time.sleep(
+                            min(0.25, max(0.001, delayed[0][0] - time.monotonic()))
+                        )
+                        continue
+                    break  # pragma: no cover - no work left but remaining>0
+                horizon = min(w.deadline for w in busy)
+                if delayed:
+                    horizon = min(horizon, delayed[0][0])
+                wait_for = min(0.5, max(0.005, horizon - time.monotonic()))
+                for conn in _conn_wait([w.conn for w in busy], timeout=wait_for):
+                    worker = next((w for w in workers if w.conn is conn), None)
+                    if worker is None or worker.task is None:
+                        continue  # worker was replaced or already handled
+                    try:
+                        msg = worker.conn.recv()
+                    except (EOFError, OSError):
+                        task = worker.task
+                        code = worker.proc.exitcode
+                        self._replace(workers, worker, ctx)
+                        attempt_failed(
+                            task,
+                            WorkerCrashed(
+                                f"worker pid {worker.proc.pid} died "
+                                f"(exit code {code}) during {task.key}"
+                            ),
+                        )
+                        continue
+                    handle_result(worker, msg)
+                now = time.monotonic()
+                for worker in list(workers):
+                    if worker.task is not None and now >= worker.deadline:
+                        task = worker.task
+                        budget = worker.deadline - task.started_at
+                        self._replace(workers, worker, ctx)
+                        attempt_failed(
+                            task,
+                            RunTimeout(
+                                f"run {task.key} exceeded {budget:.1f}s; "
+                                "worker killed"
+                            ),
+                        )
+        finally:
+            for worker in workers:
+                if worker.task is None:
+                    worker.stop()
+                else:  # pragma: no cover - aborted sweep
+                    worker.kill()
+
+    def _dispatch(self, worker: _Worker, task: _Task, journal) -> bool:
+        cfg = self.config
+        task.attempts += 1
+        task.total_attempts += 1
+        timeout = cfg.timeout * (
+            cfg.fallback_timeout_factor if task.simulator == "reference" else 1.0
+        )
+        injected = None
+        if cfg.faults is not None:
+            injected = cfg.faults.decide(task.key, task.total_attempts)
+        fault = None
+        if injected == "timeout":
+            fault = ("timeout", timeout * 3 + 1.0)
+        elif injected is not None:
+            fault = (injected, None)
+        task.started_at = time.monotonic()
+        worker.task = task
+        worker.deadline = task.started_at + timeout
+        journal.emit(
+            "start", run=task.key, attempt=task.total_attempts,
+            simulator=task.simulator, worker=worker.proc.pid,
+            **({"injected": injected} if injected else {}),
+        )
+        try:
+            worker.conn.send(("task", task.index, task.request, task.simulator, fault))
+        except (BrokenPipeError, OSError):  # pragma: no cover - instant death
+            worker.task = None
+            worker.deadline = float("inf")
+            return False
+        return True
+
+    def _replace(self, workers: List[_Worker], dead: _Worker, ctx) -> None:
+        dead.kill()
+        workers[workers.index(dead)] = _Worker(ctx)
+
+    def _backoff(self, task: _Task) -> float:
+        cfg = self.config
+        if cfg.backoff_base <= 0:
+            return 0.0
+        raw = min(cfg.backoff_cap, cfg.backoff_base * 2 ** (task.attempts - 1))
+        jitter = 0.5 + unit_interval(cfg.seed, task.key, task.total_attempts)
+        return raw * jitter
+
+    @staticmethod
+    def _validate(payload, digest) -> Optional[CacheStats]:
+        """Rebuild stats from a worker payload iff it matches its checksum."""
+        if not isinstance(payload, dict) or checksum(payload) != digest:
+            return None
+        try:
+            stats = CacheStats(**payload)
+        except TypeError:
+            return None
+        if stats.accesses < 0 or stats.misses < 0 or stats.misses > stats.accesses:
+            return None
+        return stats
+
+
+def _mp_context():
+    """Fork where available (cheap workers); spawn elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return multiprocessing.get_context("spawn")

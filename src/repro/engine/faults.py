@@ -1,0 +1,118 @@
+"""Deterministic fault injection for the execution engine.
+
+A :class:`FaultPlan` assigns each (run, attempt) pair an injected fault —
+or none — as a pure function of the plan's seed, so a chaos test that
+fails can be replayed exactly.  Kinds:
+
+* ``timeout`` — the worker hangs past its wall-clock budget (the engine
+  must kill it and account a :class:`~repro.errors.RunTimeout`);
+* ``kill``    — the worker hard-exits mid-run, simulating a segfault or
+  the OOM killer (engine sees :class:`~repro.errors.WorkerCrashed`);
+* ``error``   — the run raises :class:`InjectedFault`;
+* ``corrupt`` — the worker returns a result whose payload no longer
+  matches its checksum (engine must detect and retry, never store it).
+
+:func:`corrupt_store_entries` complements the plan by damaging entries of
+an on-disk result store, exercising the store's quarantine path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+FAULT_KINDS = ("timeout", "kill", "error", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """Exception raised inside a worker by an injected ``error`` fault."""
+
+
+def unit_interval(seed: int, key: str, attempt: int) -> float:
+    """Deterministic uniform value in [0, 1) for (seed, key, attempt)."""
+    digest = hashlib.sha256(f"{seed}|{key}|{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-kind injection probabilities, resolved deterministically by seed."""
+
+    timeout: float = 0.0
+    kill: float = 0.0
+    error: float = 0.0
+    corrupt: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        for kind in FAULT_KINDS:
+            rate = getattr(self, kind)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"fault rate {kind}={rate} outside [0, 1]")
+        if sum(getattr(self, kind) for kind in FAULT_KINDS) > 1.0:
+            raise ConfigError("fault rates sum to more than 1")
+
+    def decide(self, key: str, attempt: int) -> Optional[str]:
+        """The fault (if any) to inject into this run attempt.
+
+        Pure in (plan, key, attempt): replaying a sweep with the same plan
+        injects exactly the same faults at the same points.
+        """
+        u = unit_interval(self.seed, key, attempt)
+        edge = 0.0
+        for kind in FAULT_KINDS:
+            edge += getattr(self, kind)
+            if u < edge:
+                return kind
+        return None
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse a CLI spec like ``"timeout=0.1,kill=0.05,corrupt=0.05,seed=7"``."""
+    kwargs = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ConfigError(f"fault spec expects KIND=RATE, got {item!r}")
+        name, _, value = item.partition("=")
+        name = name.strip()
+        try:
+            if name == "seed":
+                kwargs["seed"] = int(value)
+            elif name in FAULT_KINDS:
+                kwargs[name] = float(value)
+            else:
+                raise ConfigError(
+                    f"unknown fault kind {name!r}; known: "
+                    f"{', '.join(FAULT_KINDS)}, seed"
+                )
+        except ValueError:
+            raise ConfigError(f"bad fault value {value!r} for {name!r}") from None
+    return FaultPlan(**kwargs)
+
+
+def corrupt_store_entries(path, fraction: float, seed: int = 0) -> int:
+    """Damage a deterministic ``fraction`` of a schema-2 store's entries.
+
+    Overwrites the chosen entries' checksums so the next load must drop and
+    quarantine them.  Returns the number of entries corrupted.  Chaos-test
+    helper: writes the file directly, bypassing the store's atomic path,
+    exactly like real bit rot would.
+    """
+    store_path = pathlib.Path(path)
+    doc = json.loads(store_path.read_text())
+    entries = doc.get("entries", {})
+    hit = 0
+    for key in sorted(entries):
+        if unit_interval(seed, key, 0) < fraction:
+            entries[key]["sum"] = "deadbeef"
+            hit += 1
+    store_path.write_text(json.dumps(doc))
+    return hit

@@ -1,0 +1,78 @@
+"""Structured JSONL run journal.
+
+The engine appends one JSON object per event so a sweep is diagnosable
+and resumable after any crash:
+
+* ``start``    — an attempt was dispatched to a worker
+* ``retry``    — an attempt failed and a backoff retry was scheduled
+* ``fallback`` — retries exhausted, degrading to the reference simulator
+* ``finish``   — terminal state for a run (``ok``/``degraded``/``failed``/
+  ``cached``), with the accumulated wall-clock duration
+
+Every record carries ``ts`` (epoch seconds) plus event-specific fields;
+the writer flushes per event so ``tail -f`` (and a post-crash read)
+always sees complete history up to the last whole line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Any, Dict, List
+
+
+class RunJournal:
+    """Append-only JSONL event writer."""
+
+    def __init__(self, path, fsync: bool = False):
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self._fh = open(self.path, "a")
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Append one event record."""
+        record: Dict[str, Any] = {"ts": round(time.time(), 6), "event": event}
+        record.update(fields)
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullJournal:
+    """Journal that discards every event (engine default)."""
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Discard the event."""
+
+    def close(self) -> None:
+        """Nothing to close."""
+
+
+def read_journal(path) -> List[Dict[str, Any]]:
+    """Parse a JSONL journal, tolerating a torn final line after a crash."""
+    events: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                continue  # torn tail from a crash mid-append
+    return events

@@ -1,0 +1,179 @@
+"""Crash-safe persistent key/value store for simulation results.
+
+On-disk layout (schema 2)::
+
+    {"schema": 2,
+     "entries": {"<key>": {"value": <json>, "sum": "<crc32 of canonical value>"}}}
+
+Guarantees:
+
+* **Atomic writes** — every update goes to ``<name>.tmp``, is fsynced,
+  then renamed over the store (and the directory is fsynced), so a crash
+  mid-write leaves either the old or the new store, never a torn one.
+* **Per-entry checksums** — a flipped byte invalidates one entry, not the
+  whole sweep's worth of results.
+* **Quarantine-and-continue** — an unreadable file (or one with corrupt
+  entries) is preserved as ``<name>.corrupt-<n>`` and a warning is
+  logged; the surviving entries keep working.  With ``strict=True``
+  corruption raises :class:`~repro.errors.StoreCorruption` instead.
+* **Schema versioning** — legacy schema-1 stores (a flat key->value JSON
+  object, the format of the original ``_DiskStore``) are migrated on
+  load; unknown future schemas are quarantined rather than misread.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import pathlib
+import zlib
+from typing import Any, Dict, Iterator, Optional
+
+from repro.errors import StoreCorruption
+
+log = logging.getLogger(__name__)
+
+SCHEMA_VERSION = 2
+
+
+def checksum(value: Any) -> str:
+    """CRC32 (hex) of a value's canonical JSON encoding."""
+    blob = json.dumps(value, sort_keys=True, separators=(",", ":")).encode()
+    return format(zlib.crc32(blob) & 0xFFFFFFFF, "08x")
+
+
+class CrashSafeStore:
+    """Checksummed, atomically-written JSON store."""
+
+    def __init__(self, path, strict: bool = False):
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.strict = strict
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        #: corrupt entries dropped during load
+        self.dropped = 0
+        #: where the corrupt file went, if quarantine happened
+        self.quarantined: Optional[pathlib.Path] = None
+        if self.path.exists():
+            self._load()
+
+    # -- read side ---------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Any]:
+        """The stored value for ``key``, or None."""
+        entry = self._entries.get(key)
+        return None if entry is None else entry["value"]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over the stored run keys."""
+        return iter(self._entries)
+
+    # -- write side --------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        """Store one value and persist atomically."""
+        self._entries[key] = {"value": value, "sum": checksum(value)}
+        self._write()
+
+    def put_many(self, items: Dict[str, Any]) -> None:
+        """Store several values with a single atomic write."""
+        for key, value in items.items():
+            self._entries[key] = {"value": value, "sum": checksum(value)}
+        self._write()
+
+    def _write(self) -> None:
+        doc = {"schema": SCHEMA_VERSION, "entries": self._entries}
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(doc, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        try:  # make the rename itself durable
+            dirfd = os.open(self.path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dirfd)
+            finally:
+                os.close(dirfd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+
+    # -- loading and quarantine --------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            raw = self.path.read_text()
+        except OSError as exc:
+            self._quarantine(f"unreadable: {exc}")
+            return
+        try:
+            doc = json.loads(raw)
+        except ValueError as exc:
+            self._quarantine(f"invalid JSON: {exc}")
+            return
+        if not isinstance(doc, dict):
+            self._quarantine(f"expected a JSON object, got {type(doc).__name__}")
+            return
+        if "schema" not in doc:
+            # schema 1: a flat {key: value} object; adopt with fresh sums.
+            self._entries = {
+                key: {"value": value, "sum": checksum(value)}
+                for key, value in doc.items()
+            }
+            return
+        if doc.get("schema") != SCHEMA_VERSION:
+            self._quarantine(f"unsupported schema {doc.get('schema')!r}")
+            return
+        entries = doc.get("entries")
+        if not isinstance(entries, dict):
+            self._quarantine("schema-2 store without an entries object")
+            return
+        good: Dict[str, Dict[str, Any]] = {}
+        for key, entry in entries.items():
+            if (
+                isinstance(entry, dict)
+                and "value" in entry
+                and entry.get("sum") == checksum(entry["value"])
+            ):
+                good[key] = entry
+            else:
+                self.dropped += 1
+        self._entries = good
+        if self.dropped:
+            # keep the original bytes for forensics, carry on with the rest
+            self._quarantine(
+                f"{self.dropped} entr{'y' if self.dropped == 1 else 'ies'} "
+                "failed checksum",
+                keep_original=True,
+            )
+
+    def _quarantine_path(self) -> pathlib.Path:
+        n = 0
+        while True:
+            candidate = self.path.with_name(f"{self.path.name}.corrupt-{n}")
+            if not candidate.exists():
+                return candidate
+            n += 1
+
+    def _quarantine(self, reason: str, keep_original: bool = False) -> None:
+        if self.strict:
+            raise StoreCorruption(f"{self.path}: {reason}")
+        dest = self._quarantine_path()
+        try:
+            if keep_original:
+                dest.write_bytes(self.path.read_bytes())
+            else:
+                self.path.rename(dest)
+            self.quarantined = dest
+        except OSError:  # pragma: no cover - racing deletes
+            dest = None
+        log.warning(
+            "result store %s corrupt (%s); quarantined to %s", self.path, reason, dest
+        )

@@ -1,0 +1,84 @@
+"""Worker-process side of the execution engine.
+
+Each worker owns a private memoizing :class:`~repro.experiments.runner.Runner`
+(so paddings and programs are reused across the tasks it serves) and talks
+to the parent over a pipe:
+
+* parent -> worker: ``("task", task_id, RunRequest, simulator, fault)`` or
+  ``("stop",)``; ``fault`` is ``None`` or ``(kind, param)`` from the
+  fault-injection plan.
+* worker -> parent: ``("ok", task_id, stats_payload, checksum)`` or
+  ``("error", task_id, message)``.
+
+The checksum is computed *before* any injected corruption, so a mangled
+payload is detectable by the parent — exactly like a worker whose memory
+was scribbled on.  Crash containment is the parent's job: this module
+deliberately lets injected kills take the whole process down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+
+from repro.engine.faults import InjectedFault
+from repro.engine.store import checksum
+
+#: exit codes chosen to mimic SIGKILL / SIGABRT deaths
+KILL_EXIT_CODE = 137
+OOM_EXIT_CODE = 134
+
+
+def worker_main(conn) -> None:
+    """Serve tasks until told to stop or the pipe closes."""
+    from repro.experiments.runner import Runner
+
+    runner = Runner()
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if msg[0] != "task":
+            return
+        _, task_id, request, simulator, fault = msg
+        kind, param = fault if fault else (None, None)
+        if kind == "kill":
+            os._exit(KILL_EXIT_CODE)
+        if kind == "timeout":
+            # Hang well past the parent's deadline; if the parent's budget
+            # is somehow larger, fail loudly instead of succeeding.
+            time.sleep(param)
+            _send(conn, ("error", task_id, "InjectedFault: injected hang elapsed"))
+            continue
+        try:
+            if kind == "error":
+                raise InjectedFault(f"injected failure in {request.program}")
+            stats = runner.run(
+                request.program,
+                request.heuristic,
+                request.cache,
+                size=request.size,
+                pad_cache=request.pad_cache,
+                m_lines=request.m_lines,
+                max_outer=request.max_outer,
+                seed=request.seed,
+                simulator=simulator,
+            )
+            payload = dataclasses.asdict(stats)
+            digest = checksum(payload)
+            if kind == "corrupt":
+                payload = dict(payload, misses=payload["misses"] ^ 0x5A5A)
+            _send(conn, ("ok", task_id, payload, digest))
+        except MemoryError:  # pragma: no cover - needs a real OOM
+            os._exit(OOM_EXIT_CODE)
+        except BaseException as exc:
+            _send(conn, ("error", task_id, f"{type(exc).__name__}: {exc}"))
+
+
+def _send(conn, msg) -> None:
+    try:
+        conn.send(msg)
+    except (BrokenPipeError, OSError):  # parent is gone; die quietly
+        os._exit(1)

@@ -27,7 +27,7 @@ class FrontendError(ReproError):
     def __init__(self, message: str, line: int = 0, column: int = 0):
         self.line = line
         self.column = column
-        if line:
+        if line or column:
             message = f"line {line}:{column}: {message}"
         super().__init__(message)
 
@@ -62,3 +62,19 @@ class SimulationError(ReproError):
 
 class ConfigError(ReproError):
     """An invalid configuration value (cache geometry, machine model, ...)."""
+
+
+class EngineError(ReproError):
+    """The fault-tolerant execution engine could not complete a run."""
+
+
+class RunTimeout(EngineError):
+    """A run exceeded its wall-clock budget and its worker was killed."""
+
+
+class WorkerCrashed(EngineError):
+    """A worker process died mid-run (segfault, OOM kill, hard exit)."""
+
+
+class StoreCorruption(EngineError):
+    """The persistent result store held unreadable or checksum-mismatched data."""

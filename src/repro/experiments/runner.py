@@ -7,16 +7,24 @@ everything that determines them (program name + problem size + truncation
 
 Heuristics are addressed by name so figures and benchmarks can enumerate
 them; see :data:`HEURISTICS`.
+
+Persistence goes through :class:`repro.engine.store.CrashSafeStore`
+(atomic writes, per-entry checksums, quarantine-and-continue), so a
+killed sweep resumes from its completed runs and a corrupted store loses
+only the damaged entries.  For parallel, fault-tolerant execution of many
+requests see :mod:`repro.engine`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.bench.suites import get_spec
 from repro.cache.config import CacheConfig, base_cache
 from repro.cache.fastsim import make_simulator
+from repro.cache.sim import ReferenceCache
 from repro.cache.stats import CacheStats
 from repro.errors import ConfigError
 from repro.ir.program import Program
@@ -44,6 +52,10 @@ HEURISTICS: Dict[str, Callable[..., PaddingResult]] = {
     ),
 }
 
+SIMULATORS = ("fast", "reference")
+"""Engine choices for :meth:`Runner.run`: the vectorized engines or the
+obviously-correct reference simulator (the graceful-degradation target)."""
+
 
 @dataclass(frozen=True)
 class RunRequest:
@@ -59,11 +71,45 @@ class RunRequest:
     seed: int
 
 
+def request_key(request: RunRequest) -> str:
+    """Stable string key for a request (persistent store / journal id)."""
+    cache, pad_cache = request.cache, request.pad_cache
+    return "|".join(
+        str(part)
+        for part in (
+            request.program, request.size, request.heuristic,
+            cache.size_bytes, cache.line_bytes, cache.associativity,
+            cache.write_allocate, cache.write_back,
+            pad_cache.size_bytes, pad_cache.line_bytes,
+            pad_cache.associativity,
+            request.m_lines, request.max_outer, request.seed,
+        )
+    )
+
+
+def pack_record(stats: CacheStats, status: str = "ok") -> dict:
+    """Store-entry payload for one result (stats + how it was obtained)."""
+    return {"stats": dataclasses.asdict(stats), "status": status}
+
+
+def unpack_record(record: dict) -> Tuple[CacheStats, str]:
+    """Invert :func:`pack_record`; also reads legacy flat stats dicts.
+
+    Raises ``TypeError``/``KeyError`` on malformed payloads — callers
+    treat that as a corrupt entry.
+    """
+    if isinstance(record.get("stats"), dict):
+        payload, status = record["stats"], record.get("status", "ok")
+    else:
+        payload, status = record, "ok"
+    return CacheStats(**payload), status
+
+
 class Runner:
     """Memoizing simulation driver.
 
-    ``cache_dir`` enables a persistent JSON result store keyed by every
-    field of the run request, so repeated benchmark invocations (and the
+    ``cache_dir`` enables a persistent result store keyed by every field
+    of the run request, so repeated benchmark invocations (and the
     default-then-full workflow) skip already-simulated combinations.
     """
 
@@ -105,6 +151,34 @@ class Runner:
 
     # -- simulation -----------------------------------------------------------
 
+    def request_for(
+        self,
+        name: str,
+        heuristic: str = "original",
+        cache: Optional[CacheConfig] = None,
+        size: Optional[int] = None,
+        pad_cache: Optional[CacheConfig] = None,
+        m_lines: int = 4,
+        max_outer: Union[int, None, str] = "auto",
+        seed: int = 12345,
+    ) -> RunRequest:
+        """The fully-resolved :class:`RunRequest` :meth:`run` would execute."""
+        cache = cache or base_cache()
+        pad_cache = pad_cache or cache
+        spec = get_spec(name)
+        if max_outer == "auto":
+            max_outer = spec.max_outer
+        return RunRequest(
+            program=name,
+            size=size,
+            heuristic=heuristic,
+            cache=cache,
+            pad_cache=pad_cache,
+            m_lines=m_lines,
+            max_outer=max_outer,
+            seed=seed,
+        )
+
     def run(
         self,
         name: str,
@@ -115,6 +189,7 @@ class Runner:
         m_lines: int = 4,
         max_outer: Union[int, None, str] = "auto",
         seed: int = 12345,
+        simulator: str = "fast",
     ) -> CacheStats:
         """Miss statistics for one benchmark under one heuristic and cache.
 
@@ -122,21 +197,11 @@ class Runner:
         defaults to ``cache``, but associativity studies (Figures 9/10)
         pad for the direct-mapped base cache while simulating others.
         ``max_outer="auto"`` applies the benchmark's registered truncation.
+        ``simulator`` picks the engine (see :data:`SIMULATORS`); both are
+        exact, so results cache under the same key.
         """
-        cache = cache or base_cache()
-        pad_cache = pad_cache or cache
-        spec = get_spec(name)
-        if max_outer == "auto":
-            max_outer = spec.max_outer
-        request = RunRequest(
-            program=name,
-            size=size,
-            heuristic=heuristic,
-            cache=cache,
-            pad_cache=pad_cache,
-            m_lines=m_lines,
-            max_outer=max_outer,
-            seed=seed,
+        request = self.request_for(
+            name, heuristic, cache, size, pad_cache, m_lines, max_outer, seed
         )
         if request in self._stats:
             return self._stats[request]
@@ -145,20 +210,40 @@ class Runner:
             if stored is not None:
                 self._stats[request] = stored
                 return stored
-        result = self.padding(name, heuristic, size, pad_cache, m_lines)
+        stats = self.execute(request, simulator=simulator)
+        self._stats[request] = stats
+        if self._disk is not None:
+            self._disk.put(request, stats)
+        return stats
+
+    def execute(self, request: RunRequest, simulator: str = "fast") -> CacheStats:
+        """Simulate one resolved request, bypassing every result cache."""
+        if simulator not in SIMULATORS:
+            raise ConfigError(
+                f"unknown simulator {simulator!r}; known: {SIMULATORS}"
+            )
+        result = self.padding(
+            request.program, request.heuristic, request.size,
+            request.pad_cache, request.m_lines,
+        )
         prog = result.prog
         layout = result.layout
-        if max_outer is not None:
-            prog = truncate_outer_loops(prog, max_outer)
+        if request.max_outer is not None:
+            prog = truncate_outer_loops(prog, request.max_outer)
             layout = _rebind_layout(layout, prog)
-        sim = make_simulator(cache)
-        env = DataEnv(seed=seed)
+        sim = (
+            make_simulator(request.cache)
+            if simulator == "fast"
+            else ReferenceCache(request.cache)
+        )
+        env = DataEnv(seed=request.seed)
         for addrs, writes in TraceInterpreter(prog, layout, env).trace():
             sim.access_chunk(addrs, writes)
-        self._stats[request] = sim.stats
-        if self._disk is not None:
-            self._disk.put(request, sim.stats)
         return sim.stats
+
+    def prime(self, request: RunRequest, stats: CacheStats) -> None:
+        """Preload one result (e.g. computed by :mod:`repro.engine`)."""
+        self._stats[request] = stats
 
     def miss_rate(self, *args, **kwargs) -> float:
         """Miss rate (percent) convenience wrapper around :meth:`run`."""
@@ -185,51 +270,33 @@ class Runner:
 
 
 class _DiskStore:
-    """JSON-backed persistent store for run results."""
+    """Request-keyed facade over the crash-safe store.
+
+    Corrupted files are quarantined to ``runner_cache.json.corrupt-<n>``
+    (with a logged warning) instead of being silently reset; the
+    surviving entries keep serving.
+    """
 
     def __init__(self, directory: str):
         import pathlib
 
+        from repro.engine.store import CrashSafeStore
+
         self.path = pathlib.Path(directory) / "runner_cache.json"
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._data: Dict[str, dict] = {}
-        if self.path.exists():
-            import json
-
-            try:
-                self._data = json.loads(self.path.read_text())
-            except (ValueError, OSError):
-                self._data = {}
-
-    @staticmethod
-    def _key(request: RunRequest) -> str:
-        cache, pad_cache = request.cache, request.pad_cache
-        return "|".join(
-            str(part)
-            for part in (
-                request.program, request.size, request.heuristic,
-                cache.size_bytes, cache.line_bytes, cache.associativity,
-                cache.write_allocate, cache.write_back,
-                pad_cache.size_bytes, pad_cache.line_bytes,
-                pad_cache.associativity,
-                request.m_lines, request.max_outer, request.seed,
-            )
-        )
+        self._store = CrashSafeStore(self.path)
 
     def get(self, request: RunRequest) -> Optional[CacheStats]:
-        record = self._data.get(self._key(request))
+        record = self._store.get(request_key(request))
         if record is None:
             return None
-        return CacheStats(**record)
+        try:
+            stats, _status = unpack_record(record)
+        except (TypeError, KeyError):
+            return None  # malformed legacy entry: recompute
+        return stats
 
-    def put(self, request: RunRequest, stats: CacheStats) -> None:
-        import dataclasses
-        import json
-
-        self._data[self._key(request)] = dataclasses.asdict(stats)
-        tmp = self.path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(self._data))
-        tmp.replace(self.path)
+    def put(self, request: RunRequest, stats: CacheStats, status: str = "ok") -> None:
+        self._store.put(request_key(request), pack_record(stats, status))
 
 
 def _rebind_layout(layout: MemoryLayout, prog: Program) -> MemoryLayout:

@@ -7,6 +7,9 @@ used directly as byte counts.
 
 from __future__ import annotations
 
+import os
+import signal
+
 import pytest
 
 from repro.cache.config import CacheConfig
@@ -14,6 +17,35 @@ from repro.ir import builder as b
 from repro.ir.arrays import ArrayDecl
 from repro.ir.program import Program
 from repro.ir.types import ElementType
+
+# -- global per-test timeout -------------------------------------------------
+#
+# A hung simulation (or engine worker) must fail its test fast instead of
+# stalling the whole suite/CI workflow.  SIGALRM-based so it needs no
+# third-party plugin; tune or disable via REPRO_TEST_TIMEOUT (seconds,
+# 0 disables).
+
+TEST_TIMEOUT = int(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if TEST_TIMEOUT <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded REPRO_TEST_TIMEOUT={TEST_TIMEOUT}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def jacobi_program(n: int, element_type: ElementType = ElementType.BYTE) -> Program:

@@ -1,0 +1,96 @@
+"""Tests for deterministic fault injection."""
+
+import json
+
+import pytest
+
+from repro.engine.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    corrupt_store_entries,
+    parse_fault_spec,
+    unit_interval,
+)
+from repro.engine.store import CrashSafeStore
+from repro.errors import ConfigError
+
+
+class TestFaultPlan:
+    def test_decisions_are_deterministic(self):
+        plan = FaultPlan(timeout=0.2, kill=0.1, error=0.1, corrupt=0.1, seed=42)
+        first = [plan.decide(f"run-{i}", a) for i in range(50) for a in (1, 2)]
+        second = [plan.decide(f"run-{i}", a) for i in range(50) for a in (1, 2)]
+        assert first == second
+        assert any(first)  # at 50% total rate something must fire
+
+    def test_rates_approximate_probabilities(self):
+        plan = FaultPlan(timeout=0.1, kill=0.05, corrupt=0.05, seed=7)
+        decisions = [plan.decide(f"k{i}", 1) for i in range(2000)]
+        counts = {kind: decisions.count(kind) for kind in FAULT_KINDS}
+        assert 120 <= counts["timeout"] <= 280  # ~200
+        assert 50 <= counts["kill"] <= 160  # ~100
+        assert counts["error"] == 0
+        assert decisions.count(None) > 1500
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(timeout=0.5, seed=1)
+        b = FaultPlan(timeout=0.5, seed=2)
+        keys = [f"k{i}" for i in range(100)]
+        assert [a.decide(k, 1) for k in keys] != [b.decide(k, 1) for k in keys]
+
+    def test_zero_plan_never_fires(self):
+        plan = FaultPlan()
+        assert all(plan.decide(f"k{i}", 1) is None for i in range(100))
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(timeout=1.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(timeout=0.6, kill=0.6)
+
+    def test_unit_interval_range(self):
+        values = [unit_interval(0, f"k{i}", 1) for i in range(100)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert len(set(values)) == len(values)
+
+
+class TestParseSpec:
+    def test_full_spec(self):
+        plan = parse_fault_spec("timeout=0.1,kill=0.05,corrupt=0.05,seed=7")
+        assert plan == FaultPlan(timeout=0.1, kill=0.05, corrupt=0.05, seed=7)
+
+    def test_whitespace_and_empty_items(self):
+        assert parse_fault_spec(" error=0.5 , ") == FaultPlan(error=0.5)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            parse_fault_spec("explode=0.5")
+
+    def test_missing_equals(self):
+        with pytest.raises(ConfigError):
+            parse_fault_spec("timeout")
+
+    def test_bad_value(self):
+        with pytest.raises(ConfigError):
+            parse_fault_spec("timeout=lots")
+
+
+class TestCorruptStoreEntries:
+    def test_corrupts_deterministic_fraction(self, tmp_path):
+        path = tmp_path / "s.json"
+        store = CrashSafeStore(path)
+        store.put_many({f"key-{i}": {"n": i} for i in range(40)})
+
+        hit = corrupt_store_entries(path, fraction=0.25, seed=3)
+        assert 0 < hit < 40
+        assert hit == corrupt_store_entries(path, fraction=0.25, seed=3)
+
+        reopened = CrashSafeStore(path)
+        assert reopened.dropped == hit
+        assert len(reopened) == 40 - hit
+
+    def test_zero_fraction_touches_nothing(self, tmp_path):
+        path = tmp_path / "s.json"
+        CrashSafeStore(path).put("k", 1)
+        assert corrupt_store_entries(path, fraction=0.0) == 0
+        assert json.loads(path.read_text())["entries"]["k"]["sum"] != "deadbeef"

@@ -1,0 +1,119 @@
+"""Tests for the crash-safe result store (atomicity, checksums, quarantine)."""
+
+import json
+import os
+
+import pytest
+
+from repro.engine.store import SCHEMA_VERSION, CrashSafeStore, checksum
+from repro.errors import StoreCorruption
+
+
+class TestBasics:
+    def test_roundtrip(self, tmp_path):
+        store = CrashSafeStore(tmp_path / "s.json")
+        store.put("a", {"x": 1})
+        store.put("b", [1, 2, 3])
+        assert store.get("a") == {"x": 1}
+        assert store.get("b") == [1, 2, 3]
+        assert store.get("missing") is None
+        assert "a" in store and len(store) == 2
+
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "s.json"
+        CrashSafeStore(path).put("k", {"v": 42})
+        again = CrashSafeStore(path)
+        assert again.get("k") == {"v": 42}
+
+    def test_put_many_single_write(self, tmp_path):
+        path = tmp_path / "s.json"
+        store = CrashSafeStore(path)
+        store.put_many({"a": 1, "b": 2})
+        assert CrashSafeStore(path).get("b") == 2
+
+    def test_no_tmp_left_behind(self, tmp_path):
+        path = tmp_path / "s.json"
+        CrashSafeStore(path).put("k", 1)
+        assert not (tmp_path / "s.json.tmp").exists()
+
+    def test_schema_version_written(self, tmp_path):
+        path = tmp_path / "s.json"
+        CrashSafeStore(path).put("k", 1)
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["entries"]["k"]["sum"] == checksum(1)
+
+
+class TestCorruption:
+    def test_unparseable_file_quarantined(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text("{ definitely not json")
+        store = CrashSafeStore(path)
+        assert len(store) == 0
+        assert store.quarantined is not None
+        assert store.quarantined.name.startswith("s.json.corrupt-")
+        assert "not json" in store.quarantined.read_text()
+        # original slot is free for clean rewrites
+        store.put("k", 1)
+        assert CrashSafeStore(path).get("k") == 1
+
+    def test_quarantine_names_do_not_collide(self, tmp_path):
+        path = tmp_path / "s.json"
+        for n in range(3):
+            path.write_text(f"broken {n}")
+            CrashSafeStore(path)
+        names = sorted(p.name for p in tmp_path.glob("s.json.corrupt-*"))
+        assert names == ["s.json.corrupt-0", "s.json.corrupt-1", "s.json.corrupt-2"]
+
+    def test_bad_entry_dropped_others_survive(self, tmp_path):
+        path = tmp_path / "s.json"
+        store = CrashSafeStore(path)
+        store.put_many({"good": 1, "bad": 2})
+        doc = json.loads(path.read_text())
+        doc["entries"]["bad"]["sum"] = "deadbeef"
+        path.write_text(json.dumps(doc))
+
+        reopened = CrashSafeStore(path)
+        assert reopened.get("good") == 1
+        assert reopened.get("bad") is None
+        assert reopened.dropped == 1
+        # forensic copy of the damaged file is kept
+        assert reopened.quarantined is not None
+
+    def test_flipped_value_byte_detected(self, tmp_path):
+        path = tmp_path / "s.json"
+        CrashSafeStore(path).put("k", {"misses": 100})
+        doc = json.loads(path.read_text())
+        doc["entries"]["k"]["value"]["misses"] = 999  # bit rot
+        path.write_text(json.dumps(doc))
+        assert CrashSafeStore(path).get("k") is None
+
+    def test_unknown_schema_quarantined(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({"schema": 99, "entries": {}}))
+        store = CrashSafeStore(path)
+        assert len(store) == 0
+        assert store.quarantined is not None
+
+    def test_strict_mode_raises(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text("nope")
+        with pytest.raises(StoreCorruption):
+            CrashSafeStore(path, strict=True)
+
+    def test_torn_tmp_write_leaves_old_store(self, tmp_path):
+        """A crash between tmp write and rename must not lose the store."""
+        path = tmp_path / "s.json"
+        CrashSafeStore(path).put("k", 1)
+        (tmp_path / "s.json.tmp").write_text("{ torn half-writ")  # crash artifact
+        assert CrashSafeStore(path).get("k") == 1
+
+
+class TestLegacyMigration:
+    def test_schema1_flat_dict_adopted(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({"old-key": {"misses": 5, "accesses": 10}}))
+        store = CrashSafeStore(path)
+        assert store.get("old-key") == {"misses": 5, "accesses": 10}
+        store.put("new", 1)  # rewrite upgrades the schema
+        assert json.loads(path.read_text())["schema"] == SCHEMA_VERSION
