@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 
 from repro.errors import AnalysisError
+from repro.obs import runtime as obs
 
 
 def first_conflict(cache_size: int, column_size: int, line_size: int) -> int:
@@ -42,10 +43,19 @@ def first_conflict(cache_size: int, column_size: int, line_size: int) -> int:
         raise AnalysisError(f"line size must be at least 1, got {line_size}")
     r_prev, r_cur = cache_size, column_size % cache_size
     c_prev, c_cur = 0, 1
+    iterations = 0
     while r_cur >= line_size:
         quotient = r_prev // r_cur
         r_prev, r_cur = r_cur, r_prev % r_cur
         c_prev, c_cur = c_cur, quotient * c_cur + c_prev
+        iterations += 1
+    obs.counter_add(
+        "repro_firstconflict_calls_total", 1, "FirstConflict invocations"
+    )
+    obs.counter_add(
+        "repro_firstconflict_iterations_total", iterations,
+        "Euclidean remainder iterations across all FirstConflict calls",
+    )
     return c_cur
 
 

@@ -19,14 +19,17 @@ touch misses in any cache).
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.cache.config import CacheConfig
+from repro.cache.instrument import record_chunk
 from repro.cache.sim import ReferenceCache
 from repro.cache.stats import CacheStats
 from repro.errors import SimulationError
+from repro.obs.runtime import is_enabled as _obs_enabled
 
 
 def make_simulator(config: CacheConfig):
@@ -58,6 +61,8 @@ def _as_chunk(addresses, writes, length_check: bool = True):
 
 class FastDirectMapped:
     """Vectorized direct-mapped cache."""
+
+    engine_label = "fast_direct"
 
     def __init__(self, config: CacheConfig):
         if not config.is_direct_mapped:
@@ -100,6 +105,7 @@ class FastDirectMapped:
         n = len(addrs)
         if n == 0:
             return np.zeros(0, dtype=bool)
+        t0 = time.perf_counter() if _obs_enabled() else None
         lines = addrs >> self._line_shift
         sets = self._set_indices(lines)
 
@@ -171,6 +177,11 @@ class FastDirectMapped:
         misses = np.empty(n, dtype=bool)
         misses[order] = misses_sorted
         self._accumulate(addrs, wr, misses, lines)
+        if t0 is not None:
+            record_chunk(
+                self.engine_label, n, int(np.sum(misses)),
+                time.perf_counter() - t0,
+            )
         return misses
 
     def _accumulate(self, addrs, wr, misses, lines) -> None:
@@ -192,6 +203,8 @@ class FastDirectMapped:
 
 class FastSetAssociative:
     """Per-set LRU engine for k-way caches."""
+
+    engine_label = "fast_assoc"
 
     def __init__(self, config: CacheConfig):
         self.config = config
@@ -227,6 +240,7 @@ class FastSetAssociative:
         n = len(addrs)
         if n == 0:
             return np.zeros(0, dtype=bool)
+        t0 = time.perf_counter() if _obs_enabled() else None
         lines = addrs >> self._line_shift
         sets = self._set_indices(lines)
 
@@ -292,6 +306,11 @@ class FastSetAssociative:
         misses = np.empty(n, dtype=bool)
         misses[order] = misses_sorted
         self._accumulate(addrs, wr, misses, lines)
+        if t0 is not None:
+            record_chunk(
+                self.engine_label, n, int(np.sum(misses)),
+                time.perf_counter() - t0,
+            )
         return misses
 
     def _accumulate(self, addrs, wr, misses, lines) -> None:

@@ -1,0 +1,52 @@
+"""Per-chunk metric recording shared by the cache engines.
+
+Every simulator calls :func:`record_chunk` once per ``access_chunk``
+with its engine label (``fast_direct`` / ``fast_assoc`` / ``reference``),
+so the ``repro_sim_*`` families compare engines like-for-like — the
+differential suite asserts the fast and reference engines report
+identical access/miss totals for identical traces.  Throughput lands in
+an accesses-per-second histogram; the callers time each chunk with the
+monotonic clock only while collection is enabled.
+"""
+
+from __future__ import annotations
+
+from repro.obs import runtime as obs
+
+THROUGHPUT_BUCKETS = (
+    1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8, 3e8, 1e9,
+)
+"""Histogram bounds for chunk throughput in accesses/second."""
+
+
+def record_chunk(engine: str, accesses: int, misses: int, seconds: float) -> None:
+    """Account one simulated chunk under the given engine label."""
+    if not obs.is_enabled() or accesses == 0:
+        return
+    obs.counter_add(
+        "repro_sim_accesses_total", accesses,
+        "accesses simulated, by cache engine", engine=engine,
+    )
+    obs.counter_add(
+        "repro_sim_misses_total", misses,
+        "misses observed, by cache engine", engine=engine,
+    )
+    obs.counter_add(
+        "repro_sim_hits_total", accesses - misses,
+        "hits observed, by cache engine", engine=engine,
+    )
+    obs.counter_add(
+        "repro_sim_chunks_total", 1,
+        "chunks simulated, by cache engine", engine=engine,
+    )
+    if seconds > 0:
+        obs.counter_add(
+            "repro_sim_seconds_total", seconds,
+            "wall-clock seconds spent simulating, by cache engine",
+            engine=engine,
+        )
+        obs.observe(
+            "repro_sim_chunk_accesses_per_second", accesses / seconds,
+            "per-chunk simulation throughput", buckets=THROUGHPUT_BUCKETS,
+            engine=engine,
+        )

@@ -10,12 +10,15 @@ behaviourally identical (verified by tests) but processes numpy chunks.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence, Set
 
 import numpy as np
 
 from repro.cache.config import CacheConfig
+from repro.cache.instrument import record_chunk
 from repro.cache.stats import CacheStats
+from repro.obs.runtime import is_enabled as _obs_enabled
 
 
 class _Line:
@@ -30,6 +33,8 @@ class _Line:
 
 class ReferenceCache:
     """Set-associative LRU cache, one access at a time."""
+
+    engine_label = "reference"
 
     def __init__(self, config: CacheConfig):
         self.config = config
@@ -100,9 +105,15 @@ class ReferenceCache:
             writes = np.zeros(len(addresses), dtype=bool)
         else:
             writes = np.asarray(writes, dtype=bool)
+        t0 = time.perf_counter() if _obs_enabled() else None
         misses = np.empty(len(addresses), dtype=bool)
         for i in range(len(addresses)):
             misses[i] = self.access(int(addresses[i]), bool(writes[i]))
+        if t0 is not None:
+            record_chunk(
+                self.engine_label, len(addresses), int(np.sum(misses)),
+                time.perf_counter() - t0,
+            )
         return misses
 
     def resident_lines(self) -> Set[int]:

@@ -13,6 +13,12 @@ Usage (``python -m repro <command>``):
 * ``figure NAME`` — regenerate one of the paper's tables/figures.
 * ``run-all`` — run a whole figure set through the fault-tolerant
   parallel engine (``--jobs/--timeout/--retries/--inject-faults``).
+* ``stats FILE`` — render a metrics file written by ``--metrics``.
+
+``simulate``, ``bench``, ``figure`` and ``run-all`` accept
+``--metrics PATH``: metrics collection is switched on for the whole
+command and a snapshot is written on exit (Prometheus text, or JSON
+when the path ends in ``.json``) — even when the command fails.
 
 Exit codes: 0 success, 1 partial results (some runs failed), 2 usage or
 library error, and 4-7 for engine failures (see :data:`EXIT_CODES`).
@@ -85,6 +91,14 @@ def _add_cache_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache", default="16K", help="cache size (default 16K)")
     parser.add_argument("--line", default="32", help="line size in bytes (default 32)")
     parser.add_argument("--assoc", type=int, default=1, help="associativity (default 1)")
+
+
+def _add_metrics_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics", metavar="PATH",
+        help="collect pipeline metrics and write a snapshot here on exit "
+             "(Prometheus text; .json for JSON)",
+    )
 
 
 def _add_program_args(parser: argparse.ArgumentParser) -> None:
@@ -284,6 +298,15 @@ def cmd_run_all(args) -> int:
     return 1 if report.failures else 0
 
 
+def cmd_stats(args) -> int:
+    """Render a metrics snapshot file as human-readable tables."""
+    from repro.obs.export import load_metrics, render_stats
+
+    snapshot = load_metrics(args.file)
+    print(render_stats(snapshot, family=args.family))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -305,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_args(p)
     p.add_argument("--heuristic", default="pad")
     p.add_argument("--m", type=int, default=4)
+    _add_metrics_arg(p)
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("conflicts", help="diagnose conflicting reference pairs")
@@ -327,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=None, help="problem size override")
     p.add_argument("--heuristic", default="pad")
     _add_cache_args(p)
+    _add_metrics_arg(p)
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("figure", help="regenerate a paper table/figure")
@@ -335,6 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--step", type=int, default=30, help="sweep step for fig16/17")
     p.add_argument("--charts", action="store_true",
                    help="render fig16/17 as ASCII charts instead of tables")
+    _add_metrics_arg(p)
     p.set_defaults(fn=cmd_figure)
 
     p = sub.add_parser(
@@ -361,7 +387,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "<cache-dir>/journal.jsonl)")
     p.add_argument("--no-fallback", action="store_true",
                    help="fail instead of degrading to the reference simulator")
+    _add_metrics_arg(p)
     p.set_defaults(fn=cmd_run_all)
+
+    p = sub.add_parser(
+        "stats", help="render a metrics file written by --metrics"
+    )
+    p.add_argument("file", help="metrics snapshot (.prom/.txt or .json)")
+    p.add_argument("--family", metavar="PREFIX",
+                   help="only show metrics whose name starts with PREFIX")
+    p.set_defaults(fn=cmd_stats)
 
     return parser
 
@@ -369,11 +404,24 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path:
+        from repro.obs import runtime as obs
+
+        obs.reset()
+        obs.enable()
     try:
         return args.fn(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return exit_code_for(exc)
+    finally:
+        if metrics_path:
+            from repro.obs import write_metrics
+
+            obs.disable()
+            write_metrics(metrics_path)
+            print(f"metrics: {metrics_path}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -35,6 +35,7 @@ from repro.engine.journal import NullJournal
 from repro.engine.store import checksum
 from repro.engine.worker import worker_main
 from repro.errors import EngineError, RunTimeout, WorkerCrashed
+from repro.obs import runtime as obs
 from repro.experiments.runner import (
     RunRequest,
     pack_record,
@@ -89,6 +90,7 @@ class _Task:
     total_attempts: int = 0  # across stages (fault-plan and jitter index)
     started_at: float = 0.0
     total_time: float = 0.0
+    enqueued_at: float = 0.0  # when it last became ready (queue-wait metric)
     fallback_used: bool = False
     last_error: Optional[str] = None
 
@@ -96,13 +98,14 @@ class _Task:
 class _Worker:
     """One subprocess plus its pipe and current assignment."""
 
-    def __init__(self, ctx):
+    def __init__(self, ctx, slot: int = 0):
         self.conn, child = ctx.Pipe()
         self.proc = ctx.Process(target=worker_main, args=(child,), daemon=True)
         self.proc.start()
         child.close()
         self.task: Optional[_Task] = None
         self.deadline = float("inf")
+        self.slot = slot  # stable identity across replacements
 
     def kill(self) -> None:
         try:
@@ -166,6 +169,10 @@ class ExperimentEngine:
             if cached is not None:
                 stats, status = cached
                 outcomes[key] = RunOutcome(request, STATUS_CACHED, stats)
+                obs.counter_add(
+                    "repro_engine_outcomes_total", 1,
+                    "terminal run outcomes, by status", status=STATUS_CACHED,
+                )
                 journal.emit(
                     "finish", run=key, status=STATUS_CACHED,
                     stored_status=status, attempts=0, duration=0.0,
@@ -173,7 +180,8 @@ class ExperimentEngine:
             else:
                 tasks.append(_Task(index=len(tasks), request=request, key=key))
         if tasks:
-            self._execute(tasks, outcomes, store, journal)
+            with obs.span("engine.execute", tasks=len(tasks)):
+                self._execute(tasks, outcomes, store, journal)
         return [outcomes[request_key(r)] for r in requests]
 
     # -- internals ----------------------------------------------------------
@@ -193,7 +201,13 @@ class ExperimentEngine:
     def _execute(self, tasks, outcomes, store, journal) -> None:
         cfg = self.config
         ctx = _mp_context()
-        workers = [_Worker(ctx) for _ in range(max(1, min(cfg.jobs, len(tasks))))]
+        workers = [
+            _Worker(ctx, slot=i)
+            for i in range(max(1, min(cfg.jobs, len(tasks))))
+        ]
+        now = time.monotonic()
+        for task in tasks:
+            task.enqueued_at = now
         ready: List[_Task] = list(tasks)
         delayed: List = []  # heap of (ready_time, tiebreak, task)
         seq = 0
@@ -215,6 +229,10 @@ class ExperimentEngine:
             )
             if stats is not None and store is not None:
                 store.put(task.key, pack_record(stats, status))
+            obs.counter_add(
+                "repro_engine_outcomes_total", 1,
+                "terminal run outcomes, by status", status=status,
+            )
             remaining -= 1
 
         def attempt_failed(task: _Task, exc: EngineError) -> None:
@@ -224,6 +242,10 @@ class ExperimentEngine:
             task.last_error = f"{type(exc).__name__}: {exc}"
             if task.attempts <= cfg.retries:
                 delay = self._backoff(task)
+                obs.counter_add(
+                    "repro_engine_retries_total", 1,
+                    "attempts re-queued after a failure",
+                )
                 journal.emit(
                     "retry", run=task.key, attempt=task.total_attempts,
                     delay=round(delay, 3), reason=task.last_error,
@@ -234,6 +256,10 @@ class ExperimentEngine:
                 task.fallback_used = True
                 task.simulator = "reference"
                 task.attempts = 0
+                obs.counter_add(
+                    "repro_engine_fallbacks_total", 1,
+                    "runs degraded to the reference simulator",
+                )
                 journal.emit(
                     "fallback", run=task.key, simulator="reference",
                     reason=task.last_error,
@@ -247,10 +273,21 @@ class ExperimentEngine:
             task = worker.task
             worker.task = None
             worker.deadline = float("inf")
+            obs.counter_add(
+                "repro_engine_worker_busy_seconds_total",
+                max(0.0, time.monotonic() - task.started_at),
+                "wall-clock seconds each worker slot spent on tasks",
+                worker=str(worker.slot),
+            )
             if msg[0] == "error":
                 attempt_failed(task, EngineError(msg[2]))
                 return
-            _, _, payload, digest = msg
+            payload, digest = msg[2], msg[3]
+            if len(msg) > 4 and msg[4] is not None:
+                try:
+                    obs.merge_snapshot(msg[4])
+                except Exception:  # never fail a run over metrics
+                    pass
             stats = self._validate(payload, digest)
             if stats is None:
                 attempt_failed(
@@ -265,7 +302,9 @@ class ExperimentEngine:
             while remaining > 0:
                 now = time.monotonic()
                 while delayed and delayed[0][0] <= now:
-                    ready.append(heapq.heappop(delayed)[2])
+                    task = heapq.heappop(delayed)[2]
+                    task.enqueued_at = now
+                    ready.append(task)
                 for worker in workers:
                     if worker.task is None and ready:
                         task = ready.pop(0)
@@ -344,13 +383,27 @@ class ExperimentEngine:
         task.started_at = time.monotonic()
         worker.task = task
         worker.deadline = task.started_at + timeout
+        collect = obs.is_enabled()
+        if collect:
+            obs.counter_add(
+                "repro_engine_attempts_total", 1,
+                "task attempts dispatched to workers",
+                simulator=task.simulator,
+            )
+            obs.observe(
+                "repro_engine_queue_wait_seconds",
+                max(0.0, task.started_at - task.enqueued_at),
+                "time tasks sat ready before a worker picked them up",
+            )
         journal.emit(
             "start", run=task.key, attempt=task.total_attempts,
             simulator=task.simulator, worker=worker.proc.pid,
             **({"injected": injected} if injected else {}),
         )
         try:
-            worker.conn.send(("task", task.index, task.request, task.simulator, fault))
+            worker.conn.send(
+                ("task", task.index, task.request, task.simulator, fault, collect)
+            )
         except (BrokenPipeError, OSError):  # pragma: no cover - instant death
             worker.task = None
             worker.deadline = float("inf")
@@ -359,7 +412,7 @@ class ExperimentEngine:
 
     def _replace(self, workers: List[_Worker], dead: _Worker, ctx) -> None:
         dead.kill()
-        workers[workers.index(dead)] = _Worker(ctx)
+        workers[workers.index(dead)] = _Worker(ctx, slot=dead.slot)
 
     def _backoff(self, task: _Task) -> float:
         cfg = self.config

@@ -30,6 +30,7 @@ from repro.engine.journal import NullJournal, RunJournal
 from repro.engine.store import CrashSafeStore
 from repro.errors import ConfigError, EngineError
 from repro.experiments.runner import Runner, RunRequest, request_key
+from repro.obs import runtime as obs
 
 DEFAULT_FIGURES = (
     "table2", "fig8", "fig9", "fig10", "fig11",
@@ -158,7 +159,8 @@ def run_figures(
 ) -> SweepReport:
     """Plan, execute and render a set of figures through the engine."""
     start = time.monotonic()
-    requests = collect_requests(figures, programs)
+    with obs.span("plan.collect", figures=len(figures)):
+        requests = collect_requests(figures, programs)
 
     store = None
     store_path = None
@@ -169,10 +171,16 @@ def run_figures(
             journal_path = pathlib.Path(cache_dir) / JOURNAL_FILENAME
     journal = RunJournal(journal_path) if journal_path else NullJournal()
 
+    def _journal_span(record: dict) -> None:
+        journal.emit("span", **record)
+
     engine = ExperimentEngine(config)
+    obs.add_span_sink(_journal_span)
     try:
-        outcomes = engine.run_many(requests, store=store, journal=journal)
+        with obs.span("plan.execute", requests=len(requests)):
+            outcomes = engine.run_many(requests, store=store, journal=journal)
     finally:
+        obs.remove_span_sink(_journal_span)
         journal.close()
 
     runner = PrimedRunner()
@@ -182,12 +190,15 @@ def run_figures(
 
     modules = figure_modules()
     renders: Dict[str, str] = {}
-    for name in figures:
-        module = modules[name]
-        try:
-            renders[name] = module.render(_call_compute(module, runner, programs))
-        except EngineError as exc:
-            renders[name] = f"[{name} incomplete: {exc}]"
+    with obs.span("plan.render", figures=len(figures)):
+        for name in figures:
+            module = modules[name]
+            try:
+                renders[name] = module.render(
+                    _call_compute(module, runner, programs)
+                )
+            except EngineError as exc:
+                renders[name] = f"[{name} incomplete: {exc}]"
     return SweepReport(
         outcomes=outcomes,
         renders=renders,

@@ -4,10 +4,12 @@ Each worker owns a private memoizing :class:`~repro.experiments.runner.Runner`
 (so paddings and programs are reused across the tasks it serves) and talks
 to the parent over a pipe:
 
-* parent -> worker: ``("task", task_id, RunRequest, simulator, fault)`` or
-  ``("stop",)``; ``fault`` is ``None`` or ``(kind, param)`` from the
-  fault-injection plan.
-* worker -> parent: ``("ok", task_id, stats_payload, checksum)`` or
+* parent -> worker: ``("task", task_id, RunRequest, simulator, fault,
+  collect)`` or ``("stop",)``; ``fault`` is ``None`` or ``(kind, param)``
+  from the fault-injection plan, and ``collect`` asks the worker to
+  gather a metrics snapshot for the task (older parents may omit it).
+* worker -> parent: ``("ok", task_id, stats_payload, checksum, metrics)``
+  (``metrics`` is a registry snapshot or ``None``) or
   ``("error", task_id, message)``.
 
 The checksum is computed *before* any injected corruption, so a mangled
@@ -24,6 +26,7 @@ import time
 
 from repro.engine.faults import InjectedFault
 from repro.engine.store import checksum
+from repro.obs import runtime as obs
 
 #: exit codes chosen to mimic SIGKILL / SIGABRT deaths
 KILL_EXIT_CODE = 137
@@ -34,6 +37,11 @@ def worker_main(conn) -> None:
     """Serve tasks until told to stop or the pipe closes."""
     from repro.experiments.runner import Runner
 
+    # Forked workers inherit the parent's metrics registry and span sinks
+    # (which may hold the parent's journal file handle).  Start clean so a
+    # worker never double-counts or writes to the parent's journal.
+    obs.disable()
+    obs.reset()
     runner = Runner()
     while True:
         try:
@@ -42,7 +50,8 @@ def worker_main(conn) -> None:
             return
         if msg[0] != "task":
             return
-        _, task_id, request, simulator, fault = msg
+        _, task_id, request, simulator, fault = msg[:5]
+        collect = bool(msg[5]) if len(msg) > 5 else False
         kind, param = fault if fault else (None, None)
         if kind == "kill":
             os._exit(KILL_EXIT_CODE)
@@ -55,22 +64,30 @@ def worker_main(conn) -> None:
         try:
             if kind == "error":
                 raise InjectedFault(f"injected failure in {request.program}")
-            stats = runner.run(
-                request.program,
-                request.heuristic,
-                request.cache,
-                size=request.size,
-                pad_cache=request.pad_cache,
-                m_lines=request.m_lines,
-                max_outer=request.max_outer,
-                seed=request.seed,
-                simulator=simulator,
-            )
+            if collect:
+                obs.reset()
+                obs.enable()
+            try:
+                stats = runner.run(
+                    request.program,
+                    request.heuristic,
+                    request.cache,
+                    size=request.size,
+                    pad_cache=request.pad_cache,
+                    m_lines=request.m_lines,
+                    max_outer=request.max_outer,
+                    seed=request.seed,
+                    simulator=simulator,
+                )
+                metrics = obs.snapshot() if collect else None
+            finally:
+                if collect:
+                    obs.disable()
             payload = dataclasses.asdict(stats)
             digest = checksum(payload)
             if kind == "corrupt":
                 payload = dict(payload, misses=payload["misses"] ^ 0x5A5A)
-            _send(conn, ("ok", task_id, payload, digest))
+            _send(conn, ("ok", task_id, payload, digest, metrics))
         except MemoryError:  # pragma: no cover - needs a real OOM
             os._exit(OOM_EXIT_CODE)
         except BaseException as exc:

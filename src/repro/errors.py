@@ -64,6 +64,11 @@ class ConfigError(ReproError):
     """An invalid configuration value (cache geometry, machine model, ...)."""
 
 
+class ObsError(ReproError):
+    """Invalid use of the metrics/tracing subsystem (bad metric name,
+    decreasing counter, mismatched histogram buckets, ...)."""
+
+
 class EngineError(ReproError):
     """The fault-tolerant execution engine could not complete a run."""
 

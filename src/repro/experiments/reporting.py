@@ -75,15 +75,24 @@ def format_ascii_chart(
     """Render series as an ASCII scatter chart (paper-figure style).
 
     One column per x value, one marker per series; overlapping points show
-    the later series' marker.  Y axis is linear from 0 to the data max.
+    the later series' marker.  Y axis is linear from 0 to the data max
+    (0 to 1 when every value is 0, so the axis labels stay truthful).
+    Series values beyond ``len(xs)`` have no column and are ignored; with
+    no x values at all the chart renders a ``(no data)`` placeholder.
     """
     names = list(series)
-    top = max((max(v) for v in series.values() if len(v)), default=1.0)
-    top = max(top, 1e-9)
+    if not xs:
+        return "\n".join([title, "=" * len(title), "(no data)"])
+    top = max(
+        (max(v[:len(xs)]) for v in series.values() if len(v[:len(xs)])),
+        default=0.0,
+    )
+    if top <= 0:
+        top = 1.0
     grid = [[" "] * len(xs) for _ in range(height)]
     for index, name in enumerate(names):
         marker = markers[index % len(markers)]
-        for col, value in enumerate(series[name]):
+        for col, value in enumerate(series[name][:len(xs)]):
             row = height - 1 - int(round((value / top) * (height - 1)))
             row = min(max(row, 0), height - 1)
             grid[row][col] = marker
@@ -94,7 +103,10 @@ def format_ascii_chart(
     axis_width = len(xs)
     lines.append(" " * 8 + "+" + "-" * axis_width)
     first, last = str(xs[0]), str(xs[-1])
-    pad_len = max(0, axis_width - len(first) - len(last))
+    if first == last:
+        pad_len, last = 0, ""
+    else:
+        pad_len = max(1, axis_width - len(first) - len(last))
     lines.append(" " * 9 + first + " " * pad_len + last)
     legend = "  ".join(
         f"{markers[i % len(markers)]}={name}" for i, name in enumerate(names)

@@ -29,6 +29,7 @@ from repro.cache.stats import CacheStats
 from repro.errors import ConfigError
 from repro.ir.program import Program
 from repro.layout.layout import MemoryLayout
+from repro.obs import runtime as obs
 from repro.padding import drivers
 from repro.padding.common import PadParams, PaddingResult
 from repro.trace.env import DataEnv
@@ -204,12 +205,24 @@ class Runner:
             name, heuristic, cache, size, pad_cache, m_lines, max_outer, seed
         )
         if request in self._stats:
+            obs.counter_add(
+                "repro_runner_memo_hits_total", 1,
+                "simulation results served from memory", tier="memory",
+            )
             return self._stats[request]
         if self._disk is not None:
             stored = self._disk.get(request)
             if stored is not None:
+                obs.counter_add(
+                    "repro_runner_memo_hits_total", 1,
+                    "simulation results served from memory", tier="disk",
+                )
                 self._stats[request] = stored
                 return stored
+        obs.counter_add(
+            "repro_runner_memo_misses_total", 1,
+            "simulation requests that had to run",
+        )
         stats = self.execute(request, simulator=simulator)
         self._stats[request] = stats
         if self._disk is not None:
@@ -222,24 +235,29 @@ class Runner:
             raise ConfigError(
                 f"unknown simulator {simulator!r}; known: {SIMULATORS}"
             )
-        result = self.padding(
-            request.program, request.heuristic, request.size,
-            request.pad_cache, request.m_lines,
-        )
-        prog = result.prog
-        layout = result.layout
-        if request.max_outer is not None:
-            prog = truncate_outer_loops(prog, request.max_outer)
-            layout = _rebind_layout(layout, prog)
-        sim = (
-            make_simulator(request.cache)
-            if simulator == "fast"
-            else ReferenceCache(request.cache)
-        )
-        env = DataEnv(seed=request.seed)
-        for addrs, writes in TraceInterpreter(prog, layout, env).trace():
-            sim.access_chunk(addrs, writes)
-        return sim.stats
+        with obs.span(
+            "runner.execute",
+            program=request.program, heuristic=request.heuristic,
+            simulator=simulator,
+        ):
+            result = self.padding(
+                request.program, request.heuristic, request.size,
+                request.pad_cache, request.m_lines,
+            )
+            prog = result.prog
+            layout = result.layout
+            if request.max_outer is not None:
+                prog = truncate_outer_loops(prog, request.max_outer)
+                layout = _rebind_layout(layout, prog)
+            sim = (
+                make_simulator(request.cache)
+                if simulator == "fast"
+                else ReferenceCache(request.cache)
+            )
+            env = DataEnv(seed=request.seed)
+            for addrs, writes in TraceInterpreter(prog, layout, env).trace():
+                sim.access_chunk(addrs, writes)
+            return sim.stats
 
     def prime(self, request: RunRequest, stats: CacheStats) -> None:
         """Preload one result (e.g. computed by :mod:`repro.engine`)."""

@@ -30,6 +30,8 @@ def _xor_fold(lines: np.ndarray, set_bits: int, set_mask: int) -> np.ndarray:
 class XorDirectMapped(FastDirectMapped):
     """Direct-mapped cache with XOR-folded set indexing."""
 
+    engine_label = "xor_direct"
+
     def __init__(self, config: CacheConfig):
         super().__init__(config)
         self._set_bits = config.num_sets.bit_length() - 1
@@ -40,6 +42,8 @@ class XorDirectMapped(FastDirectMapped):
 
 class XorSetAssociative(FastSetAssociative):
     """k-way LRU cache with XOR-folded set indexing."""
+
+    engine_label = "xor_assoc"
 
     def __init__(self, config: CacheConfig):
         super().__init__(config)

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Union
 
 from repro.errors import LowerError
 from repro.frontend import ast
+from repro.obs import runtime as obs
 from repro.frontend.parser import parse_source
 from repro.ir.arrays import ArrayDecl, Dim, ScalarDecl
 from repro.ir.expr import AffineExpr, IndirectExpr, Subscript
@@ -338,4 +339,13 @@ def parse_program(
     ``params`` overrides ``param`` definitions in the source, enabling
     problem-size sweeps from a single kernel file.
     """
-    return lower_ast(parse_source(source), params, suite, description)
+    with obs.span("frontend.parse"):
+        tree = parse_source(source)
+    with obs.span("frontend.lower"):
+        prog = lower_ast(tree, params, suite, description)
+    obs.counter_add(
+        "repro_frontend_programs_total", 1,
+        "programs parsed and lowered through the DSL front end",
+        suite=suite or "unspecified",
+    )
+    return prog

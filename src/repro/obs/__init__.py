@@ -1,0 +1,105 @@
+"""repro.obs — pipeline-wide metrics and tracing.
+
+A dependency-free observability layer for the whole reproduction
+pipeline: counters/gauges/fixed-bucket histograms in a
+:class:`MetricsRegistry`, nestable monotonic-clock timing spans, and
+exporters to the Prometheus text format and JSON.
+
+Collection is **off by default** and every hot-path entry point returns
+after one module-level flag test, so instrumented code (the vectorized
+cache engines, the trace interpreter) is effectively free to ship
+instrumented.  Turn it on with :func:`enable` (the CLI does this for
+``--metrics``), then :func:`snapshot`/:func:`write_metrics` to export::
+
+    from repro import obs
+
+    obs.enable()
+    run_pipeline()
+    obs.write_metrics("out/metrics.prom")
+
+Metric families emitted by the instrumented pipeline:
+
+========================  ===================================================
+``repro_frontend_*``      DSL parse/lower timings and program counts
+``repro_padding_*``       pads inserted, pad bytes, conflict distances
+``repro_firstconflict_*`` FirstConflict calls and Euclidean iterations
+``repro_trace_*``         addresses generated, chunk sizes
+``repro_sim_*``           accesses/hits/misses/seconds per cache engine
+``repro_engine_*``        queue wait, retries, fallbacks, worker busy time
+``repro_runner_*``        memoization hits/misses
+``repro_span_*``          every timing span, by name
+========================  ===================================================
+"""
+
+from repro.obs.export import (
+    load_metrics,
+    parse_json,
+    parse_prometheus,
+    render_stats,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.runtime import (
+    add_span_sink,
+    counter_add,
+    disable,
+    enable,
+    gauge_set,
+    is_enabled,
+    merge_snapshot,
+    observe,
+    registry,
+    remove_span_sink,
+    reset,
+    snapshot,
+    span,
+)
+from repro.obs.spans import NOOP_SPAN, NoopSpan, Span, current_span
+
+
+def write_metrics(path):
+    """Snapshot the process registry and write it to ``path`` (format by
+    extension: ``.json`` for JSON, anything else Prometheus text)."""
+    from repro.obs.export import write_metrics as _write
+
+    return _write(path, snapshot())
+
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "NoopSpan",
+    "Span",
+    "add_span_sink",
+    "counter_add",
+    "current_span",
+    "disable",
+    "enable",
+    "gauge_set",
+    "is_enabled",
+    "load_metrics",
+    "merge_snapshot",
+    "observe",
+    "parse_json",
+    "parse_prometheus",
+    "registry",
+    "remove_span_sink",
+    "render_stats",
+    "reset",
+    "snapshot",
+    "span",
+    "to_json",
+    "to_prometheus",
+    "write_metrics",
+]

@@ -1,0 +1,333 @@
+"""Exporters and parsers for metrics snapshots.
+
+Two wire formats, both produced from :meth:`MetricsRegistry.snapshot`
+dicts and both parseable back into snapshots (the differential tests
+round-trip them):
+
+* **Prometheus text exposition format** (``.prom``) — ``# HELP`` /
+  ``# TYPE`` comments, ``name{label="value"} value`` samples, histograms
+  as cumulative ``_bucket``/``_sum``/``_count`` series.
+* **JSON** (``.json``) — the snapshot dict itself, under a versioned
+  envelope.
+
+:func:`write_metrics` picks the format from the file extension, and
+:func:`render_stats` renders a snapshot as the aligned tables behind the
+``repro stats`` subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ObsError
+
+JSON_SCHEMA = "repro-metrics/1"
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, bool):  # bools are ints; be explicit
+        return str(int(value))
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _label_str(labels: Dict[str, str], extra: Optional[Tuple[str, str]] = None) -> str:
+    items = sorted(labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in items)
+    return "{" + body + "}"
+
+
+# -- Prometheus text format --------------------------------------------------
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    emitted_header = set()
+
+    def header(name: str, kind: str, help: str) -> None:
+        if name in emitted_header:
+            return
+        emitted_header.add(name)
+        if help:
+            lines.append(f"# HELP {name} {_escape(help)}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for entry in snapshot.get("counters", ()):
+        header(entry["name"], "counter", entry.get("help", ""))
+        lines.append(
+            f"{entry['name']}{_label_str(entry.get('labels', {}))} "
+            f"{_fmt_value(entry['value'])}"
+        )
+    for entry in snapshot.get("gauges", ()):
+        header(entry["name"], "gauge", entry.get("help", ""))
+        lines.append(
+            f"{entry['name']}{_label_str(entry.get('labels', {}))} "
+            f"{_fmt_value(entry['value'])}"
+        )
+    for entry in snapshot.get("histograms", ()):
+        name = entry["name"]
+        labels = entry.get("labels", {})
+        header(name, "histogram", entry.get("help", ""))
+        cumulative = 0
+        for bound, count in zip(entry["buckets"], entry["counts"]):
+            cumulative += count
+            lines.append(
+                f"{name}_bucket{_label_str(labels, ('le', _fmt_value(bound)))} "
+                f"{cumulative}"
+            )
+        lines.append(
+            f"{name}_bucket{_label_str(labels, ('le', '+Inf'))} {entry['count']}"
+        )
+        lines.append(f"{name}_sum{_label_str(labels)} {_fmt_value(entry['sum'])}")
+        lines.append(f"{name}_count{_label_str(labels)} {entry['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_labels(text: Optional[str]) -> Dict[str, str]:
+    if not text:
+        return {}
+    return {key: _unescape(raw) for key, raw in _LABEL_RE.findall(text)}
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse Prometheus exposition text back into a snapshot dict.
+
+    Understands exactly what :func:`to_prometheus` emits (counters,
+    gauges and cumulative histograms); raises :class:`ObsError` on
+    malformed sample lines.
+    """
+    kinds: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help = rest.partition(" ")
+            helps[name] = _unescape(help)
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            kinds[name] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ObsError(f"unparseable metrics line: {line!r}")
+        value_text = match.group("value")
+        value = math.inf if value_text == "+Inf" else float(value_text)
+        samples.append((match.group("name"), _parse_labels(match.group("labels")), value))
+
+    def base_name(sample_name: str) -> Tuple[str, str]:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if base and kinds.get(base) == "histogram":
+                return base, suffix
+        return sample_name, ""
+
+    counters, gauges = [], []
+    # (name, labelkey) -> {"labels", "buckets": [(bound, cum)], "sum", "count"}
+    hist_acc: Dict[Tuple[str, tuple], dict] = {}
+    for sample_name, labels, value in samples:
+        name, suffix = base_name(sample_name)
+        kind = kinds.get(name, "counter" if not suffix else "histogram")
+        entry_base = {"name": name, "help": helps.get(name, ""), "labels": labels}
+        if kind == "counter" and not suffix:
+            counters.append({**entry_base, "value": value})
+        elif kind == "gauge":
+            gauges.append({**entry_base, "value": value})
+        elif kind == "histogram":
+            plain = {k: v for k, v in labels.items() if k != "le"}
+            key = (name, tuple(sorted(plain.items())))
+            acc = hist_acc.setdefault(
+                key,
+                {"help": helps.get(name, ""), "labels": plain,
+                 "buckets": [], "sum": 0.0, "count": 0},
+            )
+            if suffix == "_bucket":
+                bound = labels.get("le", "")
+                acc["buckets"].append(
+                    (math.inf if bound == "+Inf" else float(bound), value)
+                )
+            elif suffix == "_sum":
+                acc["sum"] = value
+            elif suffix == "_count":
+                acc["count"] = int(value)
+        else:
+            raise ObsError(f"unsupported metric kind {kind!r} for {name}")
+
+    histograms = []
+    for (name, _), acc in hist_acc.items():
+        bounds_cum = sorted(acc["buckets"])
+        finite = [(b, c) for b, c in bounds_cum if not math.isinf(b)]
+        inf_cum = next(
+            (c for b, c in bounds_cum if math.isinf(b)), acc["count"]
+        )
+        counts, previous = [], 0
+        for _, cum in finite:
+            counts.append(int(cum - previous))
+            previous = int(cum)
+        counts.append(int(inf_cum - previous))  # overflow bucket
+        histograms.append({
+            "name": name, "help": acc["help"], "labels": acc["labels"],
+            "buckets": [b for b, _ in finite], "counts": counts,
+            "sum": acc["sum"], "count": acc["count"],
+        })
+    histograms.sort(key=lambda e: (e["name"], sorted(e["labels"].items())))
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+# -- JSON --------------------------------------------------------------------
+
+def to_json(snapshot: dict, indent: int = 2) -> str:
+    """Render a snapshot as versioned JSON."""
+    return json.dumps(
+        {"schema": JSON_SCHEMA, "metrics": snapshot},
+        indent=indent, sort_keys=True,
+    )
+
+
+def parse_json(text: str) -> dict:
+    """Invert :func:`to_json` (also accepts a bare snapshot dict)."""
+    data = json.loads(text)
+    if not isinstance(data, dict):
+        raise ObsError("metrics JSON must be an object")
+    if "metrics" in data:
+        data = data["metrics"]
+    for section in ("counters", "gauges", "histograms"):
+        data.setdefault(section, [])
+    return data
+
+
+# -- files -------------------------------------------------------------------
+
+def write_metrics(path, snapshot: dict) -> pathlib.Path:
+    """Write a snapshot to ``path``; ``.json`` selects JSON, anything
+    else (conventionally ``.prom``) the Prometheus text format."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".json":
+        text = to_json(snapshot) + "\n"
+    else:
+        text = to_prometheus(snapshot)
+    path.write_text(text)
+    return path
+
+
+def load_metrics(path) -> dict:
+    """Read a metrics file written by :func:`write_metrics`."""
+    path = pathlib.Path(path)
+    text = path.read_text()
+    if path.suffix == ".json":
+        return parse_json(text)
+    return parse_prometheus(text)
+
+
+# -- human-readable rendering ------------------------------------------------
+
+def _table(title: str, header: Sequence[str], rows: List[Sequence[str]]) -> str:
+    all_rows = [tuple(header)] + [tuple(str(c) for c in row) for row in rows]
+    widths = [max(len(r[i]) for r in all_rows) for i in range(len(header))]
+    lines = [title, "=" * len(title)]
+    for index, row in enumerate(all_rows):
+        line = "  ".join(
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(row)
+        )
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)
+
+
+def _labelled(entry: dict) -> str:
+    labels = entry.get("labels", {})
+    if not labels:
+        return entry["name"]
+    body = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{entry['name']}{{{body}}}"
+
+
+def _hist_quantile(entry: dict, q: float) -> float:
+    count = entry["count"]
+    if count == 0:
+        return 0.0
+    rank = q * count
+    seen = 0
+    for bound, bucket_count in zip(entry["buckets"], entry["counts"]):
+        seen += bucket_count
+        if seen >= rank:
+            return bound
+    return entry["buckets"][-1]
+
+
+def render_stats(snapshot: dict, family: Optional[str] = None) -> str:
+    """Render a snapshot as counter/gauge/histogram tables.
+
+    ``family`` filters metric names by prefix (e.g. ``repro_engine``).
+    """
+    def keep(entry: dict) -> bool:
+        return family is None or entry["name"].startswith(family)
+
+    sections: List[str] = []
+    counters = [e for e in snapshot.get("counters", []) if keep(e)]
+    if counters:
+        sections.append(_table(
+            "counters", ("metric", "value"),
+            [(_labelled(e), _fmt_value(e["value"])) for e in counters],
+        ))
+    gauges = [e for e in snapshot.get("gauges", []) if keep(e)]
+    if gauges:
+        sections.append(_table(
+            "gauges", ("metric", "value"),
+            [(_labelled(e), _fmt_value(e["value"])) for e in gauges],
+        ))
+    histograms = [e for e in snapshot.get("histograms", []) if keep(e)]
+    if histograms:
+        rows = []
+        for e in histograms:
+            mean = e["sum"] / e["count"] if e["count"] else 0.0
+            rows.append((
+                _labelled(e), str(e["count"]), f"{e['sum']:.6g}",
+                f"{mean:.6g}",
+                f"{_hist_quantile(e, 0.5):.6g}", f"{_hist_quantile(e, 0.9):.6g}",
+            ))
+        sections.append(_table(
+            "histograms",
+            ("metric", "count", "sum", "mean", "p50<=", "p90<="),
+            rows,
+        ))
+    if not sections:
+        return "no metrics" + (f" matching {family!r}" if family else "")
+    return "\n\n".join(sections)

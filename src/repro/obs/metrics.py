@@ -1,0 +1,299 @@
+"""Metric instruments and the registry that owns them.
+
+Three instrument kinds, modelled on the Prometheus data model:
+
+* :class:`Counter` — a monotonically increasing total (events, bytes,
+  accumulated seconds).
+* :class:`Gauge` — a value that can go up and down (queue depth, worker
+  count).
+* :class:`Histogram` — observations bucketed against a fixed, sorted
+  tuple of upper bounds, plus a running sum and count.
+
+Instruments are addressed by ``(name, labels)``; asking the registry for
+the same address twice returns the same object, so call sites never need
+to cache handles.  Snapshots are plain dicts (JSON-safe) and registries
+can :meth:`~MetricsRegistry.merge` snapshots from other processes — the
+experiment engine uses that to fold worker-side counts into the parent.
+
+This module is dependency-free and holds no global state; the enabled
+flag and the process-wide registry live in :mod:`repro.obs.runtime`.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ObsError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+"""Default histogram bounds, tuned for span durations in seconds."""
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    for key in labels:
+        if not _LABEL_RE.match(key):
+            raise ObsError(f"invalid label name {key!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, str]):
+        self.name = name
+        self.labels = dict(labels)
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ObsError(
+                f"counter {self.name} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move in both directions."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, str]):
+        self.name = name
+        self.labels = dict(labels)
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1) -> None:
+        """Move the value up (or down, with a negative amount)."""
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        """Move the value down."""
+        self.value -= amount
+
+
+class Histogram:
+    """Observations against fixed bucket upper bounds.
+
+    ``counts`` holds one slot per bound plus a final overflow slot
+    (everything above the last bound — the ``+Inf`` bucket).  Counts are
+    stored per-bucket; the Prometheus exporter cumulates them.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Dict[str, str],
+        buckets: Tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ObsError(f"histogram {name} needs at least one bucket bound")
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ObsError(
+                f"histogram {name} bucket bounds must be strictly increasing"
+            )
+        self.name = name
+        self.labels = dict(labels)
+        self.buckets = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (the bucket's upper bound).
+
+        Returns the last finite bound for observations in the overflow
+        bucket and 0 for an empty histogram.
+        """
+        if not 0 <= q <= 1:
+            raise ObsError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                return bound
+        return self.buckets[-1]
+
+
+class MetricsRegistry:
+    """Owns every instrument of one process (or one test)."""
+
+    def __init__(self):
+        # name -> (kind, help, {label_key: instrument})
+        self._families: Dict[str, Tuple[str, str, Dict[LabelKey, object]]] = {}
+
+    # -- instrument accessors ------------------------------------------------
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        """The counter at ``(name, labels)``, created on first use."""
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        """The gauge at ``(name, labels)``, created on first use."""
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Iterable[float]] = None,
+        **labels: str,
+    ) -> Histogram:
+        """The histogram at ``(name, labels)``, created on first use.
+
+        ``buckets`` only applies on creation; later calls reuse the
+        existing instrument (mismatched bounds raise).
+        """
+        family = self._family(name, "histogram", help)
+        key = _label_key(labels)
+        inst = family.get(key)
+        if inst is None:
+            inst = Histogram(
+                name, labels,
+                tuple(buckets) if buckets is not None else DEFAULT_TIME_BUCKETS,
+            )
+            family[key] = inst
+        elif buckets is not None and tuple(float(b) for b in buckets) != inst.buckets:
+            raise ObsError(
+                f"histogram {name} already registered with different buckets"
+            )
+        return inst
+
+    def _family(self, name: str, kind: str, help: str) -> Dict[LabelKey, object]:
+        if not _NAME_RE.match(name):
+            raise ObsError(f"invalid metric name {name!r}")
+        entry = self._families.get(name)
+        if entry is None:
+            entry = (kind, help, {})
+            self._families[name] = entry
+        elif entry[0] != kind:
+            raise ObsError(
+                f"metric {name} already registered as a {entry[0]}, "
+                f"not a {kind}"
+            )
+        elif help and not entry[1]:
+            entry = (kind, help, entry[2])
+            self._families[name] = entry
+        return entry[2]
+
+    def _get(self, cls, name: str, help: str, labels: Dict[str, str]):
+        family = self._family(name, cls.kind, help)
+        key = _label_key(labels)
+        inst = family.get(key)
+        if inst is None:
+            inst = cls(name, labels)
+            family[key] = inst
+        return inst
+
+    # -- introspection -------------------------------------------------------
+
+    def families(self) -> List[Tuple[str, str, str, List[object]]]:
+        """``(name, kind, help, instruments)`` per family, name-sorted."""
+        out = []
+        for name in sorted(self._families):
+            kind, help, instruments = self._families[name]
+            ordered = [instruments[key] for key in sorted(instruments)]
+            out.append((name, kind, help, ordered))
+        return out
+
+    def get(self, name: str, **labels: str):
+        """The instrument at ``(name, labels)`` or None (never creates)."""
+        entry = self._families.get(name)
+        if entry is None:
+            return None
+        return entry[2].get(_label_key(labels))
+
+    def __len__(self) -> int:
+        return sum(len(entry[2]) for entry in self._families.values())
+
+    # -- snapshot / merge ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump of every instrument."""
+        counters, gauges, histograms = [], [], []
+        for name, kind, help, instruments in self.families():
+            for inst in instruments:
+                base = {"name": name, "help": help, "labels": dict(inst.labels)}
+                if kind == "counter":
+                    counters.append({**base, "value": inst.value})
+                elif kind == "gauge":
+                    gauges.append({**base, "value": inst.value})
+                else:
+                    histograms.append({
+                        **base,
+                        "buckets": list(inst.buckets),
+                        "counts": list(inst.counts),
+                        "sum": inst.sum,
+                        "count": inst.count,
+                    })
+        return {
+            "counters": counters, "gauges": gauges, "histograms": histograms,
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) into this
+        registry: counters and histograms add, gauges take the incoming
+        value."""
+        for entry in snapshot.get("counters", ()):
+            self.counter(
+                entry["name"], entry.get("help", ""), **entry.get("labels", {})
+            ).inc(entry["value"])
+        for entry in snapshot.get("gauges", ()):
+            self.gauge(
+                entry["name"], entry.get("help", ""), **entry.get("labels", {})
+            ).set(entry["value"])
+        for entry in snapshot.get("histograms", ()):
+            hist = self.histogram(
+                entry["name"], entry.get("help", ""),
+                buckets=entry["buckets"], **entry.get("labels", {}),
+            )
+            counts = entry["counts"]
+            if len(counts) != len(hist.counts):
+                raise ObsError(
+                    f"histogram {entry['name']} snapshot has "
+                    f"{len(counts)} buckets, registry has {len(hist.counts)}"
+                )
+            for i, c in enumerate(counts):
+                hist.counts[i] += c
+            hist.sum += entry["sum"]
+            hist.count += entry["count"]
+
+    def reset(self) -> None:
+        """Drop every family and instrument."""
+        self._families.clear()

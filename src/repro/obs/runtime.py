@@ -1,0 +1,126 @@
+"""Process-wide observability state and the hot-path entry points.
+
+The whole subsystem hangs off one module-level boolean.  Disabled (the
+default), every entry point returns after a single flag test — no
+registry lookups, no allocation — so instrumented hot paths (the cache
+engines, the trace interpreter) pay close to nothing; an overhead-guard
+test in ``tests/test_obs_overhead.py`` enforces that.  Enabled, calls
+resolve instruments in the process registry, and :func:`span` returns a
+real timing span.
+
+Typical use from instrumented code::
+
+    from repro.obs import runtime as obs
+
+    obs.counter_add("repro_trace_addresses_total", len(chunk))
+    with obs.span("padding.pad", program=prog.name):
+        ...
+
+and from a driver (CLI ``--metrics``)::
+
+    obs.enable()
+    ... pipeline ...
+    snapshot = obs.snapshot()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.obs import spans as _spans
+from repro.obs.metrics import MetricsRegistry
+
+_enabled = False
+_registry = MetricsRegistry()
+_span_sinks: list = []
+
+
+# -- lifecycle ---------------------------------------------------------------
+
+def enable() -> None:
+    """Turn metric and span collection on (idempotent)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn collection off; instruments keep their accumulated values."""
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    """Whether the subsystem is currently collecting."""
+    return _enabled
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry (valid whether or not enabled)."""
+    return _registry
+
+
+def reset() -> None:
+    """Drop all collected metrics and span sinks (keeps the enabled flag)."""
+    _registry.reset()
+    del _span_sinks[:]
+
+
+def snapshot() -> dict:
+    """JSON-safe dump of the process registry."""
+    return _registry.snapshot()
+
+
+def merge_snapshot(data: dict) -> None:
+    """Fold another process's snapshot into this registry."""
+    _registry.merge(data)
+
+
+# -- span sinks --------------------------------------------------------------
+
+def add_span_sink(sink) -> None:
+    """Register a callable receiving every completed span's record."""
+    _span_sinks.append(sink)
+
+
+def remove_span_sink(sink) -> None:
+    """Unregister a sink (no-op when absent)."""
+    try:
+        _span_sinks.remove(sink)
+    except ValueError:
+        pass
+
+
+# -- hot-path entry points ---------------------------------------------------
+
+def counter_add(name: str, amount: float = 1, help: str = "", **labels):
+    """Add to a counter; free when disabled."""
+    if not _enabled:
+        return
+    _registry.counter(name, help, **labels).inc(amount)
+
+
+def gauge_set(name: str, value: float, help: str = "", **labels):
+    """Set a gauge; free when disabled."""
+    if not _enabled:
+        return
+    _registry.gauge(name, help, **labels).set(value)
+
+
+def observe(
+    name: str,
+    value: float,
+    help: str = "",
+    buckets: Optional[Iterable[float]] = None,
+    **labels,
+):
+    """Record a histogram observation; free when disabled."""
+    if not _enabled:
+        return
+    _registry.histogram(name, help, buckets=buckets, **labels).observe(value)
+
+
+def span(name: str, **attrs):
+    """A timing span context manager (shared no-op when disabled)."""
+    if not _enabled:
+        return _spans.NOOP_SPAN
+    return _spans.Span(name, attrs, _registry, _span_sinks)

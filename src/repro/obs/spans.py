@@ -1,0 +1,117 @@
+"""Nestable timing spans.
+
+A span measures one region of the pipeline with the monotonic clock::
+
+    with span("padding.intrapad", program="jacobi"):
+        ...
+
+On exit (normal or exceptional) a span
+
+* records its duration into the ``repro_span_seconds`` histogram and the
+  ``repro_span_calls_total`` counter (labelled by span name, with
+  ``status="error"`` when the block raised), and
+* delivers a JSON-safe *span record* to every registered sink —
+  ``repro run-all`` wires a sink that appends the record to the JSONL
+  run journal, so timings land next to the engine's own events.
+
+Spans nest: each record carries the name of its enclosing span, so a
+journal can be folded back into a tree.  The active-span stack is
+per-thread (and per-process: worker subprocesses have their own).
+
+When the subsystem is disabled, :func:`repro.obs.runtime.span` returns
+the shared :data:`NOOP_SPAN` instead of constructing anything — entering
+and exiting it does nothing, which is what keeps disabled-mode overhead
+near zero.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+SpanSink = Callable[[dict], None]
+
+_local = threading.local()
+
+
+def _stack() -> List[str]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current_span() -> Optional[str]:
+    """Name of the innermost active span (None outside any span)."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+class NoopSpan:
+    """Shared do-nothing span used while the subsystem is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def annotate(self, **attrs) -> None:
+        """Discard the attributes."""
+
+
+NOOP_SPAN = NoopSpan()
+
+
+class Span:
+    """One live measurement; use via ``with`` (see module docstring)."""
+
+    __slots__ = ("name", "attrs", "parent", "_registry", "_sinks", "_start")
+
+    def __init__(self, name: str, attrs: Dict, registry, sinks: List[SpanSink]):
+        self.name = name
+        self.attrs = attrs
+        self.parent: Optional[str] = None
+        self._registry = registry
+        self._sinks = sinks
+        self._start = 0.0
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the record this span will emit."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        self.parent = stack[-1] if stack else None
+        stack.append(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start
+        stack = _stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        status = "error" if exc_type is not None else "ok"
+        record = {
+            "span": self.name,
+            "parent": self.parent,
+            "seconds": round(duration, 9),
+            "status": status,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        reg = self._registry
+        reg.histogram(
+            "repro_span_seconds", "span durations by name", span=self.name
+        ).observe(duration)
+        reg.counter(
+            "repro_span_calls_total", "span completions by name and status",
+            span=self.name, status=status,
+        ).inc()
+        for sink in self._sinks:
+            sink(record)
+        return False  # never swallow the exception

@@ -27,6 +27,7 @@ from repro.analysis.safety import safe_arrays
 from repro.ir.program import Program
 from repro.layout.globalize import globalize
 from repro.layout.layout import MemoryLayout
+from repro.obs import runtime as obs
 from repro.padding.common import IntraPadDecision, PadParams, PaddingResult
 from repro.padding.interpad import interpad
 from repro.padding.interpadlite import interpadlite
@@ -54,40 +55,82 @@ def _intra_phase(
     """The Figure-6 loop over every safely paddable array."""
     decisions = []
     paddable = safe_arrays(prog)
-    for decl in prog.arrays:
-        if decl.name not in paddable:
-            continue
-        column_added = 0
-        # Combined column loop: max of the stencil and linear-algebra pads.
-        while column_added < params.intra_pad_limit:
-            stencil_pad = stencil_fn(layout, decl) if stencil_fn else 0
-            lin_pad = 0
-            if linpad_which and (linpad_arrays is None or decl.name in linpad_arrays):
-                if decl.rank >= 2:
-                    lin_pad = needed_linalg_pad(
-                        decl, layout.dim_sizes(decl.name)[0], params, linpad_which
+    with obs.span("padding.intrapad", heuristic=heuristic):
+        for decl in prog.arrays:
+            if decl.name not in paddable:
+                continue
+            column_added = 0
+            # Combined column loop: max of the stencil and linear-algebra pads.
+            while column_added < params.intra_pad_limit:
+                stencil_pad = stencil_fn(layout, decl) if stencil_fn else 0
+                lin_pad = 0
+                if linpad_which and (linpad_arrays is None or decl.name in linpad_arrays):
+                    if decl.rank >= 2:
+                        lin_pad = needed_linalg_pad(
+                            decl, layout.dim_sizes(decl.name)[0], params, linpad_which
+                        )
+                pad = max(stencil_pad, lin_pad)
+                if pad == 0:
+                    break
+                pad = min(pad, params.intra_pad_limit - column_added)
+                if pad == 0:
+                    break
+                layout.pad_dim(decl.name, 0, pad)
+                column_added += pad
+            if column_added:
+                decisions.append(
+                    IntraPadDecision(
+                        array=decl.name,
+                        heuristic=heuristic,
+                        dim_index=0,
+                        elements=column_added,
+                        reason="combined stencil/linear-algebra column pad",
                     )
-            pad = max(stencil_pad, lin_pad)
-            if pad == 0:
-                break
-            pad = min(pad, params.intra_pad_limit - column_added)
-            if pad == 0:
-                break
-            layout.pad_dim(decl.name, 0, pad)
-            column_added += pad
-        if column_added:
-            decisions.append(
-                IntraPadDecision(
-                    array=decl.name,
-                    heuristic=heuristic,
-                    dim_index=0,
-                    elements=column_added,
-                    reason="combined stencil/linear-algebra column pad",
                 )
-            )
-        if higher_fn and decl.rank >= 3:
-            decisions.extend(higher_fn(layout, decl))
+            if higher_fn and decl.rank >= 3:
+                decisions.extend(higher_fn(layout, decl))
     return decisions
+
+
+def _record_padding_metrics(result: PaddingResult) -> PaddingResult:
+    """Account a driver's decisions: pads inserted and bytes of padding."""
+    if not obs.is_enabled():
+        return result
+    heuristic = result.heuristic
+    obs.counter_add(
+        "repro_padding_runs_total", 1, "padding driver invocations",
+        heuristic=heuristic,
+    )
+    if result.intra_decisions:
+        obs.counter_add(
+            "repro_padding_intra_pads_total", len(result.intra_decisions),
+            "intra-variable pad decisions", heuristic=heuristic,
+        )
+    intra_bytes = sum(
+        result.layout.size_bytes(decl.name) - decl.size_bytes
+        for decl in result.prog.arrays
+    )
+    inter_bytes = sum(
+        d.final - d.tentative for d in result.inter_decisions if not d.gave_up
+    )
+    gave_up = sum(1 for d in result.inter_decisions if d.gave_up)
+    help = "bytes of padding inserted, by kind"
+    if intra_bytes:
+        obs.counter_add(
+            "repro_padding_pad_bytes_total", intra_bytes, help,
+            kind="intra", heuristic=heuristic,
+        )
+    if inter_bytes:
+        obs.counter_add(
+            "repro_padding_pad_bytes_total", inter_bytes, help,
+            kind="inter", heuristic=heuristic,
+        )
+    if gave_up:
+        obs.counter_add(
+            "repro_padding_inter_gave_up_total", gave_up,
+            "placements that kept the original address", heuristic=heuristic,
+        )
+    return result
 
 
 def padlite(
@@ -102,21 +145,24 @@ def padlite(
     ablation baseline).
     """
     params = params or PadParams()
-    prog, _ = globalize(prog)
-    layout = MemoryLayout(prog)
-    intra = _intra_phase(
-        prog,
-        layout,
-        params,
-        stencil_fn=lambda lay, decl: needed_stencil_pad_lite(lay, decl, params),
-        linpad_which=1 if use_linpad else 0,
-        linpad_arrays=None,
-        higher_fn=lambda lay, decl: pad_higher_levels(lay, decl, params),
-        heuristic="INTRAPADLITE+LINPAD1" if use_linpad else "INTRAPADLITE",
-    )
-    inter = interpadlite(prog, layout, params)
-    layout.validate()
-    return PaddingResult(prog, layout, "PADLITE", params, intra, inter)
+    with obs.span("padding.padlite", program=prog.name, linpad=use_linpad):
+        prog, _ = globalize(prog)
+        layout = MemoryLayout(prog)
+        intra = _intra_phase(
+            prog,
+            layout,
+            params,
+            stencil_fn=lambda lay, decl: needed_stencil_pad_lite(lay, decl, params),
+            linpad_which=1 if use_linpad else 0,
+            linpad_arrays=None,
+            higher_fn=lambda lay, decl: pad_higher_levels(lay, decl, params),
+            heuristic="INTRAPADLITE+LINPAD1" if use_linpad else "INTRAPADLITE",
+        )
+        inter = interpadlite(prog, layout, params)
+        layout.validate()
+        return _record_padding_metrics(
+            PaddingResult(prog, layout, "PADLITE", params, intra, inter)
+        )
 
 
 def pad(
@@ -130,32 +176,38 @@ def pad(
     enabled, only to arrays matching the Figure-3 linear-algebra pattern).
     """
     params = params or PadParams()
-    prog, _ = globalize(prog)
-    layout = MemoryLayout(prog)
-    linalg = linear_algebra_arrays(prog) if use_linpad else set()
-    intra = _intra_phase(
-        prog,
-        layout,
-        params,
-        stencil_fn=lambda lay, decl: needed_stencil_pad(prog, lay, decl, params),
-        linpad_which=2 if use_linpad else 0,
-        linpad_arrays=linalg,
-        higher_fn=lambda lay, decl: pad_remaining_dims(prog, lay, decl, params),
-        heuristic="INTRAPAD+LINPAD2" if use_linpad else "INTRAPAD",
-    )
-    inter = interpad(prog, layout, params)
-    layout.validate()
-    return PaddingResult(prog, layout, "PAD", params, intra, inter)
+    with obs.span("padding.pad", program=prog.name, linpad=use_linpad):
+        prog, _ = globalize(prog)
+        layout = MemoryLayout(prog)
+        linalg = linear_algebra_arrays(prog) if use_linpad else set()
+        intra = _intra_phase(
+            prog,
+            layout,
+            params,
+            stencil_fn=lambda lay, decl: needed_stencil_pad(prog, lay, decl, params),
+            linpad_which=2 if use_linpad else 0,
+            linpad_arrays=linalg,
+            higher_fn=lambda lay, decl: pad_remaining_dims(prog, lay, decl, params),
+            heuristic="INTRAPAD+LINPAD2" if use_linpad else "INTRAPAD",
+        )
+        inter = interpad(prog, layout, params)
+        layout.validate()
+        return _record_padding_metrics(
+            PaddingResult(prog, layout, "PAD", params, intra, inter)
+        )
 
 
 def interpad_only(prog: Program, params: Optional[PadParams] = None) -> PaddingResult:
     """INTERPAD with no intra-variable padding (Figure 12 baseline)."""
     params = params or PadParams()
-    prog, _ = globalize(prog)
-    layout = MemoryLayout(prog)
-    inter = interpad(prog, layout, params)
-    layout.validate()
-    return PaddingResult(prog, layout, "INTERPAD", params, [], inter)
+    with obs.span("padding.interpad_only", program=prog.name):
+        prog, _ = globalize(prog)
+        layout = MemoryLayout(prog)
+        inter = interpad(prog, layout, params)
+        layout.validate()
+        return _record_padding_metrics(
+            PaddingResult(prog, layout, "INTERPAD", params, [], inter)
+        )
 
 
 def interpadlite_only(
@@ -163,11 +215,14 @@ def interpadlite_only(
 ) -> PaddingResult:
     """INTERPADLITE with no intra-variable padding (Figure 17 baseline)."""
     params = params or PadParams()
-    prog, _ = globalize(prog)
-    layout = MemoryLayout(prog)
-    inter = interpadlite(prog, layout, params)
-    layout.validate()
-    return PaddingResult(prog, layout, "INTERPADLITE", params, [], inter)
+    with obs.span("padding.interpadlite_only", program=prog.name):
+        prog, _ = globalize(prog)
+        layout = MemoryLayout(prog)
+        inter = interpadlite(prog, layout, params)
+        layout.validate()
+        return _record_padding_metrics(
+            PaddingResult(prog, layout, "INTERPADLITE", params, [], inter)
+        )
 
 
 def linpad_plus_interpadlite(
@@ -177,26 +232,34 @@ def linpad_plus_interpadlite(
     if which not in (1, 2):
         raise ValueError("which must be 1 or 2")
     params = params or PadParams()
-    prog, _ = globalize(prog)
-    layout = MemoryLayout(prog)
-    intra = _intra_phase(
-        prog,
-        layout,
-        params,
-        stencil_fn=None,
-        linpad_which=which,
-        linpad_arrays=None,
-        higher_fn=None,
-        heuristic=f"LINPAD{which}",
-    )
-    inter = interpadlite(prog, layout, params)
-    layout.validate()
-    return PaddingResult(prog, layout, f"LINPAD{which}+INTERPADLITE", params, intra, inter)
+    with obs.span("padding.linpad_plus_interpadlite", program=prog.name, which=which):
+        prog, _ = globalize(prog)
+        layout = MemoryLayout(prog)
+        intra = _intra_phase(
+            prog,
+            layout,
+            params,
+            stencil_fn=None,
+            linpad_which=which,
+            linpad_arrays=None,
+            higher_fn=None,
+            heuristic=f"LINPAD{which}",
+        )
+        inter = interpadlite(prog, layout, params)
+        layout.validate()
+        return _record_padding_metrics(
+            PaddingResult(
+                prog, layout, f"LINPAD{which}+INTERPADLITE", params, intra, inter
+            )
+        )
 
 
 def original(prog: Program) -> PaddingResult:
     """No padding at all: the baseline layout wrapped as a PaddingResult."""
     from repro.layout.layout import original_layout
 
-    layout = original_layout(prog)
-    return PaddingResult(prog, layout, "ORIGINAL", PadParams(), [], [])
+    with obs.span("padding.original", program=prog.name):
+        layout = original_layout(prog)
+        return _record_padding_metrics(
+            PaddingResult(prog, layout, "ORIGINAL", PadParams(), [], [])
+        )

@@ -23,6 +23,7 @@ from repro.analysis.uniform import uniform_groups
 from repro.ir.program import Program
 from repro.ir.refs import ArrayRef
 from repro.layout.layout import MemoryLayout, PlacementUnit
+from repro.obs import runtime as obs
 from repro.padding.common import InterPadDecision, PadParams
 from repro.padding.greedy import greedy_place
 
@@ -65,6 +66,7 @@ def _needed_pad_fn(prog: Program, params: PadParams):
 
     def fn(layout: MemoryLayout, unit: PlacementUnit, address: int) -> int:
         worst = 0
+        computed = 0
         placed = set(layout.placed_names)
         for name, offset in zip(unit.names, unit.offsets):
             base_a = address + offset
@@ -83,6 +85,7 @@ def _needed_pad_fn(prog: Program, params: PadParams):
                 for ra, rb in ref_pairs:
                     if flip:
                         ra, rb = rb, ra
+                    computed += 1
                     delta = linearized_distance(
                         ra, decl_a, rb, decl_b, dims_a, dims_b, base_a, base_b
                     )
@@ -94,6 +97,12 @@ def _needed_pad_fn(prog: Program, params: PadParams):
                         )
                         if pad > worst:
                             worst = pad
+        if computed:
+            obs.counter_add(
+                "repro_padding_conflict_distances_total", computed,
+                "reference-pair conflict distances computed during placement",
+                heuristic=HEURISTIC,
+            )
         return worst
 
     return fn

@@ -17,6 +17,7 @@ from typing import List
 from repro.analysis.conflict import needed_pad
 from repro.ir.program import Program
 from repro.layout.layout import MemoryLayout, PlacementUnit
+from repro.obs import runtime as obs
 from repro.padding.common import InterPadDecision, PadParams
 from repro.padding.greedy import greedy_place
 
@@ -28,6 +29,7 @@ def _needed_pad_fn(prog: Program, params: PadParams):
 
     def fn(layout: MemoryLayout, unit: PlacementUnit, address: int) -> int:
         worst = 0
+        computed = 0
         for name, offset in zip(unit.names, unit.offsets):
             if name not in array_names:
                 continue
@@ -39,6 +41,7 @@ def _needed_pad_fn(prog: Program, params: PadParams):
                 if layout.size_bytes(placed) != size:
                     continue
                 delta = base_a - layout.base(placed)
+                computed += 1
                 for cache in params.caches:
                     pad = needed_pad(
                         delta,
@@ -47,6 +50,12 @@ def _needed_pad_fn(prog: Program, params: PadParams):
                     )
                     if pad > worst:
                         worst = pad
+        if computed:
+            obs.counter_add(
+                "repro_padding_conflict_distances_total", computed,
+                "reference-pair conflict distances computed during placement",
+                heuristic=HEURISTIC,
+            )
         return worst
 
     return fn

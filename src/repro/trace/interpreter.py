@@ -30,9 +30,14 @@ from repro.ir.program import Program
 from repro.ir.refs import ArrayRef
 from repro.ir.stmts import Statement
 from repro.layout.layout import MemoryLayout
+from repro.obs import runtime as obs
 from repro.trace.env import DataEnv
 
 Chunk = Tuple[np.ndarray, np.ndarray]
+
+_CHUNK_SIZE_BUCKETS = (
+    64, 256, 1024, 4096, 16384, 65536, 262144, 1048576,
+)
 
 
 class _RefPlan:
@@ -277,6 +282,18 @@ class TraceInterpreter:
         self._pending_addrs = []
         self._pending_writes = []
         self._pending_count = 0
+        if obs.is_enabled():
+            obs.counter_add(
+                "repro_trace_chunks_total", 1, "address chunks emitted"
+            )
+            obs.counter_add(
+                "repro_trace_addresses_total", len(addrs),
+                "addresses generated by the trace interpreter",
+            )
+            obs.observe(
+                "repro_trace_chunk_size", len(addrs),
+                "accesses per emitted chunk", buckets=_CHUNK_SIZE_BUCKETS,
+            )
         return addrs, writes
 
 

@@ -1,0 +1,173 @@
+"""Differential tests: fast engines vs the reference simulator.
+
+Seeded randomized traces (uniform, conflict-stride, hot-set, and mixed
+patterns) are pushed through :func:`make_simulator` and
+:class:`ReferenceCache` across a grid of cache sizes, associativities,
+line sizes and write policies.  Every pair must produce
+
+* identical :class:`CacheStats`,
+* identical per-access miss masks, and
+* identical ``repro_sim_*`` metric counts (the engines instrument their
+  chunks through the same :func:`record_chunk` choke point, so a metric
+  divergence means an engine lied about its work).
+
+The grid yields well over the required 200 trace/config pairs.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.fastsim import FastDirectMapped, FastSetAssociative, make_simulator
+from repro.cache.sim import ReferenceCache
+from repro.obs import runtime as obs
+
+PAIRS_PER_CONFIG = 8
+TRACE_LENGTH = 1500
+CHUNK = 700  # deliberately not a divisor: exercises ragged final chunks
+
+CONFIGS = [
+    CacheConfig(size, line, assoc)
+    for size in (256, 1024, 4096)
+    for line in (4, 16, 32)
+    for assoc in (1, 2, 4)
+    if line * assoc <= size
+] + [
+    CacheConfig(1024, 16, 1, write_allocate=False),
+    CacheConfig(1024, 16, 1, write_back=False),
+    CacheConfig(1024, 16, 2, write_allocate=False, write_back=False),
+    CacheConfig(512, 32, 16),  # a single 16-way set: fully associative
+]
+
+
+def _config_id(config: CacheConfig) -> str:
+    return (
+        f"{config.size_bytes}B-l{config.line_bytes}-a{config.associativity}"
+        f"{'' if config.write_allocate else '-noalloc'}"
+        f"{'' if config.write_back else '-wt'}"
+    )
+
+
+def make_trace(rng: np.random.Generator, config: CacheConfig, length: int):
+    """A random trace built from 2-4 segments of distinct access patterns."""
+    segments = []
+    remaining = length
+    while remaining > 0:
+        n = int(min(remaining, rng.integers(100, 600)))
+        kind = int(rng.integers(0, 4))
+        if kind == 0:  # uniform over a region a few cache sizes wide
+            region = config.size_bytes * int(rng.integers(2, 6))
+            addrs = rng.integers(0, region, size=n)
+        elif kind == 1:  # pathological stride: every access maps to one set
+            base = int(rng.integers(0, config.size_bytes))
+            addrs = base + np.arange(n) * config.size_bytes
+        elif kind == 2:  # hot working set smaller than the cache
+            hot = rng.integers(0, config.size_bytes // 2, size=16)
+            addrs = rng.choice(hot, size=n)
+        else:  # interleaved strided arrays (the paper's conflict shape)
+            stride = int(config.line_bytes * rng.integers(1, 8))
+            a = np.arange(n) * stride
+            b = a + config.size_bytes * int(rng.integers(1, 3))
+            addrs = np.where(np.arange(n) % 2 == 0, a, b)
+        segments.append(addrs)
+        remaining -= n
+    addresses = np.concatenate(segments).astype(np.int64)
+    writes = rng.random(len(addresses)) < 0.3
+    return addresses, writes
+
+
+def _run(sim, addresses, writes):
+    masks = []
+    for start in range(0, len(addresses), CHUNK):
+        masks.append(
+            sim.access_chunk(
+                addresses[start:start + CHUNK], writes[start:start + CHUNK]
+            )
+        )
+    return np.concatenate(masks)
+
+
+def _sim_counter(name: str, engine: str) -> float:
+    inst = obs.registry().get(name, engine=engine)
+    return inst.value if inst is not None else 0.0
+
+
+@pytest.fixture(autouse=True)
+def clean_runtime():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=_config_id)
+def test_fast_engine_matches_reference(config):
+    for pair in range(PAIRS_PER_CONFIG):
+        # str hashes are salted per process; crc32 keeps seeds reproducible
+        seed = zlib.crc32(f"{_config_id(config)}/{pair}".encode())
+        rng = np.random.default_rng(seed)
+        addresses, writes = make_trace(rng, config, TRACE_LENGTH)
+
+        obs.reset()
+        obs.enable()
+        fast = make_simulator(config)
+        reference = ReferenceCache(config)
+        fast_mask = _run(fast, addresses, writes)
+        ref_mask = _run(reference, addresses, writes)
+        obs.disable()
+
+        context = f"config={_config_id(config)} seed={seed}"
+        assert fast.stats == reference.stats, context
+        assert np.array_equal(fast_mask, ref_mask), context
+
+        label = fast.engine_label
+        if label == "reference":
+            # Non-default write policies fall back to the reference
+            # engine, so both simulators record under the same label.
+            assert _sim_counter("repro_sim_accesses_total", label) == (
+                2 * len(addresses)
+            ), context
+            assert _sim_counter("repro_sim_misses_total", label) == (
+                2 * fast.stats.misses
+            ), context
+        else:
+            for metric in (
+                "repro_sim_accesses_total",
+                "repro_sim_misses_total",
+                "repro_sim_hits_total",
+                "repro_sim_chunks_total",
+            ):
+                assert _sim_counter(metric, label) == _sim_counter(
+                    metric, "reference"
+                ), f"{metric} diverged: {context}"
+            assert _sim_counter("repro_sim_accesses_total", label) == len(addresses)
+            assert _sim_counter("repro_sim_misses_total", label) == fast.stats.misses
+
+
+def test_grid_covers_at_least_200_pairs():
+    assert len(CONFIGS) * PAIRS_PER_CONFIG >= 200
+
+
+def test_engine_selection_matches_labels():
+    direct = make_simulator(CacheConfig(1024, 16, 1))
+    assoc = make_simulator(CacheConfig(1024, 16, 4))
+    assert isinstance(direct, FastDirectMapped)
+    assert direct.engine_label == "fast_direct"
+    assert isinstance(assoc, FastSetAssociative)
+    assert assoc.engine_label == "fast_assoc"
+    assert ReferenceCache(CacheConfig(1024, 16, 1)).engine_label == "reference"
+
+
+def test_metrics_disabled_costs_no_instruments():
+    """With collection off, a simulation registers nothing at all."""
+    config = CacheConfig(1024, 16, 1)
+    rng = np.random.default_rng(7)
+    addresses, writes = make_trace(rng, config, 500)
+    _run(make_simulator(config), addresses, writes)
+    _run(ReferenceCache(config), addresses, writes)
+    assert len(obs.registry()) == 0

@@ -212,3 +212,42 @@ class TestAsciiChartEdges:
         series = {f"s{i}": [float(i)] for i in range(8)}
         text = format_ascii_chart("T", (1,), series, height=4)
         assert "#=s4" in text  # markers wrap through the cycle string
+
+    def test_empty_xs_renders_placeholder(self):
+        from repro.experiments.reporting import format_ascii_chart
+
+        text = format_ascii_chart("T", (), {"a": [1.0, 2.0]})
+        assert text.splitlines() == ["T", "=", "(no data)"]
+
+    def test_series_longer_than_xs_is_clipped(self):
+        from repro.experiments.reporting import format_ascii_chart
+
+        # the trailing 100.0 has no column: it must neither crash nor
+        # distort the y-axis scale of the plotted points
+        text = format_ascii_chart(
+            "T", (1, 2), {"a": [1.0, 2.0, 100.0]}, height=4
+        )
+        assert "    2.0 |" in text
+        assert "100.0" not in text
+
+    def test_series_shorter_than_xs(self):
+        from repro.experiments.reporting import format_ascii_chart
+
+        text = format_ascii_chart("T", (1, 2, 3), {"a": [5.0]}, height=4)
+        plot_rows = [l for l in text.splitlines() if "|" in l]
+        assert sum(row.count("o") for row in plot_rows) == 1
+
+    def test_all_zero_axis_labels_stay_truthful(self):
+        from repro.experiments.reporting import format_ascii_chart
+
+        text = format_ascii_chart("T", (1, 2), {"a": [0.0, 0.0]}, height=3)
+        lines = text.splitlines()
+        # axis spans 0..1 rather than a 1e-9 sliver labelled 0.0 everywhere
+        assert lines[2].startswith("    1.0 |")
+        assert lines[4].startswith("    0.0 |oo")
+
+    def test_single_point_label_not_duplicated(self):
+        from repro.experiments.reporting import format_ascii_chart
+
+        text = format_ascii_chart("T", (512,), {"a": [5.0]}, height=4)
+        assert text.count("512") == 1

@@ -1,0 +1,329 @@
+"""Registry semantics, histogram bucketing, merge, and exporter round-trips."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import runtime as obs
+from repro.obs.export import (
+    load_metrics,
+    parse_json,
+    parse_prometheus,
+    render_stats,
+    to_json,
+    to_prometheus,
+    write_metrics,
+)
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def clean_runtime():
+    """Never leak enabled state or metrics into other tests."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestRegistry:
+    def test_same_address_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("requests_total", "help", route="a")
+        b = reg.counter("requests_total", route="a")
+        assert a is b
+        a.inc(3)
+        assert b.value == 3
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("c_total", x="1", y="2")
+        b = reg.counter("c_total", y="2", x="1")
+        assert a is b
+
+    def test_distinct_labels_are_distinct_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", route="a").inc()
+        reg.counter("c_total", route="b").inc(2)
+        assert reg.get("c_total", route="a").value == 1
+        assert reg.get("c_total", route="b").value == 2
+        assert len(reg) == 2
+
+    def test_counter_rejects_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObsError):
+            reg.counter("c_total").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(5)
+        g.dec(2)
+        g.inc(1)
+        assert g.value == 4
+
+    def test_invalid_metric_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObsError):
+            reg.counter("1bad")
+        with pytest.raises(ObsError):
+            reg.counter("no spaces")
+
+    def test_invalid_label_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObsError):
+            reg.counter("c_total", **{"le": "ok", "bad-dash": "x"})
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("thing")
+        with pytest.raises(ObsError):
+            reg.gauge("thing")
+        with pytest.raises(ObsError):
+            reg.histogram("thing")
+
+    def test_get_never_creates(self):
+        reg = MetricsRegistry()
+        assert reg.get("absent") is None
+        assert len(reg) == 0
+
+    def test_families_sorted_and_typed(self):
+        reg = MetricsRegistry()
+        reg.gauge("b_gauge").set(1)
+        reg.counter("a_total").inc()
+        fams = reg.families()
+        assert [f[0] for f in fams] == ["a_total", "b_gauge"]
+        assert [f[1] for f in fams] == ["counter", "gauge"]
+
+    def test_help_kept_from_first_non_empty(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total")
+        reg.counter("c_total", "described later")
+        (name, _, help, _), = reg.families()
+        assert name == "c_total" and help == "described later"
+
+
+class TestHistogram:
+    def test_bucketing_boundaries_inclusive_upper(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 100.0):
+            h.observe(v)
+        # le semantics: value == bound lands in that bound's bucket
+        assert h.counts == [2, 2, 2, 1]
+        assert h.count == 7
+        assert h.sum == pytest.approx(112.0)
+
+    def test_default_buckets_are_time_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds")
+        assert h.buckets == DEFAULT_TIME_BUCKETS
+
+    def test_mismatched_buckets_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        reg.histogram("h", buckets=(1.0, 2.0))  # same bounds: fine
+        with pytest.raises(ObsError):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+    def test_unsorted_or_empty_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObsError):
+            reg.histogram("h1", buckets=())
+        with pytest.raises(ObsError):
+            reg.histogram("h2", buckets=(2.0, 1.0))
+
+    def test_quantile_estimates(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5,) * 5 + (1.5,) * 4 + (3.0,):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(0.9) == 2.0
+        assert h.quantile(1.0) == 4.0
+        assert h.mean == pytest.approx((0.5 * 5 + 1.5 * 4 + 3.0) / 10)
+
+    def test_quantile_edge_cases(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0,))
+        assert h.quantile(0.5) == 0.0  # empty
+        h.observe(50.0)  # overflow bucket
+        assert h.quantile(0.99) == 1.0  # clamped to last finite bound
+        with pytest.raises(ObsError):
+            h.quantile(1.5)
+
+
+class TestSnapshotMerge:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "counts things", route="a").inc(3)
+        reg.gauge("g", "a level").set(7)
+        h = reg.histogram("h", "timings", buckets=(1.0, 2.0), engine="x")
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(9.0)
+        return reg
+
+    def test_snapshot_is_json_safe_and_complete(self):
+        snap = self._populated().snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["counters"] == [{
+            "name": "c_total", "help": "counts things",
+            "labels": {"route": "a"}, "value": 3.0,
+        }]
+        assert snap["gauges"][0]["value"] == 7.0
+        hist = snap["histograms"][0]
+        assert hist["buckets"] == [1.0, 2.0]
+        assert hist["counts"] == [1, 1, 1]
+        assert hist["count"] == 3
+
+    def test_merge_adds_counters_and_histograms(self):
+        reg = self._populated()
+        reg.merge(self._populated().snapshot())
+        assert reg.get("c_total", route="a").value == 6
+        h = reg.get("h", engine="x")
+        assert h.counts == [2, 2, 2]
+        assert h.count == 6
+        assert h.sum == pytest.approx(22.0)
+
+    def test_merge_overwrites_gauges(self):
+        reg = self._populated()
+        other = MetricsRegistry()
+        other.gauge("g").set(100)
+        reg.merge(other.snapshot())
+        assert reg.get("g").value == 100
+
+    def test_merge_into_empty_registry(self):
+        reg = MetricsRegistry()
+        reg.merge(self._populated().snapshot())
+        assert reg.snapshot() == self._populated().snapshot()
+
+    def test_merge_mismatched_histogram_buckets_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        bad = MetricsRegistry().histogram  # build a conflicting snapshot
+        other = MetricsRegistry()
+        other.histogram("h", buckets=(5.0,)).observe(1.0)
+        with pytest.raises(ObsError):
+            reg.merge(other.snapshot())
+
+
+class TestRuntimeFastPath:
+    def test_disabled_emits_nothing(self):
+        obs.counter_add("repro_x_total", 5)
+        obs.gauge_set("repro_g", 1)
+        obs.observe("repro_h", 0.5)
+        assert len(obs.registry()) == 0
+        assert obs.snapshot() == {
+            "counters": [], "gauges": [], "histograms": [],
+        }
+
+    def test_enabled_collects(self):
+        obs.enable()
+        obs.counter_add("repro_x_total", 5, route="a")
+        obs.observe("repro_h", 0.5, buckets=(1.0,))
+        assert obs.registry().get("repro_x_total", route="a").value == 5
+        assert obs.registry().get("repro_h").count == 1
+
+    def test_disable_keeps_accumulated_values(self):
+        obs.enable()
+        obs.counter_add("repro_x_total", 2)
+        obs.disable()
+        obs.counter_add("repro_x_total", 2)  # dropped
+        assert obs.registry().get("repro_x_total").value == 2
+
+    def test_reset_drops_everything(self):
+        obs.enable()
+        obs.counter_add("repro_x_total", 2)
+        obs.add_span_sink(lambda record: None)
+        obs.reset()
+        assert len(obs.registry()) == 0
+
+
+class TestExportRoundTrips:
+    def _snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_runs_total", "runs", status="ok").inc(3)
+        reg.counter("repro_runs_total", "runs", status="failed").inc(1)
+        reg.counter("repro_plain_total").inc(2)
+        reg.gauge("repro_depth", "queue depth", worker="0").set(2.5)
+        h = reg.histogram(
+            "repro_wait_seconds", "waits", buckets=(0.1, 1.0), engine="fast"
+        )
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        return reg.snapshot()
+
+    def test_prometheus_round_trip(self):
+        snap = self._snapshot()
+        text = to_prometheus(snap)
+        assert parse_prometheus(text) == snap
+
+    def test_json_round_trip(self):
+        snap = self._snapshot()
+        assert parse_json(to_json(snap)) == snap
+
+    def test_prometheus_histogram_is_cumulative_with_inf(self):
+        text = to_prometheus(self._snapshot())
+        lines = [l for l in text.splitlines() if l.startswith("repro_wait")]
+        assert 'repro_wait_seconds_bucket{engine="fast",le="0.1"} 1' in lines
+        assert 'repro_wait_seconds_bucket{engine="fast",le="1"} 2' in lines
+        assert 'repro_wait_seconds_bucket{engine="fast",le="+Inf"} 3' in lines
+        assert 'repro_wait_seconds_count{engine="fast"} 3' in lines
+
+    def test_prometheus_headers_once_per_family(self):
+        text = to_prometheus(self._snapshot())
+        assert text.count("# TYPE repro_runs_total counter") == 1
+        assert text.count("# HELP repro_runs_total runs") == 1
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "h", path='we"ird\\thing\nline').inc()
+        snap = reg.snapshot()
+        assert parse_prometheus(to_prometheus(snap)) == snap
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ObsError):
+            parse_prometheus("}{ not a metric line\n")
+
+    def test_write_and_load_both_formats(self, tmp_path):
+        snap = self._snapshot()
+        for name in ("m.prom", "m.json"):
+            path = write_metrics(tmp_path / "sub" / name, snap)
+            assert path.exists()
+            assert load_metrics(path) == snap
+
+    def test_empty_snapshot_exports(self):
+        empty = {"counters": [], "gauges": [], "histograms": []}
+        assert to_prometheus(empty) == ""
+        assert parse_json(to_json(empty)) == empty
+
+
+class TestRenderStats:
+    def test_renders_all_sections(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_a_total", route="x").inc(2)
+        reg.gauge("repro_b").set(1)
+        reg.histogram("repro_c_seconds", buckets=(1.0,)).observe(0.5)
+        text = render_stats(reg.snapshot())
+        assert "counters" in text and "gauges" in text and "histograms" in text
+        assert "repro_a_total{route=x}" in text
+        assert "p90<=" in text
+
+    def test_family_filter(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_sim_total").inc()
+        reg.counter("repro_engine_total").inc()
+        text = render_stats(reg.snapshot(), family="repro_sim")
+        assert "repro_sim_total" in text
+        assert "repro_engine_total" not in text
+
+    def test_no_match_message(self):
+        assert "no metrics" in render_stats(
+            {"counters": [], "gauges": [], "histograms": []}, family="zzz"
+        )

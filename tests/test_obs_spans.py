@@ -1,0 +1,137 @@
+"""Timing spans: nesting, exception safety, sinks, and the no-op mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runtime as obs
+from repro.obs.spans import NOOP_SPAN, NoopSpan, current_span
+
+
+@pytest.fixture(autouse=True)
+def clean_runtime():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestSpanBasics:
+    def test_span_records_duration_histogram_and_counter(self):
+        obs.enable()
+        with obs.span("unit.work"):
+            pass
+        reg = obs.registry()
+        hist = reg.get("repro_span_seconds", span="unit.work")
+        assert hist is not None and hist.count == 1
+        assert hist.sum >= 0.0
+        calls = reg.get("repro_span_calls_total", span="unit.work", status="ok")
+        assert calls.value == 1
+
+    def test_spans_nest_and_record_parent(self):
+        obs.enable()
+        records = []
+        obs.add_span_sink(records.append)
+        with obs.span("outer"):
+            assert current_span() == "outer"
+            with obs.span("inner"):
+                assert current_span() == "inner"
+            assert current_span() == "outer"
+        assert current_span() is None
+        by_name = {r["span"]: r for r in records}
+        assert by_name["inner"]["parent"] == "outer"
+        assert by_name["outer"]["parent"] is None
+        # inner exits first, so it is recorded first
+        assert [r["span"] for r in records] == ["inner", "outer"]
+
+    def test_exception_marks_error_and_propagates(self):
+        obs.enable()
+        records = []
+        obs.add_span_sink(records.append)
+        with pytest.raises(ValueError):
+            with obs.span("risky"):
+                raise ValueError("boom")
+        assert records[0]["status"] == "error"
+        assert current_span() is None  # stack unwound
+        calls = obs.registry().get(
+            "repro_span_calls_total", span="risky", status="error"
+        )
+        assert calls.value == 1
+
+    def test_attrs_and_annotate_land_in_record(self):
+        obs.enable()
+        records = []
+        obs.add_span_sink(records.append)
+        with obs.span("job", program="jacobi") as sp:
+            sp.annotate(rows=3)
+        assert records[0]["attrs"] == {"program": "jacobi", "rows": 3}
+
+    def test_record_shape(self):
+        obs.enable()
+        records = []
+        obs.add_span_sink(records.append)
+        with obs.span("shape"):
+            pass
+        (record,) = records
+        assert set(record) == {"span", "parent", "seconds", "status"}
+        assert isinstance(record["seconds"], float)
+        assert record["seconds"] >= 0.0
+
+    def test_sibling_spans_share_parent(self):
+        obs.enable()
+        records = []
+        obs.add_span_sink(records.append)
+        with obs.span("parent"):
+            with obs.span("a"):
+                pass
+            with obs.span("b"):
+                pass
+        parents = {r["span"]: r["parent"] for r in records}
+        assert parents == {"a": "parent", "b": "parent", "parent": None}
+
+    def test_remove_span_sink(self):
+        obs.enable()
+        records = []
+        obs.add_span_sink(records.append)
+        obs.remove_span_sink(records.append)  # different bound object: no-op
+        obs.remove_span_sink(records.append)
+        sink = records.append
+        obs.add_span_sink(sink)
+        obs.remove_span_sink(sink)
+        with obs.span("quiet"):
+            pass
+        assert records == []
+
+
+class TestNoopMode:
+    def test_disabled_span_is_the_shared_noop(self):
+        assert obs.span("anything") is NOOP_SPAN
+        assert obs.span("other", key="value") is NOOP_SPAN
+
+    def test_noop_span_emits_nothing(self):
+        records = []
+        obs.add_span_sink(records.append)
+        with obs.span("invisible") as sp:
+            sp.annotate(ignored=True)
+            assert isinstance(sp, NoopSpan)
+        assert records == []
+        assert len(obs.registry()) == 0
+        assert current_span() is None
+
+    def test_noop_span_does_not_swallow_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with obs.span("invisible"):
+                raise RuntimeError("still raises")
+
+    def test_mixed_enable_disable_keeps_stack_consistent(self):
+        # A span opened while enabled must pop correctly even if the
+        # subsystem is disabled before it exits.
+        obs.enable()
+        span = obs.span("outer")
+        span.__enter__()
+        obs.disable()
+        with obs.span("noop-inner"):
+            pass
+        span.__exit__(None, None, None)
+        assert current_span() is None
