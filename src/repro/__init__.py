@@ -14,8 +14,9 @@ Subpackages: :mod:`repro.ir` (loop-nest IR), :mod:`repro.frontend` (kernel
 DSL), :mod:`repro.analysis` (conflict analysis), :mod:`repro.padding` (the
 PADLITE/PAD heuristics), :mod:`repro.layout`, :mod:`repro.cache`
 (simulator), :mod:`repro.trace` (interpreter), :mod:`repro.timing`,
-:mod:`repro.bench` (benchmarks) and :mod:`repro.experiments` (the paper's
-tables and figures).
+:mod:`repro.bench` (benchmarks), :mod:`repro.experiments` (the paper's
+tables and figures) and :mod:`repro.guard` (transformation guardrails:
+layout invariants, the semantic sanitizer and miss-rate auto-rollback).
 """
 
 from repro.analysis import first_conflict
@@ -30,6 +31,7 @@ from repro.cache import (
 )
 from repro.errors import ReproError
 from repro.frontend import parse_program
+from repro.guard import GuardConfig, GuardReport, check_padding, check_transform
 from repro.ir import Program, pretty
 from repro.layout import MemoryLayout, original_layout
 from repro.padding import (
@@ -59,6 +61,8 @@ __all__ = [
     "CacheConfig",
     "CacheStats",
     "DataEnv",
+    "GuardConfig",
+    "GuardReport",
     "MachineModel",
     "MemoryLayout",
     "PAPER_MACHINES",
@@ -68,6 +72,8 @@ __all__ = [
     "ReproError",
     "TraceInterpreter",
     "base_cache",
+    "check_padding",
+    "check_transform",
     "direct_mapped",
     "first_conflict",
     "fully_associative",

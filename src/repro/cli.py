@@ -20,31 +20,43 @@ Usage (``python -m repro <command>``):
 command and a snapshot is written on exit (Prometheus text, or JSON
 when the path ends in ``.json``) — even when the command fails.
 
+``simulate``, ``bench`` and ``run-all`` accept ``--guard
+{off,warn,strict}`` (plus ``--guard-epsilon`` and ``--guard-budget``):
+transformation guardrails that validate layouts, sanitize semantics and
+auto-roll back miss-rate regressions (see :mod:`repro.guard`).
+
 Exit codes: 0 success, 1 partial results (some runs failed), 2 usage or
-library error, and 4-7 for engine failures (see :data:`EXIT_CODES`).
+library error, 3 impossible invocation (e.g. an output path in a
+nonexistent directory), 4-7 for engine failures, and 8 for a strict-mode
+guard violation (see :data:`EXIT_CODES`).
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import Dict, List, Optional
 
 from repro.cache.config import CacheConfig
 from repro.errors import (
     EngineError,
+    GuardError,
     ReproError,
     RunTimeout,
     StoreCorruption,
+    UsageError,
     WorkerCrashed,
 )
 from repro.experiments.runner import HEURISTICS
 
 EXIT_CODES = (
+    (GuardError, 8),
     (StoreCorruption, 7),
     (WorkerCrashed, 6),
     (RunTimeout, 5),
     (EngineError, 4),
+    (UsageError, 3),
     (ReproError, 2),
 )
 """Most-specific-first mapping from error class to process exit code."""
@@ -101,6 +113,57 @@ def _add_metrics_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_guard_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--guard", choices=("off", "warn", "strict"), default="off",
+        help="transformation guardrails: layout invariants, semantic "
+             "sanitizer and miss-rate regression rollback (default off; "
+             "strict exits nonzero on any violation)",
+    )
+    parser.add_argument(
+        "--guard-epsilon", type=float, default=0.5, metavar="PCT",
+        help="tolerated miss-rate regression in percentage points before "
+             "the guard rolls back to the original layout (default 0.5)",
+    )
+    parser.add_argument(
+        "--guard-budget", metavar="BYTES", default=None,
+        help="ceiling on total pad bytes (e.g. 64K); over-budget layouts "
+             "are degraded by dropping the largest intra pads first",
+    )
+
+
+def _require_parent_dir(path: str, flag: str) -> None:
+    """Reject output paths whose directory does not exist (UsageError)."""
+    parent = pathlib.Path(path).parent
+    if str(parent) and not parent.is_dir():
+        raise UsageError(
+            f"{flag} {path!r}: directory {str(parent)!r} does not exist"
+        )
+
+
+def _guard_config_from_args(args):
+    """Build the GuardConfig the flags describe, or None for --guard off."""
+    mode = getattr(args, "guard", None)
+    if not mode or mode == "off":
+        return None
+    from repro.guard import GuardConfig
+
+    budget = None
+    if getattr(args, "guard_budget", None):
+        try:
+            budget = _parse_size(args.guard_budget)
+        except ValueError:
+            raise UsageError(
+                f"--guard-budget {args.guard_budget!r}: expected a byte "
+                "size like 4096, 64K or 1M"
+            ) from None
+    return GuardConfig(
+        mode=mode,
+        epsilon_pct=args.guard_epsilon,
+        budget_bytes=budget,
+    )
+
+
 def _add_program_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("file", help="DSL kernel file (- for stdin)")
     parser.add_argument(
@@ -154,6 +217,7 @@ def cmd_pad(args) -> int:
 def cmd_simulate(args) -> int:
     """Simulate a kernel before/after padding and print miss rates."""
     from repro import simulate_program
+    from repro.guard import runtime as guard_runtime
     from repro.padding.drivers import original
 
     prog = _load_program(args)
@@ -164,7 +228,19 @@ def cmd_simulate(args) -> int:
     print(f"original: {before.describe()}")
     if args.heuristic != "original":
         result = _run_heuristic(prog, args.heuristic, cache, args.m)
-        after = simulate_program(result.prog, result.layout, cache)
+        guard = guard_runtime.active_config()
+        if guard is not None:
+            from repro.guard import check_transform
+
+            report, after = check_transform(
+                result.prog, result.layout, guard,
+                simulate_fn=lambda p, lay: simulate_program(p, lay, cache),
+                baseline_stats=before,
+                dropped=result.guard.dropped if result.guard else (),
+            )
+            print(f"guard: {report.describe()}")
+        else:
+            after = simulate_program(result.prog, result.layout, cache)
         print(f"{args.heuristic}: {after.describe()}")
         print(
             f"improvement: {before.miss_rate_pct - after.miss_rate_pct:.2f} points"
@@ -193,6 +269,7 @@ def cmd_trace(args) -> int:
     """Dump a kernel's address trace to a compressed .npz file."""
     from repro.trace.io import save_trace
 
+    _require_parent_dir(args.out, "trace output")
     prog = _load_program(args)
     cache = _cache_from_args(args)
     result = _run_heuristic(prog, args.heuristic, cache, args.m)
@@ -220,6 +297,8 @@ def cmd_bench(args) -> int:
     print(f"  original miss rate: {orig:.2f}%")
     print(f"  {args.heuristic} miss rate: {padded:.2f}%  "
           f"(improvement {orig - padded:.2f})")
+    if runner.last_guard is not None:
+        print(f"  guard: {runner.last_guard.describe()}")
     return 0
 
 
@@ -258,6 +337,7 @@ def cmd_run_all(args) -> int:
     from repro.engine.core import EngineConfig
     from repro.engine.faults import parse_fault_spec
     from repro.engine.plan import DEFAULT_FIGURES, run_figures
+    from repro.guard import runtime as guard_runtime
 
     faults = parse_fault_spec(args.inject_faults) if args.inject_faults else None
     config = EngineConfig(
@@ -266,6 +346,7 @@ def cmd_run_all(args) -> int:
         retries=args.retries,
         fallback=not args.no_fallback,
         faults=faults,
+        guard=guard_runtime.active_config(),
     )
     report = run_figures(
         figures=tuple(args.figures) if args.figures else DEFAULT_FIGURES,
@@ -280,7 +361,7 @@ def cmd_run_all(args) -> int:
     counts = report.counts()
     summary = ", ".join(
         f"{counts[status]} {status}"
-        for status in ("ok", "degraded", "cached", "failed")
+        for status in ("ok", "degraded", "cached", "rolled_back", "failed")
         if status in counts
     )
     print(
@@ -289,6 +370,8 @@ def cmd_run_all(args) -> int:
     )
     if report.journal_path:
         print(f"journal: {report.journal_path}")
+    for outcome in report.rollbacks:
+        print(f"rolled back: {outcome.key} (kept original-layout stats)")
     for outcome in report.failures:
         print(
             f"failed: {outcome.key} after {outcome.attempts} attempts: "
@@ -329,6 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--heuristic", default="pad")
     p.add_argument("--m", type=int, default=4)
     _add_metrics_arg(p)
+    _add_guard_args(p)
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("conflicts", help="diagnose conflicting reference pairs")
@@ -352,6 +436,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--heuristic", default="pad")
     _add_cache_args(p)
     _add_metrics_arg(p)
+    _add_guard_args(p)
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("figure", help="regenerate a paper table/figure")
@@ -388,6 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-fallback", action="store_true",
                    help="fail instead of degrading to the reference simulator")
     _add_metrics_arg(p)
+    _add_guard_args(p)
     p.set_defaults(fn=cmd_run_all)
 
     p = sub.add_parser(
@@ -405,17 +491,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     metrics_path = getattr(args, "metrics", None)
+    try:
+        if metrics_path:
+            _require_parent_dir(metrics_path, "--metrics")
+        guard = _guard_config_from_args(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
     if metrics_path:
         from repro.obs import runtime as obs
 
         obs.reset()
         obs.enable()
+    if guard is not None:
+        from repro.guard import runtime as guard_runtime
+
+        guard_runtime.activate(guard)
     try:
         return args.fn(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return exit_code_for(exc)
     finally:
+        if guard is not None:
+            guard_runtime.deactivate()
         if metrics_path:
             from repro.obs import write_metrics
 

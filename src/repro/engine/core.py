@@ -17,7 +17,12 @@ simulations across worker subprocesses with:
 
 A sweep never raises out of :meth:`ExperimentEngine.run_many` because one
 run misbehaved: every request comes back as a :class:`RunOutcome` whose
-status is ``ok``, ``degraded``, ``cached`` or ``failed``.
+status is ``ok``, ``degraded``, ``cached``, ``rolled_back`` or ``failed``.
+
+When :attr:`EngineConfig.guard` is set, workers run each transformation
+under :mod:`repro.guard`; the verdict rides back with the result, is
+re-journaled parent-side (``guard_violation`` / ``guard_rollback``
+events) and a rollback becomes the ``rolled_back`` terminal status.
 """
 
 from __future__ import annotations
@@ -30,11 +35,12 @@ from multiprocessing.connection import wait as _conn_wait
 from typing import Dict, List, Optional, Sequence
 
 from repro.cache.stats import CacheStats
-from repro.engine.faults import FaultPlan, unit_interval
+from repro.engine.faults import FaultPlan, choose_corruption, unit_interval
 from repro.engine.journal import NullJournal
 from repro.engine.store import checksum
 from repro.engine.worker import worker_main
 from repro.errors import EngineError, RunTimeout, WorkerCrashed
+from repro.guard.config import GuardConfig
 from repro.obs import runtime as obs
 from repro.experiments.runner import (
     RunRequest,
@@ -47,6 +53,7 @@ STATUS_OK = "ok"
 STATUS_DEGRADED = "degraded"
 STATUS_FAILED = "failed"
 STATUS_CACHED = "cached"
+STATUS_ROLLED_BACK = "rolled_back"
 
 
 @dataclass(frozen=True)
@@ -62,6 +69,7 @@ class EngineConfig:
     fallback_timeout_factor: float = 4.0  # reference sim is slower
     seed: int = 0  # jitter seed
     faults: Optional[FaultPlan] = None
+    guard: Optional[GuardConfig] = None  # transformation guardrail policy
 
 
 @dataclass
@@ -74,6 +82,7 @@ class RunOutcome:
     attempts: int = 0
     duration: float = 0.0  # wall clock across all attempts
     error: Optional[str] = None
+    guard: Optional[dict] = None  # GuardReport record, when a guard ran
 
     @property
     def key(self) -> str:
@@ -213,13 +222,16 @@ class ExperimentEngine:
         seq = 0
         remaining = len(tasks)
 
-        def finish(task: _Task, status: str, stats=None, error=None) -> None:
+        def finish(
+            task: _Task, status: str, stats=None, error=None, guard=None
+        ) -> None:
             nonlocal remaining
             outcomes[task.key] = RunOutcome(
                 task.request, status, stats,
                 attempts=task.total_attempts,
                 duration=round(task.total_time, 6),
                 error=error,
+                guard=guard,
             )
             journal.emit(
                 "finish", run=task.key, status=status,
@@ -288,6 +300,7 @@ class ExperimentEngine:
                     obs.merge_snapshot(msg[4])
                 except Exception:  # never fail a run over metrics
                     pass
+            guard_record = msg[5] if len(msg) > 5 else None
             stats = self._validate(payload, digest)
             if stats is None:
                 attempt_failed(
@@ -295,8 +308,11 @@ class ExperimentEngine:
                 )
                 return
             task.total_time += time.monotonic() - task.started_at
+            self._journal_guard(journal, task.key, guard_record)
             status = STATUS_DEGRADED if task.simulator == "reference" else STATUS_OK
-            finish(task, status, stats=stats)
+            if guard_record and guard_record.get("status") == "rolled_back":
+                status = STATUS_ROLLED_BACK
+            finish(task, status, stats=stats, guard=guard_record)
 
         try:
             while remaining > 0:
@@ -378,6 +394,11 @@ class ExperimentEngine:
         fault = None
         if injected == "timeout":
             fault = ("timeout", timeout * 3 + 1.0)
+        elif injected == "layout":
+            fault = (
+                "layout",
+                choose_corruption(cfg.faults.seed, task.key, task.total_attempts),
+            )
         elif injected is not None:
             fault = (injected, None)
         task.started_at = time.monotonic()
@@ -400,15 +421,48 @@ class ExperimentEngine:
             simulator=task.simulator, worker=worker.proc.pid,
             **({"injected": injected} if injected else {}),
         )
+        guard_record = cfg.guard.to_record() if cfg.guard else None
         try:
             worker.conn.send(
-                ("task", task.index, task.request, task.simulator, fault, collect)
+                (
+                    "task", task.index, task.request, task.simulator,
+                    fault, collect, guard_record,
+                )
             )
         except (BrokenPipeError, OSError):  # pragma: no cover - instant death
             worker.task = None
             worker.deadline = float("inf")
             return False
         return True
+
+    @staticmethod
+    def _journal_guard(journal, key: str, guard_record) -> None:
+        """Persist a worker's guard verdict so it survives a crash.
+
+        Violations and rollbacks become their own journal events (the
+        worker's in-process guard sinks die with the worker, so the
+        parent re-emits from the verdict record it shipped back).
+        """
+        if not guard_record:
+            return
+        for violation in guard_record.get("violations", ()):
+            journal.emit("guard_violation", run=key, **violation)
+            obs.counter_add(
+                "repro_guard_violations_total", 1,
+                "guard violations detected, by kind and checker",
+                kind=violation.get("kind", "?"),
+                checker=violation.get("checker", "?"),
+            )
+        if guard_record.get("status") == "rolled_back":
+            journal.emit(
+                "guard_rollback", run=key,
+                baseline_miss_pct=guard_record.get("baseline_miss_pct"),
+                padded_miss_pct=guard_record.get("padded_miss_pct"),
+            )
+            obs.counter_add(
+                "repro_guard_rollbacks_total", 1,
+                "transformed runs rolled back to the original layout",
+            )
 
     def _replace(self, workers: List[_Worker], dead: _Worker, ctx) -> None:
         dead.kill()

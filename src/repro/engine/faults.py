@@ -10,10 +10,16 @@ fails can be replayed exactly.  Kinds:
   the OOM killer (engine sees :class:`~repro.errors.WorkerCrashed`);
 * ``error``   — the run raises :class:`InjectedFault`;
 * ``corrupt`` — the worker returns a result whose payload no longer
-  matches its checksum (engine must detect and retry, never store it).
+  matches its checksum (engine must detect and retry, never store it);
+* ``layout`` — the worker's memory layout is deterministically corrupted
+  before simulation (see :data:`LAYOUT_CORRUPTIONS`); the guard
+  subsystem (:mod:`repro.guard`) must catch every one of these.
 
 :func:`corrupt_store_entries` complements the plan by damaging entries of
-an on-disk result store, exercising the store's quarantine path.
+an on-disk result store, exercising the store's quarantine path;
+:func:`corrupt_layout` damages a :class:`~repro.layout.layout.MemoryLayout`
+in one of :data:`LAYOUT_CORRUPTIONS` ways, bypassing the layout's safe
+setters exactly like a buggy driver would.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from typing import Optional
 
 from repro.errors import ConfigError
 
-FAULT_KINDS = ("timeout", "kill", "error", "corrupt")
+FAULT_KINDS = ("timeout", "kill", "error", "corrupt", "layout")
 
 
 class InjectedFault(RuntimeError):
@@ -47,6 +53,7 @@ class FaultPlan:
     kill: float = 0.0
     error: float = 0.0
     corrupt: float = 0.0
+    layout: float = 0.0
     seed: int = 0
 
     def __post_init__(self):
@@ -96,6 +103,132 @@ def parse_fault_spec(spec: str) -> FaultPlan:
         except ValueError:
             raise ConfigError(f"bad fault value {value!r} for {name!r}") from None
     return FaultPlan(**kwargs)
+
+
+LAYOUT_CORRUPTIONS = (
+    "overlap",         # alias one variable's base onto its predecessor's
+    "swap_bases",      # exchange two variables' bases (semantic swap)
+    "shift_base",      # slide the last-placed array by one element
+    "shrink_dim",      # padded dim below the declared size
+    "zero_dim",        # a dimension collapses to zero
+    "drop_base",       # a variable loses its placement
+    "negative_base",   # base address below zero
+    "misalign_base",   # base no longer element-aligned
+    "rank_mismatch",   # dim-size tuple gains a bogus dimension
+    "pad_explosion",   # one dimension blows up by orders of magnitude
+)
+"""Deterministic layout corruption kinds for chaos testing.
+
+Each mutates a layout's private state directly — modelling a buggy
+padding driver, not a misuse of the public API — and every one must be
+caught by :mod:`repro.guard`: the structural kinds by the invariant
+checker, ``swap_bases``/``shift_base`` by the semantic sanitizer, and
+``pad_explosion`` by the overlap or memory-budget check.
+"""
+
+
+def choose_corruption(seed: int, key: str, attempt: int) -> str:
+    """Deterministically pick a corruption kind for one run attempt."""
+    u = unit_interval(seed, f"layout|{key}", attempt)
+    return LAYOUT_CORRUPTIONS[int(u * len(LAYOUT_CORRUPTIONS))]
+
+
+def corrupt_layout(prog, layout, kind: str, seed: int = 0) -> str:
+    """Apply one :data:`LAYOUT_CORRUPTIONS` kind to ``layout`` in place.
+
+    Victim selection is a pure function of ``seed`` so a chaos test that
+    fails replays exactly.  Returns a description of the damage done.
+    """
+    if kind not in LAYOUT_CORRUPTIONS:
+        raise ConfigError(
+            f"unknown layout corruption {kind!r}; known: {LAYOUT_CORRUPTIONS}"
+        )
+    arrays = [d for d in prog.arrays if layout.has_base(d.name)]
+    if not arrays:
+        raise ConfigError("cannot corrupt a layout with no placed arrays")
+
+    def pick(candidates, salt: str):
+        u = unit_interval(seed, f"{kind}|{salt}", 0)
+        return candidates[int(u * len(candidates))]
+
+    if kind == "overlap":
+        placed = sorted(
+            (d for d in prog.decls if layout.has_base(d.name)),
+            key=lambda d: layout.base(d.name),
+        )
+        if len(placed) < 2:
+            raise ConfigError("overlap corruption needs two placed variables")
+        victim = pick(placed[1:], "victim")
+        index = placed.index(victim)
+        layout._bases[victim.name] = layout.base(placed[index - 1].name)
+        return f"aliased {victim.name} onto {placed[index - 1].name}"
+    if kind == "swap_bases":
+        if len(arrays) < 2:
+            raise ConfigError("swap_bases corruption needs two placed arrays")
+        # Prefer a same-size pair: the swap then passes every structural
+        # check and only the semantic sanitizer can catch it.
+        pair = None
+        for i, a in enumerate(arrays):
+            for b in arrays[i + 1:]:
+                if layout.size_bytes(a.name) == layout.size_bytes(b.name):
+                    pair = (a, b)
+                    break
+            if pair:
+                break
+        if pair is None:
+            pair = (arrays[0], arrays[1])
+        a, b = pair
+        layout._bases[a.name], layout._bases[b.name] = (
+            layout._bases[b.name], layout._bases[a.name],
+        )
+        return f"swapped bases of {a.name} and {b.name}"
+    if kind == "shift_base":
+        victim = max(arrays, key=lambda d: layout.base(d.name))
+        layout._bases[victim.name] += victim.element_size
+        return f"shifted {victim.name} by {victim.element_size}B"
+    if kind == "shrink_dim":
+        candidates = [d for d in arrays if d.dim_sizes[0] >= 2] or arrays
+        victim = pick(candidates, "victim")
+        sizes = list(layout.dim_sizes(victim.name))
+        sizes[0] = victim.dim_sizes[0] - 1
+        layout._dim_sizes[victim.name] = tuple(sizes)
+        return f"shrank {victim.name} dim 0 to {sizes[0]}"
+    if kind == "zero_dim":
+        victim = pick(arrays, "victim")
+        sizes = list(layout.dim_sizes(victim.name))
+        sizes[-1] = 0
+        layout._dim_sizes[victim.name] = tuple(sizes)
+        return f"zeroed {victim.name} dim {len(sizes) - 1}"
+    if kind == "drop_base":
+        victim = pick(arrays, "victim")
+        del layout._bases[victim.name]
+        return f"dropped placement of {victim.name}"
+    if kind == "negative_base":
+        victim = pick(arrays, "victim")
+        layout._bases[victim.name] = -victim.element_size
+        return f"placed {victim.name} at {-victim.element_size}"
+    if kind == "misalign_base":
+        candidates = [d for d in arrays if d.element_size > 1]
+        if candidates:
+            victim = pick(candidates, "victim")
+            layout._bases[victim.name] += victim.element_size // 2
+            return f"misaligned {victim.name} by {victim.element_size // 2}B"
+        # Byte arrays cannot be misaligned; shifting a whole element is
+        # still a corruption (semantic shift) the sanitizer catches.
+        victim = max(arrays, key=lambda d: layout.base(d.name))
+        layout._bases[victim.name] += 1
+        return f"shifted byte array {victim.name} by 1B"
+    if kind == "rank_mismatch":
+        victim = pick(arrays, "victim")
+        layout._dim_sizes[victim.name] = layout.dim_sizes(victim.name) + (2,)
+        return f"appended a bogus dimension to {victim.name}"
+    if kind == "pad_explosion":
+        victim = pick(arrays, "victim")
+        sizes = list(layout.dim_sizes(victim.name))
+        sizes[0] *= 4099
+        layout._dim_sizes[victim.name] = tuple(sizes)
+        return f"exploded {victim.name} dim 0 to {sizes[0]}"
+    raise AssertionError(f"unhandled corruption kind {kind}")  # pragma: no cover
 
 
 def corrupt_store_entries(path, fraction: float, seed: int = 0) -> int:

@@ -30,6 +30,7 @@ from repro.engine.journal import NullJournal, RunJournal
 from repro.engine.store import CrashSafeStore
 from repro.errors import ConfigError, EngineError
 from repro.experiments.runner import Runner, RunRequest, request_key
+from repro.guard import runtime as guard_runtime
 from repro.obs import runtime as obs
 
 DEFAULT_FIGURES = (
@@ -139,7 +140,8 @@ class SweepReport:
     journal_path: Optional[pathlib.Path] = None
 
     def counts(self) -> Dict[str, int]:
-        """Tally outcomes by status (``ok``/``degraded``/``cached``/``failed``)."""
+        """Tally outcomes by status (``ok``/``degraded``/``cached``/
+        ``rolled_back``/``failed``)."""
         tally: Dict[str, int] = {}
         for outcome in self.outcomes:
             tally[outcome.status] = tally.get(outcome.status, 0) + 1
@@ -148,6 +150,11 @@ class SweepReport:
     @property
     def failures(self) -> List[RunOutcome]:
         return [o for o in self.outcomes if o.status == "failed"]
+
+    @property
+    def rollbacks(self) -> List[RunOutcome]:
+        """Runs the regression guard rolled back to the original layout."""
+        return [o for o in self.outcomes if o.status == "rolled_back"]
 
 
 def run_figures(
@@ -174,12 +181,19 @@ def run_figures(
     def _journal_span(record: dict) -> None:
         journal.emit("span", **record)
 
+    def _journal_guard(event: str, fields: dict) -> None:
+        # Parent-side guard events (e.g. a strict driver check during
+        # planning); worker-side verdicts are re-journaled by the engine.
+        journal.emit(event, **fields)
+
     engine = ExperimentEngine(config)
     obs.add_span_sink(_journal_span)
+    guard_runtime.add_sink(_journal_guard)
     try:
         with obs.span("plan.execute", requests=len(requests)):
             outcomes = engine.run_many(requests, store=store, journal=journal)
     finally:
+        guard_runtime.remove_sink(_journal_guard)
         obs.remove_span_sink(_journal_span)
         journal.close()
 

@@ -5,12 +5,16 @@ Each worker owns a private memoizing :class:`~repro.experiments.runner.Runner`
 to the parent over a pipe:
 
 * parent -> worker: ``("task", task_id, RunRequest, simulator, fault,
-  collect)`` or ``("stop",)``; ``fault`` is ``None`` or ``(kind, param)``
-  from the fault-injection plan, and ``collect`` asks the worker to
-  gather a metrics snapshot for the task (older parents may omit it).
-* worker -> parent: ``("ok", task_id, stats_payload, checksum, metrics)``
-  (``metrics`` is a registry snapshot or ``None``) or
-  ``("error", task_id, message)``.
+  collect, guard)`` or ``("stop",)``; ``fault`` is ``None`` or
+  ``(kind, param)`` from the fault-injection plan (a ``layout`` fault's
+  param names the corruption kind), ``collect`` asks the worker to
+  gather a metrics snapshot for the task, and ``guard`` is a
+  :class:`~repro.guard.config.GuardConfig` record or ``None`` (older
+  parents may omit the trailing fields).
+* worker -> parent: ``("ok", task_id, stats_payload, checksum, metrics,
+  guard_report)`` (``metrics`` is a registry snapshot or ``None``;
+  ``guard_report`` is a :class:`~repro.guard.config.GuardReport` record
+  or ``None``) or ``("error", task_id, message)``.
 
 The checksum is computed *before* any injected corruption, so a mangled
 payload is detectable by the parent — exactly like a worker whose memory
@@ -24,8 +28,10 @@ import dataclasses
 import os
 import time
 
-from repro.engine.faults import InjectedFault
+from repro.engine.faults import InjectedFault, corrupt_layout
 from repro.engine.store import checksum
+from repro.guard import runtime as guard_runtime
+from repro.guard.config import GuardConfig
 from repro.obs import runtime as obs
 
 #: exit codes chosen to mimic SIGKILL / SIGABRT deaths
@@ -37,11 +43,15 @@ def worker_main(conn) -> None:
     """Serve tasks until told to stop or the pipe closes."""
     from repro.experiments.runner import Runner
 
-    # Forked workers inherit the parent's metrics registry and span sinks
-    # (which may hold the parent's journal file handle).  Start clean so a
-    # worker never double-counts or writes to the parent's journal.
+    # Forked workers inherit the parent's metrics registry and span/guard
+    # sinks (which may hold the parent's journal file handle).  Start clean
+    # so a worker never double-counts or writes to the parent's journal —
+    # guard verdicts travel home on the result pipe and the parent
+    # re-journals them.
     obs.disable()
     obs.reset()
+    guard_runtime.clear_sinks()
+    guard_runtime.deactivate()
     runner = Runner()
     while True:
         try:
@@ -52,6 +62,7 @@ def worker_main(conn) -> None:
             return
         _, task_id, request, simulator, fault = msg[:5]
         collect = bool(msg[5]) if len(msg) > 5 else False
+        guard_record = msg[6] if len(msg) > 6 else None
         kind, param = fault if fault else (None, None)
         if kind == "kill":
             os._exit(KILL_EXIT_CODE)
@@ -67,27 +78,41 @@ def worker_main(conn) -> None:
             if collect:
                 obs.reset()
                 obs.enable()
-            try:
-                stats = runner.run(
-                    request.program,
-                    request.heuristic,
-                    request.cache,
-                    size=request.size,
-                    pad_cache=request.pad_cache,
-                    m_lines=request.m_lines,
-                    max_outer=request.max_outer,
-                    seed=request.seed,
-                    simulator=simulator,
+            guard = (
+                GuardConfig.from_record(guard_record) if guard_record else None
+            )
+            if kind == "layout":
+                # Damage a copy of the layout right before simulation; the
+                # guard (when active) must stop it reaching the simulator.
+                runner.layout_saboteur = (
+                    lambda prog, layout: corrupt_layout(prog, layout, param)
                 )
+            try:
+                with guard_runtime.activated(guard):
+                    stats = runner.run(
+                        request.program,
+                        request.heuristic,
+                        request.cache,
+                        size=request.size,
+                        pad_cache=request.pad_cache,
+                        m_lines=request.m_lines,
+                        max_outer=request.max_outer,
+                        seed=request.seed,
+                        simulator=simulator,
+                    )
                 metrics = obs.snapshot() if collect else None
             finally:
+                runner.layout_saboteur = None
                 if collect:
                     obs.disable()
+            report = (
+                runner.last_guard.to_record() if runner.last_guard else None
+            )
             payload = dataclasses.asdict(stats)
             digest = checksum(payload)
             if kind == "corrupt":
                 payload = dict(payload, misses=payload["misses"] ^ 0x5A5A)
-            _send(conn, ("ok", task_id, payload, digest, metrics))
+            _send(conn, ("ok", task_id, payload, digest, metrics, report))
         except MemoryError:  # pragma: no cover - needs a real OOM
             os._exit(OOM_EXIT_CODE)
         except BaseException as exc:

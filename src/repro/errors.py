@@ -69,6 +69,27 @@ class ObsError(ReproError):
     decreasing counter, mismatched histogram buckets, ...)."""
 
 
+class UsageError(ReproError):
+    """A CLI invocation that cannot possibly work (bad path, bad flag
+    combination); reported as one line, never a traceback."""
+
+
+class GuardError(ReproError):
+    """Base class for transformation-guardrail failures."""
+
+
+class GuardViolationError(GuardError):
+    """A guard checker rejected a transformed layout in strict mode.
+
+    Carries the individual :class:`~repro.guard.config.GuardViolation`
+    records on ``violations`` for programmatic inspection.
+    """
+
+    def __init__(self, message: str, violations=()):
+        super().__init__(message)
+        self.violations = tuple(violations)
+
+
 class EngineError(ReproError):
     """The fault-tolerant execution engine could not complete a run."""
 

@@ -27,8 +27,9 @@ from repro.cache.fastsim import make_simulator
 from repro.cache.sim import ReferenceCache
 from repro.cache.stats import CacheStats
 from repro.errors import ConfigError
+from repro.guard import runtime as guard_runtime
 from repro.ir.program import Program
-from repro.layout.layout import MemoryLayout
+from repro.layout.layout import MemoryLayout, original_layout
 from repro.obs import runtime as obs
 from repro.padding import drivers
 from repro.padding.common import PadParams, PaddingResult
@@ -119,6 +120,12 @@ class Runner:
         self._programs: Dict[Tuple[str, Optional[int]], Program] = {}
         self._paddings: Dict[Tuple, PaddingResult] = {}
         self._disk = _DiskStore(cache_dir) if cache_dir else None
+        self._guard_reports: Dict[RunRequest, object] = {}
+        #: guard verdict of the most recent :meth:`run` (None = unguarded)
+        self.last_guard = None
+        #: chaos-test hook: ``fn(prog, layout)`` mutating a *copy* of the
+        #: layout right before simulation (see repro.engine.faults)
+        self.layout_saboteur = None
 
     # -- building blocks ----------------------------------------------------
 
@@ -209,6 +216,7 @@ class Runner:
                 "repro_runner_memo_hits_total", 1,
                 "simulation results served from memory", tier="memory",
             )
+            self.last_guard = self._guard_reports.get(request)
             return self._stats[request]
         if self._disk is not None:
             stored = self._disk.get(request)
@@ -218,19 +226,43 @@ class Runner:
                     "simulation results served from memory", tier="disk",
                 )
                 self._stats[request] = stored
+                self.last_guard = None
                 return stored
         obs.counter_add(
             "repro_runner_memo_misses_total", 1,
             "simulation requests that had to run",
         )
-        stats = self.execute(request, simulator=simulator)
+        stats, report = self.execute_guarded(request, simulator=simulator)
         self._stats[request] = stats
+        if report is not None:
+            self._guard_reports[request] = report
+        self.last_guard = report
         if self._disk is not None:
-            self._disk.put(request, stats)
+            self._disk.put(
+                request, stats, status=report.status if report else "ok"
+            )
         return stats
 
     def execute(self, request: RunRequest, simulator: str = "fast") -> CacheStats:
         """Simulate one resolved request, bypassing every result cache."""
+        stats, _report = self.execute_guarded(request, simulator=simulator)
+        return stats
+
+    def execute_guarded(
+        self, request: RunRequest, simulator: str = "fast"
+    ):
+        """Simulate one request under the active guard policy.
+
+        Returns ``(stats, guard_report)`` where the report is ``None``
+        when no guard is active (or for the ``original`` heuristic,
+        which transforms nothing).  With a guard active the layout
+        invariants, the semantic sanitizer and the miss-rate regression
+        guard all run; a regression (or, in warn mode, a corrupted
+        layout) rolls the run back to the original layout's stats and
+        the report says so.  Strict mode raises
+        :class:`~repro.errors.GuardViolationError` before the corrupted
+        layout reaches the simulator.
+        """
         if simulator not in SIMULATORS:
             raise ConfigError(
                 f"unknown simulator {simulator!r}; known: {SIMULATORS}"
@@ -249,15 +281,54 @@ class Runner:
             if request.max_outer is not None:
                 prog = truncate_outer_loops(prog, request.max_outer)
                 layout = _rebind_layout(layout, prog)
-            sim = (
-                make_simulator(request.cache)
-                if simulator == "fast"
-                else ReferenceCache(request.cache)
+            reference = layout  # the layout the transformation committed
+            if self.layout_saboteur is not None and request.heuristic != "original":
+                # Damage only transformed layouts, right before simulation:
+                # the original heuristic is the rollback baseline and must
+                # stay trustworthy, and the memoized padding (`reference`)
+                # must stay pristine so the sanitizer can expose the drift.
+                layout = layout.copy()
+                self.layout_saboteur(prog, layout)
+
+            def simulate(sim_prog: Program, sim_layout: MemoryLayout) -> CacheStats:
+                sim = (
+                    make_simulator(request.cache)
+                    if simulator == "fast"
+                    else ReferenceCache(request.cache)
+                )
+                env = DataEnv(seed=request.seed)
+                for addrs, writes in TraceInterpreter(
+                    sim_prog, sim_layout, env
+                ).trace():
+                    sim.access_chunk(addrs, writes)
+                return sim.stats
+
+            config = guard_runtime.active_config()
+            if config is None or request.heuristic == "original":
+                return simulate(prog, layout), None
+
+            from repro.guard.core import check_transform
+
+            # The memoized original-heuristic run is both the rollback
+            # target and the regression baseline; computing it through
+            # self.run shares it across every heuristic on this cache.
+            baseline_stats = self.run(
+                request.program, "original", request.cache,
+                size=request.size, pad_cache=request.pad_cache,
+                m_lines=request.m_lines, max_outer=request.max_outer,
+                seed=request.seed, simulator=simulator,
             )
-            env = DataEnv(seed=request.seed)
-            for addrs, writes in TraceInterpreter(prog, layout, env).trace():
-                sim.access_chunk(addrs, writes)
-            return sim.stats
+            report, stats = check_transform(
+                prog, layout, config,
+                simulate_fn=simulate,
+                baseline_layout=original_layout(prog),
+                baseline_stats=baseline_stats,
+                seed=request.seed,
+                run_key=request_key(request),
+                dropped=result.guard.dropped if result.guard else (),
+                reference_layout=reference,
+            )
+            return stats, report
 
     def prime(self, request: RunRequest, stats: CacheStats) -> None:
         """Preload one result (e.g. computed by :mod:`repro.engine`)."""
@@ -285,6 +356,8 @@ class Runner:
         self._stats.clear()
         self._programs.clear()
         self._paddings.clear()
+        self._guard_reports.clear()
+        self.last_guard = None
 
 
 class _DiskStore:

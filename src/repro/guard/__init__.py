@@ -1,0 +1,56 @@
+"""repro.guard — transformation guardrails (validate before commit).
+
+The paper's padding transformations promise two properties: they change
+only *addresses*, never program meaning, and they never make conflict
+misses meaningfully worse.  This subsystem checks both at runtime and
+sits between the padding drivers and everything downstream:
+
+* :func:`check_layout` / :func:`enforce_budget` — layout invariants and
+  memory-budget degradation (:mod:`repro.guard.invariants`);
+* :func:`sanitize` — the semantic sanitizer comparing logical-cell
+  sequences under the original and transformed layouts
+  (:mod:`repro.guard.sanitizer`);
+* :func:`regression_violation` — the miss-rate regression guard
+  (:mod:`repro.guard.regression`);
+* :func:`check_padding` / :func:`check_transform` — orchestration with
+  strict-mode enforcement and warn-mode auto-rollback
+  (:mod:`repro.guard.core`);
+* :mod:`repro.guard.runtime` — process-wide activation (the ``--guard``
+  CLI flag) and violation fan-out to metrics, journal sinks and logs.
+"""
+
+from repro.guard.config import (
+    GUARD_MODES,
+    STATUS_PASSED,
+    STATUS_ROLLED_BACK,
+    STATUS_WARNED,
+    VIOLATION_KINDS,
+    DroppedPad,
+    GuardConfig,
+    GuardReport,
+    GuardViolation,
+)
+from repro.guard.core import check_padding, check_transform
+from repro.guard.invariants import check_layout, enforce_budget, pad_overhead_bytes
+from repro.guard.regression import regression_violation
+from repro.guard.sanitizer import cell_stream, sanitize
+
+__all__ = [
+    "GUARD_MODES",
+    "STATUS_PASSED",
+    "STATUS_ROLLED_BACK",
+    "STATUS_WARNED",
+    "VIOLATION_KINDS",
+    "DroppedPad",
+    "GuardConfig",
+    "GuardReport",
+    "GuardViolation",
+    "cell_stream",
+    "check_layout",
+    "check_padding",
+    "check_transform",
+    "enforce_budget",
+    "pad_overhead_bytes",
+    "regression_violation",
+    "sanitize",
+]

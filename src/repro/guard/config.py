@@ -1,0 +1,228 @@
+"""Guardrail configuration and verdict types.
+
+A :class:`GuardConfig` selects the enforcement mode and the thresholds
+the three checkers apply:
+
+* ``mode`` — ``off`` (no checking at all), ``warn`` (violations are
+  counted, journaled and logged but the run proceeds), ``strict``
+  (any violation raises :class:`~repro.errors.GuardViolationError`
+  before the transformed layout reaches a simulator);
+* ``epsilon_pct`` — the miss-rate regression the rollback guard
+  tolerates, in percentage points (padding is allowed to perturb the
+  miss rate slightly; beyond epsilon the original layout is restored);
+* ``budget_bytes`` — optional ceiling on total pad bytes; over-budget
+  layouts are degraded by dropping the largest intra pads first;
+* ``sanitize_limit`` — how many accesses the semantic sanitizer
+  compares (bounds the cost of guarding very long traces).
+
+:class:`GuardViolation` is one checker finding; :class:`GuardReport` is
+the whole verdict for one guarded run, JSON-serializable so it can ride
+an engine worker's result pipe and land in the run journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+GUARD_MODES = ("off", "warn", "strict")
+
+#: every violation kind a checker can report
+VIOLATION_KINDS = (
+    "unplaced",        # a declared variable never got a base address
+    "negative_base",   # base address below zero
+    "misaligned",      # base not a multiple of the element size
+    "overlap",         # two placement units share bytes
+    "shrunk",          # a padded dimension below its declared size
+    "rank",            # dim-size tuple inconsistent with the declaration
+    "budget",          # total pad bytes over the configured ceiling
+    "out_of_bounds",   # a traced address outside every placed variable
+    "pad_touched",     # a traced address landed inside padding
+    "cell_mismatch",   # transformed trace touches different logical cells
+    "write_mismatch",  # read/write pattern changed under the transform
+    "length_mismatch", # transformed trace has a different access count
+    "regression",      # padded miss rate worse than baseline + epsilon
+)
+
+#: report statuses, in increasing order of severity
+STATUS_PASSED = "passed"
+STATUS_WARNED = "warned"
+STATUS_ROLLED_BACK = "rolled_back"
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Enforcement mode plus thresholds for the guard checkers."""
+
+    mode: str = "warn"
+    epsilon_pct: float = 0.5
+    budget_bytes: Optional[int] = None
+    sanitize_limit: int = 1 << 20
+
+    def __post_init__(self):
+        if self.mode not in GUARD_MODES:
+            raise ConfigError(
+                f"guard mode {self.mode!r} unknown; known: {GUARD_MODES}"
+            )
+        if self.epsilon_pct < 0:
+            raise ConfigError(
+                f"guard epsilon must be nonnegative, got {self.epsilon_pct}"
+            )
+        if self.budget_bytes is not None and self.budget_bytes <= 0:
+            raise ConfigError(
+                f"guard pad budget must be positive, got {self.budget_bytes}"
+            )
+        if self.sanitize_limit < 1:
+            raise ConfigError(
+                f"sanitize limit must be at least 1, got {self.sanitize_limit}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any checking happens at all."""
+        return self.mode != "off"
+
+    @property
+    def strict(self) -> bool:
+        return self.mode == "strict"
+
+    def to_record(self) -> dict:
+        """JSON-safe dict (engine worker messages, journal events)."""
+        return {
+            "mode": self.mode,
+            "epsilon_pct": self.epsilon_pct,
+            "budget_bytes": self.budget_bytes,
+            "sanitize_limit": self.sanitize_limit,
+        }
+
+    @staticmethod
+    def from_record(record: Optional[dict]) -> Optional["GuardConfig"]:
+        """Invert :meth:`to_record`; ``None`` passes through."""
+        if record is None:
+            return None
+        return GuardConfig(**record)
+
+
+@dataclass(frozen=True)
+class GuardViolation:
+    """One finding from one guard checker."""
+
+    kind: str       # one of VIOLATION_KINDS
+    checker: str    # "invariants" | "sanitizer" | "regression"
+    message: str
+    variable: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind not in VIOLATION_KINDS:
+            raise ConfigError(f"unknown guard violation kind {self.kind!r}")
+
+    def describe(self) -> str:
+        """One-line rendering for logs and CLI output."""
+        where = f" [{self.variable}]" if self.variable else ""
+        return f"{self.checker}/{self.kind}{where}: {self.message}"
+
+    def to_record(self) -> dict:
+        """JSON-safe dict (journal ``guard_violation`` event fields)."""
+        return {
+            "kind": self.kind,
+            "checker": self.checker,
+            "message": self.message,
+            "variable": self.variable,
+        }
+
+
+@dataclass
+class DroppedPad:
+    """One intra pad removed by budget degradation."""
+
+    array: str
+    elements: Tuple[int, ...]  # per-dimension increments that were dropped
+    bytes_freed: int
+
+    def to_record(self) -> dict:
+        """JSON-safe dict (rides :meth:`GuardReport.to_record`)."""
+        return {
+            "array": self.array,
+            "elements": list(self.elements),
+            "bytes_freed": self.bytes_freed,
+        }
+
+
+@dataclass
+class GuardReport:
+    """The verdict for one guarded transformation or run."""
+
+    status: str = STATUS_PASSED
+    violations: List[GuardViolation] = field(default_factory=list)
+    dropped: List[DroppedPad] = field(default_factory=list)
+    baseline_miss_pct: Optional[float] = None
+    padded_miss_pct: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing at all was flagged."""
+        return not self.violations and not self.dropped
+
+    @property
+    def rolled_back(self) -> bool:
+        return self.status == STATUS_ROLLED_BACK
+
+    def describe(self) -> str:
+        """One-line summary for CLI output."""
+        if self.status == STATUS_ROLLED_BACK:
+            if self.padded_miss_pct is None:
+                # Invariant/sanitizer rollback: the corrupt layout was
+                # never simulated, so there is no padded miss rate.
+                return (
+                    f"rolled back to original layout "
+                    f"({len(self.violations)} violation(s): "
+                    + "; ".join(v.describe() for v in self.violations[:3])
+                    + ")"
+                )
+            return (
+                f"rolled back (padded {self.padded_miss_pct:.2f}% vs "
+                f"original {self.baseline_miss_pct:.2f}%)"
+            )
+        if self.violations:
+            return (
+                f"{self.status}: {len(self.violations)} violation(s): "
+                + "; ".join(v.describe() for v in self.violations[:3])
+            )
+        if self.dropped:
+            freed = sum(d.bytes_freed for d in self.dropped)
+            return f"passed ({len(self.dropped)} pad(s) dropped, {freed}B freed)"
+        return "passed"
+
+    def to_record(self) -> dict:
+        """JSON-safe dict that survives the worker pipe and the journal."""
+        return {
+            "status": self.status,
+            "violations": [v.to_record() for v in self.violations],
+            "dropped": [d.to_record() for d in self.dropped],
+            "baseline_miss_pct": self.baseline_miss_pct,
+            "padded_miss_pct": self.padded_miss_pct,
+        }
+
+    @staticmethod
+    def from_record(record: Optional[dict]) -> Optional["GuardReport"]:
+        """Invert :meth:`to_record`; tolerates missing optional fields."""
+        if not isinstance(record, dict):
+            return None
+        return GuardReport(
+            status=record.get("status", STATUS_PASSED),
+            violations=[
+                GuardViolation(**v) for v in record.get("violations", ())
+            ],
+            dropped=[
+                DroppedPad(
+                    array=d["array"],
+                    elements=tuple(d.get("elements", ())),
+                    bytes_freed=d.get("bytes_freed", 0),
+                )
+                for d in record.get("dropped", ())
+            ],
+            baseline_miss_pct=record.get("baseline_miss_pct"),
+            padded_miss_pct=record.get("padded_miss_pct"),
+        )

@@ -1,0 +1,196 @@
+"""Layout invariant checker and memory-budget degradation.
+
+:func:`check_layout` re-derives, from first principles, every structural
+property a padding transformation must preserve — it deliberately does
+not trust :meth:`MemoryLayout.validate` (the guard exists to catch a
+buggy or sabotaged layout, including one whose own bookkeeping lies):
+
+* every declared variable is placed at a nonnegative, element-aligned
+  base address;
+* padded dimension-size tuples match the declared rank, stay positive,
+  and never shrink a dimension;
+* byte strides recomputed from the padded sizes agree with the strides
+  the layout reports (a disagreement means the layout would address
+  memory inconsistently);
+* no two variables overlap;
+* total pad overhead stays under the configured memory budget.
+
+:func:`enforce_budget` implements graceful degradation: while the
+transformed layout's footprint exceeds the budget ceiling, the largest
+intra-variable pad is dropped (the array shrinks back to its declared
+sizes and everything placed after it slides down), reporting each drop.
+Degradation trades conflict-avoidance for memory — the miss-rate
+regression guard downstream still protects the outcome.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.guard.config import DroppedPad, GuardViolation
+from repro.ir.arrays import ArrayDecl, ScalarDecl
+from repro.layout.layout import MemoryLayout, original_layout
+from repro.ir.program import Program
+
+
+def _placed_intervals(
+    prog: Program, layout: MemoryLayout
+) -> List[Tuple[int, int, str]]:
+    """(start, end, name) for every placed variable, sorted by start."""
+    intervals = []
+    for decl in prog.decls:
+        if not layout.has_base(decl.name):
+            continue
+        base = layout.base(decl.name)
+        try:
+            size = layout.size_bytes(decl.name)
+        except Exception:
+            continue  # rank corruption; reported separately
+        intervals.append((base, base + size, decl.name))
+    intervals.sort()
+    return intervals
+
+
+def pad_overhead_bytes(prog: Program, layout: MemoryLayout) -> int:
+    """Extra memory the transformed layout costs over the untouched one."""
+    baseline = original_layout(prog).end_address()
+    return max(0, layout.end_address() - baseline)
+
+
+def check_layout(
+    prog: Program,
+    layout: MemoryLayout,
+    budget_bytes: Optional[int] = None,
+) -> List[GuardViolation]:
+    """Every invariant violation in the layout (empty when sound)."""
+    violations: List[GuardViolation] = []
+
+    def flag(kind: str, message: str, variable: Optional[str] = None) -> None:
+        violations.append(
+            GuardViolation(kind, "invariants", message, variable=variable)
+        )
+
+    for decl in prog.decls:
+        name = decl.name
+        if not layout.has_base(name):
+            flag("unplaced", f"variable {name!r} has no base address", name)
+            continue
+        base = layout.base(name)
+        if base < 0:
+            flag("negative_base", f"{name!r} placed at {base}", name)
+        align = (
+            decl.element_type.size_bytes
+            if isinstance(decl, (ArrayDecl, ScalarDecl))
+            else 1
+        )
+        if align > 1 and base % align:
+            flag(
+                "misaligned",
+                f"{name!r} at {base} is not {align}-byte aligned",
+                name,
+            )
+        if not isinstance(decl, ArrayDecl):
+            continue
+        sizes = layout.dim_sizes(name)
+        if len(sizes) != decl.rank:
+            flag(
+                "rank",
+                f"{name!r}: {len(sizes)} dim sizes for rank {decl.rank}",
+                name,
+            )
+            continue
+        for dim, (padded, declared) in enumerate(zip(sizes, decl.dim_sizes)):
+            if padded < 1:
+                flag("shrunk", f"{name!r} dim {dim} is {padded}", name)
+            elif padded < declared:
+                flag(
+                    "shrunk",
+                    f"{name!r} dim {dim} shrank {declared} -> {padded}",
+                    name,
+                )
+        # Strides must be exactly the column-major strides of the padded
+        # sizes; recompute independently of the layout's own arithmetic.
+        expected = []
+        acc = decl.element_size
+        for size in sizes:
+            expected.append(acc)
+            acc *= size
+        try:
+            actual = list(layout.strides(name))
+        except Exception as exc:
+            flag("rank", f"{name!r}: strides unavailable ({exc})", name)
+            continue
+        if actual != expected:
+            flag(
+                "rank",
+                f"{name!r}: strides {actual} inconsistent with padded "
+                f"sizes {list(sizes)} (expected {expected})",
+                name,
+            )
+
+    intervals = _placed_intervals(prog, layout)
+    for (s0, e0, n0), (s1, e1, n1) in zip(intervals, intervals[1:]):
+        if s1 < e0:
+            flag(
+                "overlap",
+                f"{n0!r} [{s0},{e0}) overlaps {n1!r} [{s1},{e1})",
+                n1,
+            )
+
+    if budget_bytes is not None:
+        overhead = pad_overhead_bytes(prog, layout)
+        if overhead > budget_bytes:
+            flag(
+                "budget",
+                f"pad overhead {overhead}B exceeds budget {budget_bytes}B",
+            )
+    return violations
+
+
+def enforce_budget(
+    prog: Program,
+    layout: MemoryLayout,
+    budget_bytes: int,
+) -> List[DroppedPad]:
+    """Shrink the layout under the budget by dropping the largest intra pads.
+
+    Mutates ``layout`` in place.  Each drop resets one array to its
+    declared dimension sizes and slides every later variable down by the
+    freed bytes (rounded down to the layout's coarsest alignment so no
+    base goes unaligned).  Returns the drops in the order applied; when
+    they run out the layout may still be over budget — the caller's
+    :func:`check_layout` pass reports that as a ``budget`` violation.
+    """
+    dropped: List[DroppedPad] = []
+    aligns = [
+        d.element_type.size_bytes
+        for d in prog.decls
+        if isinstance(d, (ArrayDecl, ScalarDecl))
+    ]
+    coarsest = max(aligns) if aligns else 1
+    while pad_overhead_bytes(prog, layout) > budget_bytes:
+        candidates = [
+            (layout.size_bytes(d.name) - d.size_bytes, d.name)
+            for d in prog.arrays
+            if layout.has_base(d.name)
+            and layout.size_bytes(d.name) > d.size_bytes
+        ]
+        if not candidates:
+            break
+        freed, name = max(candidates)
+        decl = prog.array(name)
+        pads = layout.intra_pads(name)
+        victim_base = layout.base(name)
+        layout.set_dim_sizes(name, decl.dim_sizes)
+        shift = freed // coarsest * coarsest
+        if shift:
+            for other in prog.decls:
+                if (
+                    layout.has_base(other.name)
+                    and layout.base(other.name) > victim_base
+                ):
+                    layout.set_base(
+                        other.name, layout.base(other.name) - shift
+                    )
+        dropped.append(DroppedPad(array=name, elements=pads, bytes_freed=freed))
+    return dropped

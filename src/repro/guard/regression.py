@@ -1,0 +1,38 @@
+"""Miss-rate regression guard.
+
+The whole point of the paper's transformations is *fewer* conflict
+misses; a pad that makes the miss rate worse is a pessimization the
+pipeline must not silently commit.  The guard compares the padded
+layout's simulated miss rate against the original layout's on the same
+cache, and flags a regression when the padded rate exceeds the baseline
+by more than the configured epsilon (percentage points).  The caller
+responds by rolling back to the original layout and recording the
+outcome as ``rolled_back`` — the run still succeeds, with honest stats.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.stats import CacheStats
+from repro.guard.config import GuardViolation
+
+
+def regression_violation(
+    baseline: CacheStats,
+    padded: CacheStats,
+    epsilon_pct: float,
+) -> Optional[GuardViolation]:
+    """A ``regression`` violation when padding pessimized, else ``None``."""
+    base_pct = baseline.miss_rate_pct
+    padded_pct = padded.miss_rate_pct
+    if padded_pct <= base_pct + epsilon_pct:
+        return None
+    return GuardViolation(
+        kind="regression",
+        checker="regression",
+        message=(
+            f"padded miss rate {padded_pct:.3f}% exceeds original "
+            f"{base_pct:.3f}% by more than epsilon {epsilon_pct:.3f}"
+        ),
+    )

@@ -1,0 +1,162 @@
+"""Process-wide guard activation, mirroring :mod:`repro.obs.runtime`.
+
+The padding drivers and the experiment runner consult one module-level
+slot: when no config is active (the default, and the ``--guard off``
+state) every guard entry point returns after a single test, so unguarded
+pipelines pay nothing.  Activated, the drivers run the layout invariant
+checker and budget degradation, and the runner adds the semantic
+sanitizer and the miss-rate regression guard.
+
+Violations fan out three ways:
+
+* **counters** — ``repro_guard_*`` metrics through :mod:`repro.obs`;
+* **sinks** — registered callables ``sink(event, fields)`` (the engine
+  and ``run-all`` route these into the JSONL run journal as
+  ``guard_violation`` / ``guard_drop`` / ``guard_rollback`` events);
+* **logging** — a warning per violation, so even sink-less callers see
+  what the guard caught.
+"""
+
+from __future__ import annotations
+
+import logging
+from contextlib import contextmanager
+from typing import Callable, Dict, Optional
+
+from repro.guard.config import DroppedPad, GuardConfig, GuardViolation
+from repro.obs import runtime as obs
+
+log = logging.getLogger(__name__)
+
+_active: Optional[GuardConfig] = None
+_sinks: list = []
+
+Sink = Callable[[str, Dict], None]
+
+
+# -- lifecycle ---------------------------------------------------------------
+
+def activate(config: GuardConfig) -> None:
+    """Make ``config`` the process-wide guard policy."""
+    global _active
+    _active = config
+
+
+def deactivate() -> None:
+    """Return to the unguarded default."""
+    global _active
+    _active = None
+
+
+def active_config() -> Optional[GuardConfig]:
+    """The active config with checking enabled, else ``None``.
+
+    ``mode="off"`` deliberately reads as inactive so callers need just
+    one test on the hot path.
+    """
+    if _active is None or not _active.enabled:
+        return None
+    return _active
+
+
+def is_active() -> bool:
+    """Whether a guard policy is currently activated for this process."""
+    return active_config() is not None
+
+
+@contextmanager
+def activated(config: Optional[GuardConfig]):
+    """Scoped activation (engine workers guard one task at a time)."""
+    global _active
+    previous = _active
+    _active = config
+    try:
+        yield
+    finally:
+        _active = previous
+
+
+# -- sinks -------------------------------------------------------------------
+
+def add_sink(sink: Sink) -> None:
+    """Register a callable receiving every guard event."""
+    _sinks.append(sink)
+
+
+def remove_sink(sink: Sink) -> None:
+    """Unregister a sink (no-op when absent)."""
+    try:
+        _sinks.remove(sink)
+    except ValueError:
+        pass
+
+
+def clear_sinks() -> None:
+    """Drop every sink (forked engine workers start clean)."""
+    del _sinks[:]
+
+
+def _fan_out(event: str, fields: Dict) -> None:
+    for sink in list(_sinks):
+        try:
+            sink(event, fields)
+        except Exception:  # a broken sink must never fail a run
+            log.exception("guard sink failed for %s event", event)
+
+
+# -- event emission ----------------------------------------------------------
+
+def emit_check(checker: str) -> None:
+    """Account one checker invocation."""
+    obs.counter_add(
+        "repro_guard_checks_total", 1,
+        "guard checker invocations", checker=checker,
+    )
+
+
+def emit_violation(violation: GuardViolation, run: Optional[str] = None) -> None:
+    """Account and broadcast one violation."""
+    obs.counter_add(
+        "repro_guard_violations_total", 1,
+        "guard violations, by kind and checker",
+        kind=violation.kind, checker=violation.checker,
+    )
+    fields = violation.to_record()
+    if run:
+        fields["run"] = run
+    _fan_out("guard_violation", fields)
+    log.warning("guard violation: %s", violation.describe())
+
+
+def emit_drop(dropped: DroppedPad, run: Optional[str] = None) -> None:
+    """Account and broadcast one budget-degradation pad drop."""
+    obs.counter_add(
+        "repro_guard_pads_dropped_total", 1,
+        "intra pads dropped by budget degradation",
+    )
+    fields = dropped.to_record()
+    if run:
+        fields["run"] = run
+    _fan_out("guard_drop", fields)
+    log.warning(
+        "guard budget: dropped intra pad on %s (%dB freed)",
+        dropped.array, dropped.bytes_freed,
+    )
+
+
+def emit_rollback(
+    baseline_pct: float, padded_pct: float, run: Optional[str] = None
+) -> None:
+    """Account and broadcast one regression-guard rollback."""
+    obs.counter_add(
+        "repro_guard_rollbacks_total", 1,
+        "runs rolled back to the original layout",
+    )
+    fields = {"baseline_miss_pct": baseline_pct, "padded_miss_pct": padded_pct}
+    if run:
+        fields["run"] = run
+    _fan_out("guard_rollback", fields)
+    log.warning(
+        "guard rollback: padded miss rate %.2f%% regressed past original %.2f%%",
+        padded_pct, baseline_pct,
+    )

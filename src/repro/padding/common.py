@@ -106,7 +106,12 @@ class InterPadDecision:
 
 @dataclass
 class PaddingResult:
-    """Outcome of running a padding heuristic on a program."""
+    """Outcome of running a padding heuristic on a program.
+
+    ``guard`` carries the driver-level guard verdict (budget drops and
+    invariant findings) when a guard policy is active; ``None`` in the
+    default unguarded pipeline.
+    """
 
     prog: Program
     layout: MemoryLayout
@@ -114,6 +119,7 @@ class PaddingResult:
     params: PadParams
     intra_decisions: List[IntraPadDecision] = field(default_factory=list)
     inter_decisions: List[InterPadDecision] = field(default_factory=list)
+    guard: object = None  # Optional[repro.guard.config.GuardReport]
 
     # -- Table-2 style aggregates -----------------------------------------
 

@@ -24,6 +24,7 @@ from typing import Callable, Optional, Set
 
 from repro.analysis.patterns import linear_algebra_arrays
 from repro.analysis.safety import safe_arrays
+from repro.guard import runtime as guard_runtime
 from repro.ir.program import Program
 from repro.layout.globalize import globalize
 from repro.layout.layout import MemoryLayout
@@ -93,9 +94,13 @@ def _intra_phase(
 
 
 def _record_padding_metrics(result: PaddingResult) -> PaddingResult:
-    """Account a driver's decisions: pads inserted and bytes of padding."""
+    """Account a driver's decisions, then apply the driver-level guard.
+
+    Every driver returns through here, so the guardrail hook covers all
+    of them (including the partial Figure-12/17 drivers).
+    """
     if not obs.is_enabled():
-        return result
+        return _apply_guard(result)
     heuristic = result.heuristic
     obs.counter_add(
         "repro_padding_runs_total", 1, "padding driver invocations",
@@ -130,6 +135,25 @@ def _record_padding_metrics(result: PaddingResult) -> PaddingResult:
             "repro_padding_inter_gave_up_total", gave_up,
             "placements that kept the original address", heuristic=heuristic,
         )
+    return _apply_guard(result)
+
+
+def _apply_guard(result: PaddingResult) -> PaddingResult:
+    """Driver-level guardrail: budget degradation + layout invariants.
+
+    A no-op unless a guard policy is active (see
+    :mod:`repro.guard.runtime`).  Strict mode raises
+    :class:`~repro.errors.GuardViolationError` so a corrupt layout never
+    leaves the driver; warn mode attaches the verdict to
+    ``result.guard`` and lets downstream (the runner's full check)
+    decide.  Budget degradation mutates the layout before the check.
+    """
+    config = guard_runtime.active_config()
+    if config is None or result.heuristic == "ORIGINAL":
+        return result
+    from repro.guard.core import check_padding
+
+    result.guard = check_padding(result.prog, result.layout, config)
     return result
 
 

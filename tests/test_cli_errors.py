@@ -142,3 +142,39 @@ class TestRunAllCli:
         assert rc == 1
         assert "failed:" in captured.err
         assert "incomplete" in captured.out  # figures degrade to placeholders
+
+
+class TestUsageErrors:
+    """Bad flag values fail fast with one line naming the offender."""
+
+    def test_metrics_to_missing_directory(self, capsys):
+        rc = cli.main(["bench", "--metrics", "/nonexistent-xyz/m.json"])
+        assert rc == cli.exit_code_for(errors.UsageError("x"))
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "/nonexistent-xyz" in err and "does not exist" in err
+
+    def test_trace_out_to_missing_directory(self, capsys):
+        rc = cli.main(["trace", "kernel.k", "/nonexistent-xyz/t.npz"])
+        assert rc == cli.exit_code_for(errors.UsageError("x"))
+        err = capsys.readouterr().err
+        assert "/nonexistent-xyz" in err
+        assert "Traceback" not in err
+
+    def test_garbage_guard_budget(self, capsys):
+        rc = cli.main(["bench", "--guard", "warn", "--guard-budget", "12xyz"])
+        assert rc == cli.exit_code_for(errors.UsageError("x"))
+        err = capsys.readouterr().err
+        assert "12xyz" in err
+
+    def test_usage_code_is_distinct(self):
+        assert cli.exit_code_for(errors.UsageError("x")) not in {
+            0, 1,
+            cli.exit_code_for(errors.ReproError("x")),
+            cli.exit_code_for(errors.EngineError("x")),
+            cli.exit_code_for(errors.GuardError("x")),
+        }
+
+    def test_valid_guard_budget_sizes_parse(self):
+        assert cli._parse_size("64k") == 64 * 1024
+        assert cli._parse_size("2m") == 2 * 1024 * 1024

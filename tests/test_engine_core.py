@@ -243,3 +243,59 @@ class TestJournal:
         assert all(e["worker"] > 0 and e["simulator"] == "fast" for e in starts)
         assert all(e["duration"] > 0 and e["status"] == "ok" for e in finishes)
         assert all(e["ts"] > 0 for e in events)
+
+
+class TestBackoffJitter:
+    """Retry backoff must be deterministic per task key yet spread across
+    keys, so a sweep's retries never stampede in lockstep."""
+
+    def _engine(self, **overrides):
+        return ExperimentEngine(_fast_config(
+            backoff_base=0.25, backoff_cap=30.0, **overrides
+        ))
+
+    def _task(self, key, attempts=1, total_attempts=1):
+        from repro.engine.core import _Task
+
+        request = _requests(1)[0]
+        return _Task(index=0, request=request, key=key,
+                     attempts=attempts, total_attempts=total_attempts)
+
+    def test_same_key_same_attempt_is_deterministic(self):
+        a = self._engine(seed=5)
+        b = self._engine(seed=5)
+        for attempt in (1, 2, 3):
+            task = self._task("prog|pad|c", attempts=attempt,
+                              total_attempts=attempt)
+            assert a._backoff(task) == b._backoff(task)
+
+    def test_delays_spread_across_task_keys(self):
+        engine = self._engine(seed=0)
+        delays = {
+            engine._backoff(self._task(f"prog{i}|pad|c"))
+            for i in range(32)
+        }
+        # 32 keys, first attempt each: raw delay is identical, so any
+        # variation is pure jitter -- demand it actually spreads
+        assert len(delays) >= 30
+        for delay in delays:
+            assert 0.25 * 0.5 <= delay <= 0.25 * 1.5
+
+    def test_jitter_depends_on_seed(self):
+        task = self._task("prog|pad|c")
+        assert (self._engine(seed=1)._backoff(task)
+                != self._engine(seed=2)._backoff(task))
+
+    def test_exponential_growth_respects_cap(self):
+        engine = self._engine(seed=0)
+        raw = [
+            engine._backoff(self._task("k", attempts=n, total_attempts=n))
+            for n in range(1, 12)
+        ]
+        assert all(d <= 30.0 * 1.5 for d in raw)
+        # early attempts genuinely grow
+        assert raw[1] > raw[0] * 1.2
+
+    def test_zero_base_disables_waiting(self):
+        engine = ExperimentEngine(_fast_config(backoff_base=0.0))
+        assert engine._backoff(self._task("k")) == 0.0

@@ -44,6 +44,52 @@ class TestBasics:
         assert doc["entries"]["k"]["sum"] == checksum(1)
 
 
+class TestDurability:
+    """Atomic rename is only durable once the parent directory is synced:
+    a power cut after ``os.replace`` but before the directory metadata
+    reaches disk can silently resurrect the old file."""
+
+    def _record_write(self, monkeypatch, tmp_path):
+        import stat
+
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def recording_fsync(fd):
+            events.append(("fsync", stat.S_ISDIR(os.fstat(fd).st_mode)))
+            return real_fsync(fd)
+
+        def recording_replace(src, dst):
+            events.append(("replace", None))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        monkeypatch.setattr(os, "replace", recording_replace)
+        CrashSafeStore(tmp_path / "s.json").put("k", 1)
+        return events
+
+    def test_parent_directory_fsynced_on_write(self, monkeypatch, tmp_path):
+        events = self._record_write(monkeypatch, tmp_path)
+        assert ("fsync", True) in events  # a directory fd was synced
+
+    def test_file_then_rename_then_dir_order(self, monkeypatch, tmp_path):
+        events = self._record_write(monkeypatch, tmp_path)
+        # tmp-file fsync strictly before the rename, directory fsync after
+        assert events.index(("fsync", False)) < events.index(("replace", None))
+        assert events.index(("replace", None)) < events.index(("fsync", True))
+
+    def test_dir_fsync_failure_is_not_fatal(self, monkeypatch, tmp_path):
+        # Some filesystems refuse O_RDONLY directory fsync; the store
+        # must degrade to plain-rename semantics, not crash.
+        def refusing_open(path, flags):
+            raise OSError("directory fsync unsupported")
+
+        monkeypatch.setattr(os, "open", refusing_open)
+        path = tmp_path / "s.json"
+        CrashSafeStore(path).put("k", {"v": 9})
+        assert CrashSafeStore(path).get("k") == {"v": 9}
+
+
 class TestCorruption:
     def test_unparseable_file_quarantined(self, tmp_path):
         path = tmp_path / "s.json"

@@ -1,0 +1,167 @@
+"""Layout invariant checker and memory-budget degradation (repro.guard)."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.padding.common import PadParams
+from repro.guard import (
+    GuardConfig,
+    check_layout,
+    check_padding,
+    enforce_budget,
+    pad_overhead_bytes,
+)
+from repro.errors import GuardViolationError
+from repro.layout.layout import original_layout
+from repro.padding.drivers import pad, padlite
+
+from tests.conftest import jacobi_program, vector_sum_program
+
+#: Cs=2048, Ls=4 (element units): jacobi columns conflict, so both
+#: drivers really pad and the layouts carry nonzero overhead.
+PAPER_PARAMS = PadParams.for_cache(CacheConfig(2048, 4, 1))
+
+
+def kinds(violations):
+    return {v.kind for v in violations}
+
+
+class TestCheckLayout:
+    def test_clean_pad_layout_has_no_violations(self):
+        result = pad(jacobi_program(300), PAPER_PARAMS)
+        assert check_layout(result.prog, result.layout) == []
+
+    def test_original_layout_has_no_violations(self):
+        prog = jacobi_program(100)
+        assert check_layout(prog, original_layout(prog)) == []
+
+    def test_unplaced_variable(self):
+        result = pad(jacobi_program(64))
+        del result.layout._bases["B"]
+        assert "unplaced" in kinds(check_layout(result.prog, result.layout))
+
+    def test_negative_base(self):
+        result = pad(vector_sum_program(64))
+        result.layout._bases["A"] = -8
+        assert "negative_base" in kinds(
+            check_layout(result.prog, result.layout)
+        )
+
+    def test_misaligned_base(self):
+        result = pad(vector_sum_program(64))  # real*8 arrays
+        result.layout._bases["B"] += 3
+        assert "misaligned" in kinds(check_layout(result.prog, result.layout))
+
+    def test_overlap(self):
+        result = pad(jacobi_program(64))
+        result.layout._bases["B"] = result.layout.base("A")
+        assert "overlap" in kinds(check_layout(result.prog, result.layout))
+
+    def test_shrunk_dimension(self):
+        result = pad(jacobi_program(64))
+        sizes = list(result.layout.dim_sizes("A"))
+        sizes[0] = 63
+        result.layout._dim_sizes["A"] = tuple(sizes)
+        assert "shrunk" in kinds(check_layout(result.prog, result.layout))
+
+    def test_rank_mismatch(self):
+        result = pad(jacobi_program(64))
+        result.layout._dim_sizes["A"] = result.layout.dim_sizes("A") + (2,)
+        assert "rank" in kinds(check_layout(result.prog, result.layout))
+
+    def test_budget_violation_only_when_over(self):
+        result = pad(jacobi_program(256), PAPER_PARAMS)
+        overhead = pad_overhead_bytes(result.prog, result.layout)
+        assert overhead > 0  # jacobi at 300 on the base cache pads
+        ok = check_layout(result.prog, result.layout, budget_bytes=overhead)
+        over = check_layout(
+            result.prog, result.layout, budget_bytes=overhead - 1
+        )
+        assert ok == []
+        assert "budget" in kinds(over)
+
+
+class TestPadOverhead:
+    def test_original_layout_costs_nothing(self):
+        prog = jacobi_program(128)
+        assert pad_overhead_bytes(prog, original_layout(prog)) == 0
+
+    def test_overhead_is_end_address_delta(self):
+        result = pad(jacobi_program(256), PAPER_PARAMS)
+        expected = (
+            result.layout.end_address()
+            - original_layout(result.prog).end_address()
+        )
+        assert pad_overhead_bytes(result.prog, result.layout) == expected
+
+
+class TestEnforceBudget:
+    def _padded(self, n=256):
+        result = padlite(jacobi_program(n), PAPER_PARAMS)
+        assert pad_overhead_bytes(result.prog, result.layout) > 0
+        return result
+
+    def test_under_budget_is_untouched(self):
+        result = self._padded()
+        before = result.layout.end_address()
+        dropped = enforce_budget(result.prog, result.layout, 1 << 30)
+        assert dropped == []
+        assert result.layout.end_address() == before
+
+    def test_degrades_to_budget_and_stays_sound(self):
+        result = self._padded()
+        dropped = enforce_budget(result.prog, result.layout, 0)
+        assert dropped  # something had to give
+        # every drop names a real array and reports freed bytes
+        for drop in dropped:
+            assert result.prog.array(drop.array) is not None
+            assert drop.bytes_freed > 0
+            # the victim is back at its declared sizes
+            decl = result.prog.array(drop.array)
+            assert result.layout.dim_sizes(drop.array) == decl.dim_sizes
+        # degradation must never corrupt the layout it shrinks
+        assert check_layout(result.prog, result.layout) == []
+
+    def test_largest_pad_dropped_first(self):
+        result = self._padded()
+        per_array = {
+            d.name: result.layout.size_bytes(d.name) - d.size_bytes
+            for d in result.prog.arrays
+        }
+        overhead = pad_overhead_bytes(result.prog, result.layout)
+        dropped = enforce_budget(
+            result.prog, result.layout, overhead - 1
+        )
+        assert per_array[dropped[0].array] == max(per_array.values())
+
+
+class TestCheckPadding:
+    def test_strict_raises_on_violation(self):
+        result = pad(jacobi_program(64))
+        result.layout._bases["B"] = result.layout.base("A")
+        with pytest.raises(GuardViolationError) as info:
+            check_padding(
+                result.prog, result.layout, GuardConfig(mode="strict")
+            )
+        assert info.value.violations
+
+    def test_warn_reports_and_returns(self):
+        result = pad(jacobi_program(64))
+        result.layout._bases["B"] = result.layout.base("A")
+        report = check_padding(
+            result.prog, result.layout, GuardConfig(mode="warn")
+        )
+        assert report.status == "warned"
+        assert "overlap" in kinds(report.violations)
+
+    def test_budget_degradation_through_config(self):
+        result = padlite(jacobi_program(256), PAPER_PARAMS)
+        report = check_padding(
+            result.prog, result.layout,
+            GuardConfig(mode="warn", budget_bytes=1),
+        )
+        assert report.dropped
+        # post-degradation layout satisfies what fits, or flags budget
+        assert pad_overhead_bytes(result.prog, result.layout) <= max(
+            1, min(d.bytes_freed for d in report.dropped)
+        ) or "budget" in kinds(report.violations)

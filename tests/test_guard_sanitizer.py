@@ -1,0 +1,116 @@
+"""Semantic sanitizer: transformed layouts must touch the same cells."""
+
+import numpy as np
+
+from repro.cache.config import CacheConfig
+from repro.guard import sanitize
+from repro.guard.sanitizer import cell_stream
+from repro.layout.layout import original_layout
+from repro.padding.common import PadParams
+from repro.padding.drivers import pad, padlite
+
+from tests.conftest import jacobi_program, vector_sum_program
+
+PAPER_PARAMS = PadParams.for_cache(CacheConfig(2048, 4, 1))
+
+
+def kinds(violations):
+    return {v.kind for v in violations}
+
+
+class TestCellStream:
+    def test_deterministic_under_seed(self):
+        prog = jacobi_program(64)
+        layout = original_layout(prog)
+        first = cell_stream(prog, layout, seed=7, limit=1 << 20)
+        second = cell_stream(prog, layout, seed=7, limit=1 << 20)
+        for a, b in zip(first[:3], second[:3]):
+            assert np.array_equal(a, b)
+
+    def test_limit_truncates(self):
+        prog = jacobi_program(64)
+        layout = original_layout(prog)
+        ids, cells, writes, oob, touched, truncated = cell_stream(
+            prog, layout, seed=7, limit=100
+        )
+        assert truncated
+        assert len(ids) == len(cells) == len(writes) == 100
+
+    def test_clean_trace_stays_in_bounds(self):
+        prog = jacobi_program(64)
+        _, _, _, oob, touched, _ = cell_stream(
+            prog, original_layout(prog), seed=7, limit=1 << 20
+        )
+        assert oob == 0 and touched == 0
+
+
+class TestSanitize:
+    def test_padding_preserves_semantics(self):
+        # The real drivers must sail through their own guard.
+        for driver in (pad, padlite):
+            result = driver(jacobi_program(128), PAPER_PARAMS)
+            violations = sanitize(
+                result.prog, result.layout, original_layout(result.prog),
+                reference_layout=result.layout,
+            )
+            assert violations == [], driver.__name__
+
+    def test_swapped_bases_caught_with_reference(self):
+        # Swapping two same-size arrays' bases keeps the layout
+        # self-consistent — only the committed reference exposes it.
+        result = pad(jacobi_program(64), PAPER_PARAMS)
+        reference = result.layout.copy()
+        result.layout._bases["A"], result.layout._bases["B"] = (
+            result.layout._bases["B"], result.layout._bases["A"],
+        )
+        clean = sanitize(
+            result.prog, result.layout, original_layout(result.prog)
+        )
+        caught = sanitize(
+            result.prog, result.layout, original_layout(result.prog),
+            reference_layout=reference,
+        )
+        assert clean == []  # self-inversion is blind to the swap...
+        assert "cell_mismatch" in kinds(caught)  # ...the reference is not
+
+    def test_shifted_base_caught_with_reference(self):
+        result = pad(vector_sum_program(64), PAPER_PARAMS)
+        reference = result.layout.copy()
+        last = max(
+            (d.name for d in result.prog.arrays),
+            key=result.layout.base,
+        )
+        result.layout._bases[last] += 8  # one real*8 element
+        caught = sanitize(
+            result.prog, result.layout, original_layout(result.prog),
+            reference_layout=reference,
+        )
+        assert caught
+        assert kinds(caught) & {"cell_mismatch", "out_of_bounds", "pad_touched"}
+
+    def test_interleaved_layout_is_a_cell_mismatch(self):
+        # A layout where A occupies B's memory touches the wrong cells
+        # even without a committed reference.
+        prog = jacobi_program(32)
+        layout = original_layout(prog)
+        reference = layout.copy()
+        layout._bases["A"], layout._bases["B"] = (
+            layout._bases["B"], layout._bases["A"],
+        )
+        caught = sanitize(
+            prog, layout, original_layout(prog), reference_layout=reference
+        )
+        assert "cell_mismatch" in kinds(caught)
+
+    def test_message_names_first_divergence(self):
+        result = pad(jacobi_program(64), PAPER_PARAMS)
+        reference = result.layout.copy()
+        result.layout._bases["A"], result.layout._bases["B"] = (
+            result.layout._bases["B"], result.layout._bases["A"],
+        )
+        caught = sanitize(
+            result.prog, result.layout, original_layout(result.prog),
+            reference_layout=reference,
+        )
+        mismatch = [v for v in caught if v.kind == "cell_mismatch"]
+        assert mismatch and "first at access" in mismatch[0].message

@@ -178,3 +178,62 @@ class TestPaddingProperties:
             sim.access_chunk(addrs, writes)
             sims.append(sim.stats)
         assert sims[1].miss_rate_pct <= sims[0].miss_rate_pct + 15.0
+
+
+class TestGuardProperties:
+    """The guard's invariants hold for every driver on random programs —
+    and its checkers actually fire when a layout is corrupted."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(prog=small_program(),
+           driver=st.sampled_from([pad, padlite, interpad_only]))
+    def test_transformed_layouts_satisfy_guard_invariants(self, prog, driver):
+        from repro.guard import check_layout
+
+        result = driver(prog, PARAMS)
+        assert check_layout(result.prog, result.layout) == []
+        result.layout.validate()
+        for decl in result.prog.arrays:
+            padded = result.layout.dim_sizes(decl.name)
+            assert all(p >= o for p, o in zip(padded, decl.dim_sizes))
+
+    @settings(max_examples=15, deadline=None)
+    @given(prog=small_program(),
+           driver=st.sampled_from([pad, padlite]))
+    def test_transformed_layouts_pass_the_sanitizer(self, prog, driver):
+        from repro.guard import sanitize
+
+        result = driver(prog, PARAMS)
+        violations = sanitize(
+            result.prog, result.layout, original_layout(prog),
+            limit=50_000, reference_layout=result.layout,
+        )
+        assert violations == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(prog=small_program())
+    def test_overlap_corruption_is_always_caught(self, prog):
+        from repro.guard import check_layout
+
+        result = pad(prog, PARAMS)
+        names = [d.name for d in result.prog.arrays]
+        if len(names) < 2:
+            return
+        result.layout._bases[names[1]] = result.layout.base(names[0])
+        kinds = {v.kind for v in check_layout(result.prog, result.layout)}
+        assert "overlap" in kinds
+
+    @settings(max_examples=30, deadline=None)
+    @given(prog=small_program(), shrink=st.integers(1, 3))
+    def test_shrink_corruption_is_always_caught(self, prog, shrink):
+        from repro.guard import check_layout
+
+        result = pad(prog, PARAMS)
+        name = result.prog.arrays[0].name
+        sizes = list(result.layout.dim_sizes(name))
+        sizes[0] = max(1, sizes[0] - shrink) - (sizes[0] == 1)
+        if tuple(sizes) == result.layout.dim_sizes(name):
+            return
+        result.layout._dim_sizes[name] = tuple(sizes)
+        violations = check_layout(result.prog, result.layout)
+        assert violations  # shrunk (or the overlap it caused) is flagged
