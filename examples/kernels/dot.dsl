@@ -1,0 +1,10 @@
+# Dot product over vectors sized to dodge the base cache: 2000 doubles
+# are 16000 bytes, so X and Y start 384 bytes apart modulo the 16K cache
+# — well clear of the 32-byte line.  Lints clean at --fail-on warning.
+program dot
+param N = 2000
+real*8 X(N), Y(N), S(1)
+do i = 1, N
+  S(1) = S(1) + X(i) * Y(i)
+end do
+end

@@ -1,0 +1,14 @@
+# Textbook matrix multiply in the column-major-friendly j/k/i order with
+# a 150 x 150 problem: columns are 1200 bytes, so no power-of-two folding
+# and FirstConflict stays comfortable.  Lints clean at --fail-on warning.
+program matmul
+param N = 150
+real*8 A(N, N), B(N, N), C(N, N)
+do j = 1, N
+  do k = 1, N
+    do i = 1, N
+      C(i, j) = C(i, j) + A(i, k) * B(k, j)
+    end do
+  end do
+end do
+end

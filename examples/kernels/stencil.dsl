@@ -1,0 +1,13 @@
+# Five-point Jacobi sweep with a cache-friendly leading dimension:
+# columns are 500 * 8 = 4000 bytes (not a power of two) and the inner
+# loop walks the leading dimension.  Lints clean at --fail-on warning.
+program stencil
+param N = 500
+param M = 100
+real*8 A(N, M), B(N, M)
+do j = 2, M - 1
+  do i = 2, N - 1
+    B(i, j) = A(i, j) + A(i - 1, j) + A(i + 1, j) + A(i, j - 1) + A(i, j + 1)
+  end do
+end do
+end

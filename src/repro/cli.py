@@ -14,6 +14,10 @@ Usage (``python -m repro <command>``):
 * ``run-all`` — run a whole figure set through the fault-tolerant
   parallel engine (``--jobs/--timeout/--retries/--inject-faults``).
 * ``stats FILE`` — render a metrics file written by ``--metrics``.
+* ``lint [FILES...]`` — static cache-hazard and IR-correctness analysis
+  over DSL kernels and/or the registered benchmarks
+  (``--format text|json|sarif``, ``--select/--ignore`` rule IDs,
+  ``--fail-on error|warning|info|never``).
 
 ``simulate``, ``bench``, ``figure`` and ``run-all`` accept
 ``--metrics PATH``: metrics collection is switched on for the whole
@@ -27,8 +31,9 @@ auto-roll back miss-rate regressions (see :mod:`repro.guard`).
 
 Exit codes: 0 success, 1 partial results (some runs failed), 2 usage or
 library error, 3 impossible invocation (e.g. an output path in a
-nonexistent directory), 4-7 for engine failures, and 8 for a strict-mode
-guard violation (see :data:`EXIT_CODES`).
+nonexistent directory), 4-7 for engine failures, 8 for a strict-mode
+guard violation, and 9 for lint findings at or above ``--fail-on`` (see
+:data:`EXIT_CODES` and the table in :mod:`repro.errors`).
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ from repro.cache.config import CacheConfig
 from repro.errors import (
     EngineError,
     GuardError,
+    LintError,
     ReproError,
     RunTimeout,
     StoreCorruption,
@@ -51,6 +57,7 @@ from repro.errors import (
 from repro.experiments.runner import HEURISTICS
 
 EXIT_CODES = (
+    (LintError, 9),
     (GuardError, 8),
     (StoreCorruption, 7),
     (WorkerCrashed, 6),
@@ -194,7 +201,17 @@ def cmd_pad(args) -> int:
 
     prog = _load_program(args)
     cache = _cache_from_args(args)
-    result = _run_heuristic(prog, args.heuristic, cache, args.m)
+    lint_on = getattr(args, "lint", False)
+    if lint_on:
+        from repro.lint import LintConfig
+        from repro.lint import runtime as lint_runtime
+
+        lint_runtime.activate(LintConfig(cache=cache, select=("C",)))
+    try:
+        result = _run_heuristic(prog, args.heuristic, cache, args.m)
+    finally:
+        if lint_on:
+            lint_runtime.deactivate()
     print(f"{result.heuristic} targeting {cache.describe()}")
     for d in result.intra_decisions:
         print(f"  intra {d.array}: dim {d.dim_index} += {d.elements} ({d.heuristic})")
@@ -211,6 +228,15 @@ def cmd_pad(args) -> int:
         print(f"  {decl.name}{dims} @ {result.layout.base(decl.name)}")
     print()
     print(format_table2([table2_row(result)]))
+    if lint_on and result.lint is not None:
+        print()
+        if result.lint.clean:
+            print("lint: no residual cache hazards in the padded layout")
+        else:
+            print(f"lint: {len(result.lint.findings)} residual cache "
+                  f"hazard(s) in the padded layout:")
+            for finding in result.lint.findings:
+                print(f"  {finding.describe()}")
     return 0
 
 
@@ -381,6 +407,70 @@ def cmd_run_all(args) -> int:
     return 1 if report.failures else 0
 
 
+def _parse_selectors(text: Optional[str]) -> tuple:
+    """Split a comma-separated --select/--ignore value."""
+    if not text:
+        return ()
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def cmd_lint(args) -> int:
+    """Statically analyze DSL kernels; exit 9 on findings past --fail-on."""
+    from repro.errors import LintFindingsError
+    from repro.lint import (
+        LintConfig,
+        Severity,
+        lint_rules_catalog,
+        lint_source,
+        render_results,
+    )
+
+    if args.list_rules:
+        print(lint_rules_catalog())
+        return 0
+    targets = []
+    for path in args.files:
+        source = sys.stdin.read() if path == "-" else open(path).read()
+        targets.append((path, source))
+    if args.benchmarks:
+        from repro.bench import KERNEL_SOURCES
+
+        for name in sorted(KERNEL_SOURCES):
+            targets.append((f"bench:{name}", KERNEL_SOURCES[name]))
+    if not targets:
+        raise UsageError("nothing to lint: pass kernel files or --benchmarks")
+    config = LintConfig(
+        cache=_cache_from_args(args),
+        select=_parse_selectors(args.select),
+        ignore=_parse_selectors(args.ignore),
+    )
+    params = _parse_params(args.param)
+    results = [
+        lint_source(source, params=params, config=config, source_name=name)
+        for name, source in targets
+    ]
+    report = render_results(results, args.format)
+    if args.out:
+        _require_parent_dir(args.out, "--out")
+        with open(args.out, "w") as handle:
+            handle.write(report + "\n")
+        print(f"lint report: {args.out}", file=sys.stderr)
+    else:
+        print(report)
+    if args.fail_on != "never":
+        threshold = Severity.from_name(args.fail_on)
+        offending = [
+            f for result in results for f in result.at_or_above(threshold)
+        ]
+        if offending:
+            raise LintFindingsError(
+                f"{len(offending)} finding(s) at or above "
+                f"{threshold.label} across {len(results)} program(s)",
+                findings=offending,
+            )
+    return 0
+
+
 def cmd_stats(args) -> int:
     """Render a metrics snapshot file as human-readable tables."""
     from repro.obs.export import load_metrics, render_stats
@@ -404,6 +494,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_args(p)
     p.add_argument("--heuristic", default="pad", help="heuristic name (default pad)")
     p.add_argument("--m", type=int, default=4, help="PADLITE separation M in lines")
+    p.add_argument("--lint", action="store_true",
+                   help="annotate the report with residual cache hazards "
+                        "(C rules) found in the padded layout")
     p.set_defaults(fn=cmd_pad)
 
     p = sub.add_parser("simulate", help="simulate a kernel before/after padding")
@@ -475,6 +568,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_metrics_arg(p)
     _add_guard_args(p)
     p.set_defaults(fn=cmd_run_all)
+
+    p = sub.add_parser(
+        "lint",
+        help="static cache-hazard and IR-correctness analysis of DSL kernels",
+    )
+    p.add_argument("files", nargs="*",
+                   help="DSL kernel files (- for stdin)")
+    p.add_argument("--benchmarks", action="store_true",
+                   help="also lint the registered benchmark kernel sources")
+    p.add_argument("--param", action="append", metavar="NAME=VALUE",
+                   help="override a 'param' in the kernels (repeatable)")
+    _add_cache_args(p)
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text", help="report format (default text)")
+    p.add_argument("--select", metavar="IDS",
+                   help="comma-separated rule IDs or family prefixes to run "
+                        "(e.g. C001,I — default: all rules)")
+    p.add_argument("--ignore", metavar="IDS",
+                   help="comma-separated rule IDs or family prefixes to skip")
+    p.add_argument("--fail-on", choices=("error", "warning", "info", "never"),
+                   default="error",
+                   help="exit 9 when a finding of this severity or worse "
+                        "exists (default error)")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the report here instead of stdout")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    _add_metrics_arg(p)
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser(
         "stats", help="render a metrics file written by --metrics"

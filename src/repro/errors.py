@@ -4,6 +4,25 @@ Every error raised intentionally by the library derives from
 :class:`ReproError`, so callers can catch one type.  Subsystems refine it:
 IR construction errors, DSL front-end errors, analysis errors, layout and
 simulation errors.
+
+The CLI maps these classes to process exit codes (most specific first;
+see :data:`repro.cli.EXIT_CODES`):
+
+=====  ==========================  =========================================
+code   class                       meaning
+=====  ==========================  =========================================
+0      —                           success
+1      —                           partial results (some runs failed)
+2      :class:`ReproError`         any library error not listed below
+3      :class:`UsageError`         impossible invocation (bad path/flags)
+4      :class:`EngineError`        the execution engine could not complete
+5      :class:`RunTimeout`         a run exceeded its wall-clock budget
+6      :class:`WorkerCrashed`      a worker process died mid-run
+7      :class:`StoreCorruption`    unreadable/mismatched persistent results
+8      :class:`GuardError`         strict-mode guardrail violation
+9      :class:`LintError`          ``repro lint`` findings at/above
+                                   ``--fail-on``, or a lint misconfiguration
+=====  ==========================  =========================================
 """
 
 from __future__ import annotations
@@ -88,6 +107,21 @@ class GuardViolationError(GuardError):
     def __init__(self, message: str, violations=()):
         super().__init__(message)
         self.violations = tuple(violations)
+
+
+class LintError(ReproError):
+    """Static analysis (``repro lint``) failure: bad rule selection or
+    any other misuse of the lint subsystem."""
+
+
+class LintFindingsError(LintError):
+    """``repro lint`` produced findings at or above the ``--fail-on``
+    threshold.  Carries the offending :class:`~repro.lint.findings.Finding`
+    records on ``findings`` for programmatic inspection."""
+
+    def __init__(self, message: str, findings=()):
+        super().__init__(message)
+        self.findings = tuple(findings)
 
 
 class EngineError(ReproError):

@@ -74,6 +74,7 @@ class DimSpec:
     size: Optional[Expr]
     lower: Optional[Expr] = None
     upper: Optional[Expr] = None
+    line: int = 0
 
 
 @dataclass(frozen=True)
@@ -167,3 +168,4 @@ class ProgramAST:
     directives: List[Directive] = field(default_factory=list)
     body: List[Node] = field(default_factory=list)
     source_lines: int = 0
+    line: int = 0

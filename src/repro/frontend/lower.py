@@ -84,10 +84,12 @@ class _Lowerer:
                 if entity.dims:
                     dims = [self._lower_dim(d, entity) for d in entity.dims]
                     self.decls[entity.ident] = ArrayDecl(
-                        entity.ident, dims, element_type
+                        entity.ident, dims, element_type, line=entity.line
                     )
                 else:
-                    self.decls[entity.ident] = ScalarDecl(entity.ident, element_type)
+                    self.decls[entity.ident] = ScalarDecl(
+                        entity.ident, element_type, line=entity.line
+                    )
                 self.decl_order.append(entity.ident)
         self._apply_directives()
 
@@ -141,6 +143,7 @@ class _Lowerer:
                 common_block=entry.get("common_block"),
                 common_splittable=entry.get("common_splittable", True),
                 is_local=entry.get("is_local", False),
+                line=decl.line,
             )
 
     # -- expressions -> affine --------------------------------------------------
@@ -236,7 +239,7 @@ class _Lowerer:
                 call.line,
             )
         subs = [self._subscript(a) for a in call.args]
-        return ArrayRef(decl.name, subs, is_write=is_write)
+        return ArrayRef(decl.name, subs, is_write=is_write, line=call.line)
 
     # -- statements -----------------------------------------------------------------
 
@@ -252,21 +255,21 @@ class _Lowerer:
                 raise LowerError(
                     f"array {target.ident!r} assigned without subscripts", node.line
                 )
-            return Statement(refs)
+            return Statement(refs, line=node.line)
         if isinstance(target, ast.Call) and target.ident in self.decls:
             decl = self.decls[target.ident]
             if isinstance(decl, ArrayDecl):
                 # Index-array loads feeding the write's own subscripts are
                 # reads too; IndirectExpr handles them inside the ref.
                 refs.append(self._make_ref(target, decl, is_write=True))
-                return Statement(refs)
+                return Statement(refs, line=node.line)
         raise LowerError("assignment target must be a scalar or array reference", node.line)
 
     def _lower_touch(self, node: ast.TouchStmt) -> Statement:
         refs: List[ArrayRef] = []
         for expr in node.refs:
             self._collect_reads(expr, refs)
-        return Statement(refs)
+        return Statement(refs, line=node.line)
 
     def _lower_access(self, node: ast.AccessStmt) -> Statement:
         refs: List[ArrayRef] = []
@@ -279,7 +282,7 @@ class _Lowerer:
             if not isinstance(decl, ArrayDecl):
                 raise LowerError(f"{expr.ident!r} is not an array", node.line)
             refs.append(self._make_ref(expr, decl, is_write=(mode == "store")))
-        return Statement(refs)
+        return Statement(refs, line=node.line)
 
     def _lower_body(self, nodes: List[ast.Node]) -> List:
         out = []
@@ -289,7 +292,9 @@ class _Lowerer:
                 upper = self._affine(node.upper)
                 step = self._eval_const(node.step) if node.step else 1
                 body = self._lower_body(node.body)
-                out.append(Loop(node.var, lower, upper, body, step=step))
+                out.append(
+                    Loop(node.var, lower, upper, body, step=step, line=node.line)
+                )
             elif isinstance(node, ast.AssignStmt):
                 out.append(self._lower_assign(node))
             elif isinstance(node, ast.TouchStmt):

@@ -105,10 +105,12 @@ class Parser:
     def parse(self) -> ast.ProgramAST:
         """Parse a whole program."""
         self._skip_newlines()
-        self._expect(TokenKind.NAME, "program")
+        program_tok = self._expect(TokenKind.NAME, "program")
         name = self._expect(TokenKind.NAME).text
         self._end_of_statement()
-        prog = ast.ProgramAST(name=name, source_lines=self.source_lines)
+        prog = ast.ProgramAST(
+            name=name, source_lines=self.source_lines, line=program_tok.line
+        )
         while not self._keyword("end"):
             token = self._peek()
             if token.kind == TokenKind.EOF:
@@ -172,12 +174,13 @@ class Parser:
         return ast.Entity(name_tok.text, tuple(dims), name_tok.line)
 
     def _parse_dim(self) -> ast.DimSpec:
+        line = self._peek().line
         first = self._parse_expr()
         if self._check(TokenKind.COLON):
             self._advance()
             upper = self._parse_expr()
-            return ast.DimSpec(size=None, lower=first, upper=upper)
-        return ast.DimSpec(size=first)
+            return ast.DimSpec(size=None, lower=first, upper=upper, line=line)
+        return ast.DimSpec(size=first, line=line)
 
     def _parse_flag_directive(self) -> ast.Directive:
         keyword = self._advance()

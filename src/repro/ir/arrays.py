@@ -92,6 +92,7 @@ class ArrayDecl:
         "common_block",
         "common_splittable",
         "is_local",
+        "line",
     )
 
     def __init__(
@@ -104,6 +105,7 @@ class ArrayDecl:
         common_block: Optional[str] = None,
         common_splittable: bool = True,
         is_local: bool = False,
+        line: int = 0,
     ):
         if not isinstance(name, str) or not name:
             raise IRError("array declaration needs a nonempty name")
@@ -117,6 +119,9 @@ class ArrayDecl:
         self.common_block = common_block
         self.common_splittable = bool(common_splittable)
         self.is_local = bool(is_local)
+        # Source line of the declaring entity (0 when built programmatically);
+        # metadata only, excluded from equality and hashing.
+        self.line = int(line)
 
     # -- geometry --------------------------------------------------------
 
@@ -203,6 +208,7 @@ class ArrayDecl:
             common_block=self.common_block,
             common_splittable=self.common_splittable,
             is_local=self.is_local,
+            line=self.line,
         )
 
     # -- value semantics ---------------------------------------------------
@@ -238,13 +244,19 @@ class ScalarDecl:
     layout and participate in inter-variable placement.
     """
 
-    __slots__ = ("name", "element_type")
+    __slots__ = ("name", "element_type", "line")
 
-    def __init__(self, name: str, element_type: ElementType = ElementType.REAL8):
+    def __init__(
+        self,
+        name: str,
+        element_type: ElementType = ElementType.REAL8,
+        line: int = 0,
+    ):
         if not isinstance(name, str) or not name:
             raise IRError("scalar declaration needs a nonempty name")
         self.name = name
         self.element_type = element_type
+        self.line = int(line)
 
     @property
     def size_bytes(self) -> int:

@@ -26,7 +26,7 @@ BodyNode = Union["Loop", Statement]
 class Loop:
     """``do var = lower, upper, step`` with a body of statements/loops."""
 
-    __slots__ = ("var", "lower", "upper", "step", "body")
+    __slots__ = ("var", "lower", "upper", "step", "body", "line")
 
     def __init__(
         self,
@@ -35,6 +35,7 @@ class Loop:
         upper,
         body: Sequence[BodyNode],
         step: int = 1,
+        line: int = 0,
     ):
         if not isinstance(var, str) or not var:
             raise IRError("loop needs an index variable name")
@@ -44,6 +45,7 @@ class Loop:
         self.lower = AffineExpr.coerce(lower)
         self.upper = AffineExpr.coerce(upper)
         self.step = step
+        self.line = int(line)
         self.body: Tuple[BodyNode, ...] = tuple(body)
         for node in self.body:
             if not isinstance(node, (Loop, Statement)):

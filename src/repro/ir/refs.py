@@ -17,11 +17,19 @@ from repro.ir.expr import AffineExpr, IndirectExpr, Subscript, coerce_subscript
 
 
 class ArrayRef:
-    """A single array reference, e.g. ``A(j-1, i)`` as a read."""
+    """A single array reference, e.g. ``A(j-1, i)`` as a read.
 
-    __slots__ = ("array", "subscripts", "is_write")
+    ``line`` is the 1-based source line of the reference when it came
+    through the DSL front end (0 for programmatically built IR).  It is
+    metadata only: two references differing solely in ``line`` compare
+    equal, so analyses that deduplicate by reference are unaffected.
+    """
 
-    def __init__(self, array: str, subscripts: Sequence, is_write: bool = False):
+    __slots__ = ("array", "subscripts", "is_write", "line")
+
+    def __init__(
+        self, array: str, subscripts: Sequence, is_write: bool = False, line: int = 0
+    ):
         if not isinstance(array, str) or not array:
             raise IRError("array reference needs an array name")
         if not subscripts:
@@ -31,6 +39,7 @@ class ArrayRef:
             coerce_subscript(s) for s in subscripts
         )
         self.is_write = bool(is_write)
+        self.line = int(line)
 
     @property
     def rank(self) -> int:
@@ -85,7 +94,7 @@ class ArrayRef:
 
     def with_write(self, is_write: bool) -> "ArrayRef":
         """Copy with a different read/write flag."""
-        return ArrayRef(self.array, self.subscripts, is_write)
+        return ArrayRef(self.array, self.subscripts, is_write, line=self.line)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ArrayRef):

@@ -16,16 +16,22 @@ from repro.ir.refs import ArrayRef
 
 
 class Statement:
-    """An ordered sequence of array references executed once per iteration."""
+    """An ordered sequence of array references executed once per iteration.
 
-    __slots__ = ("refs", "label")
+    ``line`` records the 1-based source line of the originating DSL
+    statement (0 for programmatically built IR); like ``label`` it is
+    metadata and excluded from equality.
+    """
 
-    def __init__(self, refs: Sequence[ArrayRef], label: str = ""):
+    __slots__ = ("refs", "label", "line")
+
+    def __init__(self, refs: Sequence[ArrayRef], label: str = "", line: int = 0):
         refs = tuple(refs)
         if not all(isinstance(r, ArrayRef) for r in refs):
             raise IRError("statement refs must all be ArrayRef instances")
         self.refs: Tuple[ArrayRef, ...] = refs
         self.label = label
+        self.line = int(line)
 
     @property
     def reads(self) -> Tuple[ArrayRef, ...]:

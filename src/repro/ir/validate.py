@@ -2,6 +2,9 @@
 
 Checks performed:
 
+* no two declarations share a name (the :class:`~repro.ir.program.Program`
+  constructor also rejects this, but validation must stand on its own for
+  programs assembled or mutated outside the constructor);
 * every referenced array (including indirection index arrays) is declared;
 * reference rank matches declaration rank;
 * every variable used in a subscript or loop bound is a loop index that is
@@ -27,7 +30,13 @@ from repro.ir.stmts import Statement
 
 def validate_program(prog: Program) -> None:
     """Validate a whole program; raises ValidationError on the first issue."""
-    decl_names = {d.name for d in prog.decls}
+    decl_names: Set[str] = set()
+    for d in prog.decls:
+        if d.name in decl_names:
+            raise ValidationError(
+                f"{prog.name}: duplicate declaration of array {d.name!r}"
+            )
+        decl_names.add(d.name)
     _validate_body(prog, prog.body, frozenset(), decl_names)
 
 

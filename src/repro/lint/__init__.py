@@ -1,0 +1,74 @@
+"""repro.lint — static cache-hazard and IR-correctness analysis.
+
+A rule-based linter over the DSL front end's IR.  Two families:
+
+* **C rules (cache-hazard)** reuse the conflict analyses to flag, before
+  any simulation, layouts the paper's padding heuristics exist to fix:
+  severe conflict distances (C001), pathological leading dimensions
+  (C002), power-of-two column strides (C003), over-subscribed cache sets
+  (C004) and stride/loop-order mismatches (C005).
+* **I rules (IR-correctness)** flag programs that do not mean what they
+  say: provably out-of-bounds subscripts (I001), unused arrays (I002),
+  dead loop indices (I003), stride-hostile nests whose interchange is
+  dependence-blocked (I004) and conflict-prone arrays that are unsafe to
+  pad (I005).
+
+Findings carry stable rule IDs, severities and 1-based source lines
+threaded from the front end's token positions.  Render as text, JSON or
+SARIF 2.1.0 (:mod:`repro.lint.render`); run from the CLI as ``repro
+lint`` (exit code 9 when findings reach ``--fail-on``); or activate
+:mod:`repro.lint.runtime` to have every padding driver annotate its
+result with the residual hazards of the padded layout::
+
+    from repro.lint import LintConfig, lint_source
+
+    result = lint_source(open("kernel.dsl").read(), source_name="kernel.dsl")
+    for finding in result.findings:
+        print(finding.describe())
+"""
+
+from repro.lint.engine import (
+    LintConfig,
+    LintContext,
+    lint_program,
+    lint_rules_catalog,
+    lint_source,
+)
+from repro.lint.findings import Finding, LintResult, Severity
+from repro.lint.registry import (
+    CACHE_HAZARD,
+    IR_CORRECTNESS,
+    LintRule,
+    all_rules,
+    get_rule,
+    resolve_selection,
+)
+from repro.lint.render import (
+    render_json,
+    render_results,
+    render_sarif,
+    render_text,
+    sarif_log,
+)
+
+__all__ = [
+    "CACHE_HAZARD",
+    "Finding",
+    "IR_CORRECTNESS",
+    "LintConfig",
+    "LintContext",
+    "LintResult",
+    "LintRule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "lint_program",
+    "lint_rules_catalog",
+    "lint_source",
+    "render_json",
+    "render_results",
+    "render_sarif",
+    "render_text",
+    "resolve_selection",
+    "sarif_log",
+]

@@ -1,0 +1,152 @@
+"""Lint driver: run the registered rules over a program.
+
+The driver is purely static — it reuses the compile-time analyses
+(uniformly generated references, conflict distances, FirstConflict,
+dependence vectors, interval analysis) and never simulates a trace, so
+linting a kernel costs milliseconds regardless of its problem size.
+
+:class:`LintContext` is the visitor state handed to every rule: the
+program, the layout under scrutiny (the original declared layout by
+default; padding drivers pass their padded layout to report *residual*
+hazards), the target cache, and lazily cached shared analyses so rules
+that need the same facts (severe conflicts, safety verdicts, the
+linear-algebra pattern set) never recompute them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cache.config import CacheConfig, base_cache
+from repro.ir.program import Program
+from repro.layout.layout import MemoryLayout, original_layout
+from repro.lint.findings import Finding, LintResult
+from repro.lint.registry import LintRule, resolve_selection
+from repro.obs import runtime as obs
+from repro.padding.common import PadParams
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """What to lint against: target cache and rule selection."""
+
+    cache: Optional[CacheConfig] = None  # None -> base_cache()
+    select: Tuple[str, ...] = ()
+    ignore: Tuple[str, ...] = ()
+
+    @property
+    def effective_cache(self) -> CacheConfig:
+        """The configured cache, defaulting to the paper's 16K/32B/DM."""
+        return self.cache if self.cache is not None else base_cache()
+
+
+class LintContext:
+    """Per-program state shared by all rule check functions."""
+
+    def __init__(self, prog: Program, layout: MemoryLayout, cache: CacheConfig):
+        self.prog = prog
+        self.layout = layout
+        self.cache = cache
+        self.params = PadParams.for_cache(cache)
+        self._severe = None
+        self._linalg = None
+        self._safety = None
+
+    @property
+    def severe_findings(self):
+        """Severe conflict pairs for this layout (cached)."""
+        if self._severe is None:
+            from repro.analysis.diagnostics import severe_conflicts
+
+            self._severe = severe_conflicts(self.prog, self.layout, self.cache)
+        return self._severe
+
+    @property
+    def linalg_arrays(self) -> Set[str]:
+        """Arrays showing the Figure-3 linear-algebra pattern (cached)."""
+        if self._linalg is None:
+            from repro.analysis.patterns import linear_algebra_arrays
+
+            self._linalg = linear_algebra_arrays(self.prog)
+        return self._linalg
+
+    @property
+    def safety(self) -> Dict[str, object]:
+        """Per-array padding-safety verdicts (cached)."""
+        if self._safety is None:
+            from repro.analysis.safety import analyze_safety
+
+            self._safety = analyze_safety(self.prog)
+        return self._safety
+
+    def column_bytes(self, name: str) -> int:
+        """Byte size of one column of ``name`` under the linted layout."""
+        decl = self.prog.array(name)
+        return self.layout.dim_sizes(name)[0] * decl.element_size
+
+
+def lint_program(
+    prog: Program,
+    config: Optional[LintConfig] = None,
+    layout: Optional[MemoryLayout] = None,
+    source: str = "",
+) -> LintResult:
+    """Run the selected rules over one program.
+
+    ``layout`` defaults to the original declared layout; padding drivers
+    pass their padded layout so findings describe residual hazards.
+    """
+    config = config or LintConfig()
+    cache = config.effective_cache
+    rules = resolve_selection(config.select, config.ignore)
+    if layout is None:
+        layout = original_layout(prog)
+    ctx = LintContext(prog, layout, cache)
+    findings: List[Finding] = []
+    with obs.span("lint.run", program=prog.name):
+        obs.counter_add("repro_lint_runs_total", 1, "lint driver invocations")
+        for r in rules:
+            for finding in r.check(ctx):
+                findings.append(finding)
+                obs.counter_add(
+                    "repro_lint_findings_total", 1,
+                    "lint findings, by rule and severity",
+                    rule=finding.rule, severity=finding.severity.label,
+                )
+    findings.sort(key=lambda f: (f.line, f.rule, f.message))
+    return LintResult(
+        program=prog.name, source=source or prog.name, findings=tuple(findings)
+    )
+
+
+def lint_source(
+    text: str,
+    params: Optional[Dict[str, int]] = None,
+    config: Optional[LintConfig] = None,
+    source_name: str = "<source>",
+) -> LintResult:
+    """Parse DSL source and lint the lowered program.
+
+    Front-end errors (lex/parse/lower) propagate as usual — a program
+    that does not build has no lintable IR.
+    """
+    from repro.frontend import parse_program
+
+    prog = parse_program(text, params=params)
+    return lint_program(prog, config=config, source=source_name)
+
+
+def lint_rules_catalog() -> str:
+    """Human-readable table of every registered rule."""
+    from repro.lint.registry import all_rules
+
+    lines = []
+    for r in all_rules():
+        lines.append(f"{r.rule_id}  {r.severity.label:7s} [{r.family}] {r.summary}")
+    return "\n".join(lines)
+
+
+# Importing the rule modules registers every rule exactly once.
+from repro.lint import rules_cache as _rules_cache  # noqa: E402,F401
+from repro.lint import rules_ir as _rules_ir  # noqa: E402,F401

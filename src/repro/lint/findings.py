@@ -1,0 +1,112 @@
+"""Finding and severity types for the static analyzer.
+
+A :class:`Finding` is one diagnostic produced by one rule: a stable rule
+ID, a severity, a message, and the 1-based source line it points at
+(0 when the program was built programmatically and carries no location).
+Findings are immutable values so tests can compare them directly and the
+renderers can sort them without copying.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import LintError
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; comparison follows seriousness (ERROR highest)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        """Lowercase name used in reports ('error', 'warning', 'info')."""
+        return self.name.lower()
+
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF 2.1.0 ``level`` value for this severity."""
+        return {"error": "error", "warning": "warning", "info": "note"}[self.label]
+
+    @classmethod
+    def from_name(cls, name: str) -> "Severity":
+        """Parse 'error'/'warning'/'info' (case-insensitive)."""
+        try:
+            return cls[name.strip().upper()]
+        except KeyError:
+            raise LintError(
+                f"unknown severity {name!r}; expected error, warning or info"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a lint rule."""
+
+    rule: str
+    severity: Severity
+    message: str
+    line: int = 0
+    array: str = ""
+    nest_index: int = -1
+
+    def describe(self) -> str:
+        """One-line rendering: ``line 12: warning C001 ...``."""
+        where = f"line {self.line}: " if self.line else ""
+        return f"{where}{self.severity.label} {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """All findings for one linted program."""
+
+    program: str
+    source: str = ""
+    findings: Tuple[Finding, ...] = field(default=())
+
+    def counts(self) -> Dict[str, int]:
+        """Finding counts keyed by severity label (absent when zero)."""
+        out: Dict[str, int] = {}
+        for f in self.findings:
+            out[f.severity.label] = out.get(f.severity.label, 0) + 1
+        return out
+
+    def by_rule(self) -> Dict[str, int]:
+        """Finding counts keyed by rule ID."""
+        out: Dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return out
+
+    @property
+    def max_severity(self) -> Severity:
+        """The most serious severity present (INFO for a clean result)."""
+        if not self.findings:
+            return Severity.INFO
+        return max(f.severity for f in self.findings)
+
+    @property
+    def clean(self) -> bool:
+        """True when no rule fired."""
+        return not self.findings
+
+    def at_or_above(self, threshold: Severity) -> Tuple[Finding, ...]:
+        """Findings whose severity meets the threshold."""
+        return tuple(f for f in self.findings if f.severity >= threshold)
+
+    def describe(self) -> str:
+        """One-line summary: ``jacobi: 2 warning(s), 1 error(s)`` or clean."""
+        if not self.findings:
+            return f"{self.program}: clean"
+        counts = self.counts()
+        parts = [
+            f"{counts[label]} {label}(s)"
+            for label in ("error", "warning", "info")
+            if label in counts
+        ]
+        return f"{self.program}: " + ", ".join(parts)

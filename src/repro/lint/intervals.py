@@ -1,0 +1,91 @@
+"""Interval analysis of affine expressions over loop bounds.
+
+The out-of-bounds rule needs the attainable range of each subscript.  A
+loop ``do i = lo, hi`` gives ``i`` the interval ``[min(lo), max(hi)]``
+where the bound extremes are themselves evaluated over the enclosing
+loops' intervals (which handles the triangular nests of the
+linear-algebra kernels, ``do j = k+1, N``).
+
+Precision rule: an interval is only reported for subscripts with at most
+one variable.  Multi-variable subscripts such as ``i - k`` under the
+triangular bound ``i >= k+1`` have correlated variables; treating their
+intervals as independent would manufacture out-of-bounds reports for
+correct programs, so those subscripts are skipped (returned as unknown)
+rather than over-approximated.  For single-variable subscripts the bound
+extremes are attained at real iteration points, so the interval is exact
+and every violation reported is a genuine one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.ir.expr import AffineExpr
+from repro.ir.loops import BodyNode, Loop
+from repro.ir.stmts import Statement
+
+Interval = Tuple[int, int]
+Env = Dict[str, Optional[Interval]]
+
+
+def affine_interval(expr: AffineExpr, env: Env) -> Optional[Interval]:
+    """The value range of ``expr`` with variables ranging over ``env``.
+
+    Returns None when any variable is absent or itself unbounded.
+    """
+    lo = hi = expr.const
+    for var, coef in expr.coeffs.items():
+        rng = env.get(var)
+        if rng is None:
+            return None
+        vlo, vhi = rng
+        if coef >= 0:
+            lo += coef * vlo
+            hi += coef * vhi
+        else:
+            lo += coef * vhi
+            hi += coef * vlo
+    return (lo, hi)
+
+
+def subscript_interval(sub: AffineExpr, env: Env) -> Optional[Interval]:
+    """The exact attainable range of a subscript, or None.
+
+    Only constant and single-variable subscripts are analyzed (see the
+    module docstring for why multi-variable subscripts are skipped).
+    """
+    if len(sub.variables) > 1:
+        return None
+    return affine_interval(sub, env)
+
+
+def iter_statement_envs(
+    body: Sequence[BodyNode], env: Optional[Env] = None
+) -> Iterator[Tuple[Statement, Env]]:
+    """Yield every statement with the loop-variable intervals in scope.
+
+    Loops whose bounds prove a zero trip count are skipped entirely (their
+    bodies never execute).  Loops with unanalyzable bounds still descend,
+    with their variable mapped to None (unknown).
+    """
+    env = {} if env is None else env
+    for node in body:
+        if not isinstance(node, Loop):
+            yield node, env
+            continue
+        lo = affine_interval(node.lower, env)
+        hi = affine_interval(node.upper, env)
+        rng: Optional[Interval] = None
+        if lo is not None and hi is not None:
+            if node.step > 0:
+                if hi[1] < lo[0]:
+                    continue  # provably zero-trip
+                rng = (lo[0], hi[1])
+            else:
+                if lo[1] < hi[0]:
+                    continue
+                rng = (hi[0], lo[1])
+        child = dict(env)
+        child[node.var] = rng
+        for item in iter_statement_envs(node.body, child):
+            yield item

@@ -1,0 +1,132 @@
+"""Rule registry: stable IDs, metadata and selection.
+
+Rules register themselves at import time through the :func:`rule`
+decorator.  IDs are stable and namespaced by family — ``C###`` for the
+cache-hazard rules built on the conflict analyses, ``I###`` for the
+IR-correctness rules — so ``--select``/``--ignore`` can name either a
+full ID (``C001``) or a family prefix (``C``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.errors import LintError
+from repro.lint.findings import Finding, Severity
+
+CACHE_HAZARD = "cache-hazard"
+IR_CORRECTNESS = "ir-correctness"
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered rule: metadata plus its check function.
+
+    ``check`` takes a :class:`repro.lint.engine.LintContext` and yields
+    :class:`Finding` objects (usually built through :meth:`finding`).
+    """
+
+    rule_id: str
+    name: str
+    severity: Severity
+    family: str
+    summary: str
+    rationale: str
+    check: Callable
+
+    def finding(
+        self,
+        message: str,
+        line: int = 0,
+        array: str = "",
+        nest_index: int = -1,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        """A finding attributed to this rule (default severity unless overridden)."""
+        return Finding(
+            rule=self.rule_id,
+            severity=self.severity if severity is None else severity,
+            message=message,
+            line=line,
+            array=array,
+            nest_index=nest_index,
+        )
+
+
+_RULES: Dict[str, LintRule] = {}
+
+
+def rule(
+    rule_id: str,
+    name: str,
+    severity: Severity,
+    family: str,
+    summary: str,
+    rationale: str,
+) -> Callable:
+    """Class-level decorator registering a check function as a rule."""
+
+    def wrap(check: Callable) -> Callable:
+        if rule_id in _RULES:
+            raise LintError(f"duplicate lint rule ID {rule_id!r}")
+        if family not in (CACHE_HAZARD, IR_CORRECTNESS):
+            raise LintError(f"unknown rule family {family!r}")
+        _RULES[rule_id] = LintRule(
+            rule_id=rule_id,
+            name=name,
+            severity=severity,
+            family=family,
+            summary=summary,
+            rationale=rationale,
+            check=check,
+        )
+        return check
+
+    return wrap
+
+
+def all_rules() -> Tuple[LintRule, ...]:
+    """Every registered rule, in registration (ID) order."""
+    return tuple(_RULES[k] for k in sorted(_RULES))
+
+
+def get_rule(rule_id: str) -> LintRule:
+    """Look one rule up by exact ID."""
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise LintError(f"unknown lint rule {rule_id!r}") from None
+
+
+def resolve_selection(
+    select: Iterable[str] = (), ignore: Iterable[str] = ()
+) -> Tuple[LintRule, ...]:
+    """The rules to run for a ``--select``/``--ignore`` pair.
+
+    Entries are full IDs or prefixes, case-insensitive.  An entry that
+    matches no registered rule raises :class:`LintError` (it is almost
+    certainly a typo).  ``ignore`` wins over ``select``.
+    """
+    rules = all_rules()
+
+    def matching(entry: str) -> Tuple[LintRule, ...]:
+        prefix = entry.strip().upper()
+        if not prefix:
+            raise LintError("empty rule selector")
+        matched = tuple(r for r in rules if r.rule_id.upper().startswith(prefix))
+        if not matched:
+            known = ", ".join(r.rule_id for r in rules)
+            raise LintError(f"rule selector {entry!r} matches none of: {known}")
+        return matched
+
+    selected = set()
+    if select:
+        for entry in select:
+            selected.update(r.rule_id for r in matching(entry))
+    else:
+        selected.update(r.rule_id for r in rules)
+    for entry in ignore or ():
+        for r in matching(entry):
+            selected.discard(r.rule_id)
+    return tuple(r for r in rules if r.rule_id in selected)

@@ -1,0 +1,160 @@
+"""Report renderers: text, JSON and SARIF 2.1.0.
+
+All three take a sequence of :class:`~repro.lint.findings.LintResult`
+(one per linted program) so a multi-file ``repro lint`` invocation
+produces a single report.  The SARIF output follows the 2.1.0 shape —
+``runs[0].tool.driver`` with the full rule catalog, one ``result`` per
+finding with a ``physicalLocation`` region — so standard viewers (GitHub
+code scanning, VS Code SARIF explorer) can display the findings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.findings import LintResult, Severity
+from repro.lint.registry import all_rules
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://github.com/rivera-tseng-repro"
+
+
+def render_text(results: Sequence[LintResult]) -> str:
+    """GCC-style one-line-per-finding text report with a summary."""
+    lines: List[str] = []
+    totals: Dict[str, int] = {}
+    for result in results:
+        for f in result.findings:
+            where = f"{result.source}:{f.line}" if f.line else result.source
+            lines.append(f"{where}: {f.severity.label}: {f.rule}: {f.message}")
+            totals[f.severity.label] = totals.get(f.severity.label, 0) + 1
+    if not totals:
+        noun = "program" if len(results) == 1 else "programs"
+        lines.append(f"{len(results)} {noun} linted: clean")
+    else:
+        parts = [
+            f"{totals[label]} {label}(s)"
+            for label in ("error", "warning", "info")
+            if label in totals
+        ]
+        lines.append(f"{len(results)} program(s) linted: " + ", ".join(parts))
+    return "\n".join(lines)
+
+
+def render_json(results: Sequence[LintResult]) -> str:
+    """Stable JSON rendering (programs in input order, findings sorted)."""
+    payload = {
+        "tool": TOOL_NAME,
+        "programs": [
+            {
+                "program": result.program,
+                "source": result.source,
+                "counts": result.counts(),
+                "findings": [
+                    {
+                        "rule": f.rule,
+                        "severity": f.severity.label,
+                        "line": f.line,
+                        "message": f.message,
+                        **({"array": f.array} if f.array else {}),
+                        **(
+                            {"nest": f.nest_index}
+                            if f.nest_index >= 0
+                            else {}
+                        ),
+                    }
+                    for f in result.findings
+                ],
+            }
+            for result in results
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def sarif_log(results: Sequence[LintResult]) -> dict:
+    """The report as a SARIF 2.1.0 log object (pre-serialization)."""
+    rules = all_rules()
+    rule_index = {r.rule_id: i for i, r in enumerate(rules)}
+    sarif_rules = [
+        {
+            "id": r.rule_id,
+            "name": r.name,
+            "shortDescription": {"text": r.summary},
+            "fullDescription": {"text": r.rationale},
+            "defaultConfiguration": {"level": r.severity.sarif_level},
+            "properties": {"family": r.family},
+        }
+        for r in rules
+    ]
+    sarif_results = []
+    for result in results:
+        for f in result.findings:
+            location: dict = {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": result.source},
+                }
+            }
+            if f.line > 0:
+                location["physicalLocation"]["region"] = {"startLine": f.line}
+            sarif_results.append(
+                {
+                    "ruleId": f.rule,
+                    "ruleIndex": rule_index[f.rule],
+                    "level": f.severity.sarif_level,
+                    "message": {"text": f.message},
+                    "locations": [location],
+                }
+            )
+    from repro import __version__ as version
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "version": version,
+                        "rules": sarif_rules,
+                    }
+                },
+                "results": sarif_results,
+            }
+        ],
+    }
+
+
+def render_sarif(results: Sequence[LintResult]) -> str:
+    """The report serialized as SARIF 2.1.0 JSON."""
+    return json.dumps(sarif_log(results), indent=2)
+
+
+def render_results(results: Sequence[LintResult], fmt: str) -> str:
+    """Dispatch on ``--format``: 'text', 'json' or 'sarif'."""
+    if fmt == "json":
+        return render_json(results)
+    if fmt == "sarif":
+        return render_sarif(results)
+    return render_text(results)
+
+
+# Re-exported for callers that only need the threshold type.
+__all__ = [
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "Severity",
+    "render_json",
+    "render_results",
+    "render_sarif",
+    "render_text",
+    "sarif_log",
+]

@@ -1,0 +1,261 @@
+"""Cache-hazard rules (C family).
+
+These rules surface, before any simulation, the conditions the paper's
+padding heuristics exist to fix: severe conflict distances between
+uniformly generated references (Section 2.1), pathological leading
+dimensions of linear-algebra arrays (Section 2.3), power-of-two column
+strides, over-subscribed cache sets, and loop orders that walk a
+column-major array along the wrong dimension (the stride problem padding
+cannot fix but interchange can).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Set, Tuple
+
+from repro.analysis.euclid import distinct_column_mappings, first_conflict
+from repro.analysis.linearize import linearize
+from repro.ir.loops import Loop
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import CACHE_HAZARD, get_rule, rule
+from repro.padding.linpad import linpad2_condition, linpad2_jstar
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def _first_iteration(nest: Loop) -> Dict[str, int]:
+    """The lexically first iteration point of a nest (approximate when a
+    bound depends on an outer variable that is not yet resolved)."""
+    point: Dict[str, int] = {}
+    stack = [nest]
+    while stack:
+        loop = stack.pop()
+        try:
+            point[loop.var] = loop.lower.evaluate(point)
+        except Exception:
+            point[loop.var] = 1
+        for node in loop.body:
+            if isinstance(node, Loop):
+                stack.append(node)
+    return point
+
+
+def _governed_statements(
+    body, stack: Tuple[Loop, ...] = ()
+) -> Iterator[Tuple[object, Tuple[Loop, ...]]]:
+    """Every statement paired with its enclosing loop stack, outer first."""
+    for node in body:
+        if isinstance(node, Loop):
+            for item in _governed_statements(node.body, stack + (node,)):
+                yield item
+        else:
+            yield node, stack
+
+
+@rule(
+    "C001",
+    "severe-conflict-pair",
+    Severity.WARNING,
+    CACHE_HAZARD,
+    "uniformly generated reference pair with a severe conflict distance",
+    "Section 2.1: two references a constant distance apart that maps "
+    "within one line of a cache-size multiple thrash the same cache "
+    "set on every iteration; PAD/PADLITE exist to remove exactly this.",
+)
+def check_severe_conflicts(ctx) -> Iterator[Finding]:
+    """Report each deduplicated severe conflict pair of the layout."""
+    r = get_rule("C001")
+    seen: Set[Tuple[int, frozenset]] = set()
+    for f in ctx.severe_findings:
+        # One report per textual pair: the same two references may meet
+        # again as read/write combinations with the same distance.
+        key = frozenset(
+            ((f.array_a, f.ref_a.subscripts), (f.array_b, f.ref_b.subscripts))
+        )
+        if (f.nest_index, key) in seen:
+            continue
+        seen.add((f.nest_index, key))
+        line = f.ref_a.line or f.ref_b.line
+        yield r.finding(
+            f"{f.ref_a} and {f.ref_b} are {f.distance} bytes apart "
+            f"({f.kind}); circular conflict distance {f.conflict_distance} "
+            f"< line size {ctx.cache.line_bytes} on {ctx.cache.describe()}",
+            line=line,
+            array=f.array_a,
+            nest_index=f.nest_index,
+        )
+
+
+@rule(
+    "C002",
+    "pathological-leading-dimension",
+    Severity.WARNING,
+    CACHE_HAZARD,
+    "linear-algebra array whose leading dimension fails LINPAD2",
+    "Section 2.3: when columns j < j* apart collide (FirstConflict), "
+    "Figure-3 style computations touching varying column pairs incur "
+    "semi-severe conflicts for many problem sizes.",
+)
+def check_pathological_leading_dim(ctx) -> Iterator[Finding]:
+    """Flag Figure-3 arrays whose column size fails LINPAD2."""
+    r = get_rule("C002")
+    for name in sorted(ctx.linalg_arrays):
+        decl = ctx.prog.array(name)
+        if decl.rank < 2:
+            continue
+        col_bytes = ctx.column_bytes(name)
+        if not linpad2_condition(col_bytes, decl.row_size, ctx.params):
+            continue
+        cache = ctx.cache
+        fc = first_conflict(cache.size_bytes, col_bytes, cache.line_bytes)
+        jstar = linpad2_jstar(
+            decl.row_size, cache.size_bytes, cache.line_bytes,
+            ctx.params.linpad_jstar,
+        )
+        yield r.finding(
+            f"array {name}: leading dimension of {col_bytes} bytes lets "
+            f"columns only {fc} apart collide (FirstConflict {fc} < "
+            f"j* {jstar}) on {cache.describe()}",
+            line=decl.line,
+            array=name,
+        )
+
+
+@rule(
+    "C003",
+    "power-of-two-column-stride",
+    Severity.WARNING,
+    CACHE_HAZARD,
+    "column stride is a power of two, folding columns onto few cache locations",
+    "Section 2.3.1: a column size sharing a large power-of-two factor "
+    "with the cache size maps its columns onto only Cs/gcd distinct "
+    "locations; power-of-two leading dimensions are the worst case.",
+)
+def check_power_of_two_columns(ctx) -> Iterator[Finding]:
+    """Flag referenced matrices with power-of-two column strides."""
+    r = get_rule("C003")
+    referenced = {ref.array for ref in ctx.prog.refs()}
+    cache = ctx.cache
+    for decl in ctx.prog.arrays:
+        if decl.rank < 2 or decl.name not in referenced:
+            continue
+        col_bytes = ctx.column_bytes(decl.name)
+        if not _is_power_of_two(col_bytes):
+            continue
+        if col_bytes < 2 * cache.line_bytes:
+            continue  # adjacent columns still fall in distinct lines
+        if decl.size_bytes < cache.size_bytes:
+            continue  # the whole array fits; columns cannot wrap onto each other
+        mappings = distinct_column_mappings(cache.size_bytes, col_bytes)
+        yield r.finding(
+            f"array {decl.name}: power-of-two column stride of {col_bytes} "
+            f"bytes maps all columns onto {mappings} distinct cache "
+            f"location(s) of {cache.describe()}",
+            line=decl.line,
+            array=decl.name,
+        )
+
+
+@rule(
+    "C004",
+    "cache-set-pressure",
+    Severity.WARNING,
+    CACHE_HAZARD,
+    "more distinct lines compete for one cache set than its associativity",
+    "Conflict misses require set over-subscription: when the first "
+    "iteration of a nest already touches more distinct lines in one set "
+    "than the associativity, every iteration evicts live data.",
+)
+def check_set_pressure(ctx) -> Iterator[Finding]:
+    """Flag nests whose first iteration over-subscribes one cache set."""
+    r = get_rule("C004")
+    cache = ctx.cache
+    for nest_index, nest in enumerate(ctx.prog.loop_nests()):
+        point = _first_iteration(nest)
+        lines_by_set: Dict[int, Dict[int, Set[str]]] = {}
+        for ref in nest.refs():
+            if not ref.is_affine:
+                continue
+            decl = ctx.prog.array(ref.array)
+            addr = linearize(
+                ref, decl,
+                ctx.layout.dim_sizes(ref.array), ctx.layout.base(ref.array),
+            ).evaluate(point)
+            line_addr = addr // cache.line_bytes
+            set_index = line_addr % cache.num_sets
+            lines_by_set.setdefault(set_index, {}).setdefault(
+                line_addr, set()
+            ).add(ref.array)
+        worst = None
+        for set_index, lines in lines_by_set.items():
+            if len(lines) <= cache.associativity:
+                continue
+            if worst is None or len(lines) > len(worst[1]):
+                worst = (set_index, lines)
+        if worst is None:
+            continue
+        set_index, lines = worst
+        arrays = sorted({name for names in lines.values() for name in names})
+        yield r.finding(
+            f"nest {nest_index}: {len(lines)} distinct lines from "
+            f"{', '.join(arrays)} map to cache set {set_index} of "
+            f"{cache.describe()} (associativity {cache.associativity})",
+            line=nest.line,
+            array=arrays[0],
+            nest_index=nest_index,
+        )
+
+
+@rule(
+    "C005",
+    "stride-loop-order-mismatch",
+    Severity.WARNING,
+    CACHE_HAZARD,
+    "innermost loop strides a column-major array along a non-leading dimension",
+    "Arrays are column major: the innermost loop should vary the leading "
+    "subscript.  When it selects a higher dimension instead, consecutive "
+    "iterations jump a whole column apart — the stride problem loop "
+    "interchange (not padding) fixes.",
+)
+def check_stride_loop_order(ctx) -> Iterator[Finding]:
+    """Flag refs whose fastest loop strides a non-leading dimension."""
+    r = get_rule("C005")
+    cache = ctx.cache
+    for nest_index, nest in enumerate(ctx.prog.loop_nests()):
+        seen: Set[Tuple[str, str, int]] = set()
+        for stmt, stack in _governed_statements(nest.body, (nest,)):
+            if not stack:
+                continue
+            governing = stack[-1]
+            for ref in stmt.refs:
+                shape = ref.uniform_shape()
+                if shape is None or governing.var not in shape:
+                    continue
+                dim = shape.index(governing.var)
+                if dim == 0:
+                    continue
+                strides = ctx.prog.array(ref.array).strides(
+                    ctx.layout.dim_sizes(ref.array)
+                )
+                if strides[dim] < cache.line_bytes:
+                    continue
+                key = (ref.array, governing.var, dim)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield r.finding(
+                    f"{ref}: innermost loop {governing.var!r} advances "
+                    f"dimension {dim + 1} of column-major {ref.array} by "
+                    f"{strides[dim]} bytes per iteration; the leading "
+                    f"dimension is "
+                    + (
+                        f"traversed by outer loop {shape[0]!r}"
+                        if shape[0] is not None
+                        else "held constant"
+                    ),
+                    line=ref.line or governing.line,
+                    array=ref.array,
+                    nest_index=nest_index,
+                )

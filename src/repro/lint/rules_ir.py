@@ -1,0 +1,229 @@
+"""IR-correctness rules (I family).
+
+Where the C rules ask "will this layout miss?", these ask "does this
+program mean what it says?": subscripts that provably escape the declared
+extents, declarations nothing references, loop indices that never index
+memory, stride-hostile nests whose fixing interchange is dependence-
+illegal (so data layout is the only remaining lever — the paper's core
+argument), and conflict-prone arrays the safety analysis forbids padding.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterator, Set
+
+from repro.errors import AnalysisError
+from repro.ir.expr import IndirectExpr
+from repro.ir.loops import Loop
+from repro.lint.findings import Finding, Severity
+from repro.lint.intervals import iter_statement_envs, subscript_interval
+from repro.lint.registry import IR_CORRECTNESS, get_rule, rule
+from repro.padding.linpad import linpad2_condition
+from repro.transforms.dependence import (
+    nest_dependences,
+    nest_loop_order,
+    permutation_legal,
+)
+from repro.transforms.interchange import _bounds_allow, _stride_cost
+
+
+@rule(
+    "I001",
+    "subscript-out-of-bounds",
+    Severity.ERROR,
+    IR_CORRECTNESS,
+    "a subscript provably exceeds the declared array extent",
+    "Interval analysis over the loop bounds: when a subscript's attainable "
+    "range escapes the declared dimension, the trace addresses memory "
+    "outside the array — every conflict-distance computed from it is "
+    "meaningless and the kernel is wrong.",
+)
+def check_out_of_bounds(ctx) -> Iterator[Finding]:
+    """Prove subscript ranges escape declared extents via intervals."""
+    r = get_rule("I001")
+    reported: Set[tuple] = set()
+    for stmt, env in iter_statement_envs(ctx.prog.body):
+        for ref in stmt.refs:
+            if not ctx.prog.has_decl(ref.array):
+                continue
+            decl = ctx.prog.array(ref.array)
+            if len(ref.subscripts) != decl.rank:
+                continue
+            for dim, sub in enumerate(ref.subscripts):
+                if isinstance(sub, IndirectExpr):
+                    # Check the index-array subscript against *its* extent.
+                    if not ctx.prog.has_decl(sub.array):
+                        continue
+                    idx_decl = ctx.prog.array(sub.array)
+                    checks = [(sub.inner, idx_decl, 0, f"{sub.array}(...)")]
+                else:
+                    checks = [(sub, decl, dim, str(ref))]
+                for expr, target, target_dim, label in checks:
+                    iv = subscript_interval(expr, env)
+                    if iv is None:
+                        continue
+                    bound = target.dims[target_dim]
+                    if iv[0] >= bound.lower and iv[1] <= bound.upper:
+                        continue
+                    key = (ref.array, dim, iv, target.name)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    yield r.finding(
+                        f"{label} dimension {target_dim + 1}: subscript "
+                        f"ranges over [{iv[0]}, {iv[1]}] but {target.name} "
+                        f"is declared {bound.lower}:{bound.upper}",
+                        line=ref.line,
+                        array=target.name,
+                    )
+
+
+@rule(
+    "I002",
+    "unused-array",
+    Severity.WARNING,
+    IR_CORRECTNESS,
+    "an array is declared but never referenced",
+    "Dead declarations still occupy the global layout and shift every "
+    "base address behind them, silently changing the inter-variable "
+    "conflict structure the experiments measure.",
+)
+def check_unused_arrays(ctx) -> Iterator[Finding]:
+    """Flag declared arrays (incl. index arrays) nothing references."""
+    r = get_rule("I002")
+    used: Set[str] = set()
+    for ref in ctx.prog.refs():
+        used.add(ref.array)
+        used.update(ref.index_arrays)
+    for decl in ctx.prog.arrays:
+        if decl.name not in used:
+            yield r.finding(
+                f"array {decl.name} is declared but never referenced",
+                line=decl.line,
+                array=decl.name,
+            )
+
+
+@rule(
+    "I003",
+    "dead-loop-index",
+    Severity.WARNING,
+    IR_CORRECTNESS,
+    "a loop index never appears in any subscript or inner loop bound",
+    "A loop whose index steers no reference usually means a subscript "
+    "typo (e.g. A(i,i) for A(i,j)); the loop multiplies trace length "
+    "without varying the footprint.",
+)
+def check_dead_loop_index(ctx) -> Iterator[Finding]:
+    """Flag loops whose index steers no subscript or inner bound."""
+    r = get_rule("I003")
+
+    def used_vars(loop: Loop) -> Set[str]:
+        out: Set[str] = set()
+        for stmt in loop.statements():
+            for ref in stmt.refs:
+                for sub in ref.subscripts:
+                    if isinstance(sub, IndirectExpr):
+                        out.update(sub.inner.variables)
+                    else:
+                        out.update(sub.variables)
+        for inner in loop.inner_loops():
+            out.update(inner.lower.variables)
+            out.update(inner.upper.variables)
+        return out
+
+    for nest in ctx.prog.loop_nests():
+        for loop in [nest] + list(nest.inner_loops()):
+            if loop.var not in used_vars(loop):
+                yield r.finding(
+                    f"loop index {loop.var!r} never appears in any "
+                    f"subscript or inner loop bound",
+                    line=loop.line,
+                )
+
+
+@rule(
+    "I004",
+    "interchange-blocked-by-dependence",
+    Severity.INFO,
+    IR_CORRECTNESS,
+    "the stride-optimal loop order exists but is dependence-illegal",
+    "The paper's motivation: when computation reordering is blocked by "
+    "dependences, data-layout transformation is the remaining tool.  This "
+    "rule marks nests where a better loop order exists but reversing a "
+    "dependence forbids it.",
+)
+def check_blocked_interchange(ctx) -> Iterator[Finding]:
+    """Flag nests whose stride-best order reverses a dependence."""
+    r = get_rule("I004")
+    for nest_index, nest in enumerate(ctx.prog.loop_nests()):
+        try:
+            loops = nest_loop_order(nest)
+        except AnalysisError:
+            continue  # imperfect nest: interchange does not apply
+        names = [l.var for l in loops]
+        if len(names) < 2 or len(names) > 4:
+            continue
+        base_cost = _stride_cost(ctx.prog, nest, names)
+        best: tuple = ()
+        best_cost = base_cost
+        for perm in permutations(range(len(names))):
+            order = tuple(names[p] for p in perm)
+            if order == tuple(names):
+                continue
+            cost = _stride_cost(ctx.prog, nest, order)
+            if cost < best_cost - 1e-9:
+                best_cost = cost
+                best = (order, list(perm))
+        if not best:
+            continue
+        order, perm = best
+        deps = nest_dependences(ctx.prog, nest)
+        if permutation_legal(deps, perm) and _bounds_allow(loops, perm):
+            continue  # a legal interchange exists; not this rule's business
+        blocking = "; ".join(d.describe() for d in deps) or "unknown dependences"
+        yield r.finding(
+            f"nest {nest_index}: loop order ({', '.join(order)}) would cut "
+            f"the innermost stride but is blocked by {blocking}; data-layout "
+            f"padding is the remaining option",
+            line=nest.line,
+            nest_index=nest_index,
+        )
+
+
+@rule(
+    "I005",
+    "unpaddable-conflict-array",
+    Severity.WARNING,
+    IR_CORRECTNESS,
+    "a conflict-prone array cannot be safely padded",
+    "Section 4.1: formal parameters, EQUIVALENCE'd arrays and unsplittable "
+    "COMMON members must not be intra-padded.  When such an array also has "
+    "severe conflicts or a pathological leading dimension, every padding "
+    "driver will skip it and the misses will persist.",
+)
+def check_unpaddable_conflicts(ctx) -> Iterator[Finding]:
+    """Flag conflict-prone arrays the safety analysis forbids padding."""
+    r = get_rule("I005")
+    prone: Set[str] = set()
+    for f in ctx.severe_findings:
+        prone.add(f.array_a)
+        prone.add(f.array_b)
+    for name in ctx.linalg_arrays:
+        decl = ctx.prog.array(name)
+        if decl.rank >= 2 and linpad2_condition(
+            ctx.column_bytes(name), decl.row_size, ctx.params
+        ):
+            prone.add(name)
+    for name in sorted(prone):
+        verdict = ctx.safety.get(name)
+        if verdict is None or verdict.intra_safe:
+            continue
+        yield r.finding(
+            f"array {name} is conflict-prone but unsafe to pad "
+            f"({verdict.reason}); padding drivers will leave its "
+            f"conflicts in place",
+            line=ctx.prog.array(name).line,
+            array=name,
+        )

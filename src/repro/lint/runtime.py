@@ -1,0 +1,52 @@
+"""Process-wide lint activation, mirroring :mod:`repro.guard.runtime`.
+
+The padding drivers consult one module-level slot: when no lint config
+is active (the default) the annotation hook is a single ``None`` test,
+so un-linted pipelines pay nothing.  Activated (the CLI does this for
+``repro pad --lint``), every driver result gains a ``lint`` attribute
+holding the residual cache-hazard findings computed against the *padded*
+layout — i.e. what the heuristic failed to fix.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.lint.engine import LintConfig
+
+_active: Optional[LintConfig] = None
+
+
+def activate(config: LintConfig) -> None:
+    """Make ``config`` the process-wide lint policy for driver annotation."""
+    global _active
+    _active = config
+
+
+def deactivate() -> None:
+    """Return to the un-linted default."""
+    global _active
+    _active = None
+
+
+def active_config() -> Optional[LintConfig]:
+    """The active lint config, or None when annotation is off."""
+    return _active
+
+
+def is_active() -> bool:
+    """Whether driver annotation is currently on."""
+    return _active is not None
+
+
+@contextmanager
+def activated(config: Optional[LintConfig]):
+    """Scoped activation for tests and one-shot pipelines."""
+    global _active
+    previous = _active
+    _active = config
+    try:
+        yield
+    finally:
+        _active = previous

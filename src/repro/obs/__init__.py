@@ -23,6 +23,7 @@ Metric families emitted by the instrumented pipeline:
 ``repro_frontend_*``      DSL parse/lower timings and program counts
 ``repro_padding_*``       pads inserted, pad bytes, conflict distances
 ``repro_firstconflict_*`` FirstConflict calls and Euclidean iterations
+``repro_lint_*``          lint runs and findings, by rule and severity
 ``repro_trace_*``         addresses generated, chunk sizes
 ``repro_sim_*``           accesses/hits/misses/seconds per cache engine
 ``repro_engine_*``        queue wait, retries, fallbacks, worker busy time

@@ -110,7 +110,10 @@ class PaddingResult:
 
     ``guard`` carries the driver-level guard verdict (budget drops and
     invariant findings) when a guard policy is active; ``None`` in the
-    default unguarded pipeline.
+    default unguarded pipeline.  ``lint`` likewise carries the residual
+    cache-hazard findings of the *padded* layout when
+    :mod:`repro.lint.runtime` is activated (``repro pad --lint``);
+    ``None`` otherwise.
     """
 
     prog: Program
@@ -120,6 +123,7 @@ class PaddingResult:
     intra_decisions: List[IntraPadDecision] = field(default_factory=list)
     inter_decisions: List[InterPadDecision] = field(default_factory=list)
     guard: object = None  # Optional[repro.guard.config.GuardReport]
+    lint: object = None  # Optional[repro.lint.findings.LintResult]
 
     # -- Table-2 style aggregates -----------------------------------------
 

@@ -150,10 +150,30 @@ def _apply_guard(result: PaddingResult) -> PaddingResult:
     """
     config = guard_runtime.active_config()
     if config is None or result.heuristic == "ORIGINAL":
-        return result
+        return _annotate_lint(result)
     from repro.guard.core import check_padding
 
     result.guard = check_padding(result.prog, result.layout, config)
+    return _annotate_lint(result)
+
+
+def _annotate_lint(result: PaddingResult) -> PaddingResult:
+    """Attach residual-hazard lint findings to a driver result.
+
+    A no-op unless a lint policy is active (see
+    :mod:`repro.lint.runtime`).  The padded layout is linted, not the
+    original one, so the findings are exactly the hazards the heuristic
+    failed to remove — ``repro pad --lint`` prints them under the
+    Table-2 row and tests assert heuristics against an empty residue.
+    """
+    from repro.lint import runtime as lint_runtime
+
+    config = lint_runtime.active_config()
+    if config is None:
+        return result
+    from repro.lint.engine import lint_program
+
+    result.lint = lint_program(result.prog, config, layout=result.layout)
     return result
 
 

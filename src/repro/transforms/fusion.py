@@ -91,7 +91,7 @@ def fuse(prog: Program, first: Loop, second: Loop) -> Loop:
     body: List = list(loops_a[-1].body) + list(loops_b[-1].body)
     for template in reversed(loops_a):
         body = [Loop(template.var, template.lower, template.upper, body,
-                     step=template.step)]
+                     step=template.step, line=template.line)]
     return body[0]
 
 

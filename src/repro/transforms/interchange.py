@@ -69,7 +69,7 @@ def interchange(prog: Program, nest: Loop, order: Sequence[str]) -> Loop:
         template = loops[index]
         rebuilt = [
             Loop(template.var, template.lower, template.upper, rebuilt,
-                 step=template.step)
+                 step=template.step, line=template.line)
         ]
     return rebuilt[0]
 

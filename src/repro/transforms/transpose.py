@@ -77,7 +77,8 @@ def transpose_array(
         if ref.array != name:
             return ref
         return ArrayRef(
-            name, [ref.subscripts[p] for p in perm], is_write=ref.is_write
+            name, [ref.subscripts[p] for p in perm], is_write=ref.is_write,
+            line=ref.line,
         )
 
     def rewrite_body(body) -> List:
@@ -86,11 +87,12 @@ def transpose_array(
             if isinstance(node, Loop):
                 out.append(
                     Loop(node.var, node.lower, node.upper,
-                         rewrite_body(node.body), step=node.step)
+                         rewrite_body(node.body), step=node.step, line=node.line)
                 )
             else:
                 out.append(
-                    Statement([rewrite_ref(r) for r in node.refs], node.label)
+                    Statement([rewrite_ref(r) for r in node.refs], node.label,
+                              line=node.line)
                 )
         return out
 

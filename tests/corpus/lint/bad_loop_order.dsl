@@ -1,0 +1,12 @@
+# Seeded defect: the innermost loop varies the SECOND subscript of a
+# column-major array, striding 4000 bytes per iteration.
+# Expect: C005 (stride/loop-order mismatch).
+program bad_loop_order
+param N = 500
+real*8 A(N, N)
+do i = 1, N
+  do j = 1, N
+    A(i, j) = A(i, j) + 1
+  end do
+end do
+end

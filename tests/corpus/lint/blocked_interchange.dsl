@@ -1,0 +1,12 @@
+# Seeded defect: the nest wants (j, i) order for stride, but the (1, -1)
+# dependence makes the interchange illegal — padding is the only lever.
+# Expect: C005 (stride mismatch) and I004 (interchange blocked).
+program blocked_interchange
+param N = 500
+real*8 A(N, N)
+do i = 2, N
+  do j = 1, N - 1
+    A(i, j) = A(i - 1, j + 1)
+  end do
+end do
+end

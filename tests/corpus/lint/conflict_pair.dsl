@@ -1,0 +1,10 @@
+# Seeded defect: X and Y are each exactly one cache size (16K) long, so
+# X(i) and Y(i) land in the same cache set on every iteration.
+# Expect: C001 (severe conflict pair).
+program conflict_pair
+param N = 2048
+real*8 X(N), Y(N)
+do i = 1, N
+  Y(i) = Y(i) + X(i)
+end do
+end

@@ -1,0 +1,11 @@
+# Seeded defect: the j loop's index never appears in a subscript — the
+# classic A(i,i)-for-A(i,j) typo.  Expect: I003 (dead loop index).
+program dead_index
+param N = 64
+real*8 A(N, N)
+do i = 1, N
+  do j = 1, N
+    A(i, i) = A(i, i) + 1
+  end do
+end do
+end

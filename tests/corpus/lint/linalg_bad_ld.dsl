@@ -1,0 +1,14 @@
+# Seeded defect: the Figure-3 linear-algebra pattern (A(i,j) with A(i,k))
+# over a leading dimension whose FirstConflict value is below j*.
+# Expect: C002 (pathological leading dimension).
+program linalg_bad_ld
+param N = 96
+real*8 A(N, N)
+do k = 1, N
+  do j = 1, N
+    do i = 1, N
+      A(i, j) = A(i, j) + A(i, k)
+    end do
+  end do
+end do
+end

@@ -1,0 +1,9 @@
+# Seeded defects, one of each family: a severe conflict pair (C001), an
+# out-of-bounds subscript (I001) and an unused array (I002).
+program multi_defect
+param N = 2048
+real*8 X(N), Y(N), DEAD(N)
+do i = 1, N
+  Y(i) = Y(i) + X(i+1)
+end do
+end

@@ -1,0 +1,9 @@
+# Seeded defect: A(i+1) reaches N+1 but A is declared 1:N.
+# Expect: I001 (subscript out of bounds, upper).
+program oob_upper
+param N = 100
+real*8 A(N)
+do i = 1, N
+  A(i) = A(i+1)
+end do
+end

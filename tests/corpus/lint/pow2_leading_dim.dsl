@@ -1,0 +1,12 @@
+# Seeded defect: a 256x256 real*8 matrix has a 2048-byte (power-of-two)
+# column stride, folding all columns onto 8 cache locations.
+# Expect: C003 (power-of-two column stride).
+program pow2_leading_dim
+param N = 256
+real*8 A(N, N)
+do j = 1, N
+  do i = 1, N
+    A(i, j) = A(i, j) + 1
+  end do
+end do
+end

@@ -1,0 +1,10 @@
+# Seeded defect: four 16K arrays all start a multiple of the cache size
+# apart, so the first iteration stacks four lines onto one set of a
+# direct-mapped cache.  Expect: C004 (cache-set pressure), C001.
+program set_pressure
+param N = 2048
+real*8 W(N), X(N), Y(N), Z(N)
+do i = 1, N
+  touch W(i), X(i), Y(i), Z(i)
+end do
+end

@@ -1,0 +1,10 @@
+# Seeded defect: X and Y conflict severely, but X is a formal parameter
+# the safety analysis forbids padding.  Expect: C001 and I005.
+program unsafe_pad
+param N = 2048
+real*8 X(N), Y(N)
+parameter_array X
+do i = 1, N
+  Y(i) = Y(i) + X(i)
+end do
+end

@@ -1,0 +1,9 @@
+# Seeded defect: B is declared but nothing ever references it; it still
+# shifts every base address behind it.  Expect: I002 (unused array).
+program unused_array
+param N = 64
+real*8 A(N), B(N)
+do i = 1, N
+  A(i) = A(i) + 1
+end do
+end

@@ -87,3 +87,64 @@ class TestSetPressure:
         bucket_a = pressure["A"].index(1)
         bucket_b = pressure["B"].index(1)
         assert bucket_a == bucket_b
+
+    def test_single_reference_program(self):
+        from repro.ir import builder as b
+
+        prog = b.program(
+            "single",
+            decls=[b.real8("A", 64)],
+            body=[b.loop("i", 1, 64, [b.stmt(b.w("A", "i"))])],
+        )
+        cache = CacheConfig(2048, 32, 1)
+        pressure = set_pressure(prog, original_layout(prog), cache, buckets=8)
+        assert set(pressure) == {"A"}
+        assert sum(pressure["A"]) == 1
+
+    def test_empty_program_no_pressure(self):
+        from repro.ir import builder as b
+
+        prog = b.program("empty", decls=[b.real8("A", 8)], body=[])
+        cache = CacheConfig(2048, 32, 1)
+        assert set_pressure(prog, original_layout(prog), cache) == {}
+
+    def test_more_buckets_than_sets(self):
+        # 2048/32 = 64 sets into 256 buckets: bucket_size clamps to 1 and
+        # every count must still land inside the histogram.
+        prog = vector_sum_program(256)
+        cache = CacheConfig(2048, 32, 1)
+        pressure = set_pressure(
+            prog, original_layout(prog), cache, buckets=256
+        )
+        assert all(len(h) == 256 for h in pressure.values())
+        assert sum(sum(h) for h in pressure.values()) == 2  # one A, one B ref
+
+    def test_associative_cache_fewer_sets(self):
+        # Same geometry, 4-way: num_sets drops 4x but the footprint counts
+        # are unchanged — pressure histograms only re-bucket.
+        prog = vector_sum_program(256)
+        layout = original_layout(prog)
+        direct = set_pressure(prog, layout, CacheConfig(2048, 32, 1), buckets=8)
+        assoc = set_pressure(prog, layout, CacheConfig(2048, 32, 4), buckets=8)
+        assert set(direct) == set(assoc)
+        for name in direct:
+            assert sum(direct[name]) == sum(assoc[name])
+
+
+class TestRenderReportEdges:
+    def test_empty_findings(self):
+        assert render_report([]) == "no conflicting reference pairs"
+
+    def test_header_counts_findings(self):
+        prog = jacobi_program(512)
+        findings = conflict_report(prog, original_layout(prog), CACHE)
+        text = render_report(findings)
+        assert text.splitlines()[0] == f"{len(findings)} conflicting pair(s):"
+        assert len(text.splitlines()) == len(findings) + 1
+
+    def test_marks_severe_and_near(self):
+        prog = jacobi_program(512)
+        findings = conflict_report(prog, original_layout(prog), CACHE)
+        text = render_report(findings)
+        assert "SEVERE" in text
+        assert "near" in text

@@ -142,6 +142,20 @@ class TestProgram:
 
 
 class TestValidation:
+    def test_duplicate_declaration_rejected(self):
+        # The constructor also rejects duplicates, so smuggle one in by
+        # mutating the decls slot the way external IR assembly could.
+        from repro.ir.validate import validate_program
+
+        prog = b.program(
+            "p",
+            decls=[b.real8("A", 4)],
+            body=[b.loop("i", 1, 4, [b.stmt(b.w("A", "i"))])],
+        )
+        prog.decls = prog.decls + (b.real8("A", 8),)
+        with pytest.raises(ValidationError, match="duplicate declaration"):
+            validate_program(prog)
+
     def test_undeclared_array(self):
         with pytest.raises(ValidationError):
             b.program("p", decls=[], body=[b.loop("i", 1, 4, [b.stmt(b.w("A", "i"))])])

@@ -1,0 +1,214 @@
+"""End-to-end tests for the ``repro lint`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+CLEAN_SRC = """
+program clean
+  param N = 100
+  real*8 A(N)
+  do i = 1, N
+    A(i) = A(i) + 1
+  end do
+end
+"""
+
+# One out-of-bounds error (I001) and one unused array (I002).
+DEFECT_SRC = """
+program defect
+  param N = 100
+  real*8 A(N), DEAD(N)
+  do i = 1, N
+    A(i) = A(i+1) + 1
+  end do
+end
+"""
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.dsl"
+    path.write_text(CLEAN_SRC)
+    return str(path)
+
+
+@pytest.fixture
+def defect_file(tmp_path):
+    path = tmp_path / "defect.dsl"
+    path.write_text(DEFECT_SRC)
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, clean_file, capsys):
+        assert main(["lint", clean_file]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_at_threshold_exit_nine(self, defect_file, capsys):
+        rc = main(["lint", defect_file])
+        captured = capsys.readouterr()
+        assert rc == 9
+        assert "I001" in captured.out
+        assert "finding(s) at or above error" in captured.err
+
+    def test_fail_on_warning_catches_warnings(self, defect_file, capsys):
+        rc = main(["lint", defect_file, "--select", "I002",
+                   "--fail-on", "warning"])
+        assert rc == 9
+        assert "at or above warning" in capsys.readouterr().err
+
+    def test_fail_on_never_always_zero(self, defect_file, capsys):
+        assert main(["lint", defect_file, "--fail-on", "never"]) == 0
+        assert "I001" in capsys.readouterr().out
+
+    def test_default_threshold_ignores_warnings(self, defect_file, capsys):
+        # Only the I002 warning selected: default --fail-on error passes.
+        assert main(["lint", defect_file, "--select", "I002"]) == 0
+        assert "I002" in capsys.readouterr().out
+
+    def test_no_targets_is_usage_error(self, capsys):
+        assert main(["lint"]) == 3
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_bad_selector_exits_nine(self, clean_file, capsys):
+        assert main(["lint", clean_file, "--select", "Z9"]) == 9
+        assert "matches none" in capsys.readouterr().err
+
+
+class TestFormats:
+    def test_text_report_names_file_and_line(self, defect_file, capsys):
+        main(["lint", defect_file, "--fail-on", "never"])
+        out = capsys.readouterr().out
+        assert f"{defect_file}:" in out
+        assert ": error: I001:" in out
+
+    def test_json_format(self, defect_file, capsys):
+        main(["lint", defect_file, "--fail-on", "never", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "repro-lint"
+        rules = {f["rule"] for f in payload["programs"][0]["findings"]}
+        assert {"I001", "I002"} <= rules
+
+    def test_sarif_format(self, defect_file, capsys):
+        main(["lint", defect_file, "--fail-on", "never", "--format", "sarif"])
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+        assert log["runs"][0]["results"]
+
+    def test_out_writes_file(self, defect_file, tmp_path, capsys):
+        out_path = str(tmp_path / "report.sarif")
+        main(["lint", defect_file, "--fail-on", "never",
+              "--format", "sarif", "--out", out_path])
+        captured = capsys.readouterr()
+        assert out_path in captured.err
+        log = json.loads(open(out_path).read())
+        assert log["version"] == "2.1.0"
+
+
+class TestOptions:
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("C001", "C005", "I001", "I005"):
+            assert rule_id in out
+
+    def test_multiple_files_one_report(self, clean_file, defect_file, capsys):
+        rc = main(["lint", clean_file, defect_file, "--fail-on", "never"])
+        assert rc == 0
+        assert "2 program(s) linted" in capsys.readouterr().out
+
+    def test_stdin_target(self, defect_file, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(DEFECT_SRC))
+        assert main(["lint", "-", "--fail-on", "never"]) == 0
+        assert "I001" in capsys.readouterr().out
+
+    def test_param_override(self, tmp_path, capsys):
+        # N=2048 doubles wrap the 16K cache exactly -> C001 severe pair.
+        path = tmp_path / "sized.dsl"
+        path.write_text(
+            "program sized\n"
+            "param N = 10\n"
+            "real*8 X(N), Y(N)\n"
+            "do i = 1, N\n"
+            "  Y(i) = Y(i) + X(i)\n"
+            "end do\n"
+            "end\n"
+        )
+        assert main(["lint", str(path)]) == 0
+        assert main(["lint", str(path), "--param", "N=2048",
+                     "--fail-on", "warning"]) == 9
+        assert "C001" in capsys.readouterr().out
+
+    def test_cache_geometry_flags(self, tmp_path, capsys):
+        # 1024 doubles wrap an 8K cache but not the default 16K one.
+        path = tmp_path / "cachedep.dsl"
+        path.write_text(
+            "program cachedep\n"
+            "param N = 1024\n"
+            "real*8 X(N), Y(N)\n"
+            "do i = 1, N\n"
+            "  Y(i) = Y(i) + X(i)\n"
+            "end do\n"
+            "end\n"
+        )
+        assert main(["lint", str(path), "--select", "C001"]) == 0
+        assert main(["lint", str(path), "--select", "C001", "--cache", "8K",
+                     "--fail-on", "warning"]) == 9
+        capsys.readouterr()
+
+    def test_benchmarks_i_family_clean(self, capsys):
+        # The paper kernels are conflict-ridden by design (C rules) but
+        # must be IR-correct; this is the CI benchmark gate.
+        rc = main(["lint", "--benchmarks", "--select", "I",
+                   "--fail-on", "warning"])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_metrics_flag_writes_lint_counters(self, defect_file, tmp_path,
+                                               capsys):
+        metrics_path = str(tmp_path / "metrics.json")
+        main(["lint", defect_file, "--fail-on", "never",
+              "--metrics", metrics_path])
+        capsys.readouterr()
+        snapshot = json.loads(open(metrics_path).read())
+        names = {c["name"] for c in snapshot["metrics"]["counters"]}
+        assert "repro_lint_runs_total" in names
+        assert "repro_lint_findings_total" in names
+
+
+class TestPadLintFlag:
+    def test_pad_lint_reports_clean_residue(self, tmp_path, capsys):
+        path = tmp_path / "pair.dsl"
+        path.write_text(
+            "program pair\n"
+            "param N = 2048\n"
+            "real*8 X(N), Y(N)\n"
+            "do i = 1, N\n"
+            "  Y(i) = Y(i) + X(i)\n"
+            "end do\n"
+            "end\n"
+        )
+        assert main(["pad", str(path), "--lint"]) == 0
+        out = capsys.readouterr().out
+        assert "lint: no residual cache hazards" in out
+
+    def test_pad_without_lint_flag_says_nothing(self, tmp_path, capsys):
+        path = tmp_path / "pair.dsl"
+        path.write_text(
+            "program pair\n"
+            "param N = 2048\n"
+            "real*8 X(N), Y(N)\n"
+            "do i = 1, N\n"
+            "  Y(i) = Y(i) + X(i)\n"
+            "end do\n"
+            "end\n"
+        )
+        assert main(["pad", str(path)]) == 0
+        assert "lint" not in capsys.readouterr().out

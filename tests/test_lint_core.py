@@ -1,0 +1,354 @@
+"""Unit tests for the lint core: findings, registry, intervals, engine.
+
+The rule-by-rule behavior is covered by tests/test_lint_rules.py over the
+seeded-defect corpus; these tests pin down the framework underneath —
+severity ordering, selection semantics, interval analysis precision, the
+engine's layout/caching behavior and the runtime activation hook the
+padding drivers consult.
+"""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cli import exit_code_for
+from repro.errors import LintError, LintFindingsError
+from repro.ir import builder as b
+from repro.lint import (
+    Finding,
+    LintConfig,
+    LintResult,
+    Severity,
+    all_rules,
+    get_rule,
+    lint_program,
+    lint_rules_catalog,
+    lint_source,
+    resolve_selection,
+)
+from repro.lint import runtime as lint_runtime
+from repro.lint.engine import LintContext
+from repro.lint.intervals import (
+    affine_interval,
+    iter_statement_envs,
+    subscript_interval,
+)
+from repro.padding import PadParams, pad
+
+
+CACHE = CacheConfig(1024, 4, 1)
+
+
+def clean_program(n=64):
+    """A tiny kernel no rule fires on under the paper's default cache."""
+    return b.program(
+        "tiny",
+        decls=[b.real8("A", n)],
+        body=[b.loop("i", 1, n, [b.stmt(b.w("A", "i"), b.r("A", "i"))])],
+    )
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_labels(self):
+        assert Severity.ERROR.label == "error"
+        assert Severity.WARNING.label == "warning"
+        assert Severity.INFO.label == "info"
+
+    def test_sarif_levels(self):
+        assert Severity.ERROR.sarif_level == "error"
+        assert Severity.WARNING.sarif_level == "warning"
+        assert Severity.INFO.sarif_level == "note"
+
+    def test_from_name(self):
+        assert Severity.from_name("error") is Severity.ERROR
+        assert Severity.from_name(" Warning ") is Severity.WARNING
+        with pytest.raises(LintError):
+            Severity.from_name("fatal")
+
+
+class TestFinding:
+    def test_describe_with_line(self):
+        f = Finding("C001", Severity.WARNING, "boom", line=12)
+        assert f.describe() == "line 12: warning C001 boom"
+
+    def test_describe_without_line(self):
+        f = Finding("I002", Severity.WARNING, "dead")
+        assert f.describe() == "warning I002 dead"
+
+    def test_frozen(self):
+        f = Finding("C001", Severity.WARNING, "boom")
+        with pytest.raises(Exception):
+            f.message = "other"
+
+
+class TestLintResult:
+    def _result(self):
+        return LintResult(
+            program="p",
+            source="p.dsl",
+            findings=(
+                Finding("C001", Severity.WARNING, "a", line=3),
+                Finding("I001", Severity.ERROR, "b", line=5),
+                Finding("I004", Severity.INFO, "c", line=1),
+            ),
+        )
+
+    def test_counts(self):
+        assert self._result().counts() == {"error": 1, "warning": 1, "info": 1}
+
+    def test_by_rule(self):
+        assert self._result().by_rule() == {"C001": 1, "I001": 1, "I004": 1}
+
+    def test_max_severity(self):
+        assert self._result().max_severity is Severity.ERROR
+        assert LintResult(program="p").max_severity is Severity.INFO
+
+    def test_clean(self):
+        assert LintResult(program="p").clean
+        assert not self._result().clean
+
+    def test_at_or_above(self):
+        res = self._result()
+        assert {f.rule for f in res.at_or_above(Severity.WARNING)} == {
+            "C001",
+            "I001",
+        }
+        assert len(res.at_or_above(Severity.INFO)) == 3
+
+    def test_describe(self):
+        assert self._result().describe() == "p: 1 error(s), 1 warning(s), 1 info(s)"
+        assert LintResult(program="p").describe() == "p: clean"
+
+
+class TestRegistry:
+    def test_ten_rules_registered(self):
+        ids = [r.rule_id for r in all_rules()]
+        assert ids == sorted(ids)
+        assert {"C001", "C002", "C003", "C004", "C005"} <= set(ids)
+        assert {"I001", "I002", "I003", "I004", "I005"} <= set(ids)
+        assert len(ids) == 10
+
+    def test_get_rule(self):
+        assert get_rule("I001").severity is Severity.ERROR
+        with pytest.raises(LintError):
+            get_rule("Z999")
+
+    def test_select_by_family_prefix(self):
+        assert {r.rule_id[0] for r in resolve_selection(select=("C",))} == {"C"}
+        assert {r.rule_id[0] for r in resolve_selection(select=("i",))} == {"I"}
+
+    def test_select_exact_id(self):
+        assert [r.rule_id for r in resolve_selection(select=("C003",))] == ["C003"]
+
+    def test_ignore_wins_over_select(self):
+        rules = resolve_selection(select=("C",), ignore=("C001",))
+        assert "C001" not in {r.rule_id for r in rules}
+        assert len(rules) == 4
+
+    def test_default_is_everything(self):
+        assert len(resolve_selection()) == len(all_rules())
+
+    def test_bad_selector_raises(self):
+        with pytest.raises(LintError):
+            resolve_selection(select=("Z",))
+        with pytest.raises(LintError):
+            resolve_selection(ignore=("Q9",))
+        with pytest.raises(LintError):
+            resolve_selection(select=("",))
+
+    def test_rules_have_rationales(self):
+        for r in all_rules():
+            assert r.summary
+            assert r.rationale
+            assert r.severity in (Severity.INFO, Severity.WARNING, Severity.ERROR)
+
+
+class TestIntervals:
+    def test_affine_interval_positive_coef(self):
+        expr = b.idx("i", 3)  # i + 3
+        assert affine_interval(expr, {"i": (1, 10)}) == (4, 13)
+
+    def test_affine_interval_negative_coef(self):
+        expr = b.idx("i", 0, -2)  # -2i
+        assert affine_interval(expr, {"i": (1, 10)}) == (-20, -2)
+
+    def test_affine_interval_unknown_variable(self):
+        assert affine_interval(b.idx("k"), {"i": (1, 10)}) is None
+        assert affine_interval(b.idx("k"), {"k": None}) is None
+
+    def test_constant_interval(self):
+        assert affine_interval(b.const(7), {}) == (7, 7)
+
+    def test_subscript_interval_skips_multivariable(self):
+        expr = b.idx("i") + b.idx("k", 0, -1)  # i - k: correlated
+        assert subscript_interval(expr, {"i": (1, 10), "k": (1, 10)}) is None
+
+    def test_iter_statement_envs_simple(self):
+        prog = clean_program(8)
+        pairs = list(iter_statement_envs(prog.body))
+        assert len(pairs) == 1
+        _, env = pairs[0]
+        assert env["i"] == (1, 8)
+
+    def test_iter_statement_envs_triangular(self):
+        prog = b.program(
+            "tri",
+            decls=[b.real8("A", 16, 16)],
+            body=[
+                b.loop("k", 1, 16, [
+                    b.loop("j", b.idx("k", 1), 16, [
+                        b.stmt(b.w("A", "j", "k")),
+                    ]),
+                ]),
+            ],
+        )
+        (_, env), = iter_statement_envs(prog.body)
+        assert env["k"] == (1, 16)
+        assert env["j"] == (2, 16)  # k+1 over k in [1,16] starts at 2
+
+    def test_zero_trip_loop_skipped(self):
+        prog = b.program(
+            "zt",
+            decls=[b.real8("A", 8)],
+            body=[b.loop("i", 5, 2, [b.stmt(b.w("A", "i"))])],
+        )
+        assert list(iter_statement_envs(prog.body)) == []
+
+    def test_negative_step_interval(self):
+        prog = b.program(
+            "down",
+            decls=[b.real8("A", 8)],
+            body=[b.loop("i", 8, 1, [b.stmt(b.w("A", "i"))], step=-1)],
+        )
+        (_, env), = iter_statement_envs(prog.body)
+        assert env["i"] == (1, 8)
+
+
+class TestEngine:
+    def test_clean_program(self):
+        result = lint_program(clean_program())
+        assert result.clean
+        assert result.program == "tiny"
+
+    def test_effective_cache_defaults_to_base(self):
+        config = LintConfig()
+        assert config.effective_cache.size_bytes == 16 * 1024
+
+    def test_selection_respected(self):
+        src = (
+            "program p\n"
+            "param N = 100\n"
+            "real*8 A(N), B(N)\n"
+            "do i = 1, N\n"
+            "  A(i) = A(i) + 1\n"
+            "end do\n"
+            "end\n"
+        )
+        full = lint_source(src)
+        assert "I002" in full.by_rule()  # B unused
+        none = lint_source(src, config=LintConfig(ignore=("I002",)))
+        assert "I002" not in none.by_rule()
+
+    def test_findings_sorted_by_line(self):
+        src = open("tests/corpus/lint/multi_defect.dsl").read()
+        result = lint_source(src, source_name="multi_defect.dsl")
+        lines = [f.line for f in result.findings]
+        assert lines == sorted(lines)
+
+    def test_source_name_threaded(self):
+        result = lint_source("program p\nreal*8 A(4)\nend\n", source_name="x.dsl")
+        assert result.source == "x.dsl"
+
+    def test_context_caches_analyses(self):
+        prog = clean_program()
+        from repro.layout.layout import original_layout
+
+        ctx = LintContext(prog, original_layout(prog), CACHE)
+        assert ctx.severe_findings is ctx.severe_findings
+        assert ctx.linalg_arrays is ctx.linalg_arrays
+        assert ctx.safety is ctx.safety
+
+    def test_catalog_lists_all_rules(self):
+        text = lint_rules_catalog()
+        for r in all_rules():
+            assert r.rule_id in text
+
+
+class TestRuntimeActivation:
+    def test_inactive_by_default(self):
+        assert lint_runtime.active_config() is None
+        assert not lint_runtime.is_active()
+
+    def test_activated_context(self):
+        config = LintConfig(cache=CACHE)
+        with lint_runtime.activated(config):
+            assert lint_runtime.is_active()
+            assert lint_runtime.active_config() is config
+        assert lint_runtime.active_config() is None
+
+    def test_pad_annotates_residual_lint(self):
+        from tests.conftest import jacobi_program
+
+        prog = jacobi_program(512)
+        params = PadParams.for_cache(CACHE, intra_pad_limit=64)
+        with lint_runtime.activated(LintConfig(cache=CACHE, select=("C001",))):
+            result = pad(prog, params, use_linpad=False)
+        assert result.lint is not None
+        # PAD eliminates the severe conflicts, so the residue is clean.
+        assert result.lint.by_rule().get("C001", 0) == 0
+
+    def test_no_annotation_when_inactive(self):
+        from tests.conftest import jacobi_program
+
+        result = pad(jacobi_program(512), PadParams.for_cache(CACHE))
+        assert result.lint is None
+
+    def test_original_driver_annotates_baseline_hazards(self):
+        from repro.padding.drivers import original
+        from tests.conftest import jacobi_program
+
+        prog = jacobi_program(512)
+        with lint_runtime.activated(LintConfig(cache=CACHE, select=("C001",))):
+            result = original(prog)
+        assert result.lint is not None
+        assert result.lint.by_rule().get("C001", 0) > 0
+
+
+class TestErrors:
+    def test_lint_error_exit_code(self):
+        assert exit_code_for(LintError("x")) == 9
+
+    def test_findings_error_carries_findings(self):
+        f = Finding("C001", Severity.WARNING, "boom")
+        exc = LintFindingsError("1 finding", findings=[f])
+        assert exc.findings == (f,)
+        assert exit_code_for(exc) == 9
+
+    def test_findings_error_is_lint_error(self):
+        assert issubclass(LintFindingsError, LintError)
+
+
+class TestObsIntegration:
+    def test_counters_emitted(self):
+        from repro.obs import runtime as obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            src = open("tests/corpus/lint/conflict_pair.dsl").read()
+            lint_source(src)
+        finally:
+            obs.disable()
+        snap = obs.snapshot()
+        obs.reset()
+        names = {c["name"] for c in snap["counters"]}
+        assert "repro_lint_runs_total" in names
+        assert "repro_lint_findings_total" in names
+        labelled = [
+            c for c in snap["counters"]
+            if c["name"] == "repro_lint_findings_total"
+        ]
+        assert all({"rule", "severity"} <= set(c["labels"]) for c in labelled)
+        assert any(c["labels"]["rule"] == "C001" for c in labelled)

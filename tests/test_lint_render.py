@@ -1,0 +1,153 @@
+"""Tests for the lint report renderers (text, JSON, SARIF 2.1.0)."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    LintResult,
+    Severity,
+    all_rules,
+    render_json,
+    render_results,
+    render_sarif,
+    render_text,
+    sarif_log,
+)
+from repro.lint.render import SARIF_SCHEMA, SARIF_VERSION, TOOL_NAME
+
+
+def result_with_findings():
+    return LintResult(
+        program="kern",
+        source="kern.dsl",
+        findings=(
+            Finding("C001", Severity.WARNING, "pair", line=7, array="X",
+                    nest_index=0),
+            Finding("I001", Severity.ERROR, "oob", line=9, array="A"),
+            Finding("I004", Severity.INFO, "blocked"),  # no location
+        ),
+    )
+
+
+def clean_result(name="ok"):
+    return LintResult(program=name, source=f"{name}.dsl")
+
+
+class TestText:
+    def test_one_line_per_finding(self):
+        text = render_text([result_with_findings()])
+        assert "kern.dsl:7: warning: C001: pair" in text
+        assert "kern.dsl:9: error: I001: oob" in text
+        # A finding without a line keeps the bare source prefix.
+        assert "kern.dsl: info: I004: blocked" in text
+
+    def test_summary_counts(self):
+        text = render_text([result_with_findings()])
+        assert text.splitlines()[-1] == (
+            "1 program(s) linted: 1 error(s), 1 warning(s), 1 info(s)"
+        )
+
+    def test_clean_single_program(self):
+        assert render_text([clean_result()]) == "1 program linted: clean"
+
+    def test_clean_many_programs(self):
+        text = render_text([clean_result("a"), clean_result("b")])
+        assert text == "2 programs linted: clean"
+
+
+class TestJson:
+    def test_round_trips(self):
+        payload = json.loads(render_json([result_with_findings()]))
+        assert payload["tool"] == TOOL_NAME
+        (prog,) = payload["programs"]
+        assert prog["program"] == "kern"
+        assert prog["counts"] == {"error": 1, "warning": 1, "info": 1}
+        assert len(prog["findings"]) == 3
+
+    def test_optional_fields_omitted(self):
+        payload = json.loads(render_json([result_with_findings()]))
+        by_rule = {f["rule"]: f for f in payload["programs"][0]["findings"]}
+        assert by_rule["C001"]["array"] == "X"
+        assert by_rule["C001"]["nest"] == 0
+        assert "nest" not in by_rule["I001"]  # nest_index -1 -> omitted
+        assert "array" not in by_rule["I004"]
+
+    def test_empty_findings_list(self):
+        payload = json.loads(render_json([clean_result()]))
+        assert payload["programs"][0]["findings"] == []
+        assert payload["programs"][0]["counts"] == {}
+
+
+class TestSarif:
+    """Shape checks against the SARIF 2.1.0 minimum: $schema/version,
+    runs[0].tool.driver with a rule catalog, and one result per finding
+    with ruleId/ruleIndex/level/message/locations."""
+
+    def test_log_skeleton(self):
+        log = sarif_log([result_with_findings()])
+        assert log["$schema"] == SARIF_SCHEMA
+        assert log["version"] == SARIF_VERSION
+        assert len(log["runs"]) == 1
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == TOOL_NAME
+        assert driver["informationUri"].startswith("https://")
+        assert driver["version"]
+
+    def test_driver_carries_full_rule_catalog(self):
+        driver = sarif_log([clean_result()])["runs"][0]["tool"]["driver"]
+        ids = [r["id"] for r in driver["rules"]]
+        assert ids == [r.rule_id for r in all_rules()]
+        for entry in driver["rules"]:
+            assert entry["shortDescription"]["text"]
+            assert entry["fullDescription"]["text"]
+            assert entry["defaultConfiguration"]["level"] in (
+                "error", "warning", "note",
+            )
+            assert entry["properties"]["family"] in (
+                "cache-hazard", "ir-correctness",
+            )
+
+    def test_results_reference_the_catalog(self):
+        log = sarif_log([result_with_findings()])
+        driver = log["runs"][0]["tool"]["driver"]
+        for res in log["runs"][0]["results"]:
+            assert driver["rules"][res["ruleIndex"]]["id"] == res["ruleId"]
+            assert res["level"] in ("error", "warning", "note")
+            assert res["message"]["text"]
+
+    def test_locations_and_region_omission(self):
+        log = sarif_log([result_with_findings()])
+        by_rule = {r["ruleId"]: r for r in log["runs"][0]["results"]}
+        loc = by_rule["C001"]["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "kern.dsl"
+        assert loc["region"] == {"startLine": 7}
+        # Findings without a source line must omit the region entirely
+        # (startLine: 0 is invalid SARIF).
+        no_line = by_rule["I004"]["locations"][0]["physicalLocation"]
+        assert "region" not in no_line
+
+    def test_severity_level_mapping(self):
+        by_rule = {
+            r["ruleId"]: r["level"]
+            for r in sarif_log([result_with_findings()])["runs"][0]["results"]
+        }
+        assert by_rule == {"C001": "warning", "I001": "error", "I004": "note"}
+
+    def test_render_sarif_is_valid_json(self):
+        log = json.loads(render_sarif([result_with_findings(), clean_result()]))
+        assert len(log["runs"][0]["results"]) == 3
+
+
+class TestDispatch:
+    def test_render_results_formats(self):
+        results = [result_with_findings()]
+        assert render_results(results, "text") == render_text(results)
+        assert render_results(results, "json") == render_json(results)
+        assert render_results(results, "sarif") == render_sarif(results)
+
+    def test_unknown_format_falls_back_to_text(self):
+        assert render_results([clean_result()], "???") == render_text(
+            [clean_result()]
+        )

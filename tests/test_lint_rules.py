@@ -1,0 +1,223 @@
+"""Rule-by-rule lint tests over the seeded-defect corpus.
+
+``tests/corpus/lint/`` holds one DSL kernel per seeded defect; the table
+below records exactly which rules each kernel trips under the paper's
+default 16K direct-mapped cache.  The shipped ``examples/kernels/`` must
+conversely lint clean at ``--fail-on warning`` — that pair of invariants
+is also what the CI lint job enforces end to end.
+"""
+
+import glob
+import os
+import time
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.lint import LintConfig, Severity, lint_source
+
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus", "lint")
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "examples", "kernels"
+)
+
+# Kernel -> the exact rule set it trips (default cache, all rules).
+CORPUS_EXPECTATIONS = {
+    "bad_loop_order.dsl": {"C005"},
+    "blocked_interchange.dsl": {"C005", "I004"},
+    "conflict_pair.dsl": {"C001", "C004"},
+    "dead_index.dsl": {"C003", "I003", "I004"},
+    "linalg_bad_ld.dsl": {"C002"},
+    "multi_defect.dsl": {"C001", "C004", "I001", "I002"},
+    "oob_lower.dsl": {"I001"},
+    "oob_upper.dsl": {"I001"},
+    "pow2_leading_dim.dsl": {"C003"},
+    "set_pressure.dsl": {"C001", "C004"},
+    "unsafe_pad.dsl": {"C001", "C004", "I005"},
+    "unused_array.dsl": {"I002"},
+}
+
+
+def lint_corpus_file(name, **config_kwargs):
+    path = os.path.join(CORPUS_DIR, name)
+    with open(path) as handle:
+        source = handle.read()
+    return lint_source(
+        source, config=LintConfig(**config_kwargs), source_name=name
+    )
+
+
+class TestCorpus:
+    def test_expectations_cover_every_corpus_file(self):
+        on_disk = {
+            os.path.basename(p)
+            for p in glob.glob(os.path.join(CORPUS_DIR, "*.dsl"))
+        }
+        assert on_disk == set(CORPUS_EXPECTATIONS)
+        assert len(on_disk) >= 10  # the acceptance-criteria floor
+
+    @pytest.mark.parametrize("name", sorted(CORPUS_EXPECTATIONS))
+    def test_kernel_trips_expected_rules(self, name):
+        result = lint_corpus_file(name)
+        assert set(result.by_rule()) == CORPUS_EXPECTATIONS[name]
+
+    @pytest.mark.parametrize("name", sorted(CORPUS_EXPECTATIONS))
+    def test_findings_carry_locations_and_metadata(self, name):
+        result = lint_corpus_file(name)
+        assert result.findings
+        for f in result.findings:
+            assert f.rule in CORPUS_EXPECTATIONS[name]
+            assert f.severity in (Severity.INFO, Severity.WARNING, Severity.ERROR)
+            assert f.line > 0  # frontend location must survive lowering
+            assert f.message
+
+    @pytest.mark.parametrize("name", sorted(CORPUS_EXPECTATIONS))
+    def test_every_kernel_fails_at_warning_threshold(self, name):
+        # What the CI seeded-defect smoke loop relies on.
+        result = lint_corpus_file(name)
+        assert result.at_or_above(Severity.WARNING)
+
+
+class TestRuleDetails:
+    def test_c001_reports_conflict_distance(self):
+        result = lint_corpus_file("conflict_pair.dsl")
+        (finding,) = [f for f in result.findings if f.rule == "C001"]
+        assert "circular conflict distance" in finding.message
+        assert finding.array == "Y"
+        assert finding.nest_index == 0
+
+    def test_c001_deduplicates_read_write_pairs(self):
+        # Y(i) = Y(i) + X(i): the X/Y pair meets as read-read and
+        # read-write but must be reported once.
+        result = lint_corpus_file("conflict_pair.dsl")
+        assert result.by_rule()["C001"] == 1
+
+    def test_c002_names_first_conflict_and_jstar(self):
+        result = lint_corpus_file("linalg_bad_ld.dsl")
+        (finding,) = result.findings
+        assert finding.rule == "C002"
+        assert "FirstConflict" in finding.message
+        assert "j*" in finding.message
+        assert finding.array == "A"
+
+    def test_c003_counts_distinct_mappings(self):
+        result = lint_corpus_file("pow2_leading_dim.dsl")
+        (finding,) = result.findings
+        assert finding.rule == "C003"
+        assert "power-of-two column stride" in finding.message
+        assert finding.line == 6  # the declaration line
+
+    def test_c003_not_fired_when_array_fits_in_cache(self):
+        src = (
+            "program small\n"
+            "param N = 16\n"
+            "real*8 A(N, N)\n"  # 2K total: fits in 16K, cannot self-conflict
+            "do j = 1, N\n"
+            "  do i = 1, N\n"
+            "    A(i, j) = A(i, j) + 1\n"
+            "  end do\n"
+            "end do\n"
+            "end\n"
+        )
+        assert "C003" not in lint_source(src).by_rule()
+
+    def test_c004_respects_associativity(self):
+        # The same conflict pair on a 2-way cache of the same size maps
+        # both lines into one set without exceeding associativity.
+        result = lint_corpus_file(
+            "conflict_pair.dsl", cache=CacheConfig(16 * 1024, 32, 2)
+        )
+        assert "C004" not in result.by_rule()
+
+    def test_c005_names_dimension_and_stride(self):
+        result = lint_corpus_file("bad_loop_order.dsl")
+        (finding,) = result.findings
+        assert finding.rule == "C005"
+        assert "dimension 2" in finding.message
+        assert "4000 bytes" in finding.message
+
+    def test_i001_reports_exact_interval(self):
+        result = lint_corpus_file("oob_upper.dsl")
+        (finding,) = result.findings
+        assert finding.rule == "I001"
+        assert finding.severity is Severity.ERROR
+        assert "[2, 101]" in finding.message
+        assert "1:100" in finding.message
+
+    def test_i001_lower_bound_violation(self):
+        result = lint_corpus_file("oob_lower.dsl")
+        (finding,) = result.findings
+        assert "[0, 99]" in finding.message
+
+    def test_i002_names_the_dead_array(self):
+        result = lint_corpus_file("unused_array.dsl")
+        (finding,) = result.findings
+        assert finding.rule == "I002"
+        assert finding.array == "B"
+
+    def test_i003_names_the_dead_index(self):
+        result = lint_corpus_file("dead_index.dsl")
+        (finding,) = [f for f in result.findings if f.rule == "I003"]
+        assert "'j'" in finding.message
+
+    def test_i004_lists_blocking_dependences(self):
+        result = lint_corpus_file("blocked_interchange.dsl")
+        (finding,) = [f for f in result.findings if f.rule == "I004"]
+        assert finding.severity is Severity.INFO
+        assert "blocked by" in finding.message
+        assert "padding is the remaining option" in finding.message
+
+    def test_i004_silent_when_interchange_is_legal(self):
+        # Same stride problem but no dependence: interchange fixes it,
+        # so I004 (blocked) must stay quiet while C005 still fires.
+        result = lint_corpus_file("bad_loop_order.dsl")
+        assert "I004" not in result.by_rule()
+
+    def test_i005_explains_why_padding_is_unsafe(self):
+        result = lint_corpus_file("unsafe_pad.dsl")
+        (finding,) = [f for f in result.findings if f.rule == "I005"]
+        assert finding.array == "X"
+        assert "formal parameter" in finding.message
+
+    def test_i005_silent_when_array_is_paddable(self):
+        # Identical conflict, but X is an ordinary local array.
+        result = lint_corpus_file("conflict_pair.dsl")
+        assert "I005" not in result.by_rule()
+
+
+class TestCleanExamples:
+    def test_examples_exist(self):
+        assert len(glob.glob(os.path.join(EXAMPLES_DIR, "*.dsl"))) >= 3
+
+    @pytest.mark.parametrize(
+        "path", sorted(glob.glob(os.path.join(EXAMPLES_DIR, "*.dsl")))
+    )
+    def test_shipped_kernels_lint_clean(self, path):
+        with open(path) as handle:
+            result = lint_source(handle.read(), source_name=path)
+        assert not result.at_or_above(Severity.WARNING), result.describe()
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_TIMING") == "1",
+    reason="REPRO_SKIP_TIMING=1",
+)
+class TestPerformance:
+    def test_quickstart_kernel_lints_under_100ms(self):
+        src = (
+            "program jacobi\n"
+            "param N = 512\n"
+            "real*8 A(N,N), B(N,N)\n"
+            "do i = 2, N-1\n"
+            "  do j = 2, N-1\n"
+            "    B(j,i) = A(j-1,i) + A(j,i-1) + A(j+1,i) + A(j,i+1)\n"
+            "  end do\n"
+            "end do\n"
+            "end\n"
+        )
+        lint_source(src)  # warm imports outside the timed region
+        start = time.perf_counter()
+        lint_source(src)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 0.1, f"lint took {elapsed * 1000:.1f} ms"
