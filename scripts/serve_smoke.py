@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Self-contained smoke test for the analysis service (CI `serve` job).
+
+Boots a real :class:`repro.serve.server.AnalysisServer` on an ephemeral
+port, round-trips a pad request over a shipped example kernel, simulates
+a benchmark twice (the repeat must come back from the runner memo tier),
+and asserts the Prometheus scrape exposes the serve metric families.
+Exits nonzero on the first broken expectation.
+
+Usage: PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+import json
+import pathlib
+import sys
+import threading
+import urllib.request
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.serve.batching import ServeConfig  # noqa: E402
+from repro.serve.server import create_server  # noqa: E402
+
+
+def post(base, path, payload):
+    request = urllib.request.Request(
+        base + path, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=120) as resp:
+        return json.load(resp)
+
+
+def main() -> int:
+    server = create_server(ServeConfig(port=0, workers=2, engine_jobs=2))
+    host, port = server.address
+    base = f"http://{host}:{port}"
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        with urllib.request.urlopen(base + "/healthz", timeout=10) as resp:
+            health = json.load(resp)
+        assert health["status"] == "ok", health
+        print(f"healthz ok on {base}")
+
+        source = (ROOT / "examples" / "kernels" / "dot.dsl").read_text()
+        padded = post(base, "/v1/pad", {"source": source})
+        assert padded["total_bytes"] > 0, padded
+        print(f"pad ok: {padded['program']} -> {padded['total_bytes']} bytes")
+
+        body = {"program": "mult", "size": 32}
+        first = post(base, "/v1/simulate", body)
+        assert first["status"] in ("ok", "degraded", "cached"), first
+        repeat = post(base, "/v1/simulate", body)
+        assert repeat["status"] == "cached", (
+            f"repeat did not hit the memo tier: {repeat}"
+        )
+        print("simulate ok: repeat served from memo")
+
+        with urllib.request.urlopen(base + "/metrics", timeout=10) as resp:
+            scrape = resp.read().decode()
+        for family in (
+            "repro_serve_requests_total",
+            "repro_serve_request_seconds",
+            "repro_serve_queue_depth",
+            "repro_runner_memo_hits_total",
+        ):
+            assert family in scrape, f"{family} missing from /metrics"
+        print("metrics scrape ok: all serve families present")
+        return 0
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -480,6 +480,28 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the batched analysis service until interrupted."""
+    from repro.serve.batching import ServeConfig
+    from repro.serve.server import serve_forever
+
+    if args.port < 0 or args.port > 65535:
+        raise UsageError(f"--port {args.port}: not a TCP port")
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=max(1, args.workers),
+        queue_depth=max(1, args.queue_depth),
+        timeout_s=args.timeout,
+        max_batch=max(1, args.max_batch),
+        max_body_bytes=_parse_size(args.max_body),
+        engine_jobs=max(1, args.engine_jobs),
+        guard=_guard_config_from_args(args),
+    )
+    serve_forever(config, verbose=args.verbose)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -605,6 +627,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--family", metavar="PREFIX",
                    help="only show metrics whose name starts with PREFIX")
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the batched JSON-over-HTTP analysis service",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8077,
+                   help="TCP port (default 8077; 0 picks a free port)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="in-process handler threads (default 4)")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="bounded admission queue; requests past this get "
+                        "HTTP 429 (default 64)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="default per-request deadline in seconds "
+                        "(default 30)")
+    p.add_argument("--max-batch", type=int, default=32,
+                   help="engine requests coalesced per micro-batch "
+                        "(default 32)")
+    p.add_argument("--max-body", default="1M",
+                   help="request-body ceiling; larger bodies get HTTP 413 "
+                        "(default 1M)")
+    p.add_argument("--engine-jobs", type=int, default=4,
+                   help="warm simulation worker processes (default 4)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log each request to stderr")
+    _add_guard_args(p)
+    p.set_defaults(fn=cmd_serve)
 
     return parser
 

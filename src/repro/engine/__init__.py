@@ -7,6 +7,7 @@ Submodules:
 * :mod:`repro.engine.store`   — crash-safe persistent result store;
 * :mod:`repro.engine.journal` — structured JSONL run journal;
 * :mod:`repro.engine.faults`  — deterministic fault injection;
+* :mod:`repro.engine.pool`    — long-lived warm worker pool (``repro serve``);
 * :mod:`repro.engine.plan`    — figure planning / the ``run-all`` pipeline.
 
 ``core`` and ``plan`` are loaded lazily because they import the experiment
@@ -21,6 +22,7 @@ _LAZY = {
     "EngineConfig": "repro.engine.core",
     "ExperimentEngine": "repro.engine.core",
     "RunOutcome": "repro.engine.core",
+    "WorkerPool": "repro.engine.pool",
     "PlanningRunner": "repro.engine.plan",
     "PrimedRunner": "repro.engine.plan",
     "SweepReport": "repro.engine.plan",

@@ -144,10 +144,18 @@ class _Worker:
 
 
 class ExperimentEngine:
-    """Run simulation requests in parallel, surviving worker failure."""
+    """Run simulation requests in parallel, surviving worker failure.
 
-    def __init__(self, config: Optional[EngineConfig] = None):
+    ``pool`` is an optional :class:`~repro.engine.pool.WorkerPool`: with
+    one, workers are leased warm for each sweep and released back alive
+    when it finishes, so a long-lived caller (``repro serve``) pays the
+    subprocess spawn cost once, not per micro-batch.  Without one, each
+    :meth:`run_many` spawns and tears down its own workers as before.
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None, pool=None):
         self.config = config or EngineConfig()
+        self.pool = pool
 
     # -- public API ---------------------------------------------------------
 
@@ -209,11 +217,15 @@ class ExperimentEngine:
 
     def _execute(self, tasks, outcomes, store, journal) -> None:
         cfg = self.config
-        ctx = _mp_context()
-        workers = [
-            _Worker(ctx, slot=i)
-            for i in range(max(1, min(cfg.jobs, len(tasks))))
-        ]
+        if self.pool is not None:
+            ctx = self.pool.ctx
+            workers = self.pool.lease(min(cfg.jobs, len(tasks)))
+        else:
+            ctx = _mp_context()
+            workers = [
+                _Worker(ctx, slot=i)
+                for i in range(max(1, min(cfg.jobs, len(tasks))))
+            ]
         now = time.monotonic()
         for task in tasks:
             task.enqueued_at = now
@@ -375,11 +387,16 @@ class ExperimentEngine:
                             ),
                         )
         finally:
-            for worker in workers:
-                if worker.task is None:
-                    worker.stop()
-                else:  # pragma: no cover - aborted sweep
-                    worker.kill()
+            if self.pool is not None:
+                # leased workers go back warm; the pool culls any still
+                # holding a task (aborted sweep) or already dead
+                self.pool.release(workers)
+            else:
+                for worker in workers:
+                    if worker.task is None:
+                        worker.stop()
+                    else:  # pragma: no cover - aborted sweep
+                        worker.kill()
 
     def _dispatch(self, worker: _Worker, task: _Task, journal) -> bool:
         cfg = self.config

@@ -110,6 +110,7 @@ LAYOUT_CORRUPTIONS = (
     "swap_bases",      # exchange two variables' bases (semantic swap)
     "shift_base",      # slide the last-placed array by one element
     "shrink_dim",      # padded dim below the declared size
+    "shrink",          # padded dim shrunk toward (not below) declared
     "zero_dim",        # a dimension collapses to zero
     "drop_base",       # a variable loses its placement
     "negative_base",   # base address below zero
@@ -189,6 +190,29 @@ def corrupt_layout(prog, layout, kind: str, seed: int = 0) -> str:
     if kind == "shrink_dim":
         candidates = [d for d in arrays if d.dim_sizes[0] >= 2] or arrays
         victim = pick(candidates, "victim")
+        sizes = list(layout.dim_sizes(victim.name))
+        sizes[0] = victim.dim_sizes[0] - 1
+        layout._dim_sizes[victim.name] = tuple(sizes)
+        return f"shrank {victim.name} dim 0 to {sizes[0]}"
+    if kind == "shrink":
+        # Shrink an intra-padded dim back toward its declared size: the
+        # declared floor still holds, strides stay self-consistent and
+        # (the victim only getting smaller) nothing overlaps — only the
+        # committed-size witness can condemn it.  With no intra-padded
+        # array to sabotage, fall through to a below-declared shrink.
+        padded = [
+            (d, dim)
+            for d in arrays
+            for dim, extra in enumerate(layout.intra_pads(d.name))
+            if extra > 0
+        ]
+        if padded:
+            victim, dim = pick(padded, "victim")
+            sizes = list(layout.dim_sizes(victim.name))
+            sizes[dim] -= 1
+            layout._dim_sizes[victim.name] = tuple(sizes)
+            return f"shrank {victim.name} dim {dim} to {sizes[dim]} (>= declared)"
+        victim = pick([d for d in arrays if d.dim_sizes[0] >= 2] or arrays, "victim")
         sizes = list(layout.dim_sizes(victim.name))
         sizes[0] = victim.dim_sizes[0] - 1
         layout._dim_sizes[victim.name] = tuple(sizes)

@@ -124,6 +124,19 @@ class LintFindingsError(LintError):
         self.findings = tuple(findings)
 
 
+class ServeError(ReproError):
+    """Base class for analysis-service (``repro serve``) failures."""
+
+
+class QueueFullError(ServeError):
+    """The service's bounded admission queue is full (HTTP 429): the
+    client should back off and retry."""
+
+
+class PayloadTooLarge(ServeError):
+    """A request body exceeded the service's size ceiling (HTTP 413)."""
+
+
 class EngineError(ReproError):
     """The fault-tolerant execution engine could not complete a run."""
 

@@ -211,27 +211,9 @@ class Runner:
         request = self.request_for(
             name, heuristic, cache, size, pad_cache, m_lines, max_outer, seed
         )
-        if request in self._stats:
-            obs.counter_add(
-                "repro_runner_memo_hits_total", 1,
-                "simulation results served from memory", tier="memory",
-            )
-            self.last_guard = self._guard_reports.get(request)
-            return self._stats[request]
-        if self._disk is not None:
-            stored = self._disk.get(request)
-            if stored is not None:
-                obs.counter_add(
-                    "repro_runner_memo_hits_total", 1,
-                    "simulation results served from memory", tier="disk",
-                )
-                self._stats[request] = stored
-                self.last_guard = None
-                return stored
-        obs.counter_add(
-            "repro_runner_memo_misses_total", 1,
-            "simulation requests that had to run",
-        )
+        cached = self.memo_lookup(request)
+        if cached is not None:
+            return cached
         stats, report = self.execute_guarded(request, simulator=simulator)
         self._stats[request] = stats
         if report is not None:
@@ -329,6 +311,38 @@ class Runner:
                 reference_layout=reference,
             )
             return stats, report
+
+    def memo_lookup(self, request: RunRequest) -> Optional[CacheStats]:
+        """Memoized stats for a resolved request, or ``None`` on a miss.
+
+        Counts the memo-tier hit (``repro_runner_memo_hits_total``,
+        labelled ``memory`` or ``disk``) or the miss, and updates
+        :attr:`last_guard`, exactly like the front half of :meth:`run`.
+        The serve micro-batcher peeks here before dispatching a batch to
+        the engine, so repeat requests never re-simulate.
+        """
+        if request in self._stats:
+            obs.counter_add(
+                "repro_runner_memo_hits_total", 1,
+                "simulation results served from memory", tier="memory",
+            )
+            self.last_guard = self._guard_reports.get(request)
+            return self._stats[request]
+        if self._disk is not None:
+            stored = self._disk.get(request)
+            if stored is not None:
+                obs.counter_add(
+                    "repro_runner_memo_hits_total", 1,
+                    "simulation results served from memory", tier="disk",
+                )
+                self._stats[request] = stored
+                self.last_guard = None
+                return stored
+        obs.counter_add(
+            "repro_runner_memo_misses_total", 1,
+            "simulation requests that had to run",
+        )
+        return None
 
     def prime(self, request: RunRequest, stats: CacheStats) -> None:
         """Preload one result (e.g. computed by :mod:`repro.engine`)."""

@@ -35,7 +35,8 @@ VIOLATION_KINDS = (
     "negative_base",   # base address below zero
     "misaligned",      # base not a multiple of the element size
     "overlap",         # two placement units share bytes
-    "shrunk",          # a padded dimension below its declared size
+    "shrunk",          # a dimension below its declared size (or <= 0)
+    "shrink",          # a dimension below the committed (post-pad) size
     "rank",            # dim-size tuple inconsistent with the declaration
     "budget",          # total pad bytes over the configured ceiling
     "out_of_bounds",   # a traced address outside every placed variable

@@ -7,8 +7,16 @@ buggy or sabotaged layout, including one whose own bookkeeping lies):
 
 * every declared variable is placed at a nonnegative, element-aligned
   base address;
-* padded dimension-size tuples match the declared rank, stay positive,
-  and never shrink a dimension;
+* padded dimension-size tuples match the declared rank, keep every
+  extent strictly positive (zero or negative extents are flagged
+  explicitly), and never fall below the declared sizes — the declared
+  sizes are a hard floor (violation kind ``shrunk``);
+* the working sizes agree with the layout's committed-size witness
+  (:meth:`MemoryLayout.committed_dim_sizes`) — a dimension shrunk from
+  its committed padded size back toward the declared size leaves strides
+  self-consistent and may cause no overlap (single-array programs in
+  particular), so it is flagged in its own right as violation kind
+  ``shrink`` rather than relying on ``overlap`` as a proxy;
 * byte strides recomputed from the padded sizes agree with the strides
   the layout reports (a disagreement means the layout would address
   memory inconsistently);
@@ -101,13 +109,39 @@ def check_layout(
             continue
         for dim, (padded, declared) in enumerate(zip(sizes, decl.dim_sizes)):
             if padded < 1:
-                flag("shrunk", f"{name!r} dim {dim} is {padded}", name)
+                flag(
+                    "shrunk",
+                    f"{name!r} dim {dim} has a "
+                    f"{'zero' if padded == 0 else 'negative'} "
+                    f"extent ({padded})",
+                    name,
+                )
             elif padded < declared:
                 flag(
                     "shrunk",
-                    f"{name!r} dim {dim} shrank {declared} -> {padded}",
+                    f"{name!r} dim {dim} shrank below the declared size "
+                    f"({declared} -> {padded})",
                     name,
                 )
+        # The declared sizes are only a floor; a dimension shrunk from
+        # its committed padded size back toward the declaration keeps
+        # strides self-consistent and may overlap nothing, so check the
+        # working sizes against the witness recorded by set_dim_sizes.
+        try:
+            committed = layout.committed_dim_sizes(name)
+        except Exception:
+            committed = decl.dim_sizes
+        if len(committed) == len(sizes):
+            for dim, (padded, want) in enumerate(zip(sizes, committed)):
+                # below-declared / non-positive extents are already
+                # condemned above; flag only the otherwise-silent range
+                if padded < want and padded >= max(1, decl.dim_sizes[dim]):
+                    flag(
+                        "shrink",
+                        f"{name!r} dim {dim} shrank below the committed "
+                        f"padded size ({want} -> {padded})",
+                        name,
+                    )
         # Strides must be exactly the column-major strides of the padded
         # sizes; recompute independently of the layout's own arithmetic.
         expected = []

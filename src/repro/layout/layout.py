@@ -7,7 +7,12 @@ transformations decide:
 * per-variable **base addresses** (inter-variable padding / placement).
 
 Layouts never mutate declarations; array strides are recomputed from the
-padded sizes on demand.  :func:`original_layout` reproduces the untouched
+padded sizes on demand.  Every size recorded through the public API is
+also mirrored into a committed-size witness
+(:meth:`MemoryLayout.committed_dim_sizes`) so the guard can detect a
+layout whose working sizes were corrupted behind the API's back — e.g. a
+padded dimension shrunk back toward (but not below) its declared size,
+which leaves strides self-consistent and causes no overlap.  :func:`original_layout` reproduces the untouched
 program: variables laid out contiguously in declaration order, aligned to
 their element size — the baseline every experiment compares against.
 
@@ -60,9 +65,11 @@ class MemoryLayout:
     def __init__(self, prog: Program):
         self.prog = prog
         self._dim_sizes: Dict[str, Tuple[int, ...]] = {}
+        self._committed_sizes: Dict[str, Tuple[int, ...]] = {}
         self._bases: Dict[str, int] = {}
         for decl in prog.arrays:
             self._dim_sizes[decl.name] = decl.dim_sizes
+            self._committed_sizes[decl.name] = decl.dim_sizes
 
     # -- intra-variable padding ------------------------------------------
 
@@ -91,6 +98,7 @@ class MemoryLayout:
                     f"({old} -> {new})"
                 )
         self._dim_sizes[name] = sizes
+        self._committed_sizes[name] = sizes
 
     def pad_dim(self, name: str, dim_index: int, elements: int) -> None:
         """Grow one dimension of an array by ``elements``."""
@@ -101,6 +109,19 @@ class MemoryLayout:
             raise LayoutError("pad amount must be nonnegative")
         sizes[dim_index] += elements
         self.set_dim_sizes(name, sizes)
+
+    def committed_dim_sizes(self, name: str) -> Tuple[int, ...]:
+        """The last dimension sizes recorded through the public API.
+
+        A sound layout always has ``committed_dim_sizes(name) ==
+        dim_sizes(name)``; a disagreement means the working sizes were
+        corrupted without going through :meth:`set_dim_sizes` (a buggy
+        or sabotaged driver) and the guard flags it.
+        """
+        try:
+            return self._committed_sizes[name]
+        except KeyError:
+            raise LayoutError(f"no array {name!r} in layout") from None
 
     def intra_pads(self, name: str) -> Tuple[int, ...]:
         """Per-dimension element increments relative to the declaration."""
@@ -189,6 +210,7 @@ class MemoryLayout:
         """An independent copy (used by heuristics to test placements)."""
         dup = MemoryLayout(self.prog)
         dup._dim_sizes = dict(self._dim_sizes)
+        dup._committed_sizes = dict(self._committed_sizes)
         dup._bases = dict(self._bases)
         return dup
 

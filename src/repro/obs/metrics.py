@@ -36,6 +36,11 @@ DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
 )
 """Default histogram bounds, tuned for span durations in seconds."""
 
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+"""Coarser bounds for request latencies (the ``repro serve`` histograms)."""
+
 LabelKey = Tuple[Tuple[str, str], ...]
 
 

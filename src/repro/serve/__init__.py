@@ -1,0 +1,53 @@
+"""Batched analysis service: the library over JSON-over-HTTP.
+
+Submodules:
+
+* :mod:`repro.serve.schemas`  — request validation, the HTTP <-> exit-code
+  error mapping, uniform structured error bodies;
+* :mod:`repro.serve.handlers` — endpoint logic (pure: request objects in,
+  JSON-safe dicts out);
+* :mod:`repro.serve.batching` — bounded admission queue (429 backpressure),
+  worker threads, the engine micro-batcher over the warm worker pool and
+  the runner memo tiers;
+* :mod:`repro.serve.server`   — the stdlib ThreadingHTTPServer shell,
+  ``/healthz`` and the Prometheus ``/metrics`` scrape.
+
+Everything is stdlib-only; ``repro serve`` is the CLI entry point.
+"""
+
+from repro.serve.schemas import (
+    HTTP_STATUS,
+    LintRequest,
+    PadRequest,
+    RunBatchRequest,
+    SimulateRequest,
+    error_body,
+    http_status_for,
+    validate_lint,
+    validate_pad,
+    validate_run,
+    validate_simulate,
+)
+
+_LAZY = {
+    "AnalysisService": "repro.serve.batching",
+    "ServeConfig": "repro.serve.batching",
+    "AnalysisServer": "repro.serve.server",
+    "create_server": "repro.serve.server",
+    "serve_forever": "repro.serve.server",
+}
+
+__all__ = [
+    "HTTP_STATUS", "LintRequest", "PadRequest", "RunBatchRequest",
+    "SimulateRequest", "error_body", "http_status_for", "validate_lint",
+    "validate_pad", "validate_run", "validate_simulate",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

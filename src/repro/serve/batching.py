@@ -1,0 +1,437 @@
+"""Admission control and micro-batching for the analysis service.
+
+:class:`AnalysisService` is the execution half of ``repro serve`` — the
+HTTP layer parses and validates, then calls :meth:`AnalysisService.submit`
+and waits.  Inside:
+
+* a **bounded admission queue** (``queue_depth``) guards every endpoint;
+  when it is full, :class:`~repro.errors.QueueFullError` propagates out
+  as HTTP 429 — the service sheds load instead of queueing unboundedly
+  or crashing;
+* ``workers`` threads execute the in-process endpoints (pad, lint,
+  inline-source simulate) — each job re-checks its deadline before it
+  starts, so a request that rotted in the queue fails fast as a timeout
+  instead of burning a worker on an answer nobody is waiting for;
+* a single **micro-batcher** thread coalesces engine-bound work
+  (benchmark simulate, ``/v1/run`` sweeps) that arrives within
+  ``batch_window_s`` into one dispatch through the shared
+  :class:`~repro.engine.pool.WorkerPool` — warm subprocesses, one
+  :meth:`~repro.engine.core.ExperimentEngine.run_many` per batch —
+  after first serving every request it can from the shared
+  :class:`~repro.experiments.runner.Runner` memo tiers
+  (``repro_runner_memo_hits_total`` in the scrape shows repeats never
+  re-simulate).
+
+The runner and the engine pool are touched only by the batcher thread;
+the per-source simulate memo has its own lock.  Client timeouts abandon
+the job (the waiter gets :class:`~repro.errors.RunTimeout` → HTTP 504);
+an abandoned job still in the queue is skipped, one already dispatched
+to the engine finishes and warms the memo for the retry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import QueueFullError, ReproError, RunTimeout
+from repro.obs import runtime as obs
+from repro.serve import handlers
+from repro.serve.schemas import RunBatchRequest, SimulateRequest
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro serve`` decides at startup."""
+
+    host: str = "127.0.0.1"
+    port: int = 8077
+    workers: int = 4               # in-process handler threads
+    queue_depth: int = 64          # bounded admission queue (429 past this)
+    timeout_s: float = 30.0        # default per-request deadline
+    batch_window_s: float = 0.02   # micro-batch coalescing window
+    max_batch: int = 32            # jobs coalesced per engine dispatch
+    max_body_bytes: int = 1 << 20  # request bodies past this get 413
+    engine_jobs: int = 4           # warm engine worker subprocesses
+    engine_retries: int = 1
+    guard: object = None           # Optional[GuardConfig]
+
+
+class _Job:
+    """One admitted request waiting for its result."""
+
+    __slots__ = (
+        "endpoint", "request", "deadline", "enqueued_at",
+        "done", "result", "error", "abandoned",
+    )
+
+    def __init__(self, endpoint: str, request, deadline: float):
+        self.endpoint = endpoint
+        self.request = request
+        self.deadline = deadline
+        self.enqueued_at = time.monotonic()
+        self.done = threading.Event()
+        self.result: Optional[dict] = None
+        self.error: Optional[BaseException] = None
+        self.abandoned = False
+
+    def finish(self, result: Optional[dict] = None,
+               error: Optional[BaseException] = None) -> None:
+        self.result = result
+        self.error = error
+        self.done.set()
+
+
+#: endpoints executed on worker threads (everything else micro-batches)
+_IN_PROCESS = ("pad", "lint", "simulate-source")
+
+
+class AnalysisService:
+    """Bounded-queue, micro-batching executor behind the HTTP layer."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        from repro.experiments.runner import Runner
+
+        self.config = config or ServeConfig()
+        self.runner = Runner()
+        self._pool = None
+        self._engine = None
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._exec_queue: deque = deque()
+        self._batch_queue: deque = deque()
+        self._threads: List[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._started = False
+        self._source_memo: Dict[Tuple, dict] = {}
+        self._source_lock = threading.Lock()
+        self.started_at = time.time()
+
+    # -- life cycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn worker threads, the batcher, and warm the engine pool."""
+        if self._started:
+            return
+        from repro.engine.core import EngineConfig, ExperimentEngine
+        from repro.engine.pool import WorkerPool
+
+        cfg = self.config
+        self._pool = WorkerPool(jobs=cfg.engine_jobs)
+        self._pool.warm()
+        self._engine = ExperimentEngine(
+            EngineConfig(
+                jobs=cfg.engine_jobs,
+                timeout=cfg.timeout_s,
+                retries=cfg.engine_retries,
+                backoff_base=0.05,
+                guard=cfg.guard,
+            ),
+            pool=self._pool,
+        )
+        self._started = True
+        self._stopping.clear()
+        for index in range(max(1, cfg.workers)):
+            thread = threading.Thread(
+                target=self._exec_loop, name=f"serve-exec-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        batcher = threading.Thread(
+            target=self._batch_loop, name="serve-batch", daemon=True
+        )
+        batcher.start()
+        self._threads.append(batcher)
+
+    def stop(self) -> None:
+        """Drain nothing: fail queued jobs fast and stop every thread."""
+        if not self._started:
+            return
+        self._stopping.set()
+        with self._work:
+            for job in list(self._exec_queue) + list(self._batch_queue):
+                job.finish(error=ReproError("service shutting down"))
+            self._exec_queue.clear()
+            self._batch_queue.clear()
+            self._work.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=5)
+        self._threads.clear()
+        if self._pool is not None:
+            self._pool.close()
+        self._started = False
+
+    # -- submission (HTTP handler threads) ----------------------------------
+
+    def submit(self, endpoint: str, request) -> dict:
+        """Admit one validated request and wait for its result.
+
+        Raises :class:`QueueFullError` when the admission queue is at
+        ``queue_depth`` (429), :class:`RunTimeout` when the deadline
+        passes first (504), or whatever library error the handler hit.
+        """
+        if not self._started:
+            raise ReproError("analysis service is not running")
+        timeout = getattr(request, "timeout_s", None) or self.config.timeout_s
+        job = _Job(endpoint, request, time.monotonic() + timeout)
+        with self._work:
+            depth = len(self._exec_queue) + len(self._batch_queue)
+            if depth >= self.config.queue_depth:
+                obs.counter_add(
+                    "repro_serve_rejections_total", 1,
+                    "requests shed by the service, by reason",
+                    reason="queue_full",
+                )
+                raise QueueFullError(
+                    f"admission queue full ({self.config.queue_depth} "
+                    "waiting); retry with backoff"
+                )
+            if endpoint in _IN_PROCESS:
+                self._exec_queue.append(job)
+            else:
+                self._batch_queue.append(job)
+            self._gauge_depth()
+            self._work.notify_all()
+        if not job.done.wait(timeout):
+            job.abandoned = True
+            obs.counter_add(
+                "repro_serve_rejections_total", 1,
+                "requests shed by the service, by reason", reason="timeout",
+            )
+            raise RunTimeout(
+                f"{endpoint}: no result within {timeout:.1f}s "
+                "(the request was abandoned)"
+            )
+        if job.error is not None:
+            raise job.error
+        return job.result
+
+    # -- health -------------------------------------------------------------
+
+    def health(self) -> dict:
+        """Liveness and queue occupancy for ``GET /healthz``."""
+        with self._lock:
+            queued = len(self._exec_queue) + len(self._batch_queue)
+        return {
+            "status": "ok" if self._started else "stopped",
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "queued": queued,
+            "queue_depth": self.config.queue_depth,
+            "workers": self.config.workers,
+            "engine_workers": (
+                self._pool.idle_count + self._pool.leased_count
+                if self._pool is not None
+                else 0
+            ),
+        }
+
+    # -- internals ----------------------------------------------------------
+
+    def _gauge_depth(self) -> None:
+        obs.gauge_set(
+            "repro_serve_queue_depth", len(self._exec_queue),
+            "requests waiting for admission, by queue", queue="exec",
+        )
+        obs.gauge_set(
+            "repro_serve_queue_depth", len(self._batch_queue),
+            "requests waiting for admission, by queue", queue="batch",
+        )
+
+    def _pop(self, queue: deque) -> Optional[_Job]:
+        """One non-abandoned job, or None once the service is stopping."""
+        with self._work:
+            while not self._stopping.is_set():
+                while queue:
+                    job = queue.popleft()
+                    self._gauge_depth()
+                    if not job.abandoned:
+                        return job
+                self._work.wait(timeout=0.1)
+        return None
+
+    def _exec_loop(self) -> None:
+        while True:
+            job = self._pop(self._exec_queue)
+            if job is None:
+                return
+            if time.monotonic() > job.deadline:
+                job.finish(error=RunTimeout(
+                    f"{job.endpoint}: deadline passed while queued"
+                ))
+                continue
+            obs.observe(
+                "repro_serve_queue_wait_seconds",
+                time.monotonic() - job.enqueued_at,
+                "time requests sat in the admission queue",
+            )
+            try:
+                job.finish(result=self._execute(job))
+            except BaseException as exc:  # structured error at the boundary
+                job.finish(error=exc)
+
+    def _execute(self, job: _Job) -> dict:
+        if job.endpoint == "pad":
+            return handlers.handle_pad(job.request)
+        if job.endpoint == "lint":
+            return handlers.handle_lint(job.request)
+        if job.endpoint == "simulate-source":
+            return self._simulate_source(job.request)
+        raise ReproError(f"unroutable endpoint {job.endpoint!r}")
+
+    def _simulate_source(self, request: SimulateRequest) -> dict:
+        key = (
+            request.source, tuple(sorted(request.params.items())),
+            request.heuristic, request.m_lines, request.cache,
+        )
+        with self._source_lock:
+            hit = self._source_memo.get(key)
+        if hit is not None:
+            obs.counter_add(
+                "repro_runner_memo_hits_total", 1,
+                "simulation results served from memory", tier="serve",
+            )
+            return hit
+        result = handlers.handle_simulate_source(request)
+        with self._source_lock:
+            self._source_memo[key] = result
+        return result
+
+    # -- micro-batching -----------------------------------------------------
+
+    def _batch_loop(self) -> None:
+        while True:
+            first = self._pop(self._batch_queue)
+            if first is None:
+                return
+            jobs = [first]
+            horizon = time.monotonic() + self.config.batch_window_s
+            with self._work:
+                while (
+                    len(jobs) < self.config.max_batch
+                    and not self._stopping.is_set()
+                ):
+                    while self._batch_queue and len(jobs) < self.config.max_batch:
+                        job = self._batch_queue.popleft()
+                        self._gauge_depth()
+                        if not job.abandoned:
+                            jobs.append(job)
+                    remaining = horizon - time.monotonic()
+                    if remaining <= 0 or len(jobs) >= self.config.max_batch:
+                        break
+                    self._work.wait(timeout=remaining)
+            self._dispatch_batch(jobs)
+
+    def _dispatch_batch(self, jobs: List[_Job]) -> None:
+        """Serve one coalesced batch: memo tiers first, engine for the rest."""
+        from repro.experiments.runner import request_key
+
+        obs.counter_add(
+            "repro_serve_batches_total", 1, "micro-batches dispatched"
+        )
+        obs.observe(
+            "repro_serve_batch_jobs", len(jobs),
+            "requests coalesced per micro-batch",
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+        )
+        plans = []  # (job, [RunRequest]) in arrival order
+        for job in jobs:
+            try:
+                plans.append((job, self._requests_for(job)))
+            except BaseException as exc:
+                job.finish(error=exc)
+        memo: Dict[str, object] = {}
+        missing: Dict[str, object] = {}
+        for _job, requests in plans:
+            for request in requests:
+                key = request_key(request)
+                if key in memo or key in missing:
+                    continue
+                stats = self.runner.memo_lookup(request)
+                if stats is not None:
+                    memo[key] = stats
+                else:
+                    missing[key] = request
+        outcomes: Dict[str, object] = {}
+        if missing:
+            try:
+                results = self._engine.run_many(list(missing.values()))
+            except BaseException as exc:  # engine never should; fail the batch
+                for job, _requests in plans:
+                    if not job.done.is_set():
+                        job.finish(error=exc)
+                return
+            for outcome in results:
+                outcomes[outcome.key] = outcome
+                if outcome.stats is not None:
+                    self.runner.prime(outcome.request, outcome.stats)
+        for job, requests in plans:
+            if job.done.is_set() or job.abandoned:
+                continue
+            try:
+                job.finish(result=self._assemble(job, requests, memo, outcomes))
+            except BaseException as exc:
+                job.finish(error=exc)
+
+    def _requests_for(self, job: _Job) -> list:
+        """Resolve one engine-bound job to its RunRequests."""
+        if job.endpoint == "simulate-program":
+            request: SimulateRequest = job.request
+            return [
+                self.runner.request_for(
+                    request.program, request.heuristic, request.cache,
+                    size=request.size, m_lines=request.m_lines,
+                )
+            ]
+        if job.endpoint == "run":
+            batch: RunBatchRequest = job.request
+            return [
+                self.runner.request_for(
+                    item["program"], item["heuristic"], batch.cache,
+                    size=item["size"], m_lines=item["m_lines"],
+                )
+                for item in batch.items
+            ]
+        raise ReproError(f"unbatchable endpoint {job.endpoint!r}")
+
+    def _assemble(self, job: _Job, requests, memo, outcomes) -> dict:
+        from repro.experiments.runner import request_key
+
+        records = []
+        for request in requests:
+            key = request_key(request)
+            if key in memo:
+                records.append(
+                    {
+                        "program": request.program,
+                        "heuristic": request.heuristic,
+                        "size": request.size,
+                        "status": "cached",
+                        "attempts": 0,
+                        "stats": handlers.stats_record(memo[key]),
+                    }
+                )
+            elif key in outcomes:
+                records.append(handlers.outcome_record(outcomes[key]))
+            else:  # pragma: no cover - engine returns one outcome per input
+                records.append(
+                    {
+                        "program": request.program,
+                        "heuristic": request.heuristic,
+                        "size": request.size,
+                        "status": "failed",
+                        "attempts": 0,
+                        "stats": None,
+                        "error": "no outcome produced",
+                    }
+                )
+        if job.endpoint == "simulate-program":
+            record = dict(records[0])
+            record["cache"] = job.request.cache.describe()
+            return record
+        counts: Dict[str, int] = {}
+        for record in records:
+            counts[record["status"]] = counts.get(record["status"], 0) + 1
+        return {"outcomes": records, "counts": counts}

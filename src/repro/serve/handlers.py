@@ -1,0 +1,194 @@
+"""Endpoint logic: validated request objects in, JSON-safe dicts out.
+
+Handlers are pure with respect to the HTTP layer — they know nothing of
+sockets, headers or status codes — so the unit tests exercise them
+directly and the server module stays a thin routing shell.  Library
+errors propagate; :mod:`repro.serve.schemas` maps them to HTTP statuses
+and structured bodies at the boundary.
+
+Simulation requests against **registered benchmarks** do not run here:
+they are resolved to :class:`~repro.experiments.runner.RunRequest`
+objects and executed by the micro-batcher (:mod:`repro.serve.batching`)
+through the shared warm engine pool.  Inline-**source** requests build
+their program in-process (the DSL front end is cheap and the kernels are
+bounded by the source-size ceiling) and simulate under the service's
+guard policy, memoized per (source, params, heuristic, cache).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.cache.stats import CacheStats
+from repro.experiments.runner import HEURISTICS
+from repro.ir.program import Program
+from repro.serve.schemas import (
+    LintRequest,
+    PadRequest,
+    SimulateRequest,
+)
+
+
+def _build_program(source: str, params) -> Program:
+    from repro.frontend import parse_program
+
+    return parse_program(source, params=params or None)
+
+
+def _run_heuristic(prog: Program, heuristic: str, cache, m_lines: int):
+    from repro.padding.common import PadParams
+
+    params = PadParams.for_cache(cache, m_lines=m_lines)
+    return HEURISTICS[heuristic](prog, params)
+
+
+def stats_record(stats: Optional[CacheStats]) -> Optional[dict]:
+    """JSON-safe rendering of one simulation result."""
+    if stats is None:
+        return None
+    record = dataclasses.asdict(stats)
+    record["miss_rate_pct"] = round(stats.miss_rate_pct, 4)
+    return record
+
+
+def finding_record(finding) -> dict:
+    """JSON-safe rendering of one lint finding."""
+    return {
+        "rule": finding.rule,
+        "severity": finding.severity.label,
+        "message": finding.message,
+        "line": finding.line,
+        "array": finding.array,
+    }
+
+
+def handle_pad(request: PadRequest) -> dict:
+    """Pad one kernel: decisions, final layout, overhead, optional lint."""
+    prog = _build_program(request.source, request.params)
+    result = _run_heuristic(prog, request.heuristic, request.cache,
+                            request.m_lines)
+    layout = result.layout
+    response = {
+        "program": result.prog.name,
+        "heuristic": request.heuristic,
+        "cache": request.cache.describe(),
+        "intra": [
+            {
+                "array": d.array,
+                "dim": d.dim_index,
+                "elements": d.elements,
+                "heuristic": d.heuristic,
+            }
+            for d in result.intra_decisions
+        ],
+        "inter": [
+            {"unit": d.unit, "pad_bytes": d.pad_bytes, "base": d.final,
+             "gave_up": d.gave_up}
+            for d in result.inter_decisions
+        ],
+        "layout": {
+            decl.name: {
+                "base": layout.base(decl.name),
+                "dims": list(layout.dim_sizes(decl.name))
+                if hasattr(decl, "dim_sizes") else None,
+            }
+            for decl in result.prog.decls
+        },
+        "total_bytes": layout.end_address(),
+    }
+    if result.guard is not None:
+        response["guard"] = result.guard.to_record()
+    if request.lint:
+        from repro.lint import LintConfig
+        from repro.lint.engine import lint_program
+
+        lint = lint_program(
+            result.prog,
+            config=LintConfig(cache=request.cache, select=("C",)),
+            layout=layout,
+        )
+        response["lint"] = {
+            "clean": lint.clean,
+            "findings": [finding_record(f) for f in lint.findings],
+        }
+    return response
+
+
+def handle_lint(request: LintRequest) -> dict:
+    """Statically analyze one kernel; findings are data, never an error."""
+    from repro.lint import LintConfig
+    from repro.lint.engine import lint_source
+
+    result = lint_source(
+        request.source,
+        params=request.params or None,
+        config=LintConfig(
+            cache=request.cache,
+            select=request.select,
+            ignore=request.ignore,
+        ),
+        source_name="<request>",
+    )
+    return {
+        "program": result.program,
+        "clean": result.clean,
+        "counts": result.counts(),
+        "findings": [finding_record(f) for f in result.findings],
+    }
+
+
+def handle_simulate_source(request: SimulateRequest) -> dict:
+    """Simulate inline DSL before/after padding under the active guard."""
+    from repro import simulate_program
+    from repro.guard import runtime as guard_runtime
+    from repro.padding.drivers import original
+
+    prog = _build_program(request.source, request.params)
+    baseline = original(prog)
+    before = simulate_program(prog, baseline.layout, request.cache)
+    response = {
+        "program": prog.name,
+        "heuristic": request.heuristic,
+        "cache": request.cache.describe(),
+        "original": stats_record(before),
+    }
+    if request.heuristic == "original":
+        return response
+    result = _run_heuristic(prog, request.heuristic, request.cache,
+                            request.m_lines)
+    guard = guard_runtime.active_config()
+    if guard is not None:
+        from repro.guard import check_transform
+
+        report, after = check_transform(
+            result.prog, result.layout, guard,
+            simulate_fn=lambda p, lay: simulate_program(p, lay, request.cache),
+            baseline_stats=before,
+            dropped=result.guard.dropped if result.guard else (),
+        )
+        response["guard"] = report.to_record()
+    else:
+        after = simulate_program(result.prog, result.layout, request.cache)
+    response["padded"] = stats_record(after)
+    response["improvement_pct"] = round(
+        before.miss_rate_pct - after.miss_rate_pct, 4
+    )
+    return response
+
+
+def outcome_record(outcome) -> dict:
+    """JSON-safe rendering of one engine run outcome."""
+    record = {
+        "program": outcome.request.program,
+        "heuristic": outcome.request.heuristic,
+        "size": outcome.request.size,
+        "status": outcome.status,
+        "attempts": outcome.attempts,
+        "stats": stats_record(outcome.stats),
+    }
+    if outcome.error:
+        record["error"] = outcome.error
+    if outcome.guard:
+        record["guard"] = outcome.guard
+    return record

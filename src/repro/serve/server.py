@@ -1,0 +1,238 @@
+"""HTTP front end for the analysis service (``repro serve``).
+
+Stdlib only: :class:`http.server.ThreadingHTTPServer` accepts
+connections, one handler thread per request parses and validates the
+body (:mod:`repro.serve.schemas`), then blocks on
+:meth:`~repro.serve.batching.AnalysisService.submit` for the result.
+All throttling lives in the service — the HTTP layer's only defenses
+are the max-body ceiling (413 before reading an oversized body) and
+translating library errors into the uniform structured bodies.
+
+Routes::
+
+    POST /v1/pad        pad one kernel, report decisions + layout
+    POST /v1/lint       static cache-hazard analysis
+    POST /v1/simulate   miss rates for inline source or a benchmark
+    POST /v1/run        a benchmark sweep through the warm engine pool
+    GET  /healthz       liveness + queue occupancy
+    GET  /metrics       Prometheus text format (repro.obs exporter)
+
+Every request increments ``repro_serve_requests_total{endpoint,code}``
+and lands one ``repro_serve_request_seconds{endpoint}`` observation, so
+the scrape shows per-endpoint traffic, error mix and latency.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.errors import PayloadTooLarge, UsageError
+from repro.obs import runtime as obs
+from repro.obs.export import to_prometheus
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS
+from repro.serve.batching import AnalysisService, ServeConfig
+from repro.serve.schemas import (
+    error_body,
+    http_status_for,
+    validate_lint,
+    validate_pad,
+    validate_run,
+    validate_simulate,
+)
+
+#: POST route -> (endpoint label, validator); the simulate endpoint is
+#: re-labelled per request form (source vs program) after validation.
+_ROUTES = {
+    "/v1/pad": ("pad", validate_pad),
+    "/v1/lint": ("lint", validate_lint),
+    "/v1/simulate": ("simulate", validate_simulate),
+    "/v1/run": ("run", validate_run),
+}
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request: route, validate, submit, render."""
+
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    # quiet by default; the metrics tell the traffic story
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    @property
+    def service(self) -> AnalysisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- GET ----------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        started = time.monotonic()
+        if self.path == "/healthz":
+            body = self.service.health()
+            code = 200 if body["status"] == "ok" else 503
+            self._send_json(code, body)
+            self._account("healthz", code, started)
+        elif self.path == "/metrics":
+            text = to_prometheus(obs.snapshot()).encode()
+            self._send_bytes(200, text, "text/plain; version=0.0.4")
+            self._account("metrics", 200, started)
+        else:
+            self._send_json(
+                404, {"error": {"type": "UsageError",
+                                "message": f"no route {self.path!r}",
+                                "exit_code": 3, "http_status": 404}},
+            )
+            self._account("unknown", 404, started)
+
+    # -- POST ---------------------------------------------------------------
+
+    def do_POST(self) -> None:
+        started = time.monotonic()
+        route = _ROUTES.get(self.path)
+        if route is None:
+            self._send_json(
+                404, {"error": {"type": "UsageError",
+                                "message": f"no route {self.path!r}",
+                                "exit_code": 3, "http_status": 404}},
+            )
+            self._account("unknown", 404, started)
+            return
+        endpoint, validator = route
+        try:
+            body = self._read_body()
+            request = validator(body)
+            if endpoint == "simulate":
+                endpoint = (
+                    "simulate-source" if request.source is not None
+                    else "simulate-program"
+                )
+            result = self.service.submit(endpoint, request)
+            self._send_json(200, result)
+            self._account(endpoint, 200, started)
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            status = http_status_for(exc)
+            self._send_json(status, error_body(exc))
+            self._account(endpoint, status, started)
+
+    def _read_body(self):
+        length = self.headers.get("Content-Length")
+        try:
+            length = int(length)
+        except (TypeError, ValueError):
+            raise UsageError(
+                "a JSON body with a Content-Length header is required"
+            ) from None
+        limit = self.server.max_body_bytes  # type: ignore[attr-defined]
+        if length > limit:
+            # drain a bounded amount so a mid-upload client can still
+            # read the 413 instead of dying on a broken pipe; anything
+            # past the drain cap gets the connection closed under it
+            remaining = min(length, max(limit, 1 << 22))
+            while remaining > 0:
+                chunk = self.rfile.read(min(65536, remaining))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            self.close_connection = True
+            raise PayloadTooLarge(
+                f"request body of {length} bytes exceeds the "
+                f"{limit}-byte ceiling"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise UsageError(f"malformed JSON body: {exc}") from None
+
+    # -- rendering ----------------------------------------------------------
+
+    def _send_json(self, code: int, payload: dict) -> None:
+        self._send_bytes(
+            code, json.dumps(payload).encode(), "application/json"
+        )
+
+    def _send_bytes(self, code: int, body: bytes, content_type: str) -> None:
+        try:
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # the client hung up; nothing to salvage
+
+    @staticmethod
+    def _account(endpoint: str, code: int, started: float) -> None:
+        obs.counter_add(
+            "repro_serve_requests_total", 1,
+            "requests handled, by endpoint and status",
+            endpoint=endpoint, code=str(code),
+        )
+        obs.observe(
+            "repro_serve_request_seconds", time.monotonic() - started,
+            "request latency, by endpoint", buckets=DEFAULT_LATENCY_BUCKETS,
+            endpoint=endpoint,
+        )
+
+
+class AnalysisServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that owns one :class:`AnalysisService`."""
+
+    daemon_threads = True
+    # socketserver's default listen backlog of 5 resets connections under
+    # a concurrent burst; admission control belongs to the bounded queue
+    # (429), not the kernel's SYN queue
+    request_queue_size = 128
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 service: Optional[AnalysisService] = None,
+                 verbose: bool = False):
+        self.config = config or ServeConfig()
+        self.service = service or AnalysisService(self.config)
+        self.max_body_bytes = self.config.max_body_bytes
+        self.verbose = verbose
+        super().__init__((self.config.host, self.config.port), _Handler)
+
+    def server_activate(self) -> None:
+        """Start listening: enable metrics and warm the service first."""
+        obs.enable()  # /metrics must answer even without --metrics
+        self.service.start()
+        super().server_activate()
+
+    def server_close(self) -> None:
+        """Close the listening socket, then stop the service's threads."""
+        super().server_close()
+        self.service.stop()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self.server_address[:2]
+        return host, port
+
+
+def create_server(config: Optional[ServeConfig] = None,
+                  verbose: bool = False) -> AnalysisServer:
+    """A bound, warmed server; call ``serve_forever()`` to run it."""
+    return AnalysisServer(config, verbose=verbose)
+
+
+def serve_forever(config: Optional[ServeConfig] = None,
+                  verbose: bool = False) -> None:
+    """Run the service until interrupted (the ``repro serve`` loop)."""
+    server = create_server(config, verbose=verbose)
+    host, port = server.address
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"(workers={server.config.workers}, "
+          f"queue-depth={server.config.queue_depth})")
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

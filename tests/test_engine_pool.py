@@ -1,0 +1,108 @@
+"""The warm worker pool (repro.engine.pool) and its engine integration."""
+
+import pytest
+
+from repro.engine import EngineConfig, ExperimentEngine, WorkerPool
+from repro.errors import EngineError
+from repro.experiments.runner import DEFAULT_RUNNER
+
+FAST = EngineConfig(jobs=2, timeout=120, retries=0, backoff_base=0)
+
+
+def requests(*heuristics):
+    return [
+        DEFAULT_RUNNER.request_for("mult", heuristic, size=24)
+        for heuristic in heuristics
+    ]
+
+
+class TestWorkerPool:
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(EngineError):
+            WorkerPool(jobs=0)
+
+    def test_warm_spawns_idle_workers(self):
+        with WorkerPool(jobs=2) as pool:
+            assert pool.warm() == 2
+            assert pool.idle_count == 2
+            assert pool.leased_count == 0
+
+    def test_lease_reuses_warm_workers(self):
+        with WorkerPool(jobs=2) as pool:
+            pool.warm()
+            first = pool.lease(2)
+            assert pool.idle_count == 0
+            assert pool.leased_count == 2
+            pool.release(first)
+            assert pool.idle_count == 2
+            second = pool.lease(2)
+            # the same warm processes come back out
+            assert {w.proc.pid for w in second} == {
+                w.proc.pid for w in first
+            }
+            pool.release(second)
+
+    def test_lease_caps_at_jobs(self):
+        with WorkerPool(jobs=2) as pool:
+            leased = pool.lease(8)
+            assert len(leased) == 2
+            pool.release(leased)
+
+    def test_dead_worker_is_culled_on_release(self):
+        with WorkerPool(jobs=1) as pool:
+            [worker] = pool.lease(1)
+            pid = worker.proc.pid
+            worker.proc.kill()
+            worker.proc.join(timeout=10)
+            pool.release([worker])
+            assert pool.idle_count == 0  # corpse not parked
+            [fresh] = pool.lease(1)
+            assert fresh.proc.pid != pid
+            pool.release([fresh])
+
+    def test_close_stops_idle_and_blocks_lease(self):
+        pool = WorkerPool(jobs=1)
+        pool.warm()
+        [worker] = pool._idle
+        pool.close()
+        worker.proc.join(timeout=10)
+        assert not worker.proc.is_alive()
+        with pytest.raises(EngineError, match="closed"):
+            pool.lease(1)
+        pool.close()  # idempotent
+
+    def test_release_after_close_kills(self):
+        pool = WorkerPool(jobs=1)
+        leased = pool.lease(1)
+        pool.close()
+        pool.release(leased)
+        leased[0].proc.join(timeout=10)
+        assert not leased[0].proc.is_alive()
+
+
+class TestPooledEngine:
+    def test_engine_runs_on_pooled_workers(self):
+        with WorkerPool(jobs=2) as pool:
+            engine = ExperimentEngine(FAST, pool=pool)
+            outcomes = engine.run_many(requests("original", "pad"))
+            assert [o.status for o in outcomes] == ["ok", "ok"]
+            # workers were released back warm, not torn down
+            assert pool.leased_count == 0
+            assert pool.idle_count >= 1
+
+    def test_workers_stay_warm_across_sweeps(self):
+        with WorkerPool(jobs=1) as pool:
+            engine = ExperimentEngine(FAST, pool=pool)
+            engine.run_many(requests("original"))
+            pids_before = {w.proc.pid for w in pool._idle}
+            engine.run_many(requests("padlite"))
+            pids_after = {w.proc.pid for w in pool._idle}
+            assert pids_before == pids_after != set()
+
+    def test_two_engines_share_one_pool(self):
+        with WorkerPool(jobs=1) as pool:
+            first = ExperimentEngine(FAST, pool=pool)
+            second = ExperimentEngine(FAST, pool=pool)
+            assert first.run_many(requests("original"))[0].status == "ok"
+            assert second.run_many(requests("pad"))[0].status == "ok"
+            assert pool.leased_count == 0

@@ -81,6 +81,101 @@ class TestCheckLayout:
         assert "budget" in kinds(over)
 
 
+class TestShrinkWitness:
+    """Deterministic regressions for intra-dimension shrink corruption.
+
+    The guard keeps a committed-size witness (the sizes last set through
+    the public layout API), so a dimension silently shrunk *below the
+    padded size but at or above the declared size* — including all the
+    way back to declared, which is indistinguishable from "never padded"
+    without the witness — is flagged as ``shrink``.  Corruptions at or
+    below the declared floor keep the existing ``shrunk`` kind.
+    """
+
+    #: Cs=512, Ls=4: jacobi-256 columns self-conflict, so PAD grows A's
+    #: leading dimension (256 -> 258) and the witness has pad to lose.
+    SHRINK_PARAMS = PadParams.for_cache(
+        CacheConfig(512, 4, 1), intra_pad_limit=32
+    )
+
+    def _intra_padded(self):
+        """A padded jacobi plus one (array, dim) that really gained pad."""
+        result = pad(jacobi_program(256), self.SHRINK_PARAMS)
+        for decl in result.prog.arrays:
+            sizes = result.layout.dim_sizes(decl.name)
+            for dim, (padded, declared) in enumerate(
+                zip(sizes, decl.dim_sizes)
+            ):
+                if padded > declared:
+                    return result, decl.name, dim
+        pytest.fail("expected jacobi to intra-pad under the paper cache")
+
+    def _corrupt(self, result, name, sizes):
+        result.layout._dim_sizes[name] = tuple(sizes)
+        return check_layout(result.prog, result.layout)
+
+    def test_shrink_below_committed_above_declared(self):
+        result, name, dim = self._intra_padded()
+        sizes = list(result.layout.dim_sizes(name))
+        sizes[dim] -= 1
+        assert sizes[dim] >= result.prog.array(name).dim_sizes[dim]
+        assert "shrink" in kinds(self._corrupt(result, name, sizes))
+
+    def test_shrink_back_to_declared_is_caught(self):
+        result, name, dim = self._intra_padded()
+        declared = result.prog.array(name).dim_sizes
+        assert declared != result.layout.dim_sizes(name)
+        assert "shrink" in kinds(self._corrupt(result, name, declared))
+
+    def test_leading_dim_to_zero(self):
+        result, name, _dim = self._intra_padded()
+        sizes = list(result.layout.dim_sizes(name))
+        sizes[0] = 0
+        assert "shrunk" in kinds(self._corrupt(result, name, sizes))
+
+    def test_leading_dim_to_one(self):
+        result, name, _dim = self._intra_padded()
+        sizes = list(result.layout.dim_sizes(name))
+        sizes[0] = 1
+        assert "shrunk" in kinds(self._corrupt(result, name, sizes))
+
+    def test_inner_dim_shrink(self):
+        result, name, _dim = self._intra_padded()
+        sizes = list(result.layout.dim_sizes(name))
+        sizes[-1] -= 1
+        violations = self._corrupt(result, name, sizes)
+        assert kinds(violations) & {"shrink", "shrunk"}
+
+    def test_below_declared_on_unpadded_array(self):
+        prog = vector_sum_program(64)
+        layout = original_layout(prog)
+        layout._dim_sizes["A"] = (63,)
+        assert "shrunk" in kinds(check_layout(prog, layout))
+
+    def test_declared_size_one_shrunk_to_zero(self):
+        # the old max(1, declared) floor let a declared-1 dim reach 0
+        prog = vector_sum_program(1)
+        layout = original_layout(prog)
+        layout._dim_sizes["A"] = (0,)
+        assert "shrunk" in kinds(check_layout(prog, layout))
+
+    def test_witness_survives_copy(self):
+        result, name, dim = self._intra_padded()
+        clone = result.layout.copy()
+        sizes = list(clone.dim_sizes(name))
+        sizes[dim] -= 1
+        clone._dim_sizes[name] = tuple(sizes)
+        assert "shrink" in kinds(check_layout(result.prog, clone))
+
+    def test_public_resize_moves_the_witness(self):
+        # shrinking through the API is a decision, not a corruption
+        result, name, _dim = self._intra_padded()
+        declared = result.prog.array(name).dim_sizes
+        result.layout.set_dim_sizes(name, declared)
+        violations = check_layout(result.prog, result.layout)
+        assert "shrink" not in kinds(violations)
+
+
 class TestPadOverhead:
     def test_original_layout_costs_nothing(self):
         prog = jacobi_program(128)
