@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Performance snapshots for the campaign/runner pipeline (CI artifact).
+
+Runs a small benchmark sweep three ways and writes a ``BENCH_<n>.json``
+snapshot next to the previous ones, so consecutive commits leave a
+perf paper trail that can be diffed:
+
+1. **cold** — a fresh campaign through the coordinator and worker
+   pool: end-to-end simulate throughput with nothing cached.
+2. **resume** — the same campaign resumed: every item must come back
+   ``cached`` from the durable SQLite disk tier, which isolates the
+   commit/replay overhead from simulation time.
+3. **memo** — the same requests through a single in-process
+   :class:`~repro.experiments.runner.Runner` backed by the campaign's
+   disk tier, twice: the repeat pass measures the in-memory memo tier.
+
+The snapshot also embeds the relevant ``repro_campaign_*`` and
+``repro_runner_memo_hits_total`` counters from the metrics registry so
+hit-rate regressions show up alongside throughput ones.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_snapshot.py \
+        [--out DIR] [--benchmarks dot,jacobi,mult] [--jobs 2] [--label msg]
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+import tempfile
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.campaign import Coordinator, compile_plan  # noqa: E402
+from repro.campaign.disktier import DiskTier  # noqa: E402
+from repro.campaign.spec import parse_spec  # noqa: E402
+from repro.experiments.runner import Runner  # noqa: E402
+from repro.obs import runtime as obs  # noqa: E402
+
+DEFAULT_BENCHMARKS = "dot,jacobi,mult"
+
+
+def next_snapshot_path(out_dir: pathlib.Path) -> pathlib.Path:
+    """BENCH_<n>.json with n one past the largest already present."""
+    highest = 0
+    for path in out_dir.glob("BENCH_*.json"):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if match:
+            highest = max(highest, int(match.group(1)))
+    return out_dir / f"BENCH_{highest + 1}.json"
+
+
+def counter_total(snapshot: dict, name: str, **labels) -> float:
+    """Sum a counter family, optionally restricted to matching labels."""
+    total = 0.0
+    for row in snapshot.get("counters", ()):
+        if row["name"] != name:
+            continue
+        if any(row["labels"].get(k) != v for k, v in labels.items()):
+            continue
+        total += row["value"]
+    return total
+
+
+def timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(ROOT),
+                        help="directory for BENCH_<n>.json (default repo "
+                             "root)")
+    parser.add_argument("--benchmarks", default=DEFAULT_BENCHMARKS,
+                        help=f"comma-separated benchmark names "
+                             f"(default {DEFAULT_BENCHMARKS})")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="campaign worker processes (default 2)")
+    parser.add_argument("--label", default="",
+                        help="free-form note stored in the snapshot")
+    args = parser.parse_args()
+
+    out_dir = pathlib.Path(args.out)
+    if not out_dir.is_dir():
+        print(f"error: --out {out_dir} is not a directory", file=sys.stderr)
+        return 2
+    benchmarks = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+
+    obs.reset()
+    obs.enable()
+    spec = parse_spec({
+        "name": "bench-snapshot",
+        "benchmarks": benchmarks,
+        "heuristics": ["pad"],
+        "caches": [{"size": "8K", "line": 32}, {"size": "16K", "line": 32}],
+        "seed": 1998,
+    })
+    plan = compile_plan(spec)
+
+    with tempfile.TemporaryDirectory(prefix="bench-snapshot-") as tmp:
+        workdir = pathlib.Path(tmp) / "campaign"
+        coordinator = Coordinator(plan, workdir, jobs=max(1, args.jobs))
+        cold, cold_s = timed(lambda: coordinator.run())
+        if not cold.ok:
+            print("error: cold campaign had failures; refusing to "
+                  "snapshot a broken run", file=sys.stderr)
+            return 1
+
+        resumer = Coordinator(plan, workdir, jobs=max(1, args.jobs))
+        warm, warm_s = timed(lambda: resumer.run(resume=True))
+        if warm.cached != len(plan.items):
+            print(f"error: resume re-simulated items "
+                  f"({warm.cached}/{len(plan.items)} cached)",
+                  file=sys.stderr)
+            return 1
+
+        tier = DiskTier(coordinator.tier_path)
+        try:
+            runner = Runner(tier=tier)
+
+            def run_all():
+                for item in plan.items:
+                    r = item.request
+                    runner.run(
+                        r.program, heuristic=r.heuristic, cache=r.cache,
+                        size=r.size, pad_cache=r.pad_cache,
+                        m_lines=r.m_lines, max_outer=r.max_outer,
+                        seed=r.seed,
+                    )
+
+            _, disk_pass_s = timed(run_all)
+            _, memo_pass_s = timed(run_all)
+        finally:
+            tier.close()
+
+    snap = obs.snapshot()
+    items = len(plan.items)
+    document = {
+        "schema": 1,
+        "label": args.label,
+        "campaign": plan.campaign_id,
+        "plan": plan.digest,
+        "benchmarks": benchmarks,
+        "items": items,
+        "cold": {
+            "duration_s": round(cold_s, 6),
+            "items_per_s": round(items / cold_s, 3) if cold_s else None,
+        },
+        "resume": {
+            "duration_s": round(warm_s, 6),
+            "cached": warm.cached,
+            "items_per_s": round(items / warm_s, 3) if warm_s else None,
+        },
+        "runner": {
+            "disk_pass_s": round(disk_pass_s, 6),
+            "memo_pass_s": round(memo_pass_s, 6),
+        },
+        "tiers": {
+            "sqlite_hits": counter_total(
+                snap, "repro_runner_memo_hits_total", tier="sqlite"),
+            "memory_hits": counter_total(
+                snap, "repro_runner_memo_hits_total", tier="memory"),
+            "tier_lookups_hit": counter_total(
+                snap, "repro_campaign_tier_lookups_total", outcome="hit"),
+            "tier_lookups_miss": counter_total(
+                snap, "repro_campaign_tier_lookups_total", outcome="miss"),
+            "tier_quarantined": counter_total(
+                snap, "repro_campaign_tier_quarantined_total"),
+        },
+        "campaign_counters": {
+            "commits": counter_total(snap, "repro_campaign_commits_total"),
+            "leases": counter_total(
+                snap, "repro_campaign_items_leased_total"),
+            "retries": counter_total(snap, "repro_campaign_retries_total"),
+            "fallbacks": counter_total(
+                snap, "repro_campaign_fallbacks_total"),
+        },
+    }
+    path = next_snapshot_path(out_dir)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    print(f"  cold:   {items} items in {cold_s:.2f}s "
+          f"({document['cold']['items_per_s']}/s)")
+    print(f"  resume: all cached in {warm_s:.2f}s")
+    print(f"  runner: disk pass {disk_pass_s:.3f}s, "
+          f"memo pass {memo_pass_s:.3f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

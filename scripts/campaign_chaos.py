@@ -1,0 +1,242 @@
+#!/usr/bin/env python
+"""Crash-resume chaos harness for ``repro campaign`` (CI chaos job).
+
+Proves the coordinator's durability story end to end, from outside the
+process, the way an operator would experience it:
+
+1. **Reference** — run a small campaign fault-free and keep its
+   ``results.json`` as ground truth.
+2. **Self-kill** — run the same campaign with ``ckill=2``: the
+   coordinator ``os._exit(137)``'s right after its second durable
+   commit (between the disk-tier write and the journal event — the
+   most adversarial instant).  ``campaign resume`` must finish it.
+3. **External SIGKILL** — start the campaign again, watch the journal
+   until at least one item has committed, then SIGKILL the whole
+   process group mid-flight.  Resume must finish this one too.
+4. **Tier corruption** — flip checksums on half the committed rows of
+   the killed campaign's SQLite tier before resuming; the resume must
+   quarantine (never crash on) every corrupted row and re-simulate
+   exactly those items.
+
+After every resume the harness asserts ``results.json`` is
+byte-identical to the reference, and replays the journal to prove no
+item committed before a kill was simulated again afterwards (rows
+deliberately corrupted in step 4 are exempt — those *must* re-run).
+
+Usage: PYTHONPATH=src python scripts/campaign_chaos.py [--keep]
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.engine.faults import corrupt_disk_tier  # noqa: E402
+from repro.engine.journal import read_journal  # noqa: E402
+
+SPEC = {
+    "name": "chaos",
+    "benchmarks": ["dot", "jacobi"],
+    "heuristics": ["pad", "original"],
+    "caches": [{"size": "8K", "line": 32}],
+    "seed": 1998,
+}
+KILL_EXIT = 137
+
+
+def campaign_cmd(*tail):
+    return [sys.executable, "-m", "repro", "campaign", *tail]
+
+
+def run_cli(argv, timeout=180, expect=0):
+    """Run a CLI command in its own process group; reap stragglers."""
+    env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+    proc = subprocess.Popen(
+        argv, env=env, cwd=ROOT, start_new_session=True,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        out, _ = proc.communicate(timeout=timeout)
+    finally:
+        _kill_group(proc)
+    if proc.returncode != expect:
+        print(out)
+        raise SystemExit(
+            f"FAIL: {' '.join(argv[2:])} exited {proc.returncode}, "
+            f"expected {expect}"
+        )
+    return out
+
+
+def _kill_group(proc):
+    """SIGKILL everything in the subprocess's session (orphans too)."""
+    try:
+        os.killpg(proc.pid, signal.SIGKILL)
+    except (ProcessLookupError, PermissionError):
+        pass
+
+
+def committed_items(journal_path):
+    """Item ids with an ``item_completed`` event, in journal order."""
+    done = []
+    for event in read_journal(journal_path):
+        if event.get("event") == "item_completed":
+            done.append(event["item"])
+    return done
+
+
+def simulated_after_resume(journal_path):
+    """Item ids leased after the LAST campaign_resume event."""
+    leased, seen_resume = [], False
+    for event in read_journal(journal_path):
+        if event.get("event") == "campaign_resume":
+            leased, seen_resume = [], True
+        elif event.get("event") == "item_leased" and seen_resume:
+            leased.append(event["item"])
+    return leased
+
+
+def quarantined_items(journal_path):
+    return [
+        event["item"] for event in read_journal(journal_path)
+        if event.get("event") == "item_quarantined"
+    ]
+
+
+def assert_identical(results_path, reference_bytes, label):
+    got = results_path.read_bytes()
+    if got != reference_bytes:
+        raise SystemExit(
+            f"FAIL [{label}]: {results_path} differs from the "
+            f"fault-free reference"
+        )
+    print(f"ok [{label}]: results byte-identical to reference")
+
+
+def assert_no_resimulation(workdir, committed_before, label, exempt=()):
+    resimulated = set(simulated_after_resume(workdir / "journal.jsonl"))
+    violations = (set(committed_before) - set(exempt)) & resimulated
+    if violations:
+        raise SystemExit(
+            f"FAIL [{label}]: resume re-simulated already-committed "
+            f"items: {sorted(violations)}"
+        )
+    print(f"ok [{label}]: zero committed items re-simulated "
+          f"({len(committed_before)} were already durable)")
+
+
+def external_kill_run(spec_path, workdir):
+    """Start a campaign, SIGKILL its process group after one commit."""
+    env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+    proc = subprocess.Popen(
+        campaign_cmd("run", str(spec_path), "--workdir", str(workdir),
+                     "--jobs", "2"),
+        env=env, cwd=ROOT, start_new_session=True,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    journal = workdir / "journal.jsonl"
+    deadline = time.monotonic() + 120
+    try:
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                raise SystemExit(
+                    "FAIL [sigkill]: campaign finished before the "
+                    "harness could kill it — enlarge the spec"
+                )
+            if journal.exists() and committed_items(journal):
+                break
+            time.sleep(0.02)
+        else:
+            raise SystemExit(
+                "FAIL [sigkill]: no item committed within 120s"
+            )
+    finally:
+        _kill_group(proc)
+    proc.wait(timeout=30)
+    print(f"ok [sigkill]: killed pid {proc.pid} after "
+          f"{len(committed_items(journal))} commit(s)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the scratch directory for inspection")
+    args = parser.parse_args()
+
+    scratch = pathlib.Path(tempfile.mkdtemp(prefix="campaign-chaos-"))
+    spec_path = scratch / "spec.json"
+    spec_path.write_text(json.dumps(SPEC))
+    print(f"scratch: {scratch}")
+
+    # 1. fault-free reference
+    ref_dir = scratch / "reference"
+    run_cli(campaign_cmd("run", str(spec_path), "--workdir", str(ref_dir),
+                         "--jobs", "2"))
+    reference = (ref_dir / "results.json").read_bytes()
+    print(f"ok [reference]: {len(committed_items(ref_dir / 'journal.jsonl'))}"
+          " items committed fault-free")
+
+    # 2. coordinator self-kill after the 2nd durable commit
+    ckill_dir = scratch / "ckill"
+    run_cli(campaign_cmd("run", str(spec_path), "--workdir", str(ckill_dir),
+                         "--jobs", "2", "--inject-faults", "ckill=2"),
+            expect=KILL_EXIT)
+    committed = committed_items(ckill_dir / "journal.jsonl")
+    print(f"ok [ckill]: coordinator died with exit {KILL_EXIT} after "
+          f"{len(committed)} journaled commit(s)")
+    run_cli(campaign_cmd("resume", str(spec_path), "--workdir",
+                         str(ckill_dir), "--jobs", "2"))
+    assert_identical(ckill_dir / "results.json", reference, "ckill")
+    assert_no_resimulation(ckill_dir, committed, "ckill")
+
+    # 3. external SIGKILL of the whole process group mid-campaign
+    sigkill_dir = scratch / "sigkill"
+    external_kill_run(spec_path, sigkill_dir)
+    committed = committed_items(sigkill_dir / "journal.jsonl")
+    run_cli(campaign_cmd("resume", str(spec_path), "--workdir",
+                         str(sigkill_dir), "--jobs", "2"))
+    assert_identical(sigkill_dir / "results.json", reference, "sigkill")
+    assert_no_resimulation(sigkill_dir, committed, "sigkill")
+
+    # 4. corrupt the durable tier of a killed campaign, then resume
+    corrupt_dir = scratch / "corrupt"
+    run_cli(campaign_cmd("run", str(spec_path), "--workdir",
+                         str(corrupt_dir), "--jobs", "2",
+                         "--inject-faults", "ckill=2"),
+            expect=KILL_EXIT)
+    committed = committed_items(corrupt_dir / "journal.jsonl")
+    flipped = corrupt_disk_tier(corrupt_dir / "campaign.db", 0.5, seed=7)
+    print(f"ok [corrupt]: flipped checksums on {flipped} committed row(s)")
+    run_cli(campaign_cmd("resume", str(spec_path), "--workdir",
+                         str(corrupt_dir), "--jobs", "2"))
+    quarantined = quarantined_items(corrupt_dir / "journal.jsonl")
+    if flipped and not quarantined:
+        raise SystemExit(
+            "FAIL [corrupt]: corrupted rows were not quarantined"
+        )
+    assert_identical(corrupt_dir / "results.json", reference, "corrupt")
+    assert_no_resimulation(corrupt_dir, committed, "corrupt",
+                           exempt=quarantined)
+    print(f"ok [corrupt]: {len(quarantined)} corrupted row(s) "
+          "quarantined and re-simulated")
+
+    if args.keep:
+        print(f"kept scratch at {scratch}")
+    else:
+        import shutil
+
+        shutil.rmtree(scratch, ignore_errors=True)
+    print("campaign chaos: all scenarios pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,637 @@
+"""Lease-based campaign coordinator.
+
+The coordinator executes a :class:`~repro.campaign.plan.CampaignPlan`
+across engine worker subprocesses, either leased warm from a
+:class:`~repro.engine.pool.WorkerPool` or owned for the campaign's
+lifetime.  It differs from :class:`~repro.engine.core.ExperimentEngine`
+in what it promises: the engine promises one outcome per request in one
+process's lifetime; the coordinator promises a campaign that *survives
+its own death*.
+
+Mechanics:
+
+* every item dispatch takes a **lease** — journaled ``item_leased``,
+  with a deadline of ``policy.timeout_s`` from now; a worker that blows
+  the deadline or dies (liveness is swept every loop tick) gets its item
+  journaled ``item_released`` and re-leased after deterministic backoff;
+* a finished item is committed to the :class:`~repro.campaign.disktier.
+  DiskTier` **before** it is journaled ``item_completed`` — so the tier,
+  not the journal, is the source of truth, and a crash between the two
+  costs nothing on resume;
+* resume replays the journal (tolerating the torn tail a SIGKILL
+  leaves), rescans the tier — quarantining corrupt rows and journaling
+  them ``item_quarantined`` — and re-runs exactly the items with no
+  valid committed artifact: zero duplicated simulations, byte-identical
+  results;
+* items that exhaust retries degrade to the reference simulator (both
+  engines are exact, so resumed and fault-free campaigns stay
+  byte-identical) and, failing that, are journaled ``item_failed``;
+  whether that fails the campaign is ``allow_partial``'s call.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import heapq
+import os
+import pathlib
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
+from typing import Dict, List, Optional
+
+from repro.campaign.disktier import DiskTier
+from repro.campaign.plan import CampaignPlan, WorkItem
+from repro.engine.core import (
+    _mp_context,
+    _owned_workers,
+    _Worker,
+    validate_payload,
+)
+from repro.engine.faults import CampaignFaults, choose_corruption, unit_interval
+from repro.engine.journal import RunJournal, read_journal
+from repro.engine.store import checksum  # noqa: F401  (re-export for tests)
+from repro.errors import CampaignError
+from repro.experiments.runner import pack_record, unpack_record
+from repro.obs import runtime as obs
+
+TIER_FILENAME = "campaign.db"
+JOURNAL_FILENAME = "journal.jsonl"
+RESULTS_FILENAME = "results.json"
+
+_FALLBACK_TIMEOUT_FACTOR = 4.0  # the reference simulator is slower
+
+
+@dataclass
+class ItemOutcome:
+    """Terminal state of one work item in this coordinator run."""
+
+    item: WorkItem
+    status: str              # ok | degraded | cached | failed
+    stats: Optional[object] = None  # CacheStats when successful
+    attempts: int = 0
+    duration: float = 0.0
+    error: Optional[str] = None
+
+
+@dataclass
+class CampaignReport:
+    """What one :meth:`Coordinator.run` accomplished."""
+
+    campaign_id: str
+    plan_digest: str
+    resumed: bool
+    duration: float
+    outcomes: Dict[str, ItemOutcome] = field(default_factory=dict)
+    quarantined: int = 0
+
+    @property
+    def completed(self) -> int:
+        return sum(
+            1 for o in self.outcomes.values() if o.status != "failed"
+        )
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for o in self.outcomes.values() if o.status == "cached")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for o in self.outcomes.values() if o.status == "failed")
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+    def results_document(self) -> Dict[str, object]:
+        """The deterministic results artifact (``results.json``).
+
+        Contains only content that is identical between a fault-free
+        campaign and a killed-and-resumed one: the campaign/plan
+        addresses and each item's simulation statistics.  Attempt
+        counts, durations and degraded/cached provenance live in the
+        journal, not here — they legitimately differ across runs.
+        """
+        results = {}
+        for item_id in sorted(self.outcomes):
+            outcome = self.outcomes[item_id]
+            if outcome.stats is None:
+                continue
+            import dataclasses
+
+            results[item_id] = {
+                "key": outcome.item.key,
+                "stats": dataclasses.asdict(outcome.stats),
+            }
+        return {
+            "campaign": self.campaign_id,
+            "plan": self.plan_digest,
+            "results": results,
+        }
+
+    def describe(self) -> Dict[str, object]:
+        """A JSON-safe summary of the run (journal / serve status body)."""
+        return {
+            "campaign": self.campaign_id,
+            "plan": self.plan_digest,
+            "resumed": self.resumed,
+            "items": len(self.outcomes),
+            "completed": self.completed,
+            "cached": self.cached,
+            "failed": self.failed,
+            "quarantined": self.quarantined,
+            "duration": round(self.duration, 6),
+        }
+
+
+@dataclass
+class _ItemTask:
+    index: int
+    item: WorkItem
+    simulator: str = "fast"
+    attempts: int = 0           # lease attempts in the current stage
+    total_attempts: int = 0     # across stages (fault plan / jitter index)
+    started_at: float = 0.0
+    total_time: float = 0.0
+    fallback_used: bool = False
+    last_error: Optional[str] = None
+
+    @property
+    def key(self) -> str:
+        return self.item.key
+
+
+class Coordinator:
+    """Run (or resume) one campaign inside a work directory.
+
+    ``workdir`` accumulates the campaign's durable state: the SQLite
+    disk tier (``campaign.db``), the JSONL journal (``journal.jsonl``)
+    and, after a successful run, the deterministic ``results.json``.
+    ``pool`` is an optional :class:`~repro.engine.pool.WorkerPool` to
+    lease warm workers from; without one the coordinator owns its
+    workers for the campaign's duration.
+    """
+
+    def __init__(
+        self,
+        plan: CampaignPlan,
+        workdir,
+        pool=None,
+        jobs: int = 4,
+        allow_partial: bool = False,
+        faults: Optional[CampaignFaults] = None,
+        journal_fsync: bool = False,
+    ):
+        self.plan = plan
+        self.workdir = pathlib.Path(workdir)
+        self.pool = pool
+        self.jobs = max(1, jobs)
+        self.allow_partial = allow_partial
+        self.faults = faults
+        self.journal_fsync = journal_fsync
+        self._commits = 0  # coordinator-kill fault trigger
+
+    # -- paths ---------------------------------------------------------------
+
+    @property
+    def tier_path(self) -> pathlib.Path:
+        return self.workdir / TIER_FILENAME
+
+    @property
+    def journal_path(self) -> pathlib.Path:
+        return self.workdir / JOURNAL_FILENAME
+
+    @property
+    def results_path(self) -> pathlib.Path:
+        return self.workdir / RESULTS_FILENAME
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, resume: bool = False) -> CampaignReport:
+        """Execute the plan to completion; resumable after any crash.
+
+        ``resume=True`` requires a journal from a previous run of the
+        *same* plan (digest-checked) and re-runs only uncommitted work.
+        Raises :class:`~repro.errors.CampaignError` when the campaign
+        cannot start (bad resume) or finishes with failed items and
+        ``allow_partial`` is off.
+        """
+        started = time.monotonic()
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        if resume:
+            self._check_resumable()
+        with contextlib.ExitStack() as stack:
+            journal = stack.enter_context(
+                RunJournal(self.journal_path, fsync=self.journal_fsync)
+            )
+            tier = stack.enter_context(DiskTier(self.tier_path))
+            committed, quarantined = self._recover(tier, journal)
+            if resume:
+                journal.emit(
+                    "campaign_resume",
+                    campaign=self.plan.campaign_id,
+                    plan=self.plan.digest,
+                    committed=len(committed),
+                    quarantined=quarantined,
+                )
+                obs.counter_add(
+                    "repro_campaign_resumes_total", 1,
+                    "campaign resume operations",
+                )
+            else:
+                journal.emit(
+                    "campaign_start",
+                    campaign=self.plan.campaign_id,
+                    plan=self.plan.digest,
+                    items=len(self.plan.items),
+                    name=self.plan.spec.name,
+                )
+            report = CampaignReport(
+                campaign_id=self.plan.campaign_id,
+                plan_digest=self.plan.digest,
+                resumed=resume,
+                duration=0.0,
+                quarantined=quarantined,
+            )
+            for item in self.plan.items:
+                record = committed.get(item.key)
+                if record is not None:
+                    stats, _status = record
+                    report.outcomes[item.item_id] = ItemOutcome(
+                        item=item, status="cached", stats=stats
+                    )
+            pending = [
+                item for item in self.plan.items
+                if item.item_id not in report.outcomes
+            ]
+            if pending:
+                with obs.span(
+                    "campaign.execute",
+                    campaign=self.plan.campaign_id, items=len(pending),
+                ):
+                    self._execute(pending, report, tier, journal)
+            report.duration = round(time.monotonic() - started, 6)
+            journal.emit(
+                "campaign_finish",
+                campaign=self.plan.campaign_id,
+                completed=report.completed,
+                failed=report.failed,
+                duration=report.duration,
+            )
+        self._write_results(report)
+        if report.failed and not self.allow_partial:
+            raise CampaignError(
+                f"campaign {self.plan.campaign_id}: {report.failed} of "
+                f"{len(self.plan.items)} items failed "
+                "(pass --allow-partial to accept partial results)"
+            )
+        return report
+
+    # -- recovery ------------------------------------------------------------
+
+    def _check_resumable(self) -> None:
+        from repro.campaign.state import replay_journal
+
+        if not self.journal_path.exists():
+            raise CampaignError(
+                f"nothing to resume: no journal at {self.journal_path}"
+            )
+        state = replay_journal(
+            read_journal(self.journal_path), self.plan.campaign_id
+        )
+        if state.plan_digest != self.plan.digest:
+            raise CampaignError(
+                f"refusing to resume campaign {self.plan.campaign_id}: "
+                f"journal was written for plan {state.plan_digest}, the "
+                f"spec now compiles to plan {self.plan.digest} "
+                "(the spec changed since the original launch)"
+            )
+
+    def _recover(self, tier: DiskTier, journal) -> tuple:
+        """Scan the tier for committed work; quarantine what fails.
+
+        Returns ``(committed, quarantined)`` where ``committed`` maps
+        run-request keys to unpacked ``(stats, status)`` and
+        ``quarantined`` counts artifacts condemned during this scan —
+        corrupt rows dropped by the tier plus rows whose payload shape
+        no longer unpacks.  Every condemned item is journaled so replay
+        knows it went back to pending.
+        """
+        snapshot = tier.scan()
+        committed: Dict[str, tuple] = {}
+        quarantined = 0
+        quarantine_keys = {key for key, _reason in tier.quarantine_rows()}
+        for item in self.plan.items:
+            record = snapshot.get(item.key)
+            if record is not None:
+                try:
+                    committed[item.key] = unpack_record(record)
+                    continue
+                except (TypeError, KeyError):
+                    journal.emit(
+                        "item_quarantined", item=item.item_id,
+                        reason="unpackable record",
+                    )
+                    quarantined += 1
+                    continue
+            if item.key in quarantine_keys:
+                journal.emit(
+                    "item_quarantined", item=item.item_id,
+                    reason="checksum mismatch",
+                )
+                quarantined += 1
+        return committed, quarantined
+
+    # -- execution -----------------------------------------------------------
+
+    def _execute(self, items: List[WorkItem], report, tier, journal) -> None:
+        policy = self.plan.spec.policy
+        seed = self.plan.spec.seed
+        guard_record = self.plan.spec.guard
+        tasks = [
+            _ItemTask(index=i, item=item) for i, item in enumerate(items)
+        ]
+        stack = contextlib.ExitStack()
+        if self.pool is not None:
+            ctx = self.pool.ctx
+            workers = stack.enter_context(
+                self.pool.leased(min(self.jobs, len(tasks)))
+            )
+        else:
+            ctx = _mp_context()
+            workers = stack.enter_context(
+                _owned_workers(ctx, min(self.jobs, len(tasks)))
+            )
+        ready: List[_ItemTask] = list(tasks)
+        delayed: List = []  # heap of (ready_time, tiebreak, task)
+        seq = 0
+        remaining = len(tasks)
+
+        def finish(task: _ItemTask, status, stats=None, error=None) -> None:
+            nonlocal remaining
+            report.outcomes[task.item.item_id] = ItemOutcome(
+                item=task.item, status=status, stats=stats,
+                attempts=task.total_attempts,
+                duration=round(task.total_time, 6),
+                error=error,
+            )
+            remaining -= 1
+
+        def commit(task: _ItemTask, stats, status: str) -> None:
+            # Commit order is the resume invariant: the durable tier
+            # first, the journal second.  A crash between the two is
+            # recovered by the tier scan, never by trusting the journal.
+            tier.put(task.key, pack_record(stats, status))
+            self._commits += 1
+            obs.counter_add(
+                "repro_campaign_commits_total", 1,
+                "item results durably committed to the disk tier",
+            )
+            self._maybe_kill_coordinator()
+            journal.emit(
+                "item_completed", item=task.item.item_id, status=status,
+                attempts=task.total_attempts,
+                duration=round(task.total_time, 6),
+            )
+            finish(task, status, stats=stats)
+
+        def release(task: _ItemTask, reason: str, error: str) -> None:
+            nonlocal seq
+            now = time.monotonic()
+            task.total_time += now - task.started_at
+            task.last_error = error
+            journal.emit(
+                "item_released", item=task.item.item_id, reason=reason,
+                attempt=task.total_attempts,
+            )
+            obs.counter_add(
+                "repro_campaign_items_released_total", 1,
+                "leases broken before completion, by reason", reason=reason,
+            )
+            if task.attempts <= policy.retries:
+                delay = _backoff(policy, seed, task)
+                obs.counter_add(
+                    "repro_campaign_retries_total", 1,
+                    "item re-leases scheduled after a broken lease",
+                )
+                seq += 1
+                heapq.heappush(delayed, (now + delay, seq, task))
+            elif policy.fallback and not task.fallback_used:
+                task.fallback_used = True
+                task.simulator = "reference"
+                task.attempts = 0
+                obs.counter_add(
+                    "repro_campaign_fallbacks_total", 1,
+                    "items degraded to the reference simulator",
+                )
+                seq += 1
+                heapq.heappush(delayed, (now, seq, task))
+            else:
+                journal.emit(
+                    "item_failed", item=task.item.item_id,
+                    error=task.last_error, attempts=task.total_attempts,
+                )
+                finish(task, "failed", error=task.last_error)
+
+        def handle_result(worker: _Worker, msg) -> None:
+            task = worker.task
+            worker.task = None
+            worker.deadline = float("inf")
+            if msg[0] == "error":
+                release(task, "error", str(msg[2]))
+                return
+            payload, digest = msg[2], msg[3]
+            if len(msg) > 4 and msg[4] is not None:
+                try:
+                    obs.merge_snapshot(msg[4])
+                except Exception:  # never fail an item over metrics
+                    pass
+            stats = validate_payload(payload, digest)
+            if stats is None:
+                release(
+                    task, "corrupt_payload",
+                    "result payload failed checksum",
+                )
+                return
+            task.total_time += time.monotonic() - task.started_at
+            worker_guard = msg[5] if len(msg) > 5 else None
+            self._journal_guard(journal, task, worker_guard)
+            status = (
+                "rolled_back"
+                if worker_guard and worker_guard.get("status") == "rolled_back"
+                else "degraded" if task.simulator == "reference"
+                else "ok"
+            )
+            commit(task, stats, status)
+
+        try:
+            while remaining > 0:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    ready.append(heapq.heappop(delayed)[2])
+                for worker in workers:
+                    if worker.task is None and ready:
+                        task = ready.pop(0)
+                        if not self._lease(worker, task, journal, guard_record):
+                            self._replace(workers, worker, ctx)
+                            release(
+                                task, "dispatch",
+                                "worker unreachable at dispatch",
+                            )
+                busy = [w for w in workers if w.task is not None]
+                if not busy:
+                    if delayed:
+                        time.sleep(
+                            min(0.25, max(0.001, delayed[0][0] - time.monotonic()))
+                        )
+                        continue
+                    break  # pragma: no cover - no work left but remaining>0
+                horizon = min(w.deadline for w in busy)
+                if delayed:
+                    horizon = min(horizon, delayed[0][0])
+                wait_for = min(0.5, max(0.005, horizon - time.monotonic()))
+                for conn in _conn_wait([w.conn for w in busy], timeout=wait_for):
+                    worker = next((w for w in workers if w.conn is conn), None)
+                    if worker is None or worker.task is None:
+                        continue  # replaced or already handled
+                    try:
+                        msg = worker.conn.recv()
+                    except (EOFError, OSError):
+                        task = worker.task
+                        code = worker.proc.exitcode
+                        self._replace(workers, worker, ctx)
+                        release(
+                            task, "crash",
+                            f"worker died (exit code {code}) holding the lease",
+                        )
+                        continue
+                    handle_result(worker, msg)
+                # heartbeat + deadline sweep: a lease is only as live as
+                # its worker process and its deadline
+                now = time.monotonic()
+                for worker in list(workers):
+                    if worker.task is None:
+                        continue
+                    if now >= worker.deadline:
+                        task = worker.task
+                        budget = worker.deadline - task.started_at
+                        self._replace(workers, worker, ctx)
+                        release(
+                            task, "timeout",
+                            f"lease deadline ({budget:.1f}s) exceeded; "
+                            "worker killed",
+                        )
+                    elif not worker.proc.is_alive():
+                        task = worker.task
+                        self._replace(workers, worker, ctx)
+                        release(
+                            task, "crash",
+                            "worker heartbeat lost (process dead)",
+                        )
+        finally:
+            stack.close()
+
+    def _lease(self, worker: _Worker, task: _ItemTask, journal, guard) -> bool:
+        policy = self.plan.spec.policy
+        task.attempts += 1
+        task.total_attempts += 1
+        timeout = policy.timeout_s * (
+            _FALLBACK_TIMEOUT_FACTOR if task.simulator == "reference" else 1.0
+        )
+        injected = None
+        worker_faults = self.faults.worker if self.faults else None
+        if worker_faults is not None:
+            injected = worker_faults.decide(task.key, task.total_attempts)
+        fault = None
+        if injected == "timeout":
+            fault = ("timeout", timeout * 3 + 1.0)
+        elif injected == "layout":
+            fault = (
+                "layout",
+                choose_corruption(
+                    worker_faults.seed, task.key, task.total_attempts
+                ),
+            )
+        elif injected is not None:
+            fault = (injected, None)
+        task.started_at = time.monotonic()
+        worker.task = task
+        worker.deadline = task.started_at + timeout
+        journal.emit(
+            "item_leased", item=task.item.item_id,
+            attempt=task.total_attempts, worker=worker.proc.pid,
+            simulator=task.simulator,
+            **({"injected": injected} if injected else {}),
+        )
+        obs.counter_add(
+            "repro_campaign_items_leased_total", 1,
+            "item leases granted to workers",
+        )
+        collect = obs.is_enabled()
+        try:
+            worker.conn.send(
+                (
+                    "task", task.index, task.item.request, task.simulator,
+                    fault, collect, guard,
+                )
+            )
+        except (BrokenPipeError, OSError):  # pragma: no cover - instant death
+            worker.task = None
+            worker.deadline = float("inf")
+            return False
+        return True
+
+    @staticmethod
+    def _journal_guard(journal, task: _ItemTask, guard_record) -> None:
+        if not guard_record:
+            return
+        for violation in guard_record.get("violations", ()):
+            journal.emit(
+                "guard_violation", item=task.item.item_id, run=task.key,
+                **violation,
+            )
+        if guard_record.get("status") == "rolled_back":
+            journal.emit(
+                "guard_rollback", item=task.item.item_id, run=task.key,
+            )
+
+    def _replace(self, workers: List[_Worker], dead: _Worker, ctx) -> None:
+        dead.kill()
+        workers[workers.index(dead)] = _Worker(ctx, slot=dead.slot)
+
+    def _maybe_kill_coordinator(self) -> None:
+        """Chaos hook: die unceremoniously after the Nth durable commit.
+
+        Exits *between* the tier commit and its journal event — the most
+        adversarial instant, because the journal now under-reports what
+        the tier holds.  Resume must reconcile from the tier.
+        """
+        faults = self.faults
+        if (
+            faults is not None
+            and faults.coordinator_kill_after is not None
+            and self._commits >= faults.coordinator_kill_after
+        ):
+            os._exit(137)
+
+    def _write_results(self, report: CampaignReport) -> None:
+        import json
+
+        tmp = self.results_path.with_name(self.results_path.name + ".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(report.results_document(), fh, sort_keys=True, indent=1)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.results_path)
+
+
+def _backoff(policy, seed: int, task: _ItemTask) -> float:
+    if policy.backoff_base_s <= 0:
+        return 0.0
+    raw = min(
+        policy.backoff_cap_s,
+        policy.backoff_base_s * 2 ** (task.attempts - 1),
+    )
+    jitter = 0.5 + unit_interval(seed, task.key, task.total_attempts)
+    return raw * jitter

@@ -1,0 +1,131 @@
+"""Compile a campaign spec into a deterministic, content-addressed plan.
+
+The plan is the contract between a coordinator run and any later resume:
+the same spec always compiles to the same ordered list of
+:class:`WorkItem` s, each addressed by the sha256 of its run-request key
+(the same key the engine and the stores use).  The plan carries its own
+digest over the ordered item ids, so a resume can detect a spec that
+drifted since the original launch instead of silently simulating a
+different cross-product under the old campaign id.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.campaign.spec import CampaignSpec
+from repro.errors import CampaignError
+from repro.experiments.runner import RunRequest, request_key
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One simulation in a campaign: a resolved request plus its address."""
+
+    item_id: str        # sha256(run-request key)[:16] — the lease/commit id
+    key: str            # the engine/store run-request key
+    request: RunRequest
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe summary (status listings, journal context)."""
+        r = self.request
+        return {
+            "item": self.item_id,
+            "benchmark": r.program,
+            "heuristic": r.heuristic,
+            "size": r.size,
+            "cache": f"{r.cache.size_bytes}/{r.cache.line_bytes}"
+                     f"/{r.cache.associativity}",
+            "m_lines": r.m_lines,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """The full ordered work list for one campaign."""
+
+    campaign_id: str
+    spec: CampaignSpec
+    items: Tuple[WorkItem, ...]
+
+    @property
+    def digest(self) -> str:
+        """Content address over the ordered item ids.
+
+        Stored in the ``campaign_start`` journal event; a resume whose
+        recompiled plan digest differs is refused (the spec changed, so
+        the journal describes different work).
+        """
+        hasher = hashlib.sha256()
+        hasher.update(self.campaign_id.encode())
+        for item in self.items:
+            hasher.update(b"\0")
+            hasher.update(item.item_id.encode())
+        return hasher.hexdigest()[:16]
+
+    def item(self, item_id: str) -> Optional[WorkItem]:
+        """The plan's work item with this id, or None."""
+        return self._by_id().get(item_id)
+
+    def _by_id(self) -> Dict[str, WorkItem]:
+        cache = getattr(self, "_id_cache", None)
+        if cache is None:
+            cache = {item.item_id: item for item in self.items}
+            object.__setattr__(self, "_id_cache", cache)
+        return cache
+
+
+def item_id_for(key: str) -> str:
+    """Content address of one work item (sha256 of its run-request key)."""
+    return hashlib.sha256(key.encode()).hexdigest()[:16]
+
+
+def compile_plan(spec: CampaignSpec) -> CampaignPlan:
+    """Expand a spec's cross-product into an ordered, addressed plan.
+
+    Expansion order is fixed (benchmarks, then sizes, heuristics, caches,
+    m_lines — each in spec order) so item indices are stable and two
+    compilations of one spec are byte-identical.  Duplicate requests
+    (possible when a selector expansion overlaps an explicit name) keep
+    the first occurrence.
+    """
+    from repro.bench.suites import get_spec
+
+    items = []
+    seen = set()
+    for benchmark in spec.benchmarks:
+        max_outer = get_spec(benchmark).max_outer
+        for size in spec.sizes:
+            for heuristic in spec.heuristics:
+                for cache in spec.caches:
+                    for m_lines in spec.m_lines:
+                        request = RunRequest(
+                            program=benchmark,
+                            size=size,
+                            heuristic=heuristic,
+                            cache=cache,
+                            pad_cache=cache,
+                            m_lines=m_lines,
+                            max_outer=max_outer,
+                            seed=spec.seed,
+                        )
+                        key = request_key(request)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        items.append(
+                            WorkItem(
+                                item_id=item_id_for(key),
+                                key=key,
+                                request=request,
+                            )
+                        )
+    if not items:
+        raise CampaignError(
+            f"campaign {spec.name!r} compiled to an empty plan"
+        )
+    return CampaignPlan(
+        campaign_id=spec.campaign_id, spec=spec, items=tuple(items)
+    )

@@ -18,6 +18,11 @@ Usage (``python -m repro <command>``):
   over DSL kernels and/or the registered benchmarks
   (``--format text|json|sarif``, ``--select/--ignore`` rule IDs,
   ``--fail-on error|warning|info|never``).
+* ``campaign run SPEC.json --workdir DIR`` — execute a declarative,
+  crash-resumable benchmark campaign; ``campaign resume`` continues a
+  killed campaign from its journal and durable disk tier without
+  re-simulating committed items; ``campaign status`` replays the
+  journal and prints progress (see :mod:`repro.campaign`).
 
 ``simulate``, ``bench``, ``figure`` and ``run-all`` accept
 ``--metrics PATH``: metrics collection is switched on for the whole
@@ -32,8 +37,9 @@ auto-roll back miss-rate regressions (see :mod:`repro.guard`).
 Exit codes: 0 success, 1 partial results (some runs failed), 2 usage or
 library error, 3 impossible invocation (e.g. an output path in a
 nonexistent directory), 4-7 for engine failures, 8 for a strict-mode
-guard violation, and 9 for lint findings at or above ``--fail-on`` (see
-:data:`EXIT_CODES` and the table in :mod:`repro.errors`).
+guard violation, 9 for lint findings at or above ``--fail-on``, and 10
+for campaign orchestration failures (see :data:`EXIT_CODES` and the
+table in :mod:`repro.errors`).
 """
 
 from __future__ import annotations
@@ -45,6 +51,7 @@ from typing import Dict, List, Optional
 
 from repro.cache.config import CacheConfig
 from repro.errors import (
+    CampaignError,
     EngineError,
     GuardError,
     LintError,
@@ -57,6 +64,7 @@ from repro.errors import (
 from repro.experiments.runner import HEURISTICS
 
 EXIT_CODES = (
+    (CampaignError, 10),
     (LintError, 9),
     (GuardError, 8),
     (StoreCorruption, 7),
@@ -497,8 +505,92 @@ def cmd_serve(args) -> int:
         max_body_bytes=_parse_size(args.max_body),
         engine_jobs=max(1, args.engine_jobs),
         guard=_guard_config_from_args(args),
+        campaign_dir=args.campaign_dir,
+        campaign_jobs=max(1, args.campaign_jobs),
     )
     serve_forever(config, verbose=args.verbose)
+    return 0
+
+
+def _campaign_run(args, resume: bool) -> int:
+    """Shared body of ``campaign run`` and ``campaign resume``."""
+    from repro.campaign import Coordinator, compile_plan
+    from repro.campaign.spec import spec_from_file
+    from repro.engine.faults import parse_campaign_fault_spec
+
+    spec = spec_from_file(args.spec)
+    plan = compile_plan(spec)
+    faults = (
+        parse_campaign_fault_spec(args.inject_faults)
+        if args.inject_faults else None
+    )
+    coordinator = Coordinator(
+        plan,
+        args.workdir,
+        jobs=max(1, args.jobs),
+        allow_partial=args.allow_partial,
+        faults=faults,
+        journal_fsync=args.fsync_journal,
+    )
+    report = coordinator.run(resume=resume)
+    verb = "resumed" if report.resumed else "ran"
+    print(
+        f"campaign {plan.campaign_id} ({spec.name}): {verb} "
+        f"{len(plan.items)} items in {report.duration:.2f}s "
+        f"({report.completed} completed, {report.cached} cached, "
+        f"{report.failed} failed, {report.quarantined} quarantined)"
+    )
+    print(f"results: {coordinator.results_path}")
+    print(f"journal: {coordinator.journal_path}")
+    for outcome in report.outcomes.values():
+        if outcome.status != "failed":
+            continue
+        print(
+            f"failed: {outcome.item.key} after {outcome.attempts} "
+            f"attempts: {outcome.error}",
+            file=sys.stderr,
+        )
+    return 1 if report.failed else 0
+
+
+def cmd_campaign(args) -> int:
+    """Dispatch ``campaign run|resume|status``."""
+    if args.campaign_cmd == "status":
+        return _campaign_status(args)
+    return _campaign_run(args, resume=args.campaign_cmd == "resume")
+
+
+def _campaign_status(args) -> int:
+    """Replay a campaign journal and print progress."""
+    import json as _json
+
+    from repro.campaign.coordinator import JOURNAL_FILENAME
+    from repro.campaign.state import replay_journal
+    from repro.engine.journal import read_journal
+
+    journal_path = pathlib.Path(args.workdir) / JOURNAL_FILENAME
+    if not journal_path.exists():
+        raise UsageError(
+            f"no campaign journal at {journal_path}; "
+            "was this workdir ever used by `repro campaign run`?"
+        )
+    state = replay_journal(read_journal(journal_path), args.campaign)
+    if args.json:
+        print(_json.dumps(state.describe(), indent=2, sort_keys=True))
+        return 0
+    counts = state.counts()
+    print(f"campaign: {state.campaign_id} ({state.name})")
+    print(f"plan: {state.plan_digest}")
+    phase = "finished" if state.finished else "in progress (or interrupted)"
+    print(f"phase: {phase}")
+    print(
+        f"items: {state.total_items} total — "
+        + ", ".join(f"{counts[k]} {k}" for k in sorted(counts))
+    )
+    if state.resumes:
+        print(f"resumes: {state.resumes}")
+    if state.quarantines:
+        print(f"quarantined artifacts: {state.quarantines}")
     return 0
 
 
@@ -654,8 +746,61 @@ def build_parser() -> argparse.ArgumentParser:
                    help="warm simulation worker processes (default 4)")
     p.add_argument("--verbose", action="store_true",
                    help="log each request to stderr")
+    p.add_argument("--campaign-dir", metavar="DIR",
+                   help="enable the /v1/campaign endpoint, storing "
+                        "campaign journals and disk tiers under DIR "
+                        "(disabled when omitted)")
+    p.add_argument("--campaign-jobs", type=int, default=2,
+                   help="worker processes for served campaigns "
+                        "(default 2)")
     _add_guard_args(p)
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run, resume or inspect a crash-resumable benchmark campaign",
+    )
+    csub = p.add_subparsers(dest="campaign_cmd", required=True)
+
+    def _add_campaign_exec_args(cp):
+        cp.add_argument("spec", help="campaign spec (JSON file)")
+        cp.add_argument("--workdir", required=True,
+                        help="campaign state directory (journal, durable "
+                             "disk tier, results.json)")
+        cp.add_argument("--jobs", type=int, default=4,
+                        help="worker processes (default 4)")
+        cp.add_argument("--allow-partial", action="store_true",
+                        help="exit 1 with partial results instead of "
+                             "exit 10 when items exhaust their retries")
+        cp.add_argument("--inject-faults", metavar="SPEC",
+                        help="deterministic chaos, e.g. "
+                             "'kill=0.1,corrupt=0.05,seed=7,ckill=3,"
+                             "tier_corrupt=0.25' (testing only)")
+        cp.add_argument("--fsync-journal", action="store_true",
+                        help="fsync the journal after every event "
+                             "(slower, survives power loss)")
+        _add_metrics_arg(cp)
+        cp.set_defaults(fn=cmd_campaign)
+
+    cp = csub.add_parser(
+        "run", help="compile the spec into a plan and execute it"
+    )
+    _add_campaign_exec_args(cp)
+    cp = csub.add_parser(
+        "resume",
+        help="continue a killed campaign; committed items are not re-run",
+    )
+    _add_campaign_exec_args(cp)
+    cp = csub.add_parser(
+        "status", help="replay the journal and print campaign progress"
+    )
+    cp.add_argument("--workdir", required=True,
+                    help="campaign state directory")
+    cp.add_argument("--campaign", metavar="ID",
+                    help="campaign id when the journal holds several")
+    cp.add_argument("--json", action="store_true",
+                    help="machine-readable output")
+    cp.set_defaults(fn=cmd_campaign)
 
     return parser
 

@@ -27,6 +27,7 @@ events) and a rollback becomes the ``rolled_back`` terminal status.
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import multiprocessing
 import time
@@ -217,15 +218,21 @@ class ExperimentEngine:
 
     def _execute(self, tasks, outcomes, store, journal) -> None:
         cfg = self.config
+        # Worker life cycle is context-managed either way: the pool's
+        # leased() returns the (in-place mutated) worker list however the
+        # sweep ends — so replacements go back warm and an exception can
+        # never leak leases — and owned workers are stopped the same way.
+        stack = contextlib.ExitStack()
         if self.pool is not None:
             ctx = self.pool.ctx
-            workers = self.pool.lease(min(cfg.jobs, len(tasks)))
+            workers = stack.enter_context(
+                self.pool.leased(min(cfg.jobs, len(tasks)))
+            )
         else:
             ctx = _mp_context()
-            workers = [
-                _Worker(ctx, slot=i)
-                for i in range(max(1, min(cfg.jobs, len(tasks))))
-            ]
+            workers = stack.enter_context(
+                _owned_workers(ctx, max(1, min(cfg.jobs, len(tasks))))
+            )
         now = time.monotonic()
         for task in tasks:
             task.enqueued_at = now
@@ -313,7 +320,7 @@ class ExperimentEngine:
                 except Exception:  # never fail a run over metrics
                     pass
             guard_record = msg[5] if len(msg) > 5 else None
-            stats = self._validate(payload, digest)
+            stats = validate_payload(payload, digest)
             if stats is None:
                 attempt_failed(
                     task, WorkerCrashed("result payload failed checksum")
@@ -387,16 +394,7 @@ class ExperimentEngine:
                             ),
                         )
         finally:
-            if self.pool is not None:
-                # leased workers go back warm; the pool culls any still
-                # holding a task (aborted sweep) or already dead
-                self.pool.release(workers)
-            else:
-                for worker in workers:
-                    if worker.task is None:
-                        worker.stop()
-                    else:  # pragma: no cover - aborted sweep
-                        worker.kill()
+            stack.close()
 
     def _dispatch(self, worker: _Worker, task: _Task, journal) -> bool:
         cfg = self.config
@@ -493,18 +491,38 @@ class ExperimentEngine:
         jitter = 0.5 + unit_interval(cfg.seed, task.key, task.total_attempts)
         return raw * jitter
 
-    @staticmethod
-    def _validate(payload, digest) -> Optional[CacheStats]:
-        """Rebuild stats from a worker payload iff it matches its checksum."""
-        if not isinstance(payload, dict) or checksum(payload) != digest:
-            return None
-        try:
-            stats = CacheStats(**payload)
-        except TypeError:
-            return None
-        if stats.accesses < 0 or stats.misses < 0 or stats.misses > stats.accesses:
-            return None
-        return stats
+
+def validate_payload(payload, digest) -> Optional[CacheStats]:
+    """Rebuild stats from a worker payload iff it matches its checksum.
+
+    Shared by the engine and the campaign coordinator: a worker whose
+    memory was scribbled on (or an injected ``corrupt`` fault) produces a
+    payload that no longer matches the digest computed before shipping,
+    and must be retried, never stored.
+    """
+    if not isinstance(payload, dict) or checksum(payload) != digest:
+        return None
+    try:
+        stats = CacheStats(**payload)
+    except TypeError:
+        return None
+    if stats.accesses < 0 or stats.misses < 0 or stats.misses > stats.accesses:
+        return None
+    return stats
+
+
+@contextlib.contextmanager
+def _owned_workers(ctx, count: int):
+    """Per-sweep workers: stop idle ones, kill mid-task ones, on exit."""
+    workers = [_Worker(ctx, slot=i) for i in range(count)]
+    try:
+        yield workers
+    finally:
+        for worker in workers:
+            if worker.task is None:
+                worker.stop()
+            else:  # pragma: no cover - aborted sweep
+                worker.kill()
 
 
 def _mp_context():

@@ -15,6 +15,11 @@ fails can be replayed exactly.  Kinds:
   before simulation (see :data:`LAYOUT_CORRUPTIONS`); the guard
   subsystem (:mod:`repro.guard`) must catch every one of these.
 
+:class:`CampaignFaults` layers coordinator-level chaos on top for
+:mod:`repro.campaign`: a worker-fault plan plus a deterministic
+coordinator kill (``ckill=N`` — hard exit after the Nth durable commit)
+and disk-tier row corruption (:func:`corrupt_disk_tier`).
+
 :func:`corrupt_store_entries` complements the plan by damaging entries of
 an on-disk result store, exercising the store's quarantine path;
 :func:`corrupt_layout` damages a :class:`~repro.layout.layout.MemoryLayout`
@@ -103,6 +108,124 @@ def parse_fault_spec(spec: str) -> FaultPlan:
         except ValueError:
             raise ConfigError(f"bad fault value {value!r} for {name!r}") from None
     return FaultPlan(**kwargs)
+
+
+@dataclass(frozen=True)
+class CampaignFaults:
+    """Fault schedule for campaign chaos tests.
+
+    ``worker`` injects per-(item, attempt) worker faults exactly like an
+    engine :class:`FaultPlan`.  ``coordinator_kill_after`` hard-exits the
+    coordinator process (``os._exit(137)``) right after its Nth durable
+    commit — between the disk-tier write and the journal event, the
+    most adversarial instant — to prove resume correctness.
+    ``tier_corrupt`` is the fraction of disk-tier rows
+    :func:`corrupt_disk_tier` should damage between runs.
+    """
+
+    worker: Optional[FaultPlan] = None
+    coordinator_kill_after: Optional[int] = None
+    tier_corrupt: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.tier_corrupt <= 1.0:
+            raise ConfigError(
+                f"tier_corrupt={self.tier_corrupt} outside [0, 1]"
+            )
+        if (
+            self.coordinator_kill_after is not None
+            and self.coordinator_kill_after < 1
+        ):
+            raise ConfigError(
+                f"ckill={self.coordinator_kill_after} must be >= 1"
+            )
+
+
+def parse_campaign_fault_spec(spec: str) -> CampaignFaults:
+    """Parse a campaign fault spec.
+
+    Worker fault kinds use :func:`parse_fault_spec` syntax; two extra
+    keys drive the coordinator-level chaos::
+
+        "kill=0.1,corrupt=0.05,seed=7,ckill=3,tier_corrupt=0.25"
+
+    ``ckill=N`` kills the coordinator after its Nth commit;
+    ``tier_corrupt=F`` asks :func:`corrupt_disk_tier` to damage fraction
+    ``F`` of committed rows (applied by the chaos harness, not by the
+    coordinator itself).
+    """
+    worker_parts = []
+    kill_after: Optional[int] = None
+    tier_corrupt = 0.0
+    seed = 0
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ConfigError(f"fault spec expects KIND=VALUE, got {item!r}")
+        name, _, value = item.partition("=")
+        name = name.strip()
+        try:
+            if name == "ckill":
+                kill_after = int(value)
+            elif name == "tier_corrupt":
+                tier_corrupt = float(value)
+            elif name == "seed":
+                seed = int(value)
+                worker_parts.append(item)
+            elif name in FAULT_KINDS:
+                worker_parts.append(item)
+            else:
+                raise ConfigError(
+                    f"unknown campaign fault key {name!r}; known: "
+                    f"{', '.join(FAULT_KINDS)}, seed, ckill, tier_corrupt"
+                )
+        except ValueError:
+            raise ConfigError(f"bad fault value {value!r} for {name!r}") from None
+    worker = parse_fault_spec(",".join(worker_parts)) if worker_parts else None
+    if worker is not None and not any(
+        getattr(worker, kind) for kind in FAULT_KINDS
+    ):
+        worker = None  # seed-only spec: no worker faults to inject
+    return CampaignFaults(
+        worker=worker,
+        coordinator_kill_after=kill_after,
+        tier_corrupt=tier_corrupt,
+        seed=seed,
+    )
+
+
+def corrupt_disk_tier(path, fraction: float, seed: int = 0) -> int:
+    """Damage a deterministic ``fraction`` of a campaign disk tier's rows.
+
+    Overwrites the chosen rows' checksums in the SQLite ``results``
+    table, so the next scan must quarantine them and the coordinator
+    must re-simulate those items.  Returns the number of rows damaged.
+    Chaos-test helper — the write path deliberately bypasses
+    :class:`~repro.campaign.disktier.DiskTier`.
+    """
+    import sqlite3
+
+    conn = sqlite3.connect(str(path))
+    try:
+        keys = [
+            row[0]
+            for row in conn.execute("SELECT key FROM results ORDER BY key")
+        ]
+        hit = 0
+        for key in keys:
+            if unit_interval(seed, key, 0) < fraction:
+                conn.execute(
+                    "UPDATE results SET sum = 'deadbeef' WHERE key = ?",
+                    (key,),
+                )
+                hit += 1
+        conn.commit()
+        return hit
+    finally:
+        conn.close()
 
 
 LAYOUT_CORRUPTIONS = (

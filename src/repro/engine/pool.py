@@ -21,7 +21,8 @@ the engine itself is driven.  Guard it externally if you must share it.
 
 from __future__ import annotations
 
-from typing import List, Optional
+import contextlib
+from typing import Iterator, List, Optional
 
 from repro.errors import EngineError
 
@@ -100,6 +101,24 @@ class WorkerPool:
             leased.append(self._spawn())
         self._leased += len(leased)
         return leased
+
+    @contextlib.contextmanager
+    def leased(self, count: int) -> Iterator[List]:
+        """Context-manager lease: workers come back whatever happens.
+
+        Yields the leased worker list and releases *that same list
+        object* on exit — callers that replace a crashed worker must
+        mutate the yielded list in place (as the engine's ``_replace``
+        does) so the replacement, not the corpse, is returned to the
+        pool.  An exception inside the block still releases every
+        worker, so a crashing sweep can never leak leases until the
+        pool is silently exhausted.
+        """
+        workers = self.lease(count)
+        try:
+            yield workers
+        finally:
+            self.release(workers)
 
     def release(self, workers) -> None:
         """Return leased workers; idle live ones are kept warm.

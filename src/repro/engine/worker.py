@@ -53,8 +53,17 @@ def worker_main(conn) -> None:
     guard_runtime.clear_sinks()
     guard_runtime.deactivate()
     runner = Runner()
+    parent = os.getppid()
     while True:
         try:
+            # Forked siblings (and this process itself) inherit the
+            # parent's pipe ends, so a SIGKILLed parent produces no EOF
+            # here — an orphaned worker would block in recv() forever.
+            # Poll with a bounded wait and watch for reparenting instead:
+            # when the parent dies, getppid() changes and we exit.
+            while not conn.poll(1.0):
+                if os.getppid() != parent:
+                    return
             msg = conn.recv()
         except (EOFError, OSError, KeyboardInterrupt):
             return

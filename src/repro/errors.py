@@ -22,6 +22,9 @@ code   class                       meaning
 8      :class:`GuardError`         strict-mode guardrail violation
 9      :class:`LintError`          ``repro lint`` findings at/above
                                    ``--fail-on``, or a lint misconfiguration
+10     :class:`CampaignError`      a campaign failed to start/resume, or
+                                   finished with failures and no
+                                   ``--allow-partial``
 =====  ==========================  =========================================
 """
 
@@ -135,6 +138,14 @@ class QueueFullError(ServeError):
 
 class PayloadTooLarge(ServeError):
     """A request body exceeded the service's size ceiling (HTTP 413)."""
+
+
+class CampaignError(ReproError):
+    """A distributed campaign could not start, resume, or finish.
+
+    Raised for spec/plan mismatches on resume, a campaign whose items
+    failed without ``--allow-partial``, and any other misuse of the
+    campaign orchestration layer (:mod:`repro.campaign`)."""
 
 
 class EngineError(ReproError):

@@ -113,13 +113,22 @@ class Runner:
     ``cache_dir`` enables a persistent result store keyed by every field
     of the run request, so repeated benchmark invocations (and the
     default-then-full workflow) skip already-simulated combinations.
+    ``tier`` plugs in a durable result tier (anything with ``get``/``put``
+    of packed records keyed by :func:`request_key`, e.g.
+    :class:`repro.campaign.DiskTier`) below the in-memory memo: lookups
+    fall through memory → JSON disk store → tier, and fresh results are
+    written back to every enabled layer.
     """
 
-    def __init__(self, cache_dir: Optional[str] = None):
+    def __init__(self, cache_dir: Optional[str] = None, tier=None):
         self._stats: Dict[RunRequest, CacheStats] = {}
         self._programs: Dict[Tuple[str, Optional[int]], Program] = {}
         self._paddings: Dict[Tuple, PaddingResult] = {}
         self._disk = _DiskStore(cache_dir) if cache_dir else None
+        # an optional durable result tier (duck-typed get/put of packed
+        # records keyed by request_key — e.g. repro.campaign.DiskTier)
+        # slotting *under* the in-memory memo and the JSON disk store
+        self._tier = tier
         self._guard_reports: Dict[RunRequest, object] = {}
         #: guard verdict of the most recent :meth:`run` (None = unguarded)
         self.last_guard = None
@@ -222,6 +231,11 @@ class Runner:
         if self._disk is not None:
             self._disk.put(
                 request, stats, status=report.status if report else "ok"
+            )
+        if self._tier is not None:
+            self._tier.put(
+                request_key(request),
+                pack_record(stats, report.status if report else "ok"),
             )
         return stats
 
@@ -338,6 +352,22 @@ class Runner:
                 self._stats[request] = stored
                 self.last_guard = None
                 return stored
+        if self._tier is not None:
+            record = self._tier.get(request_key(request))
+            if record is not None:
+                try:
+                    stats, _status = unpack_record(record)
+                except (TypeError, KeyError):
+                    stats = None  # unpackable row: fall through and re-run
+                if stats is not None:
+                    obs.counter_add(
+                        "repro_runner_memo_hits_total", 1,
+                        "simulation results served from memory",
+                        tier="sqlite",
+                    )
+                    self._stats[request] = stats
+                    self.last_guard = None
+                    return stats
         obs.counter_add(
             "repro_runner_memo_misses_total", 1,
             "simulation requests that had to run",

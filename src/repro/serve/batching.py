@@ -58,6 +58,9 @@ class ServeConfig:
     engine_jobs: int = 4           # warm engine worker subprocesses
     engine_retries: int = 1
     guard: object = None           # Optional[GuardConfig]
+    campaign_dir: Optional[str] = None  # enables /v1/campaign when set
+    campaign_jobs: int = 2         # worker subprocesses per campaign
+    campaign_backlog: int = 4      # queued campaigns before 409
 
 
 class _Job:
@@ -109,6 +112,8 @@ class AnalysisService:
         self._source_memo: Dict[Tuple, dict] = {}
         self._source_lock = threading.Lock()
         self.started_at = time.time()
+        #: CampaignManager when config.campaign_dir is set, else None
+        self.campaigns = None
 
     # -- life cycle ---------------------------------------------------------
 
@@ -145,6 +150,15 @@ class AnalysisService:
         )
         batcher.start()
         self._threads.append(batcher)
+        if cfg.campaign_dir:
+            from repro.serve.campaigns import CampaignManager
+
+            self.campaigns = CampaignManager(
+                cfg.campaign_dir,
+                jobs=cfg.campaign_jobs,
+                max_queued=cfg.campaign_backlog,
+            )
+            self.campaigns.start()
 
     def stop(self) -> None:
         """Drain nothing: fail queued jobs fast and stop every thread."""
@@ -160,6 +174,9 @@ class AnalysisService:
         for thread in self._threads:
             thread.join(timeout=5)
         self._threads.clear()
+        if self.campaigns is not None:
+            self.campaigns.stop()
+            self.campaigns = None
         if self._pool is not None:
             self._pool.close()
         self._started = False
@@ -226,6 +243,65 @@ class AnalysisService:
                 if self._pool is not None
                 else 0
             ),
+        }
+
+    def readiness(self) -> dict:
+        """Readiness for ``GET /readyz``: can this instance take work *now*?
+
+        Liveness (``/livez``) is "the process is up"; readiness is
+        stricter — a started service whose admission queue is full, or
+        whose engine pool has no capacity left, reports ``ready: false``
+        so a load balancer routes around it until it drains.  Each
+        component reports its own saturation alongside the verdict.
+        """
+        with self._lock:
+            queued = len(self._exec_queue) + len(self._batch_queue)
+        queue_full = queued >= self.config.queue_depth
+        pool = self._pool
+        pool_component = {
+            "capacity": pool.jobs if pool is not None else 0,
+            "idle": pool.idle_count if pool is not None else 0,
+            "leased": pool.leased_count if pool is not None else 0,
+            "available": (
+                pool is not None
+                and not pool.closed
+                and pool.idle_count + (pool.jobs - pool.leased_count) > 0
+            ),
+        }
+        campaigns = (
+            self.campaigns.readiness()
+            if self.campaigns is not None
+            else {"enabled": False}
+        )
+        disk_tier = {"enabled": bool(self.config.campaign_dir)}
+        if self.config.campaign_dir:
+            import os
+
+            disk_tier["writable"] = os.access(
+                self.config.campaign_dir, os.W_OK
+            ) if os.path.isdir(self.config.campaign_dir) else os.access(
+                os.path.dirname(os.path.abspath(self.config.campaign_dir))
+                or ".", os.W_OK,
+            )
+        ready = (
+            self._started
+            and not queue_full
+            and not campaigns.get("saturated", False)
+            and disk_tier.get("writable", True)
+        )
+        return {
+            "ready": ready,
+            "status": "ready" if ready else (
+                "saturated" if self._started else "stopped"
+            ),
+            "queue": {
+                "depth": queued,
+                "limit": self.config.queue_depth,
+                "full": queue_full,
+            },
+            "pool": pool_component,
+            "campaigns": campaigns,
+            "disk_tier": disk_tier,
         }
 
     # -- internals ----------------------------------------------------------

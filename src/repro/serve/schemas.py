@@ -23,6 +23,8 @@ HTTP   class                      meaning
 400    UsageError / ConfigError   malformed body, field, or cache shape
 400    LintError                  bad rule selection / lint misuse
 409    GuardError                 strict-mode guardrail violation
+409    CampaignError              campaign cannot start/resume (backlog
+                                  full, orchestration disabled, ...)
 413    PayloadTooLarge            body over the configured ceiling
 422    FrontendError              DSL source does not lex/parse/lower
 429    QueueFullError             admission queue full — back off
@@ -39,6 +41,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.cache.config import CacheConfig
 from repro.errors import (
+    CampaignError,
     ConfigError,
     EngineError,
     FrontendError,
@@ -62,6 +65,7 @@ HTTP_STATUS = (
     (StoreCorruption, 500),
     (EngineError, 502),
     (GuardError, 409),
+    (CampaignError, 409),
     (LintError, 400),
     (FrontendError, 422),
     (UsageError, 400),
@@ -73,6 +77,7 @@ HTTP_STATUS = (
 MAX_SOURCE_BYTES = 256 * 1024
 MAX_BATCH_ITEMS = 256
 MAX_TIMEOUT_S = 300.0
+MAX_CAMPAIGN_ITEMS_SERVE = 4096
 
 
 def http_status_for(exc: BaseException) -> int:
@@ -296,6 +301,41 @@ class RunBatchRequest:
     items: Tuple[dict, ...]
     cache: CacheConfig
     timeout_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class CampaignSubmitRequest:
+    """POST /v1/campaign — launch (or attach to) a campaign."""
+
+    spec: object  # repro.campaign.spec.CampaignSpec
+    allow_partial: bool = False
+
+
+def validate_campaign(body) -> CampaignSubmitRequest:
+    """Typed ``/v1/campaign`` request: a campaign spec plus options.
+
+    The spec itself is validated by :func:`repro.campaign.spec.parse_spec`
+    (same strict unknown-field rejection); the service additionally caps
+    the expanded cross-product at :data:`MAX_CAMPAIGN_ITEMS_SERVE` —
+    bigger campaigns belong on the CLI, not behind an HTTP endpoint.
+    """
+    from repro.campaign.spec import parse_spec
+
+    body = _require_dict(body)
+    _reject_unknown(body, ("spec", "allow_partial"), "/v1/campaign")
+    if "spec" not in body:
+        raise UsageError("missing required field 'spec' (a campaign spec)")
+    spec = parse_spec(body["spec"])
+    if spec.item_count > MAX_CAMPAIGN_ITEMS_SERVE:
+        raise PayloadTooLarge(
+            f"campaign expands to {spec.item_count} items, over the "
+            f"service's {MAX_CAMPAIGN_ITEMS_SERVE}-item ceiling "
+            "(run it with 'repro campaign run' instead)"
+        )
+    return CampaignSubmitRequest(
+        spec=spec,
+        allow_partial=_boolean(body, "allow_partial"),
+    )
 
 
 def validate_pad(body) -> PadRequest:

@@ -10,12 +10,23 @@ translating library errors into the uniform structured bodies.
 
 Routes::
 
-    POST /v1/pad        pad one kernel, report decisions + layout
-    POST /v1/lint       static cache-hazard analysis
-    POST /v1/simulate   miss rates for inline source or a benchmark
-    POST /v1/run        a benchmark sweep through the warm engine pool
-    GET  /healthz       liveness + queue occupancy
-    GET  /metrics       Prometheus text format (repro.obs exporter)
+    POST /v1/pad           pad one kernel, report decisions + layout
+    POST /v1/lint          static cache-hazard analysis
+    POST /v1/simulate      miss rates for inline source or a benchmark
+    POST /v1/run           a benchmark sweep through the warm engine pool
+    POST /v1/campaign      launch (or attach to) a crash-resumable campaign
+    GET  /v1/campaign      list known campaigns
+    GET  /v1/campaign/<id> campaign progress (journal-replayed) + results
+    GET  /livez            liveness: the process is up (always 200)
+    GET  /readyz           readiness: queue depth, pool capacity, disk
+                           tier — 503 while saturated or stopped
+    GET  /healthz          legacy liveness + queue occupancy
+    GET  /metrics          Prometheus text format (repro.obs exporter)
+
+Campaign submissions bypass the admission queue (they are minutes-long
+batch work, not interactive requests) and run serially on the service's
+:class:`~repro.serve.campaigns.CampaignManager`; the POST returns 202
+with the campaign id for polling.
 
 Every request increments ``repro_serve_requests_total{endpoint,code}``
 and lands one ``repro_serve_request_seconds{endpoint}`` observation, so
@@ -29,7 +40,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
-from repro.errors import PayloadTooLarge, UsageError
+from repro.errors import CampaignError, PayloadTooLarge, UsageError
 from repro.obs import runtime as obs
 from repro.obs.export import to_prometheus
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS
@@ -37,6 +48,7 @@ from repro.serve.batching import AnalysisService, ServeConfig
 from repro.serve.schemas import (
     error_body,
     http_status_for,
+    validate_campaign,
     validate_lint,
     validate_pad,
     validate_run,
@@ -76,6 +88,17 @@ class _Handler(BaseHTTPRequestHandler):
             code = 200 if body["status"] == "ok" else 503
             self._send_json(code, body)
             self._account("healthz", code, started)
+        elif self.path == "/livez":
+            # liveness is answering at all: if this handler runs, we live
+            self._send_json(200, {"status": "alive"})
+            self._account("livez", 200, started)
+        elif self.path == "/readyz":
+            body = self.service.readiness()
+            code = 200 if body["ready"] else 503
+            self._send_json(code, body)
+            self._account("readyz", code, started)
+        elif self.path == "/v1/campaign" or self.path.startswith("/v1/campaign/"):
+            self._get_campaign(started)
         elif self.path == "/metrics":
             text = to_prometheus(obs.snapshot()).encode()
             self._send_bytes(200, text, "text/plain; version=0.0.4")
@@ -88,10 +111,42 @@ class _Handler(BaseHTTPRequestHandler):
             )
             self._account("unknown", 404, started)
 
+    def _get_campaign(self, started: float) -> None:
+        """GET /v1/campaign (list) or /v1/campaign/<id> (progress)."""
+        manager = self.service.campaigns
+        if manager is None:
+            exc = CampaignError(
+                "campaign orchestration is disabled "
+                "(start the service with --campaign-dir)"
+            )
+            self._send_json(http_status_for(exc), error_body(exc))
+            self._account("campaign", http_status_for(exc), started)
+            return
+        suffix = self.path[len("/v1/campaign"):].strip("/")
+        if not suffix:
+            body = {"campaigns": manager.list_campaigns()}
+            self._send_json(200, body)
+            self._account("campaign", 200, started)
+            return
+        status = manager.status(suffix)
+        if status is None:
+            self._send_json(
+                404, {"error": {"type": "UsageError",
+                                "message": f"unknown campaign {suffix!r}",
+                                "exit_code": 3, "http_status": 404}},
+            )
+            self._account("campaign", 404, started)
+            return
+        self._send_json(200, status)
+        self._account("campaign", 200, started)
+
     # -- POST ---------------------------------------------------------------
 
     def do_POST(self) -> None:
         started = time.monotonic()
+        if self.path == "/v1/campaign":
+            self._post_campaign(started)
+            return
         route = _ROUTES.get(self.path)
         if route is None:
             self._send_json(
@@ -119,6 +174,28 @@ class _Handler(BaseHTTPRequestHandler):
             status = http_status_for(exc)
             self._send_json(status, error_body(exc))
             self._account(endpoint, status, started)
+
+    def _post_campaign(self, started: float) -> None:
+        """POST /v1/campaign: validate, submit to the manager, 202."""
+        try:
+            request = validate_campaign(self._read_body())
+            manager = self.service.campaigns
+            if manager is None:
+                raise CampaignError(
+                    "campaign orchestration is disabled "
+                    "(start the service with --campaign-dir)"
+                )
+            record = manager.submit(
+                request.spec, allow_partial=request.allow_partial
+            )
+            self._send_json(202, record)
+            self._account("campaign", 202, started)
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            status = http_status_for(exc)
+            self._send_json(status, error_body(exc))
+            self._account("campaign", status, started)
 
     def _read_body(self):
         length = self.headers.get("Content-Length")

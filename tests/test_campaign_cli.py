@@ -1,0 +1,84 @@
+"""CLI surface of ``repro campaign run|resume|status``."""
+
+import json
+
+import pytest
+
+from repro.cli import exit_code_for, main
+from repro.errors import CampaignError
+
+pytestmark = [pytest.mark.engine]
+
+SPEC = {
+    "name": "cli",
+    "benchmarks": ["dot"],
+    "heuristics": ["pad"],
+    "caches": [{"size": "8K", "line": 32}],
+    "seed": 31,
+    "policy": {"backoff_base_s": 0.0},
+}
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC))
+    return path
+
+
+def campaign(*argv):
+    return main(["campaign", *map(str, argv)])
+
+
+class TestRunResume:
+    def test_run_then_resume(self, spec_path, tmp_path, capsys):
+        workdir = tmp_path / "w"
+        assert campaign("run", spec_path, "--workdir", workdir,
+                        "--jobs", "1") == 0
+        out = capsys.readouterr().out
+        assert "1 completed" in out
+        assert str(workdir / "results.json") in out
+
+        assert campaign("resume", spec_path, "--workdir", workdir,
+                        "--jobs", "1") == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out
+        assert "1 cached" in out
+
+    def test_resume_without_journal_exits_10(self, spec_path, tmp_path,
+                                             capsys):
+        code = campaign("resume", spec_path, "--workdir", tmp_path / "empty")
+        assert code == 10
+        assert "nothing to resume" in capsys.readouterr().err
+
+    def test_bad_spec_exits_3(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"benchmarks": ["dot"]}))  # no heuristics
+        code = campaign("run", bad, "--workdir", tmp_path / "w")
+        assert code == 3
+        assert "heuristics" in capsys.readouterr().err
+
+    def test_campaign_error_maps_to_10(self):
+        assert exit_code_for(CampaignError("boom")) == 10
+
+
+class TestStatus:
+    def test_status_human_and_json(self, spec_path, tmp_path, capsys):
+        workdir = tmp_path / "w"
+        campaign("run", spec_path, "--workdir", workdir, "--jobs", "1")
+        capsys.readouterr()
+
+        assert campaign("status", "--workdir", workdir) == 0
+        out = capsys.readouterr().out
+        assert "finished" in out
+        assert "1 completed" in out
+
+        assert campaign("status", "--workdir", workdir, "--json") == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["finished"] is True
+        assert doc["completed"] == 1
+
+    def test_status_without_journal_exits_3(self, tmp_path, capsys):
+        code = campaign("status", "--workdir", tmp_path / "nope")
+        assert code == 3
+        assert "no campaign journal" in capsys.readouterr().err

@@ -1,0 +1,129 @@
+"""Durable SQLite disk tier: checksums, quarantine, corruption survival."""
+
+import sqlite3
+
+import pytest
+
+from repro.campaign.disktier import DiskTier
+from repro.engine.store import checksum
+from repro.errors import StoreCorruption
+
+
+@pytest.fixture
+def tier(tmp_path):
+    with DiskTier(tmp_path / "tier.db") as t:
+        yield t
+
+
+def flip_checksum(path, key):
+    conn = sqlite3.connect(str(path))
+    conn.execute("UPDATE results SET sum = 'deadbeef' WHERE key = ?", (key,))
+    conn.commit()
+    conn.close()
+
+
+def mangle_value(path, key):
+    conn = sqlite3.connect(str(path))
+    conn.execute(
+        "UPDATE results SET value = '{\"torn' WHERE key = ?", (key,)
+    )
+    conn.commit()
+    conn.close()
+
+
+class TestRoundTrip:
+    def test_put_get(self, tier):
+        tier.put("k1", {"stats": [1, 2, 3]})
+        assert tier.get("k1") == {"stats": [1, 2, 3]}
+        assert "k1" in tier
+        assert len(tier) == 1
+
+    def test_missing_key(self, tier):
+        assert tier.get("nope") is None
+        assert "nope" not in tier
+
+    def test_overwrite_replaces(self, tier):
+        tier.put("k", {"v": 1})
+        tier.put("k", {"v": 2})
+        assert tier.get("k") == {"v": 2}
+        assert len(tier) == 1
+
+    def test_scan_returns_everything_valid(self, tier):
+        tier.put("a", 1)
+        tier.put("b", 2)
+        assert tier.scan() == {"a": 1, "b": 2}
+
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "tier.db"
+        with DiskTier(path) as t:
+            t.put("k", {"v": 1})
+        with DiskTier(path) as t:
+            assert t.get("k") == {"v": 1}
+
+
+class TestRowQuarantine:
+    def test_bad_checksum_row_quarantined(self, tmp_path):
+        path = tmp_path / "tier.db"
+        with DiskTier(path) as t:
+            t.put("good", {"v": 1})
+            t.put("bad", {"v": 2})
+        flip_checksum(path, "bad")
+        with DiskTier(path) as t:
+            assert t.get("bad") is None
+            assert t.get("good") == {"v": 1}
+            rows = t.quarantine_rows()
+            assert rows == [("bad", "checksum mismatch")]
+            # condemned rows leave the results table for good
+            assert len(t) == 1
+            assert t.scan() == {"good": {"v": 1}}
+
+    def test_half_written_value_quarantined(self, tmp_path):
+        path = tmp_path / "tier.db"
+        with DiskTier(path) as t:
+            t.put("torn", {"v": 1})
+        mangle_value(path, "torn")
+        with DiskTier(path) as t:
+            assert t.scan() == {}
+            assert t.quarantine_rows() == [("torn", "invalid JSON")]
+
+    def test_strict_mode_raises_instead(self, tmp_path):
+        path = tmp_path / "tier.db"
+        with DiskTier(path) as t:
+            t.put("bad", {"v": 1})
+        flip_checksum(path, "bad")
+        with DiskTier(path, strict=True) as t:
+            with pytest.raises(StoreCorruption, match="checksum mismatch"):
+                t.get("bad")
+
+    def test_checksum_matches_store_convention(self, tier):
+        value = {"stats": {"misses": 5}}
+        tier.put("k", value)
+        row = tier._conn.execute(
+            "SELECT sum FROM results WHERE key = 'k'"
+        ).fetchone()
+        assert row[0] == checksum(value)
+
+
+class TestFileQuarantine:
+    def test_garbage_file_renamed_and_fresh_tier_started(self, tmp_path):
+        path = tmp_path / "tier.db"
+        path.write_bytes(b"this is not a sqlite database at all\x00\xff" * 64)
+        with DiskTier(path) as t:
+            assert t.quarantined_file is not None
+            assert t.quarantined_file.exists()
+            assert t.quarantined_file.name.startswith("tier.db.corrupt-")
+            t.put("k", {"v": 1})
+            assert t.get("k") == {"v": 1}
+
+    def test_garbage_file_strict_raises(self, tmp_path):
+        path = tmp_path / "tier.db"
+        path.write_bytes(b"garbage" * 1024)
+        with pytest.raises(StoreCorruption):
+            DiskTier(path, strict=True)
+
+    def test_second_quarantine_gets_fresh_suffix(self, tmp_path):
+        path = tmp_path / "tier.db"
+        for expected in ("tier.db.corrupt-0", "tier.db.corrupt-1"):
+            path.write_bytes(b"garbage" * 1024)
+            with DiskTier(path) as t:
+                assert t.quarantined_file.name == expected

@@ -1,0 +1,190 @@
+"""Campaign spec validation and plan compilation (repro.campaign)."""
+
+import json
+
+import pytest
+
+from repro.bench.suites import ALL_SPECS
+from repro.campaign.plan import compile_plan, item_id_for
+from repro.campaign.spec import (
+    MAX_CAMPAIGN_ITEMS,
+    parse_spec,
+    resolve_benchmarks,
+    spec_from_file,
+)
+from repro.errors import UsageError
+
+MINIMAL = {"benchmarks": ["dot"], "heuristics": ["pad"]}
+
+
+def spec_with(**overrides):
+    body = dict(MINIMAL)
+    body.update(overrides)
+    return parse_spec(body)
+
+
+class TestSpecParsing:
+    def test_minimal_spec_gets_defaults(self):
+        spec = parse_spec(MINIMAL)
+        assert spec.benchmarks == ("dot",)
+        assert spec.heuristics == ("pad",)
+        assert len(spec.caches) == 1
+        assert spec.caches[0].size_bytes == 16 * 1024
+        assert spec.sizes == (None,)
+        assert spec.m_lines == (4,)
+        assert spec.policy.retries == 2
+        assert spec.guard is None
+
+    def test_non_object_rejected(self):
+        with pytest.raises(UsageError, match="expected a JSON object"):
+            parse_spec([1, 2, 3])
+
+    def test_unknown_spec_field_rejected(self):
+        with pytest.raises(UsageError, match="benchmrks"):
+            parse_spec({"benchmrks": ["dot"], "heuristics": ["pad"]})
+
+    def test_missing_benchmarks_rejected(self):
+        with pytest.raises(UsageError, match="benchmarks"):
+            parse_spec({"heuristics": ["pad"]})
+
+    def test_unknown_heuristic_rejected(self):
+        with pytest.raises(UsageError, match="heuristics"):
+            spec_with(heuristics=["no-such-heuristic"])
+
+    def test_cache_size_suffixes(self):
+        spec = spec_with(caches=[{"size": "8K", "line": 32, "assoc": 2}])
+        assert spec.caches[0].size_bytes == 8192
+        assert spec.caches[0].associativity == 2
+
+    def test_cache_unknown_field_rejected(self):
+        with pytest.raises(UsageError, match=r"caches\[0\]"):
+            spec_with(caches=[{"sizes": "8K"}])
+
+    def test_cache_bool_assoc_rejected(self):
+        with pytest.raises(UsageError, match="assoc"):
+            spec_with(caches=[{"assoc": True}])
+
+    def test_sizes_accept_null_for_default(self):
+        spec = spec_with(sizes=[None, 64])
+        assert spec.sizes == (None, 64)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(UsageError, match=r"sizes\[0\]"):
+            spec_with(sizes=[-4])
+
+    def test_policy_unknown_field_rejected(self):
+        with pytest.raises(UsageError, match="policy"):
+            spec_with(policy={"retry": 3})
+
+    def test_policy_values_validated(self):
+        with pytest.raises(UsageError, match="timeout_s"):
+            spec_with(policy={"timeout_s": 0})
+        spec = spec_with(policy={"retries": 0, "fallback": False})
+        assert spec.policy.retries == 0
+        assert spec.policy.fallback is False
+
+    def test_guard_mode_validated(self):
+        with pytest.raises(UsageError, match="guard.mode"):
+            spec_with(guard={"mode": "loose"})
+        spec = spec_with(guard={"mode": "strict", "epsilon_pct": 1.5})
+        assert spec.guard["mode"] == "strict"
+
+    def test_item_ceiling_enforced(self):
+        with pytest.raises(UsageError, match="ceiling"):
+            spec_with(
+                benchmarks=["all"],
+                m_lines=list(range(1, MAX_CAMPAIGN_ITEMS)),
+            )
+
+    def test_spec_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(MINIMAL))
+        assert spec_from_file(path).benchmarks == ("dot",)
+
+    def test_spec_from_missing_file(self, tmp_path):
+        with pytest.raises(UsageError, match="cannot read"):
+            spec_from_file(tmp_path / "nope.json")
+
+    def test_spec_from_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(UsageError, match="malformed JSON"):
+            spec_from_file(path)
+
+
+class TestSelectors:
+    def test_suite_selector_expands_in_registry_order(self):
+        expanded = resolve_benchmarks(("suite:kernel",))
+        expected = tuple(s.name for s in ALL_SPECS if s.suite == "kernel")
+        assert expanded == expected
+
+    def test_category_selector(self):
+        expanded = resolve_benchmarks(("category:stencil",))
+        assert expanded
+        by_name = {s.name: s for s in ALL_SPECS}
+        assert all(by_name[n].category == "stencil" for n in expanded)
+
+    def test_all_selector(self):
+        assert resolve_benchmarks(("all",)) == tuple(
+            s.name for s in ALL_SPECS
+        )
+
+    def test_first_mention_wins_dedup(self):
+        expanded = resolve_benchmarks(("jacobi", "suite:kernel"))
+        assert expanded[0] == "jacobi"
+        assert len(expanded) == len(set(expanded))
+
+    def test_unknown_selector_rejected(self):
+        with pytest.raises(UsageError, match="unknown selector"):
+            resolve_benchmarks(("saxpy",))
+        with pytest.raises(UsageError, match="unknown suite"):
+            resolve_benchmarks(("suite:nope",))
+        with pytest.raises(UsageError, match="unknown category"):
+            resolve_benchmarks(("category:nope",))
+
+    def test_selector_spelling_does_not_change_campaign_id(self):
+        names = [s.name for s in ALL_SPECS if s.suite == "kernel"]
+        via_selector = spec_with(benchmarks=["suite:kernel"])
+        via_names = spec_with(benchmarks=names)
+        assert via_selector.campaign_id == via_names.campaign_id
+
+    def test_different_work_changes_campaign_id(self):
+        assert (
+            spec_with(seed=1).campaign_id != spec_with(seed=2).campaign_id
+        )
+
+
+class TestPlanCompilation:
+    def test_plan_is_the_cross_product(self):
+        spec = spec_with(
+            benchmarks=["dot", "jacobi"],
+            heuristics=["pad", "original"],
+            caches=[{"size": "8K"}, {"size": "16K"}],
+        )
+        plan = compile_plan(spec)
+        assert len(plan.items) == 2 * 2 * 2
+        assert plan.campaign_id == spec.campaign_id
+
+    def test_duplicate_geometries_dedup(self):
+        spec = spec_with(caches=[{"size": "8K"}, {"size": 8192}])
+        assert len(compile_plan(spec).items) == 1
+
+    def test_item_ids_are_content_addressed(self):
+        plan = compile_plan(spec_with())
+        item = plan.items[0]
+        assert item.item_id == item_id_for(item.key)
+        assert plan.item(item.item_id) is item
+
+    def test_digest_is_stable_and_sensitive(self):
+        first = compile_plan(spec_with())
+        again = compile_plan(spec_with())
+        other = compile_plan(spec_with(seed=99))
+        assert first.digest == again.digest
+        assert first.digest != other.digest
+
+    def test_requests_carry_spec_settings(self):
+        spec = spec_with(seed=777, m_lines=[6])
+        request = compile_plan(spec).items[0].request
+        assert request.seed == 777
+        assert request.m_lines == 6
+        assert request.program == "dot"

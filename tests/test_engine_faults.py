@@ -94,3 +94,71 @@ class TestCorruptStoreEntries:
         CrashSafeStore(path).put("k", 1)
         assert corrupt_store_entries(path, fraction=0.0) == 0
         assert json.loads(path.read_text())["entries"]["k"]["sum"] != "deadbeef"
+
+
+class TestCampaignFaultSpec:
+    def test_full_campaign_spec(self):
+        from repro.engine.faults import parse_campaign_fault_spec
+
+        faults = parse_campaign_fault_spec(
+            "kill=0.1,corrupt=0.05,seed=7,ckill=3,tier_corrupt=0.25"
+        )
+        assert faults.coordinator_kill_after == 3
+        assert faults.tier_corrupt == 0.25
+        assert faults.seed == 7
+        assert faults.worker == FaultPlan(kill=0.1, corrupt=0.05, seed=7)
+
+    def test_coordinator_only_spec_has_no_worker_plan(self):
+        from repro.engine.faults import parse_campaign_fault_spec
+
+        faults = parse_campaign_fault_spec("ckill=1")
+        assert faults.coordinator_kill_after == 1
+        assert faults.worker is None
+
+    def test_seed_only_collapses_worker_plan(self):
+        from repro.engine.faults import parse_campaign_fault_spec
+
+        assert parse_campaign_fault_spec("seed=9,ckill=2").worker is None
+
+    def test_unknown_key_rejected(self):
+        from repro.engine.faults import parse_campaign_fault_spec
+
+        with pytest.raises(ConfigError):
+            parse_campaign_fault_spec("tierkill=1")
+
+    def test_bad_values_rejected(self):
+        from repro.engine.faults import CampaignFaults, parse_campaign_fault_spec
+
+        with pytest.raises(ConfigError):
+            parse_campaign_fault_spec("ckill=soon")
+        with pytest.raises(ConfigError):
+            CampaignFaults(coordinator_kill_after=0)
+        with pytest.raises(ConfigError):
+            CampaignFaults(tier_corrupt=1.5)
+
+
+class TestCorruptDiskTier:
+    def test_flips_deterministic_fraction(self, tmp_path):
+        from repro.campaign.disktier import DiskTier
+        from repro.engine.faults import corrupt_disk_tier
+
+        path = tmp_path / "tier.db"
+        with DiskTier(path) as tier:
+            for i in range(20):
+                tier.put(f"key-{i}", {"n": i})
+        hit = corrupt_disk_tier(path, fraction=0.5, seed=3)
+        assert 0 < hit < 20
+        with DiskTier(path) as tier:
+            assert len(tier.scan()) == 20 - hit
+            assert len(tier.quarantine_rows()) == hit
+
+    def test_zero_fraction_touches_nothing(self, tmp_path):
+        from repro.campaign.disktier import DiskTier
+        from repro.engine.faults import corrupt_disk_tier
+
+        path = tmp_path / "tier.db"
+        with DiskTier(path) as tier:
+            tier.put("k", {"v": 1})
+        assert corrupt_disk_tier(path, fraction=0.0) == 0
+        with DiskTier(path) as tier:
+            assert tier.get("k") == {"v": 1}

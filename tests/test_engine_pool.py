@@ -106,3 +106,34 @@ class TestPooledEngine:
             assert first.run_many(requests("original"))[0].status == "ok"
             assert second.run_many(requests("pad"))[0].status == "ok"
             assert pool.leased_count == 0
+
+
+class TestLeasedContextManager:
+    def test_leases_release_on_exit(self):
+        with WorkerPool(jobs=2) as pool:
+            with pool.leased(2) as workers:
+                assert len(workers) == 2
+                assert pool.leased_count == 2
+            assert pool.leased_count == 0
+            assert pool.idle_count == 2
+
+    def test_releases_on_exception(self):
+        with WorkerPool(jobs=2) as pool:
+            with pytest.raises(RuntimeError):
+                with pool.leased(1):
+                    raise RuntimeError("boom")
+            assert pool.leased_count == 0
+
+    def test_in_place_mutations_still_released(self):
+        # callers may replace dead workers in the leased list in place;
+        # the CM releases whatever the list holds at exit
+        with WorkerPool(jobs=1) as pool:
+            with pool.leased(1) as workers:
+                old_pid = workers[0].proc.pid
+                workers[0].proc.kill()
+                workers[0].proc.join(timeout=10)
+            assert pool.leased_count == 0
+            # the corpse was culled, not parked
+            [fresh] = pool.lease(1)
+            assert fresh.proc.pid != old_pid
+            pool.release([fresh])

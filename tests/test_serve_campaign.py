@@ -1,0 +1,173 @@
+"""HTTP campaign endpoint and the liveness/readiness split."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.batching import ServeConfig
+from repro.serve.server import create_server
+
+pytestmark = [pytest.mark.engine]
+
+SPEC = {
+    "name": "serve",
+    "benchmarks": ["dot"],
+    "heuristics": ["pad"],
+    "caches": [{"size": "8K", "line": 32}],
+    "seed": 41,
+    "policy": {"backoff_base_s": 0.0},
+}
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    config = ServeConfig(
+        port=0, workers=2, queue_depth=8, engine_jobs=1,
+        campaign_dir=str(tmp_path_factory.mktemp("campaigns")),
+        campaign_jobs=1,
+    )
+    server = create_server(config)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def _request(server, path, payload=None):
+    host, port = server.address
+    url = f"http://{host}:{port}{path}"
+    data = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as resp:
+            return resp.status, json.load(resp)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc)
+
+
+class TestHealthSplit:
+    def test_livez_always_200(self, server):
+        status, body = _request(server, "/livez")
+        assert status == 200
+        assert body == {"status": "alive"}
+
+    def test_readyz_reports_components(self, server):
+        status, body = _request(server, "/readyz")
+        assert status == 200
+        assert body["ready"] is True
+        assert body["queue"]["full"] is False
+        assert body["pool"]["capacity"] >= 1
+        assert body["campaigns"]["enabled"] is True
+        assert body["disk_tier"]["enabled"] is True
+        assert body["disk_tier"]["writable"] is True
+
+    def test_legacy_healthz_still_answers(self, server):
+        status, body = _request(server, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+
+
+class TestCampaignEndpoint:
+    def poll_done(self, server, campaign_id, timeout=120):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, body = _request(server, f"/v1/campaign/{campaign_id}")
+            assert status == 200
+            if body["state"] in ("done", "failed"):
+                return body
+            time.sleep(0.05)
+        pytest.fail(f"campaign {campaign_id} never finished")
+
+    def test_submit_poll_and_results(self, server):
+        status, record = _request(server, "/v1/campaign", {"spec": SPEC})
+        assert status == 202
+        assert record["state"] in ("queued", "running", "done")
+        campaign_id = record["campaign"]
+
+        body = self.poll_done(server, campaign_id)
+        assert body["state"] == "done"
+        assert body["progress"]["finished"] is True
+        assert body["progress"]["completed"] == 1
+        assert len(body["results"]) == 1
+
+    def test_resubmission_is_idempotent(self, server):
+        status, first = _request(server, "/v1/campaign", {"spec": SPEC})
+        assert status == 202
+        self.poll_done(server, first["campaign"])
+        status, again = _request(server, "/v1/campaign", {"spec": SPEC})
+        assert status == 202
+        assert again["campaign"] == first["campaign"]
+        assert again["state"] == "done"
+
+    def test_list_campaigns(self, server):
+        status, record = _request(server, "/v1/campaign", {"spec": SPEC})
+        assert status == 202
+        self.poll_done(server, record["campaign"])
+        status, body = _request(server, "/v1/campaign")
+        assert status == 200
+        ids = [entry["campaign"] for entry in body["campaigns"]]
+        assert record["campaign"] in ids
+
+    def test_unknown_campaign_404(self, server):
+        status, body = _request(server, "/v1/campaign/feedfacecafe")
+        assert status == 404
+        assert body["error"]["type"] == "UsageError"
+
+    def test_invalid_spec_400(self, server):
+        status, body = _request(
+            server, "/v1/campaign", {"spec": {"benchmarks": ["dot"]}}
+        )
+        assert status == 400
+        assert body["error"]["type"] == "UsageError"
+
+    def test_unknown_body_field_400(self, server):
+        status, body = _request(
+            server, "/v1/campaign", {"spec": SPEC, "nope": 1}
+        )
+        assert status == 400
+
+    def test_oversized_campaign_413(self, server):
+        big = dict(SPEC, benchmarks=["all"],
+                   m_lines=list(range(1, 200)), heuristics=["pad"])
+        status, body = _request(server, "/v1/campaign", {"spec": big})
+        assert status == 413
+        assert "repro campaign run" in body["error"]["message"]
+
+
+class TestCampaignsDisabled:
+    @pytest.fixture(scope="class")
+    def plain_server(self):
+        server = create_server(
+            ServeConfig(port=0, workers=1, engine_jobs=1)
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield server
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_post_409_when_disabled(self, plain_server):
+        status, body = _request(
+            plain_server, "/v1/campaign", {"spec": SPEC}
+        )
+        assert status == 409
+        assert body["error"]["type"] == "CampaignError"
+
+    def test_readyz_shows_campaigns_disabled(self, plain_server):
+        status, body = _request(plain_server, "/readyz")
+        assert status == 200
+        assert body["campaigns"]["enabled"] is False
+        assert body["disk_tier"]["enabled"] is False
