@@ -22,6 +22,17 @@ Usage::
 
     PYTHONPATH=src python scripts/bench_snapshot.py \
         [--out DIR] [--benchmarks dot,jacobi,mult] [--jobs 2] [--label msg]
+
+``--compare`` switches to the trace-JIT before/after mode: each program
+in :func:`repro.jit.corpus.perf_corpus` is simulated end to end with
+``jit="off"`` and ``jit="on"``, the two cache-stat results are required
+to be identical, and the snapshot records per-case and aggregate
+speedups.  ``--min-speedup X`` turns the aggregate into a CI gate
+(exit 1 below X); ``--number N`` pins the output to ``BENCH_N.json``
+instead of auto-numbering::
+
+    PYTHONPATH=src python scripts/bench_snapshot.py \
+        --compare --number 7 --min-speedup 5 [--repeats 3] [--out DIR]
 """
 
 import argparse
@@ -72,6 +83,85 @@ def timed(fn):
     return result, time.perf_counter() - started
 
 
+def compare_main(args, out_dir: pathlib.Path) -> int:
+    """JIT before/after: simulate the perf corpus both ways, gate on
+    aggregate speedup, write a BENCH snapshot of the comparison."""
+    from repro.cache.config import base_cache
+    from repro.cache.fastsim import make_simulator
+    from repro.jit import make_interpreter
+    from repro.jit.corpus import perf_corpus
+
+    obs.reset()
+    obs.enable()
+
+    def simulate(prog, layout, jit):
+        sim = make_simulator(base_cache())
+        return sim.access_stream(
+            make_interpreter(prog, layout, jit=jit).trace()
+        )
+
+    cases = []
+    total_off = total_on = 0.0
+    for prog, layout in perf_corpus():
+        best = {}
+        stats = {}
+        for jit in ("off", "on"):
+            samples = []
+            for _ in range(max(1, args.repeats)):
+                stats[jit], elapsed = timed(
+                    lambda j=jit: simulate(prog, layout, j)
+                )
+                samples.append(elapsed)
+            best[jit] = min(samples)
+        if stats["off"] != stats["on"]:
+            print(f"error: {prog.name}: jit=on changed the simulation "
+                  f"result; refusing to snapshot", file=sys.stderr)
+            return 1
+        total_off += best["off"]
+        total_on += best["on"]
+        accesses = stats["off"].accesses
+        cases.append({
+            "name": prog.name,
+            "accesses": accesses,
+            "interp_s": round(best["off"], 6),
+            "jit_s": round(best["on"], 6),
+            "speedup": round(best["off"] / best["on"], 3),
+            "jit_accesses_per_s": round(accesses / best["on"], 1),
+        })
+        print(f"  {prog.name:20s} {accesses:>9d} accesses  "
+              f"interp {best['off']:.3f}s  jit {best['on']:.3f}s  "
+              f"{best['off'] / best['on']:.1f}x")
+
+    aggregate = total_off / total_on if total_on else 0.0
+    snap = obs.snapshot()
+    document = {
+        "schema": 1,
+        "kind": "jit-compare",
+        "label": args.label,
+        "repeats": max(1, args.repeats),
+        "cases": cases,
+        "aggregate_speedup": round(aggregate, 3),
+        "min_speedup": args.min_speedup,
+        "jit_counters": {
+            "compiled": counter_total(snap, "repro_jit_compiled_total"),
+            "deopts": counter_total(snap, "repro_jit_deopt_total"),
+            "chunks": counter_total(snap, "repro_jit_chunks_total"),
+        },
+    }
+    if args.number is not None:
+        path = out_dir / f"BENCH_{args.number}.json"
+    else:
+        path = next_snapshot_path(out_dir)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    print(f"  aggregate: {aggregate:.1f}x interpreter throughput")
+    if args.min_speedup and aggregate < args.min_speedup:
+        print(f"error: aggregate speedup {aggregate:.2f}x below the "
+              f"--min-speedup {args.min_speedup}x gate", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=str(ROOT),
@@ -84,12 +174,25 @@ def main() -> int:
                         help="campaign worker processes (default 2)")
     parser.add_argument("--label", default="",
                         help="free-form note stored in the snapshot")
+    parser.add_argument("--compare", action="store_true",
+                        help="JIT before/after mode over the perf corpus")
+    parser.add_argument("--number", type=int, default=None,
+                        help="write BENCH_<number>.json instead of "
+                             "auto-numbering")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="exit 1 if the --compare aggregate speedup "
+                             "falls below this factor")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per case in --compare mode "
+                             "(best-of; default 3)")
     args = parser.parse_args()
 
     out_dir = pathlib.Path(args.out)
     if not out_dir.is_dir():
         print(f"error: --out {out_dir} is not a directory", file=sys.stderr)
         return 2
+    if args.compare:
+        return compare_main(args, out_dir)
     benchmarks = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
 
     obs.reset()
@@ -182,7 +285,10 @@ def main() -> int:
                 snap, "repro_campaign_fallbacks_total"),
         },
     }
-    path = next_snapshot_path(out_dir)
+    if args.number is not None:
+        path = out_dir / f"BENCH_{args.number}.json"
+    else:
+        path = next_snapshot_path(out_dir)
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     print(f"wrote {path}")
     print(f"  cold:   {items} items in {cold_s:.2f}s "

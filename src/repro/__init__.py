@@ -43,18 +43,21 @@ from repro.padding import (
     pad,
     padlite,
 )
+from repro.jit import JitConfig, JitInterpreter, make_interpreter
 from repro.timing import PAPER_MACHINES, MachineModel
 from repro.trace import DataEnv, TraceInterpreter, trace_program
 
 __version__ = "1.0.0"
 
 
-def simulate_program(prog, layout, cache=None, env=None) -> CacheStats:
-    """Trace a program under a layout through a cache; return statistics."""
+def simulate_program(prog, layout, cache=None, env=None, jit="auto") -> CacheStats:
+    """Trace a program under a layout through a cache; return statistics.
+
+    ``jit`` picks the trace engine (``"on"``/``"off"``/``"auto"``, see
+    :mod:`repro.jit`); all modes produce identical statistics.
+    """
     sim = make_simulator(cache or base_cache())
-    for addrs, writes in trace_program(prog, layout, env):
-        sim.access_chunk(addrs, writes)
-    return sim.stats
+    return sim.access_stream(trace_program(prog, layout, env, jit=jit))
 
 
 __all__ = [
@@ -63,6 +66,8 @@ __all__ = [
     "DataEnv",
     "GuardConfig",
     "GuardReport",
+    "JitConfig",
+    "JitInterpreter",
     "MachineModel",
     "MemoryLayout",
     "PAPER_MACHINES",
@@ -79,6 +84,7 @@ __all__ = [
     "fully_associative",
     "interpad_only",
     "interpadlite_only",
+    "make_interpreter",
     "make_simulator",
     "original",
     "original_layout",

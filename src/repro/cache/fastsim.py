@@ -95,6 +95,16 @@ class FastDirectMapped:
         """Single-access convenience entry point."""
         return bool(self.access_chunk([address], [is_write])[0])
 
+    def access_stream(self, chunks) -> CacheStats:
+        """Drain an iterable of (addresses, writes) chunks; returns stats.
+
+        The batch entry point the trace interpreter and JIT feed: block
+        generators hand whole ``chunk_target``-sized blocks straight in.
+        """
+        for addrs, writes in chunks:
+            self.access_chunk(addrs, writes)
+        return self.stats
+
     def access_chunk(
         self,
         addresses: Sequence[int],
@@ -229,6 +239,16 @@ class FastSetAssociative:
     def access(self, address: int, is_write: bool = False) -> bool:
         """Single-access convenience entry point."""
         return bool(self.access_chunk([address], [is_write])[0])
+
+    def access_stream(self, chunks) -> CacheStats:
+        """Drain an iterable of (addresses, writes) chunks; returns stats.
+
+        The batch entry point the trace interpreter and JIT feed: block
+        generators hand whole ``chunk_target``-sized blocks straight in.
+        """
+        for addrs, writes in chunks:
+            self.access_chunk(addrs, writes)
+        return self.stats
 
     def access_chunk(
         self,

@@ -116,6 +116,12 @@ class ReferenceCache:
             )
         return misses
 
+    def access_stream(self, chunks) -> "CacheStats":
+        """Drain an iterable of (addresses, writes) chunks; returns stats."""
+        for addrs, writes in chunks:
+            self.access_chunk(addrs, writes)
+        return self.stats
+
     def resident_lines(self) -> Set[int]:
         """Line addresses currently cached (for tests)."""
         return {line.tag for ways in self._sets for line in ways}

@@ -128,6 +128,16 @@ def _add_metrics_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jit_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jit", choices=("on", "off", "auto"), default="auto",
+        help="trace-JIT policy: compile hot affine loop nests into batched "
+             "address generators (auto, default), compile every eligible "
+             "nest (on), or always interpret (off); all modes emit the "
+             "identical address stream",
+    )
+
+
 def _add_guard_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--guard", choices=("off", "warn", "strict"), default="off",
@@ -257,7 +267,7 @@ def cmd_simulate(args) -> int:
     prog = _load_program(args)
     cache = _cache_from_args(args)
     baseline = original(prog)
-    before = simulate_program(prog, baseline.layout, cache)
+    before = simulate_program(prog, baseline.layout, cache, jit=args.jit)
     print(f"cache {cache.describe()}")
     print(f"original: {before.describe()}")
     if args.heuristic != "original":
@@ -268,13 +278,17 @@ def cmd_simulate(args) -> int:
 
             report, after = check_transform(
                 result.prog, result.layout, guard,
-                simulate_fn=lambda p, lay: simulate_program(p, lay, cache),
+                simulate_fn=lambda p, lay: simulate_program(
+                    p, lay, cache, jit=args.jit
+                ),
                 baseline_stats=before,
                 dropped=result.guard.dropped if result.guard else (),
             )
             print(f"guard: {report.describe()}")
         else:
-            after = simulate_program(result.prog, result.layout, cache)
+            after = simulate_program(
+                result.prog, result.layout, cache, jit=args.jit
+            )
         print(f"{args.heuristic}: {after.describe()}")
         print(
             f"improvement: {before.miss_rate_pct - after.miss_rate_pct:.2f} points"
@@ -307,7 +321,7 @@ def cmd_trace(args) -> int:
     prog = _load_program(args)
     cache = _cache_from_args(args)
     result = _run_heuristic(prog, args.heuristic, cache, args.m)
-    count = save_trace(args.out, result.prog, result.layout)
+    count = save_trace(args.out, result.prog, result.layout, jit=args.jit)
     print(f"wrote {count} accesses to {args.out} "
           f"({args.heuristic} layout, pad target {cache.describe()})")
     return 0
@@ -322,7 +336,7 @@ def cmd_bench(args) -> int:
         for spec in ALL_SPECS:
             print(f"{spec.name:10s} [{spec.suite:6s}] {spec.description}")
         return 0
-    runner = Runner()
+    runner = Runner(jit=args.jit)
     cache = _cache_from_args(args)
     spec = get_spec(args.name)
     orig = runner.miss_rate(args.name, "original", cache, size=args.n)
@@ -381,6 +395,7 @@ def cmd_run_all(args) -> int:
         fallback=not args.no_fallback,
         faults=faults,
         guard=guard_runtime.active_config(),
+        jit=args.jit,
     )
     report = run_figures(
         figures=tuple(args.figures) if args.figures else DEFAULT_FIGURES,
@@ -505,6 +520,7 @@ def cmd_serve(args) -> int:
         max_body_bytes=_parse_size(args.max_body),
         engine_jobs=max(1, args.engine_jobs),
         guard=_guard_config_from_args(args),
+        jit=args.jit,
         campaign_dir=args.campaign_dir,
         campaign_jobs=max(1, args.campaign_jobs),
     )
@@ -618,6 +634,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_args(p)
     p.add_argument("--heuristic", default="pad")
     p.add_argument("--m", type=int, default=4)
+    _add_jit_arg(p)
     _add_metrics_arg(p)
     _add_guard_args(p)
     p.set_defaults(fn=cmd_simulate)
@@ -635,6 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("out", help="output .npz path")
     p.add_argument("--heuristic", default="original")
     p.add_argument("--m", type=int, default=4)
+    _add_jit_arg(p)
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("bench", help="list or run registered benchmarks")
@@ -642,6 +660,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=None, help="problem size override")
     p.add_argument("--heuristic", default="pad")
     _add_cache_args(p)
+    _add_jit_arg(p)
     _add_metrics_arg(p)
     _add_guard_args(p)
     p.set_defaults(fn=cmd_bench)
@@ -679,6 +698,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "<cache-dir>/journal.jsonl)")
     p.add_argument("--no-fallback", action="store_true",
                    help="fail instead of degrading to the reference simulator")
+    _add_jit_arg(p)
     _add_metrics_arg(p)
     _add_guard_args(p)
     p.set_defaults(fn=cmd_run_all)
@@ -753,6 +773,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--campaign-jobs", type=int, default=2,
                    help="worker processes for served campaigns "
                         "(default 2)")
+    _add_jit_arg(p)
     _add_guard_args(p)
     p.set_defaults(fn=cmd_serve)
 

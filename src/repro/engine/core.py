@@ -71,6 +71,7 @@ class EngineConfig:
     seed: int = 0  # jitter seed
     faults: Optional[FaultPlan] = None
     guard: Optional[GuardConfig] = None  # transformation guardrail policy
+    jit: str = "auto"  # trace-engine policy workers apply (repro.jit)
 
 
 @dataclass
@@ -441,7 +442,7 @@ class ExperimentEngine:
             worker.conn.send(
                 (
                     "task", task.index, task.request, task.simulator,
-                    fault, collect, guard_record,
+                    fault, collect, guard_record, cfg.jit,
                 )
             )
         except (BrokenPipeError, OSError):  # pragma: no cover - instant death

@@ -5,12 +5,13 @@ Each worker owns a private memoizing :class:`~repro.experiments.runner.Runner`
 to the parent over a pipe:
 
 * parent -> worker: ``("task", task_id, RunRequest, simulator, fault,
-  collect, guard)`` or ``("stop",)``; ``fault`` is ``None`` or
+  collect, guard, jit)`` or ``("stop",)``; ``fault`` is ``None`` or
   ``(kind, param)`` from the fault-injection plan (a ``layout`` fault's
   param names the corruption kind), ``collect`` asks the worker to
-  gather a metrics snapshot for the task, and ``guard`` is a
-  :class:`~repro.guard.config.GuardConfig` record or ``None`` (older
-  parents may omit the trailing fields).
+  gather a metrics snapshot for the task, ``guard`` is a
+  :class:`~repro.guard.config.GuardConfig` record or ``None``, and
+  ``jit`` is the trace-engine policy (default ``"auto"``; older parents
+  may omit the trailing fields).
 * worker -> parent: ``("ok", task_id, stats_payload, checksum, metrics,
   guard_report)`` (``metrics`` is a registry snapshot or ``None``;
   ``guard_report`` is a :class:`~repro.guard.config.GuardReport` record
@@ -72,6 +73,7 @@ def worker_main(conn) -> None:
         _, task_id, request, simulator, fault = msg[:5]
         collect = bool(msg[5]) if len(msg) > 5 else False
         guard_record = msg[6] if len(msg) > 6 else None
+        runner.jit = msg[7] if len(msg) > 7 else "auto"
         kind, param = fault if fault else (None, None)
         if kind == "kill":
             os._exit(KILL_EXIT_CODE)

@@ -29,12 +29,13 @@ from repro.cache.stats import CacheStats
 from repro.errors import ConfigError
 from repro.guard import runtime as guard_runtime
 from repro.ir.program import Program
+from repro.jit import make_interpreter, resolve_mode
 from repro.layout.layout import MemoryLayout, original_layout
 from repro.obs import runtime as obs
 from repro.padding import drivers
 from repro.padding.common import PadParams, PaddingResult
 from repro.trace.env import DataEnv
-from repro.trace.interpreter import TraceInterpreter, truncate_outer_loops
+from repro.trace.interpreter import truncate_outer_loops
 
 HEURISTICS: Dict[str, Callable[..., PaddingResult]] = {
     "original": lambda prog, params=None: drivers.original(prog),
@@ -118,9 +119,18 @@ class Runner:
     :class:`repro.campaign.DiskTier`) below the in-memory memo: lookups
     fall through memory → JSON disk store → tier, and fresh results are
     written back to every enabled layer.
+
+    ``jit`` is the trace-engine policy (``"on"``/``"off"``/``"auto"``,
+    see :mod:`repro.jit`).  It is execution policy, not part of the memo
+    key: every mode emits the identical address stream, so results cache
+    and compare across modes.
     """
 
-    def __init__(self, cache_dir: Optional[str] = None, tier=None):
+    def __init__(self, cache_dir: Optional[str] = None, tier=None,
+                 jit: str = "auto"):
+        #: trace-engine policy; mutable so engine workers can follow the
+        #: per-task mode their parent sends
+        self.jit = resolve_mode(jit)
         self._stats: Dict[RunRequest, CacheStats] = {}
         self._programs: Dict[Tuple[str, Optional[int]], Program] = {}
         self._paddings: Dict[Tuple, PaddingResult] = {}
@@ -293,9 +303,10 @@ class Runner:
                     else ReferenceCache(request.cache)
                 )
                 env = DataEnv(seed=request.seed)
-                for addrs, writes in TraceInterpreter(
-                    sim_prog, sim_layout, env
-                ).trace():
+                interp = make_interpreter(
+                    sim_prog, sim_layout, env, jit=self.jit
+                )
+                for addrs, writes in interp.trace():
                     sim.access_chunk(addrs, writes)
                 return sim.stats
 

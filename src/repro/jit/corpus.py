@@ -1,0 +1,288 @@
+"""Seeded corpora of random affine loop nests for the JIT test battery.
+
+Two consumers share this module so they exercise the same program space:
+
+* the differential fuzz suite (``tests/test_jit_*``) draws hundreds of
+  seeded random cases and asserts the JIT stream is byte-identical to the
+  interpreter's;
+* the perf comparison (``scripts/bench_snapshot.py --compare`` and
+  ``benchmarks/bench_jit.py``) times both paths over the deterministic
+  :func:`perf_corpus` — deep nests with small innermost trip counts, the
+  shape where per-level Python dispatch dominates interpretation.
+
+Every generator is driven exclusively by ``random.Random(seed)``, so a
+seed fully determines a case across processes and platforms.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir import builder as b
+from repro.ir.arrays import ArrayDecl
+from repro.ir.expr import AffineExpr, IndirectExpr
+from repro.ir.loops import Loop
+from repro.ir.program import Program
+from repro.ir.refs import ArrayRef
+from repro.ir.stmts import Statement
+from repro.ir.types import ElementType
+from repro.layout.layout import MemoryLayout, original_layout
+
+#: Size envelopes for the random generator.  ``fuzz`` keeps traces small
+#: enough for hundreds of cases in tier-1 time; ``slow`` grows sizes and
+#: trip counts for the ``pytest.mark.slow`` tail.
+PROFILES: Dict[str, Dict[str, int]] = {
+    "fuzz": dict(dim_lo=3, dim_hi=9, trip_lo=2, trip_hi=6,
+                 max_arrays=3, max_rank=3, max_depth=4),
+    "slow": dict(dim_lo=5, dim_hi=24, trip_lo=3, trip_hi=12,
+                 max_arrays=3, max_rank=3, max_depth=4),
+}
+
+_ELEMENT_TYPES = (
+    ElementType.REAL8, ElementType.REAL8, ElementType.REAL4,
+    ElementType.INT4, ElementType.BYTE,
+)
+
+
+@dataclass
+class JitCase:
+    """One generated program plus the layouts to trace it under."""
+
+    name: str
+    seed: int
+    prog: Program
+    layout: MemoryLayout          # unpadded baseline placement
+    padded_layout: MemoryLayout   # grown dims, re-placed bases with gaps
+    has_indirect: bool
+
+
+class _NestBuilder:
+    """Grows one random loop nest; tracks scope and constant loop ranges."""
+
+    def __init__(self, rng: random.Random, p: Dict[str, int],
+                 decls: List[ArrayDecl], allow_indirect: bool):
+        self.rng = rng
+        self.p = p
+        self.decls = decls
+        self.allow_indirect = allow_indirect
+        self.extra_decls: List[ArrayDecl] = []
+        self.has_indirect = False
+        self._name_count = 0
+        #: constant-bound loops currently in scope: var -> (lo, hi)
+        self.const_ranges: Dict[str, Tuple[int, int]] = {}
+
+    # -- loops ------------------------------------------------------------
+
+    def build(self, depth: int) -> Loop:
+        rng = self.rng
+        var = "ijklmnpq"[self._name_count] if self._name_count < 8 \
+            else f"v{self._name_count}"
+        self._name_count += 1
+        trips = rng.randint(self.p["trip_lo"], self.p["trip_hi"])
+        scope = list(self.const_ranges)
+        triangular = bool(scope) and rng.random() < 0.15
+        if triangular:
+            # lower = outer + c with a constant trip count: bounded sizes,
+            # but symbolic for the specializer -> a guaranteed deopt level.
+            outer = rng.choice(scope)
+            lower = AffineExpr.var(outer, 1, rng.randint(0, 2))
+            upper = lower + (trips - 1)
+            step = 1
+            const_range: Optional[Tuple[int, int]] = None
+        else:
+            step = rng.choice((1, 1, 1, 1, 2, 3, -1))
+            start = rng.randint(0, 3)
+            if step > 0:
+                lo, hi = start, start + (trips - 1) * step
+                lower, upper = AffineExpr(lo), AffineExpr(hi)
+            else:
+                hi, lo = start + trips - 1, start
+                lower, upper = AffineExpr(hi), AffineExpr(lo)
+            const_range = (lo, hi)
+
+        if const_range is not None:
+            self.const_ranges[var] = const_range
+        body = self._body(var, depth)
+        self.const_ranges.pop(var, None)
+        return Loop(var, lower, upper, body, step=step)
+
+    def _body(self, var: str, depth: int) -> list:
+        rng = self.rng
+        if depth <= 1:
+            return self._statements()
+        roll = rng.random()
+        if roll < 0.55:  # perfect chain
+            return [self.build(depth - 1)]
+        if roll < 0.70:  # statement above the inner loop (imperfect)
+            return [self._statement(), self.build(depth - 1)]
+        if roll < 0.80:  # statement below the inner loop (imperfect)
+            return [self.build(depth - 1), self._statement()]
+        if roll < 0.90:  # sibling loops
+            return [self.build(depth - 1), self.build(max(1, depth - 2))]
+        return self._statements()  # end the nest early
+
+    # -- statements and references ----------------------------------------
+
+    def _statements(self) -> list:
+        return [self._statement()
+                for _ in range(self.rng.randint(1, 2))]
+
+    def _statement(self) -> Statement:
+        rng = self.rng
+        sources = [self._ref() for _ in range(rng.randint(0, 2))]
+        if rng.random() < 0.1 and sources:
+            return b.reads_only(*sources)
+        return b.stmt(self._write_ref(), *sources)
+
+    def _write_ref(self) -> ArrayRef:
+        return ArrayRef(*self._ref_parts(), is_write=True)
+
+    def _ref(self) -> ArrayRef:
+        return ArrayRef(*self._ref_parts(), is_write=False)
+
+    def _ref_parts(self):
+        rng = self.rng
+        decl = rng.choice(self.decls)
+        scope = list(self.const_ranges)
+        all_scope = scope  # triangular vars left scope at their loop's end
+        subs = []
+        for dim in decl.dims:
+            subs.append(self._subscript(dim, all_scope))
+        if (
+            self.allow_indirect
+            and scope
+            and rng.random() < 0.35
+        ):
+            pos = rng.randrange(len(subs))
+            subs[pos] = self._indirect(rng.choice(scope))
+            self.has_indirect = True
+        return decl.name, tuple(subs)
+
+    def _subscript(self, dim, scope) -> AffineExpr:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.2 or not scope:
+            return AffineExpr(rng.randint(dim.lower, dim.upper))
+        if roll < 0.75:
+            return AffineExpr.var(rng.choice(scope), 1, rng.randint(-1, 2))
+        expr = AffineExpr(rng.randint(0, 2))
+        for var in rng.sample(scope, rng.randint(1, min(2, len(scope)))):
+            expr = expr + AffineExpr.var(var, rng.choice((-2, -1, 1, 2, 3)))
+        return expr
+
+    def _indirect(self, var: str) -> IndirectExpr:
+        lo, hi = self.const_ranges[var]
+        name = f"IDX{len(self.extra_decls)}"
+        self.extra_decls.append(
+            ArrayDecl(name, [(lo, hi)], ElementType.INT4)
+        )
+        return IndirectExpr(name, AffineExpr.var(var))
+
+
+def random_case(
+    seed: int, profile: str = "fuzz", allow_indirect: bool = False
+) -> JitCase:
+    """Deterministically generate one random affine-nest test case."""
+    p = PROFILES[profile]
+    rng = random.Random((seed + 1) * 0x9E3779B1)
+    decls = []
+    for index in range(rng.randint(1, p["max_arrays"])):
+        rank = rng.randint(1, p["max_rank"])
+        dims = []
+        for _ in range(rank):
+            size = rng.randint(p["dim_lo"], p["dim_hi"])
+            lower = rng.choice((0, 1, 1, 1, 2))
+            dims.append((lower, lower + size - 1))
+        decls.append(
+            ArrayDecl("ABC"[index], dims, rng.choice(_ELEMENT_TYPES))
+        )
+
+    builder = _NestBuilder(rng, p, decls, allow_indirect)
+    body = [builder.build(rng.randint(1, p["max_depth"]))
+            for _ in range(rng.randint(1, 2))]
+    prog = b.program(
+        f"jitcase_{profile}_{seed}",
+        decls=decls + builder.extra_decls,
+        body=body,
+        suite="jit-fuzz",
+    )
+    return JitCase(
+        name=prog.name,
+        seed=seed,
+        prog=prog,
+        layout=original_layout(prog),
+        padded_layout=padded_variant(prog, rng),
+        has_indirect=builder.has_indirect,
+    )
+
+
+def padded_variant(prog: Program, rng: random.Random) -> MemoryLayout:
+    """A layout with randomly grown dimensions and gapped base placement."""
+    layout = MemoryLayout(prog)
+    for decl in prog.arrays:
+        sizes = [
+            dim.size + rng.choice((0, 0, 1, 2, 5, 7)) for dim in decl.dims
+        ]
+        layout.set_dim_sizes(decl.name, sizes)
+    cursor = rng.choice((0, 64, 128))
+    for decl in prog.arrays:
+        align = decl.element_type.size_bytes
+        cursor = ((cursor + align - 1) // align) * align
+        layout.set_base(decl.name, cursor)
+        cursor += layout.size_bytes(decl.name) + rng.randint(0, 6) * align
+    layout.validate()
+    return layout
+
+
+def fuzz_cases(count: int, profile: str = "fuzz",
+               allow_indirect: bool = False, base_seed: int = 0):
+    """Yield ``count`` seeded cases from ``base_seed`` upward."""
+    for seed in range(base_seed, base_seed + count):
+        yield random_case(seed, profile=profile, allow_indirect=allow_indirect)
+
+
+# -- deterministic perf corpus ---------------------------------------------
+
+def _perf_nest(name: str, trips: Tuple[int, ...], refs: int) -> Program:
+    """A perfect rectangular nest: `refs` 2-D references, given trip counts.
+
+    Deep nests with small innermost trips are the interpreter's worst case
+    (one Python dispatch per non-innermost iteration) and the JIT's best:
+    that contrast is what the ≥5x CI gate measures.
+    """
+    n = max(trips) + 2
+    decls = [b.real8(chr(ord("A") + i), n, n) for i in range((refs + 1) // 2)]
+    loop_vars = "ijkl"[: len(trips)]
+    sources = []
+    for index in range(refs - 1):
+        decl = decls[index % len(decls)]
+        sources.append(
+            b.r(decl.name,
+                b.idx(loop_vars[-1], index % 2),
+                b.idx(loop_vars[0] if len(trips) > 1 else loop_vars[-1], 0))
+        )
+    body = [b.stmt(
+        b.w(decls[0].name, b.idx(loop_vars[-1], 1), b.idx(loop_vars[0], 0)),
+        *sources,
+    )]
+    for var, trip in zip(reversed(loop_vars), reversed(trips)):
+        body = [b.loop(var, 1, trip, body)]
+    return b.program(name, decls=decls, body=body, suite="jit-perf")
+
+
+def perf_corpus() -> List[Tuple[Program, MemoryLayout]]:
+    """The seeded benchmark corpus the BENCH_7 comparison runs over."""
+    shapes = [
+        ("perf_deep4_narrow", (24, 24, 24, 6), 5),
+        ("perf_deep4_tiny", (16, 16, 16, 4), 4),
+        ("perf_deep3_wide", (40, 40, 24), 5),
+        ("perf_deep3_narrow", (64, 64, 6), 4),
+        ("perf_deep2", (256, 96), 5),
+    ]
+    corpus = []
+    for name, trips, refs in shapes:
+        prog = _perf_nest(name, trips, refs)
+        corpus.append((prog, original_layout(prog)))
+    return corpus

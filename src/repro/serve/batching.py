@@ -58,6 +58,7 @@ class ServeConfig:
     engine_jobs: int = 4           # warm engine worker subprocesses
     engine_retries: int = 1
     guard: object = None           # Optional[GuardConfig]
+    jit: str = "auto"              # trace-engine policy (repro.jit)
     campaign_dir: Optional[str] = None  # enables /v1/campaign when set
     campaign_jobs: int = 2         # worker subprocesses per campaign
     campaign_backlog: int = 4      # queued campaigns before 409
@@ -134,6 +135,7 @@ class AnalysisService:
                 retries=cfg.engine_retries,
                 backoff_base=0.05,
                 guard=cfg.guard,
+                jit=cfg.jit,
             ),
             pool=self._pool,
         )

@@ -302,20 +302,30 @@ def trace_program(
     layout: MemoryLayout,
     env: Optional[DataEnv] = None,
     chunk_target: int = 1 << 16,
+    jit: str = "auto",
 ) -> Iterator[Chunk]:
-    """Convenience wrapper: iterate address chunks for a program."""
-    return TraceInterpreter(prog, layout, env, chunk_target).trace()
+    """Convenience wrapper: iterate address chunks for a program.
+
+    ``jit`` selects the execution engine (``"on"``/``"off"``/``"auto"``,
+    see :mod:`repro.jit`); every mode emits the identical stream.
+    """
+    # Imported here: repro.jit subclasses TraceInterpreter, so the import
+    # must not run at this module's load time.
+    from repro.jit import make_interpreter
+
+    return make_interpreter(prog, layout, env, chunk_target, jit=jit).trace()
 
 
 def trace_addresses(
     prog: Program,
     layout: MemoryLayout,
     env: Optional[DataEnv] = None,
+    jit: str = "auto",
 ) -> Tuple[np.ndarray, np.ndarray]:
     """The full trace as two arrays (small programs / tests only)."""
     addr_parts: List[np.ndarray] = []
     write_parts: List[np.ndarray] = []
-    for addrs, writes in trace_program(prog, layout, env):
+    for addrs, writes in trace_program(prog, layout, env, jit=jit):
         addr_parts.append(addrs)
         write_parts.append(writes)
     if not addr_parts:
@@ -323,9 +333,14 @@ def trace_addresses(
     return np.concatenate(addr_parts), np.concatenate(write_parts)
 
 
-def simulate(prog: Program, layout: MemoryLayout, simulator, env=None):
+def simulate(prog: Program, layout: MemoryLayout, simulator, env=None,
+             jit: str = "auto"):
     """Drive a cache simulator with a program's trace; returns its stats."""
-    for addrs, writes in trace_program(prog, layout, env):
+    chunks = trace_program(prog, layout, env, jit=jit)
+    stream = getattr(simulator, "access_stream", None)
+    if stream is not None:
+        return stream(chunks)
+    for addrs, writes in chunks:
         simulator.access_chunk(addrs, writes)
     return simulator.stats
 

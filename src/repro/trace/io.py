@@ -29,12 +29,13 @@ def save_trace(
     prog: Program,
     layout: MemoryLayout,
     env: Optional[DataEnv] = None,
+    jit: str = "auto",
 ) -> int:
     """Trace a program and write the stream to ``path``; returns the
     number of accesses written."""
     addr_parts = []
     write_parts = []
-    for addrs, writes in trace_program(prog, layout, env):
+    for addrs, writes in trace_program(prog, layout, env, jit=jit):
         addr_parts.append(addrs)
         write_parts.append(writes)
     if addr_parts:

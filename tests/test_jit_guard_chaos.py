@@ -1,0 +1,79 @@
+"""Guard x JIT interplay: the JIT fast path must not blind the guard.
+
+The compiled batch generators bypass the interpreter's per-iteration
+machinery, so this suite re-runs the layout-corruption battery with
+``jit="on"``: ``--guard strict`` must still catch every one of the 11
+corruption kinds before a simulator sees the stream, and warn mode must
+still roll back to the original layout's honest numbers.
+"""
+
+import pytest
+
+from repro.engine.faults import LAYOUT_CORRUPTIONS, corrupt_layout
+from repro.errors import GuardViolationError
+from repro.experiments.runner import Runner
+from repro.guard import GuardConfig, runtime as guard_runtime
+
+pytestmark = [pytest.mark.jit, pytest.mark.chaos, pytest.mark.guard]
+
+#: plenty for any legitimate pad on these programs, far under explosion
+BUDGET = 1 << 20
+
+
+def saboteur(kind):
+    return lambda prog, layout: corrupt_layout(prog, layout, kind)
+
+
+class TestStrictGuardWithJitOn:
+    @pytest.mark.parametrize("kind", LAYOUT_CORRUPTIONS)
+    def test_strict_raises_for_every_kind(self, kind):
+        runner = Runner(jit="on")
+        runner.layout_saboteur = saboteur(kind)
+        with guard_runtime.activated(
+            GuardConfig(mode="strict", budget_bytes=BUDGET)
+        ):
+            with pytest.raises(GuardViolationError):
+                runner.run("jacobi", "pad", size=64)
+
+    @pytest.mark.parametrize("kind", LAYOUT_CORRUPTIONS)
+    def test_warn_rolls_back_every_kind(self, kind):
+        runner = Runner(jit="on")
+        runner.layout_saboteur = saboteur(kind)
+        with guard_runtime.activated(
+            GuardConfig(mode="warn", budget_bytes=BUDGET)
+        ):
+            committed = runner.run("jacobi", "pad", size=64)
+            report = runner.last_guard
+        assert report is not None and report.status == "rolled_back"
+        assert report.violations
+        # the rollback and the committed numbers both come from JIT
+        # traces; they must equal the interpreter's original-layout run
+        assert committed == Runner(jit="off").run("jacobi", "original", size=64)
+
+
+class TestGuardVerdictsMatchAcrossModes:
+    @pytest.mark.parametrize("kind", LAYOUT_CORRUPTIONS)
+    def test_warn_verdicts_identical_on_and_off(self, kind):
+        reports = {}
+        for jit in ("on", "off"):
+            runner = Runner(jit=jit)
+            runner.layout_saboteur = saboteur(kind)
+            with guard_runtime.activated(
+                GuardConfig(mode="warn", budget_bytes=BUDGET)
+            ):
+                runner.run("dot", "pad", size=256)
+            reports[jit] = runner.last_guard
+        assert reports["on"].status == reports["off"].status
+        on_kinds = [v.kind for v in reports["on"].violations]
+        off_kinds = [v.kind for v in reports["off"].violations]
+        assert on_kinds == off_kinds
+
+    def test_clean_runs_pass_the_guard_under_jit(self):
+        runner = Runner(jit="on")
+        with guard_runtime.activated(
+            GuardConfig(mode="strict", budget_bytes=BUDGET)
+        ):
+            stats = runner.run("jacobi", "pad", size=64)
+        report = runner.last_guard
+        assert report is not None and report.status == "passed"
+        assert stats == Runner(jit="off").run("jacobi", "pad", size=64)

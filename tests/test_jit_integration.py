@@ -1,0 +1,138 @@
+"""End-to-end wiring of the ``--jit`` policy through every entry point.
+
+The jit mode is pure execution policy — results must be identical under
+``on``/``off``/``auto`` through the CLI, the experiment runner, the
+parallel engine, trace persistence and the serve config.
+"""
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.engine.core import EngineConfig, ExperimentEngine
+from repro.experiments.runner import Runner
+from repro.ir import builder as b
+from repro.layout.layout import original_layout
+from repro.serve.batching import ServeConfig
+from repro.trace.io import load_trace, save_trace
+
+pytestmark = pytest.mark.jit
+
+STENCIL = "examples/kernels/stencil.dsl"
+
+
+def small_prog():
+    return b.program(
+        "wiring",
+        decls=[b.real8("A", 48, 48)],
+        body=[b.loop("i", 2, 47, [
+            b.loop("j", 2, 47, [
+                b.stmt(b.w("A", "j", "i"),
+                       b.r("A", b.idx("j", -1), "i"),
+                       b.r("A", "j", b.idx("i", -1))),
+            ]),
+        ])],
+    )
+
+
+class TestCli:
+    def run_cli(self, capsys, argv):
+        code = cli.main(argv)
+        out = capsys.readouterr().out
+        return code, out
+
+    @pytest.mark.parametrize("extra", ([], ["--heuristic", "pad"]))
+    def test_simulate_output_identical_across_modes(self, capsys, extra):
+        outputs = {}
+        for mode in ("on", "off", "auto"):
+            code, out = self.run_cli(
+                capsys, ["simulate", STENCIL, "--jit", mode] + extra
+            )
+            assert code == 0
+            outputs[mode] = out
+        assert outputs["on"] == outputs["off"] == outputs["auto"]
+
+    def test_simulate_rejects_unknown_mode(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.main(["simulate", STENCIL, "--jit", "sideways"])
+        assert exc.value.code == 2
+
+    def test_trace_files_identical_across_modes(self, capsys, tmp_path):
+        streams = {}
+        for mode in ("on", "off"):
+            out_path = tmp_path / f"trace_{mode}.npz"
+            code, out = self.run_cli(
+                capsys,
+                ["trace", STENCIL, str(out_path), "--jit", mode],
+            )
+            assert code == 0
+            assert "wrote" in out
+            streams[mode] = load_trace(out_path)
+        addrs_on, writes_on = streams["on"][:2]
+        addrs_off, writes_off = streams["off"][:2]
+        assert np.array_equal(addrs_on, addrs_off)
+        assert np.array_equal(writes_on, writes_off)
+
+    def test_bench_accepts_jit_flag(self, capsys):
+        code, out = self.run_cli(
+            capsys, ["bench", "dot", "--n", "512", "--jit", "on"]
+        )
+        assert code == 0
+        assert "miss rate" in out
+
+
+class TestSaveTrace:
+    def test_save_trace_bytes_identical(self, tmp_path):
+        prog = small_prog()
+        layout = original_layout(prog)
+        counts = {}
+        for mode in ("on", "off"):
+            path = tmp_path / f"t_{mode}.npz"
+            counts[mode] = save_trace(path, prog, layout, jit=mode)
+        assert counts["on"] == counts["off"] > 0
+        on = load_trace(tmp_path / "t_on.npz")
+        off = load_trace(tmp_path / "t_off.npz")
+        assert np.array_equal(on[0], off[0])
+        assert np.array_equal(on[1], off[1])
+
+
+class TestEngine:
+    def requests(self, runner):
+        reqs = []
+        for prog in ("dot", "jacobi"):
+            reqs.append(runner.request_for(prog, "original", size=48))
+            reqs.append(runner.request_for(prog, "pad", size=48))
+        return reqs
+
+    def test_engine_outcomes_identical_across_modes(self):
+        stats = {}
+        for mode in ("on", "off"):
+            cfg = EngineConfig(jobs=1, retries=0, fallback=False, jit=mode)
+            runner = Runner(jit=mode)
+            outcomes = ExperimentEngine(cfg).run_many(self.requests(runner))
+            assert all(o.status == "ok" for o in outcomes)
+            stats[mode] = [o.stats for o in outcomes]
+        assert stats["on"] == stats["off"]
+
+    def test_engine_config_defaults_to_auto(self):
+        assert EngineConfig().jit == "auto"
+
+
+class TestRunner:
+    def test_runner_modes_agree_on_real_benchmarks(self):
+        for prog, heuristic in (("dot", "pad"), ("jacobi", "padlite")):
+            on = Runner(jit="on").run(prog, heuristic, size=64)
+            off = Runner(jit="off").run(prog, heuristic, size=64)
+            assert on == off, f"{prog}/{heuristic}"
+
+    def test_runner_validates_mode_eagerly(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            Runner(jit="never")
+
+
+class TestServe:
+    def test_serve_config_carries_jit(self):
+        assert ServeConfig().jit == "auto"
+        assert ServeConfig(jit="on").jit == "on"

@@ -1,0 +1,106 @@
+"""Regression: ``truncate_outer_loops`` composed with the JIT.
+
+``truncate_outer_loops`` rebuilds the outermost loop node but *shares*
+the inner body objects with the original program.  A JIT whose plan
+cache is keyed by node identity and survives across programs would look
+up the full-bounds plan for those shared inner nests and emit the
+untruncated stream.  These tests pin the sharing assumption and prove a
+truncated nest deopts or re-specializes — never replays full bounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import Runner
+from repro.ir import builder as b
+from repro.jit import JitInterpreter
+from repro.layout.layout import original_layout
+from repro.trace.interpreter import trace_addresses, truncate_outer_loops
+
+pytestmark = pytest.mark.jit
+
+
+def deep_nest(outer_trips=32):
+    return b.program(
+        "deep",
+        decls=[b.real8("A", 16, 16, 64)],
+        body=[b.loop("k", 1, outer_trips, [
+            b.loop("i", 1, 16, [
+                b.loop("j", 1, 16, [
+                    b.stmt(b.w("A", "j", "i", "k"),
+                           b.r("A", b.idx("j", 1), "i", "k")),
+                ]),
+            ]),
+        ])],
+    )
+
+
+def test_truncation_shares_inner_body_nodes():
+    # The hazard this suite guards against only exists while truncation
+    # reuses inner loop objects; if this stops holding, the suite below
+    # is still valid but no longer failing-first for stale-plan bugs.
+    prog = deep_nest()
+    trunc = truncate_outer_loops(prog, 4)
+    assert trunc.body[0] is not prog.body[0]
+    assert trunc.body[0].body[0] is prog.body[0].body[0]
+
+
+def test_truncated_nest_never_emits_the_untruncated_stream():
+    prog = deep_nest(outer_trips=32)
+    trunc = truncate_outer_loops(prog, 4)
+    layout = original_layout(prog)
+
+    # Warm a JIT on the *full* program first so plans for the shared
+    # inner nests exist somewhere in the process before the truncated
+    # program is traced.
+    full_on, _ = trace_addresses(prog, layout, jit="on")
+    full_off, _ = trace_addresses(prog, layout, jit="off")
+    assert np.array_equal(full_on, full_off)
+
+    trunc_on, trunc_writes_on = trace_addresses(trunc, layout, jit="on")
+    trunc_off, trunc_writes_off = trace_addresses(trunc, layout, jit="off")
+    assert len(trunc_off) == len(full_off) * 4 // 32
+    assert np.array_equal(trunc_on, trunc_off), (
+        "JIT replayed a stale full-bounds plan for a truncated nest"
+    )
+    assert np.array_equal(trunc_writes_on, trunc_writes_off)
+    assert len(trunc_on) != len(full_on)
+
+
+def test_one_interpreter_retraced_stays_consistent():
+    # A second trace() on the same instance hits the warm plan cache;
+    # the replan/reuse path must not drift from the first pass.
+    prog = deep_nest(outer_trips=8)
+    layout = original_layout(prog)
+    interp = JitInterpreter(prog, layout)
+    first = np.concatenate([a for a, _ in interp.trace()])
+    second = np.concatenate([a for a, _ in interp.trace()])
+    assert np.array_equal(first, second)
+
+
+def test_interleaved_full_and_truncated_interpreters():
+    # Alternating traces over full and truncated variants (fresh
+    # interpreter each, as trace_program does) never cross-contaminate.
+    prog = deep_nest(outer_trips=16)
+    layout = original_layout(prog)
+    variants = {
+        trips: truncate_outer_loops(prog, trips) for trips in (2, 5, 16)
+    }
+    expected = {
+        trips: trace_addresses(p, layout, jit="off")[0]
+        for trips, p in variants.items()
+    }
+    for trips in (16, 2, 5, 16, 2):
+        got, _ = trace_addresses(variants[trips], layout, jit="on")
+        assert np.array_equal(got, expected[trips]), f"max_trips={trips}"
+
+
+@pytest.mark.parametrize("heuristic", ("original", "pad"))
+def test_runner_auto_truncation_matches_across_jit_modes(heuristic):
+    # "mult" registers max_outer=8, so the runner composes truncation
+    # with the JIT on every run.
+    stats_on = Runner(jit="on").run("mult", heuristic, size=40)
+    stats_off = Runner(jit="off").run("mult", heuristic, size=40)
+    assert stats_on == stats_off
+    full = Runner(jit="on").run("mult", heuristic, size=40, max_outer=None)
+    assert full.accesses > stats_on.accesses
