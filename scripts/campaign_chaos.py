@@ -39,8 +39,12 @@ import time
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
+from repro.chaos.report import (  # noqa: E402
+    committed_items,
+    leased_after_resume,
+    quarantined_items,
+)
 from repro.engine.faults import corrupt_disk_tier  # noqa: E402
-from repro.engine.journal import read_journal  # noqa: E402
 
 SPEC = {
     "name": "chaos",
@@ -49,6 +53,9 @@ SPEC = {
     "caches": [{"size": "8K", "line": 32}],
     "seed": 1998,
 }
+#: the self-kill scenarios drive the unified repro.chaos schedule format
+#: through the CLI (--chaos), the same plumbing `repro serve --chaos` uses
+CKILL_SCHEDULE = {"seed": 1998, "campaign": {"ckill": 2}}
 KILL_EXIT = 137
 
 
@@ -84,33 +91,6 @@ def _kill_group(proc):
         pass
 
 
-def committed_items(journal_path):
-    """Item ids with an ``item_completed`` event, in journal order."""
-    done = []
-    for event in read_journal(journal_path):
-        if event.get("event") == "item_completed":
-            done.append(event["item"])
-    return done
-
-
-def simulated_after_resume(journal_path):
-    """Item ids leased after the LAST campaign_resume event."""
-    leased, seen_resume = [], False
-    for event in read_journal(journal_path):
-        if event.get("event") == "campaign_resume":
-            leased, seen_resume = [], True
-        elif event.get("event") == "item_leased" and seen_resume:
-            leased.append(event["item"])
-    return leased
-
-
-def quarantined_items(journal_path):
-    return [
-        event["item"] for event in read_journal(journal_path)
-        if event.get("event") == "item_quarantined"
-    ]
-
-
 def assert_identical(results_path, reference_bytes, label):
     got = results_path.read_bytes()
     if got != reference_bytes:
@@ -122,7 +102,7 @@ def assert_identical(results_path, reference_bytes, label):
 
 
 def assert_no_resimulation(workdir, committed_before, label, exempt=()):
-    resimulated = set(simulated_after_resume(workdir / "journal.jsonl"))
+    resimulated = set(leased_after_resume(workdir / "journal.jsonl"))
     violations = (set(committed_before) - set(exempt)) & resimulated
     if violations:
         raise SystemExit(
@@ -174,6 +154,8 @@ def main() -> int:
     scratch = pathlib.Path(tempfile.mkdtemp(prefix="campaign-chaos-"))
     spec_path = scratch / "spec.json"
     spec_path.write_text(json.dumps(SPEC))
+    schedule_path = scratch / "chaos.json"
+    schedule_path.write_text(json.dumps(CKILL_SCHEDULE))
     print(f"scratch: {scratch}")
 
     # 1. fault-free reference
@@ -187,7 +169,7 @@ def main() -> int:
     # 2. coordinator self-kill after the 2nd durable commit
     ckill_dir = scratch / "ckill"
     run_cli(campaign_cmd("run", str(spec_path), "--workdir", str(ckill_dir),
-                         "--jobs", "2", "--inject-faults", "ckill=2"),
+                         "--jobs", "2", "--chaos", str(schedule_path)),
             expect=KILL_EXIT)
     committed = committed_items(ckill_dir / "journal.jsonl")
     print(f"ok [ckill]: coordinator died with exit {KILL_EXIT} after "
@@ -210,7 +192,7 @@ def main() -> int:
     corrupt_dir = scratch / "corrupt"
     run_cli(campaign_cmd("run", str(spec_path), "--workdir",
                          str(corrupt_dir), "--jobs", "2",
-                         "--inject-faults", "ckill=2"),
+                         "--chaos", str(schedule_path)),
             expect=KILL_EXIT)
     committed = committed_items(corrupt_dir / "journal.jsonl")
     flipped = corrupt_disk_tier(corrupt_dir / "campaign.db", 0.5, seed=7)

@@ -169,7 +169,10 @@ class Coordinator:
     and, after a successful run, the deterministic ``results.json``.
     ``pool`` is an optional :class:`~repro.engine.pool.WorkerPool` to
     lease warm workers from; without one the coordinator owns its
-    workers for the campaign's duration.
+    workers for the campaign's duration.  ``faults`` accepts either a
+    :class:`~repro.engine.faults.CampaignFaults` record or a unified
+    :class:`~repro.chaos.ChaosSchedule` (the ``--chaos`` config), which
+    is narrowed to its campaign-level faults here.
     """
 
     def __init__(
@@ -187,6 +190,8 @@ class Coordinator:
         self.pool = pool
         self.jobs = max(1, jobs)
         self.allow_partial = allow_partial
+        if faults is not None and hasattr(faults, "campaign_faults"):
+            faults = faults.campaign_faults()  # a unified ChaosSchedule
         self.faults = faults
         self.journal_fsync = journal_fsync
         self._commits = 0  # coordinator-kill fault trigger
@@ -505,6 +510,17 @@ class Coordinator:
                             f"worker died (exit code {code}) holding the lease",
                         )
                         continue
+                    except Exception as exc:
+                        # torn pipe write: a frame arrived but does not
+                        # decode — same containment as a worker crash
+                        task = worker.task
+                        self._replace(workers, worker, ctx)
+                        release(
+                            task, "crash",
+                            "worker shipped an undecodable message "
+                            f"({type(exc).__name__}: torn write?)",
+                        )
+                        continue
                     handle_result(worker, msg)
                 # heartbeat + deadline sweep: a lease is only as live as
                 # its worker process and its deadline
@@ -552,6 +568,8 @@ class Coordinator:
                     worker_faults.seed, task.key, task.total_attempts
                 ),
             )
+        elif injected == "slow":
+            fault = ("slow", worker_faults.slow_s)
         elif injected is not None:
             fault = (injected, None)
         task.started_at = time.monotonic()

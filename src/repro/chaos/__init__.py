@@ -1,0 +1,44 @@
+"""Unified fault-injection plane (``repro.chaos``).
+
+Chaos tooling grew up fragmented: the engine had its per-(run, attempt)
+:class:`~repro.engine.faults.FaultPlan`, the campaign coordinator its
+``ckill``/``tier_corrupt`` extras, and the serve layer had nothing at
+all — so resilience claims could only ever be tested one subsystem at a
+time.  This package is the one front door:
+
+* :class:`~repro.chaos.schedule.ChaosSchedule` — a deterministic,
+  seeded fault schedule loadable from a single JSON config and
+  injectable across **engine** (worker crash / hang / slow / torn
+  pipe-write / result corruption / layout corruption), **serve**
+  (queue flood, clock skew) and **campaign** (coordinator kill, disk
+  tier corruption).  The same schedule object feeds
+  :class:`~repro.engine.core.EngineConfig`,
+  :class:`~repro.serve.batching.ServeConfig` and the campaign
+  coordinator, so one config exercises every execution path.
+* :mod:`repro.chaos.clock` — a skewable monotonic clock.  Production
+  code that makes time-based resilience decisions (deadlines, breaker
+  cooldowns, heartbeats) reads this clock, so a schedule's
+  ``clock_skew_s`` perturbs those decisions deterministically without
+  touching the wall clock.
+* :mod:`repro.chaos.report` — journal-replay helpers shared by the
+  chaos harnesses (:mod:`scripts.campaign_chaos`,
+  :mod:`scripts.chaos_slo`) and the test suites, replacing the copies
+  each harness used to carry.
+
+Every decision a schedule makes is a pure function of ``(seed, key,
+attempt)``, so a failing chaos run replays exactly.
+"""
+
+from repro.chaos.schedule import (
+    ChaosSchedule,
+    ServeFaults,
+    load_schedule,
+    parse_schedule,
+)
+
+__all__ = [
+    "ChaosSchedule",
+    "ServeFaults",
+    "load_schedule",
+    "parse_schedule",
+]

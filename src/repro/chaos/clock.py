@@ -1,0 +1,42 @@
+"""A skewable monotonic clock for deterministic time chaos.
+
+Resilience decisions — request deadlines, circuit-breaker cooldowns,
+heartbeat staleness — are all "is it later than T yet?" questions.
+Production code asks them through :func:`monotonic` instead of
+:func:`time.monotonic` directly, so a chaos schedule's ``clock_skew_s``
+can shift the answer without patching modules or changing the wall
+clock: positive skew makes deadlines and cooldowns fire early (the
+classic NTP-step failure mode), which must surface as clean timeouts
+and shed load, never as wedged threads or corrupted results.
+
+Skew is process-global and applied only while a schedule activates it
+(the serve layer sets it at service start, clears it at stop).  With no
+skew set this is exactly ``time.monotonic`` — zero-cost in production.
+"""
+
+from __future__ import annotations
+
+import time
+
+_skew_s: float = 0.0
+
+
+def monotonic() -> float:
+    """``time.monotonic()`` plus the active chaos skew (default 0)."""
+    return time.monotonic() + _skew_s
+
+
+def set_skew(seconds: float) -> None:
+    """Shift every subsequent :func:`monotonic` reading by ``seconds``."""
+    global _skew_s
+    _skew_s = float(seconds)
+
+
+def skew() -> float:
+    """The currently active skew in seconds."""
+    return _skew_s
+
+
+def clear() -> None:
+    """Remove any active skew (the clock is truthful again)."""
+    set_skew(0.0)

@@ -510,6 +510,12 @@ def cmd_serve(args) -> int:
 
     if args.port < 0 or args.port > 65535:
         raise UsageError(f"--port {args.port}: not a TCP port")
+    chaos = None
+    if args.chaos:
+        from repro.chaos import load_schedule
+
+        chaos = load_schedule(args.chaos)
+        print(f"chaos: {chaos.describe()}", file=sys.stderr)
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -523,6 +529,8 @@ def cmd_serve(args) -> int:
         jit=args.jit,
         campaign_dir=args.campaign_dir,
         campaign_jobs=max(1, args.campaign_jobs),
+        brownout=args.brownout,
+        chaos=chaos,
     )
     serve_forever(config, verbose=args.verbose)
     return 0
@@ -536,10 +544,19 @@ def _campaign_run(args, resume: bool) -> int:
 
     spec = spec_from_file(args.spec)
     plan = compile_plan(spec)
+    if args.inject_faults and args.chaos:
+        raise UsageError(
+            "--inject-faults and --chaos are mutually exclusive; the "
+            "--chaos schedule already carries the worker fault plan"
+        )
     faults = (
         parse_campaign_fault_spec(args.inject_faults)
         if args.inject_faults else None
     )
+    if args.chaos:
+        from repro.chaos import load_schedule
+
+        faults = load_schedule(args.chaos)
     coordinator = Coordinator(
         plan,
         args.workdir,
@@ -773,6 +790,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--campaign-jobs", type=int, default=2,
                    help="worker processes for served campaigns "
                         "(default 2)")
+    p.add_argument("--brownout", action="store_true",
+                   help="force brownout mode: simulate-class requests "
+                        "answer from the memo tier or the static "
+                        "estimator with degraded: true")
+    p.add_argument("--chaos", metavar="SCHEDULE",
+                   help="inject a deterministic fault schedule (JSON "
+                        "file, see docs/RESILIENCE.md) into the engine "
+                        "pool and admission ladder (testing only)")
     _add_jit_arg(p)
     _add_guard_args(p)
     p.set_defaults(fn=cmd_serve)
@@ -797,6 +822,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="deterministic chaos, e.g. "
                              "'kill=0.1,corrupt=0.05,seed=7,ckill=3,"
                              "tier_corrupt=0.25' (testing only)")
+        cp.add_argument("--chaos", metavar="SCHEDULE",
+                        help="deterministic fault schedule as a JSON "
+                             "file (the unified repro.chaos format; "
+                             "mutually exclusive with --inject-faults)")
         cp.add_argument("--fsync-journal", action="store_true",
                         help="fsync the journal after every event "
                              "(slower, survives power loss)")

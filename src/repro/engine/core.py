@@ -380,6 +380,21 @@ class ExperimentEngine:
                             ),
                         )
                         continue
+                    except Exception as exc:
+                        # A message arrived but cannot be decoded (torn
+                        # pipe write, scribbled memory): same containment
+                        # as a crash — replace the worker, retry the task.
+                        task = worker.task
+                        self._replace(workers, worker, ctx)
+                        attempt_failed(
+                            task,
+                            WorkerCrashed(
+                                f"worker pid {worker.proc.pid} shipped an "
+                                f"undecodable message during {task.key} "
+                                f"({type(exc).__name__}: torn write?)"
+                            ),
+                        )
+                        continue
                     handle_result(worker, msg)
                 now = time.monotonic()
                 for worker in list(workers):
@@ -415,6 +430,8 @@ class ExperimentEngine:
                 "layout",
                 choose_corruption(cfg.faults.seed, task.key, task.total_attempts),
             )
+        elif injected == "slow":
+            fault = ("slow", cfg.faults.slow_s)
         elif injected is not None:
             fault = (injected, None)
         task.started_at = time.monotonic()

@@ -13,7 +13,13 @@ fails can be replayed exactly.  Kinds:
   matches its checksum (engine must detect and retry, never store it);
 * ``layout`` — the worker's memory layout is deterministically corrupted
   before simulation (see :data:`LAYOUT_CORRUPTIONS`); the guard
-  subsystem (:mod:`repro.guard`) must catch every one of these.
+  subsystem (:mod:`repro.guard`) must catch every one of these;
+* ``slow``  — the worker sleeps :attr:`FaultPlan.slow_s` seconds, then
+  answers correctly (a brownout/latency fault, not a correctness one:
+  deadlines and admission ladders must absorb it);
+* ``torn``  — the worker computes the right answer but ships a torn
+  pipe message (a truncated pickle); the parent must treat the
+  undecodable message as a crash and retry, never hang or die.
 
 :class:`CampaignFaults` layers coordinator-level chaos on top for
 :mod:`repro.campaign`: a worker-fault plan plus a deterministic
@@ -37,7 +43,7 @@ from typing import Optional
 
 from repro.errors import ConfigError
 
-FAULT_KINDS = ("timeout", "kill", "error", "corrupt", "layout")
+FAULT_KINDS = ("timeout", "kill", "error", "corrupt", "layout", "slow", "torn")
 
 
 class InjectedFault(RuntimeError):
@@ -59,6 +65,9 @@ class FaultPlan:
     error: float = 0.0
     corrupt: float = 0.0
     layout: float = 0.0
+    slow: float = 0.0
+    torn: float = 0.0
+    slow_s: float = 0.25  # how long a ``slow`` fault stalls (not a rate)
     seed: int = 0
 
     def __post_init__(self):
@@ -68,6 +77,8 @@ class FaultPlan:
                 raise ConfigError(f"fault rate {kind}={rate} outside [0, 1]")
         if sum(getattr(self, kind) for kind in FAULT_KINDS) > 1.0:
             raise ConfigError("fault rates sum to more than 1")
+        if self.slow_s < 0:
+            raise ConfigError(f"slow_s={self.slow_s} must be >= 0")
 
     def decide(self, key: str, attempt: int) -> Optional[str]:
         """The fault (if any) to inject into this run attempt.
@@ -98,12 +109,14 @@ def parse_fault_spec(spec: str) -> FaultPlan:
         try:
             if name == "seed":
                 kwargs["seed"] = int(value)
+            elif name == "slow_s":
+                kwargs["slow_s"] = float(value)
             elif name in FAULT_KINDS:
                 kwargs[name] = float(value)
             else:
                 raise ConfigError(
                     f"unknown fault kind {name!r}; known: "
-                    f"{', '.join(FAULT_KINDS)}, seed"
+                    f"{', '.join(FAULT_KINDS)}, slow_s, seed"
                 )
         except ValueError:
             raise ConfigError(f"bad fault value {value!r} for {name!r}") from None
@@ -175,7 +188,7 @@ def parse_campaign_fault_spec(spec: str) -> CampaignFaults:
             elif name == "seed":
                 seed = int(value)
                 worker_parts.append(item)
-            elif name in FAULT_KINDS:
+            elif name == "slow_s" or name in FAULT_KINDS:
                 worker_parts.append(item)
             else:
                 raise ConfigError(

@@ -87,18 +87,32 @@ class WorkerPool:
 
         Warm idle workers are reused first; the rest are spawned.  Dead
         idle workers discovered here are culled silently.
+
+        The lease is atomic: if a spawn fails partway, every worker
+        already gathered for this lease goes back to the idle set (live
+        ones warm, corpses culled) before the error propagates — a
+        failed lease can never leak a partial lease that is neither
+        returned nor released, silently shrinking the pool.
         """
         self._require_open()
         count = max(1, min(count, self.jobs))
         leased: List = []
-        while self._idle and len(leased) < count:
-            worker = self._idle.pop()
-            if worker.proc.is_alive():
-                leased.append(worker)
-            else:
-                worker.kill()
-        while len(leased) < count:
-            leased.append(self._spawn())
+        try:
+            while self._idle and len(leased) < count:
+                worker = self._idle.pop()
+                if worker.proc.is_alive():
+                    leased.append(worker)
+                else:
+                    worker.kill()
+            while len(leased) < count:
+                leased.append(self._spawn())
+        except BaseException:
+            for worker in leased:
+                if worker.proc.is_alive() and worker.task is None:
+                    self._idle.append(worker)
+                else:  # pragma: no cover - spawn died under us
+                    worker.kill()
+            raise
         self._leased += len(leased)
         return leased
 

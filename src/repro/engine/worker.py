@@ -5,13 +5,16 @@ Each worker owns a private memoizing :class:`~repro.experiments.runner.Runner`
 to the parent over a pipe:
 
 * parent -> worker: ``("task", task_id, RunRequest, simulator, fault,
-  collect, guard, jit)`` or ``("stop",)``; ``fault`` is ``None`` or
-  ``(kind, param)`` from the fault-injection plan (a ``layout`` fault's
-  param names the corruption kind), ``collect`` asks the worker to
-  gather a metrics snapshot for the task, ``guard`` is a
+  collect, guard, jit)``, ``("ping", token)`` or ``("stop",)``;
+  ``fault`` is ``None`` or ``(kind, param)`` from the fault-injection
+  plan (a ``layout`` fault's param names the corruption kind, a
+  ``slow`` fault's is the stall in seconds), ``collect`` asks the
+  worker to gather a metrics snapshot for the task, ``guard`` is a
   :class:`~repro.guard.config.GuardConfig` record or ``None``, and
   ``jit`` is the trace-engine policy (default ``"auto"``; older parents
-  may omit the trailing fields).
+  may omit the trailing fields).  A ``ping`` is the pool supervisor's
+  heartbeat (:mod:`repro.resilience`): a live, unwedged worker echoes
+  ``("pong", token)`` immediately.
 * worker -> parent: ``("ok", task_id, stats_payload, checksum, metrics,
   guard_report)`` (``metrics`` is a registry snapshot or ``None``;
   ``guard_report`` is a :class:`~repro.guard.config.GuardReport` record
@@ -68,6 +71,9 @@ def worker_main(conn) -> None:
             msg = conn.recv()
         except (EOFError, OSError, KeyboardInterrupt):
             return
+        if msg[0] == "ping":
+            _send(conn, ("pong", msg[1] if len(msg) > 1 else None))
+            continue
         if msg[0] != "task":
             return
         _, task_id, request, simulator, fault = msg[:5]
@@ -83,6 +89,11 @@ def worker_main(conn) -> None:
             time.sleep(param)
             _send(conn, ("error", task_id, "InjectedFault: injected hang elapsed"))
             continue
+        if kind == "slow":
+            # Stall, then answer correctly: a latency fault the parent's
+            # deadlines and the serve admission ladder must absorb.
+            time.sleep(param or 0.0)
+            kind = None
         try:
             if kind == "error":
                 raise InjectedFault(f"injected failure in {request.program}")
@@ -123,6 +134,9 @@ def worker_main(conn) -> None:
             digest = checksum(payload)
             if kind == "corrupt":
                 payload = dict(payload, misses=payload["misses"] ^ 0x5A5A)
+            if kind == "torn":
+                _send_torn(conn, ("ok", task_id, payload, digest, metrics, report))
+                continue
             _send(conn, ("ok", task_id, payload, digest, metrics, report))
         except MemoryError:  # pragma: no cover - needs a real OOM
             os._exit(OOM_EXIT_CODE)
@@ -134,4 +148,21 @@ def _send(conn, msg) -> None:
     try:
         conn.send(msg)
     except (BrokenPipeError, OSError):  # parent is gone; die quietly
+        os._exit(1)
+
+
+def _send_torn(conn, msg) -> None:
+    """Ship a deliberately torn message: a truncated pickle payload.
+
+    The pipe frame itself is well-formed (the stream does not desync),
+    but the payload cannot be unpickled — modelling a worker that died
+    or was scribbled on mid-write.  The parent must treat the
+    undecodable message as a worker crash and retry the task.
+    """
+    import pickle
+
+    blob = pickle.dumps(msg)
+    try:
+        conn.send_bytes(blob[: max(1, len(blob) // 2)])
+    except (BrokenPipeError, OSError):
         os._exit(1)

@@ -40,11 +40,25 @@ class ConflictEstimate:
     conflicting_refs: int
     total_refs: int
     per_nest: Dict[int, float]
+    #: the same weighted rate with every conflict ignored — the floor the
+    #: program would pay from streaming (spatial) misses alone.
+    streaming_floor_pct: float = 0.0
 
     @property
     def severe(self) -> bool:
         """True when any reference is predicted to thrash."""
         return self.conflicting_refs > 0
+
+    @property
+    def error_bound_pct(self) -> float:
+        """The conflict-attributable share of the estimate.
+
+        Everything between the streaming floor and the estimate rides on
+        the severe-conflict model, so this band is how far the estimate
+        can be off if the model mis-classifies every pair — the honest
+        uncertainty attached to a degraded (non-simulated) answer.
+        """
+        return max(0.0, self.miss_rate_pct - self.streaming_floor_pct)
 
 
 def _approx_trips(loop: Loop, outer_mid: Dict[str, int]) -> int:
@@ -82,6 +96,7 @@ def estimate_conflicts(
     """Predict the severe-conflict miss rate of a program under a layout."""
     total_weight = 0.0
     miss_weight = 0.0
+    floor_weight = 0.0
     conflicting_refs = 0
     total_refs = 0
     per_nest: Dict[int, float] = {}
@@ -113,25 +128,32 @@ def estimate_conflicts(
 
         nest_weight = _nest_weight(nest, {})
         nest_miss = 0.0
+        nest_floor = 0.0
         for i, ref in enumerate(refs):
             total_refs += 1
+            if ref.is_affine:
+                decl = prog.array(ref.array)
+                stream = min(1.0, decl.element_size / cache.line_bytes)
+            else:
+                stream = 1.0
+            nest_floor += stream
             if i in doomed:
                 conflicting_refs += 1
                 nest_miss += 1.0
-            elif ref.is_affine:
-                decl = prog.array(ref.array)
-                nest_miss += min(1.0, decl.element_size / cache.line_bytes)
             else:
-                nest_miss += 1.0
+                nest_miss += stream
         per_ref_rate = nest_miss / len(refs)
         per_nest[nest_index] = 100.0 * per_ref_rate
         total_weight += nest_weight
         miss_weight += nest_weight * per_ref_rate
+        floor_weight += nest_weight * (nest_floor / len(refs))
 
     rate = 100.0 * miss_weight / total_weight if total_weight else 0.0
+    floor = 100.0 * floor_weight / total_weight if total_weight else 0.0
     return ConflictEstimate(
         miss_rate_pct=rate,
         conflicting_refs=conflicting_refs,
         total_refs=total_refs,
         per_nest=per_nest,
+        streaming_floor_pct=floor,
     )

@@ -1,0 +1,38 @@
+"""Self-healing serving: supervision, circuit breaking, degraded answers.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.resilience.supervisor` —
+  :class:`~repro.resilience.supervisor.PoolSupervisor` wraps a
+  :class:`~repro.engine.pool.WorkerPool` with heartbeat wedged-worker
+  detection, bounded respawn with exponential backoff, and per-slot
+  circuit breakers.  It duck-types the pool, so
+  ``ExperimentEngine(cfg, pool=supervisor)`` works unchanged.
+* :mod:`repro.resilience.breaker` — the closed / open / half-open
+  :class:`~repro.resilience.breaker.CircuitBreaker` state machine the
+  supervisor instantiates per logical worker slot.
+* :mod:`repro.resilience.degrade` — estimator-backed ``degraded: true``
+  answers for simulate-class requests when the engine is unavailable,
+  each carrying an explicit ``error_bound_pct``.
+
+The serve tier composes all three into the admission ladder and
+brownout mode (see ``docs/RESILIENCE.md``); fault injection to exercise
+them lives in :mod:`repro.chaos`.
+"""
+
+from repro.resilience.breaker import BreakerPolicy, CircuitBreaker
+from repro.resilience.degrade import (
+    degraded_run_record,
+    degraded_simulate_source,
+    estimate_record,
+)
+from repro.resilience.supervisor import PoolSupervisor
+
+__all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "PoolSupervisor",
+    "degraded_run_record",
+    "degraded_simulate_source",
+    "estimate_record",
+]

@@ -22,6 +22,20 @@ and waits.  Inside:
   (``repro_runner_memo_hits_total`` in the scrape shows repeats never
   re-simulate).
 
+Above the queue sits the **admission ladder** (see
+``docs/RESILIENCE.md``): endpoints carry priority classes, and as
+occupancy climbs past ``brownout_fraction`` of ``queue_depth``,
+simulate-class requests are answered degraded (memo tier first, then
+the static conflict estimator with ``degraded: true`` and an
+``error_bound_pct``); past ``shed_fraction``, bulk ``/v1/run`` work is
+shed with 429 while interactive pad/lint stays full fidelity.  The
+same degraded path engages under forced ``--brownout``, when the
+:class:`~repro.resilience.PoolSupervisor` — which wraps the worker
+pool with heartbeat wedge-detection, bounded respawn and per-slot
+circuit breakers — reports unhealthy, or when a fully quarantined pool
+refuses a lease mid-dispatch.  Per-request deadlines propagate into
+each engine dispatch as a tightened engine timeout.
+
 The runner and the engine pool are touched only by the batcher thread;
 the per-source simulate memo has its own lock.  Client timeouts abandon
 the job (the waiter gets :class:`~repro.errors.RunTimeout` → HTTP 504);
@@ -62,6 +76,12 @@ class ServeConfig:
     campaign_dir: Optional[str] = None  # enables /v1/campaign when set
     campaign_jobs: int = 2         # worker subprocesses per campaign
     campaign_backlog: int = 4      # queued campaigns before 409
+    brownout: bool = False         # force degraded simulate answers
+    heartbeat_s: float = 0.5       # pool supervisor ping interval
+    # admission ladder: fractions of queue_depth where degradation starts
+    brownout_fraction: float = 0.75  # simulate-class answers degrade
+    shed_fraction: float = 0.9       # bulk (priority 3) requests get 429
+    chaos: object = None           # Optional[repro.chaos.ChaosSchedule]
 
 
 class _Job:
@@ -69,7 +89,7 @@ class _Job:
 
     __slots__ = (
         "endpoint", "request", "deadline", "enqueued_at",
-        "done", "result", "error", "abandoned",
+        "done", "result", "error", "abandoned", "degrade",
     )
 
     def __init__(self, endpoint: str, request, deadline: float):
@@ -81,6 +101,7 @@ class _Job:
         self.result: Optional[dict] = None
         self.error: Optional[BaseException] = None
         self.abandoned = False
+        self.degrade = False  # admission ladder: answer without the engine
 
     def finish(self, result: Optional[dict] = None,
                error: Optional[BaseException] = None) -> None:
@@ -91,6 +112,20 @@ class _Job:
 
 #: endpoints executed on worker threads (everything else micro-batches)
 _IN_PROCESS = ("pad", "lint", "simulate-source")
+
+#: admission ladder priority classes: 1 = interactive (never shed before
+#: the queue is literally full), 2 = batch (degrades under brownout),
+#: 3 = bulk (first to shed under saturation)
+_PRIORITY = {
+    "pad": 1,
+    "lint": 1,
+    "simulate-source": 1,
+    "simulate-program": 2,
+    "run": 3,
+}
+
+#: endpoints with a degraded (estimator-backed) answer available
+_DEGRADABLE = ("simulate-source", "simulate-program", "run")
 
 
 class AnalysisService:
@@ -124,16 +159,29 @@ class AnalysisService:
             return
         from repro.engine.core import EngineConfig, ExperimentEngine
         from repro.engine.pool import WorkerPool
+        from repro.resilience.supervisor import PoolSupervisor
 
         cfg = self.config
-        self._pool = WorkerPool(jobs=cfg.engine_jobs)
+        chaos = cfg.chaos
+        faults = None
+        if chaos is not None:
+            faults = chaos.engine_plan()
+            if chaos.serve.clock_skew_s:
+                from repro.chaos import clock
+
+                clock.set_skew(chaos.serve.clock_skew_s)
+        self._pool = PoolSupervisor(
+            WorkerPool(jobs=cfg.engine_jobs), heartbeat_s=cfg.heartbeat_s
+        )
         self._pool.warm()
+        self._pool.start()
         self._engine = ExperimentEngine(
             EngineConfig(
                 jobs=cfg.engine_jobs,
                 timeout=cfg.timeout_s,
                 retries=cfg.engine_retries,
                 backoff_base=0.05,
+                faults=faults,
                 guard=cfg.guard,
                 jit=cfg.jit,
             ),
@@ -181,6 +229,12 @@ class AnalysisService:
             self.campaigns = None
         if self._pool is not None:
             self._pool.close()
+        if self.config.chaos is not None and getattr(
+            self.config.chaos.serve, "clock_skew_s", 0.0
+        ):
+            from repro.chaos import clock
+
+            clock.clear()
         self._started = False
 
     # -- submission (HTTP handler threads) ----------------------------------
@@ -196,8 +250,10 @@ class AnalysisService:
             raise ReproError("analysis service is not running")
         timeout = getattr(request, "timeout_s", None) or self.config.timeout_s
         job = _Job(endpoint, request, time.monotonic() + timeout)
+        priority = _PRIORITY.get(endpoint, 2)
         with self._work:
             depth = len(self._exec_queue) + len(self._batch_queue)
+            depth += self._phantom_depth()
             if depth >= self.config.queue_depth:
                 obs.counter_add(
                     "repro_serve_rejections_total", 1,
@@ -207,6 +263,26 @@ class AnalysisService:
                 raise QueueFullError(
                     f"admission queue full ({self.config.queue_depth} "
                     "waiting); retry with backoff"
+                )
+            rung = self._ladder_rung(depth)
+            if rung >= 2 and priority >= 3:
+                # saturation: shed bulk work first so interactive
+                # requests keep their latency
+                obs.counter_add(
+                    "repro_serve_rejections_total", 1,
+                    "requests shed by the service, by reason",
+                    reason="shed_bulk",
+                )
+                raise QueueFullError(
+                    f"shedding {endpoint!r} (priority {priority}) under "
+                    "saturation; retry with backoff"
+                )
+            if endpoint in _DEGRADABLE and (rung >= 1 or self._brownout()):
+                job.degrade = True
+                obs.counter_add(
+                    "repro_serve_degraded_total", 1,
+                    "requests answered degraded, by endpoint",
+                    endpoint=endpoint,
                 )
             if endpoint in _IN_PROCESS:
                 self._exec_queue.append(job)
@@ -258,6 +334,7 @@ class AnalysisService:
         """
         with self._lock:
             queued = len(self._exec_queue) + len(self._batch_queue)
+        queued += self._phantom_depth()
         queue_full = queued >= self.config.queue_depth
         pool = self._pool
         pool_component = {
@@ -270,6 +347,14 @@ class AnalysisService:
                 and pool.idle_count + (pool.jobs - pool.leased_count) > 0
             ),
         }
+        resilience = (
+            pool.health()
+            if pool is not None and hasattr(pool, "health")
+            else {"supervised": False}
+        )
+        brownout = self._started and (
+            self._brownout() or self._ladder_rung(queued) >= 1
+        )
         campaigns = (
             self.campaigns.readiness()
             if self.campaigns is not None
@@ -291,20 +376,53 @@ class AnalysisService:
             and not campaigns.get("saturated", False)
             and disk_tier.get("writable", True)
         )
+        if ready and brownout:
+            # degraded, not unready: the instance still answers — load
+            # balancers should keep routing, clients see degraded: true
+            status = "degraded"
+        else:
+            status = "ready" if ready else (
+                "saturated" if self._started else "stopped"
+            )
         return {
             "ready": ready,
-            "status": "ready" if ready else (
-                "saturated" if self._started else "stopped"
-            ),
+            "status": status,
+            "brownout": brownout,
             "queue": {
                 "depth": queued,
                 "limit": self.config.queue_depth,
                 "full": queue_full,
             },
             "pool": pool_component,
+            "resilience": resilience,
             "campaigns": campaigns,
             "disk_tier": disk_tier,
         }
+
+    # -- admission ladder ----------------------------------------------------
+
+    def _phantom_depth(self) -> int:
+        """Extra queue depth injected by a chaos ``queue_flood`` fault."""
+        chaos = self.config.chaos
+        return chaos.serve.queue_flood if chaos is not None else 0
+
+    def _ladder_rung(self, depth: int) -> int:
+        """0 = normal, 1 = brownout (degrade), 2 = saturation (shed bulk)."""
+        limit = self.config.queue_depth
+        if depth >= limit * self.config.shed_fraction:
+            return 2
+        if depth >= limit * self.config.brownout_fraction:
+            return 1
+        return 0
+
+    def _brownout(self) -> bool:
+        """Forced by config, or the engine pool is too sick to simulate."""
+        if self.config.brownout:
+            return True
+        pool = self._pool
+        if pool is not None and hasattr(pool, "health"):
+            return not pool.health()["healthy"]
+        return False
 
     # -- internals ----------------------------------------------------------
 
@@ -356,6 +474,10 @@ class AnalysisService:
         if job.endpoint == "lint":
             return handlers.handle_lint(job.request)
         if job.endpoint == "simulate-source":
+            if job.degrade:
+                from repro.resilience.degrade import degraded_simulate_source
+
+                return degraded_simulate_source(job.request)
             return self._simulate_source(job.request)
         raise ReproError(f"unroutable endpoint {job.endpoint!r}")
 
@@ -420,6 +542,13 @@ class AnalysisService:
                 plans.append((job, self._requests_for(job)))
             except BaseException as exc:
                 job.finish(error=exc)
+        degraded = [plan for plan in plans if plan[0].degrade]
+        plans = [plan for plan in plans if not plan[0].degrade]
+        for job, requests in degraded:
+            try:
+                job.finish(result=self._assemble_degraded(job, requests))
+            except BaseException as exc:
+                job.finish(error=exc)
         memo: Dict[str, object] = {}
         missing: Dict[str, object] = {}
         for _job, requests in plans:
@@ -435,11 +564,33 @@ class AnalysisService:
         outcomes: Dict[str, object] = {}
         if missing:
             try:
-                results = self._engine.run_many(list(missing.values()))
-            except BaseException as exc:  # engine never should; fail the batch
-                for job, _requests in plans:
-                    if not job.done.is_set():
-                        job.finish(error=exc)
+                results = self._batch_engine(plans).run_many(
+                    list(missing.values())
+                )
+            except BaseException as exc:
+                # A quarantined pool (every breaker open) still has a
+                # degraded answer; anything else fails the batch.
+                from repro.errors import EngineError
+
+                if not isinstance(exc, EngineError):
+                    for job, _requests in plans:
+                        if not job.done.is_set():
+                            job.finish(error=exc)
+                    return
+                for job, requests in plans:
+                    if job.done.is_set() or job.abandoned:
+                        continue
+                    obs.counter_add(
+                        "repro_serve_degraded_total", 1,
+                        "requests answered degraded, by endpoint",
+                        endpoint=job.endpoint,
+                    )
+                    try:
+                        job.finish(
+                            result=self._assemble_degraded(job, requests)
+                        )
+                    except BaseException as inner:
+                        job.finish(error=inner)
                 return
             for outcome in results:
                 outcomes[outcome.key] = outcome
@@ -452,6 +603,51 @@ class AnalysisService:
                 job.finish(result=self._assemble(job, requests, memo, outcomes))
             except BaseException as exc:
                 job.finish(error=exc)
+
+    def _batch_engine(self, plans):
+        """The engine for one dispatch, deadline-clamped to its jobs.
+
+        The tightest live deadline in the batch propagates into the
+        worker timeout, so a request admitted with two seconds left
+        cannot pin a worker for the full configured budget after its
+        waiter has already given up.
+        """
+        import dataclasses as _dc
+
+        deadlines = [
+            job.deadline for job, _ in plans
+            if not (job.done.is_set() or job.abandoned)
+        ]
+        if not deadlines:
+            return self._engine
+        remaining = min(deadlines) - time.monotonic()
+        base = self._engine.config
+        if remaining >= base.timeout:
+            return self._engine
+        from repro.engine.core import ExperimentEngine
+
+        return ExperimentEngine(
+            _dc.replace(base, timeout=max(0.1, remaining)), pool=self._pool
+        )
+
+    def _assemble_degraded(self, job: _Job, requests) -> dict:
+        """Estimator-backed records for one browned-out engine job."""
+        from repro.resilience.degrade import degraded_run_record
+
+        records = [
+            degraded_run_record(
+                request, cached_stats=self.runner.memo_lookup(request)
+            )
+            for request in requests
+        ]
+        if job.endpoint == "simulate-program":
+            record = dict(records[0])
+            record["cache"] = job.request.cache.describe()
+            return record
+        counts: Dict[str, int] = {}
+        for record in records:
+            counts[record["status"]] = counts.get(record["status"], 0) + 1
+        return {"outcomes": records, "counts": counts, "degraded": True}
 
     def _requests_for(self, job: _Job) -> list:
         """Resolve one engine-bound job to its RunRequests."""

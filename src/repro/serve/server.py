@@ -37,10 +37,11 @@ from __future__ import annotations
 
 import json
 import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
-from repro.errors import CampaignError, PayloadTooLarge, UsageError
+from repro.errors import CampaignError, PayloadTooLarge, ReproError, UsageError
 from repro.obs import runtime as obs
 from repro.obs.export import to_prometheus
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS
@@ -65,10 +66,20 @@ _ROUTES = {
 }
 
 class _Handler(BaseHTTPRequestHandler):
-    """One request: route, validate, submit, render."""
+    """One request: route, validate, submit, render.
+
+    Every request gets an id (``X-Request-Id`` on the response, echoed
+    in every error body) so a 500 in a client log can be matched to the
+    server's counters.  Unexpected exceptions — anything that is not a
+    mapped :class:`~repro.errors.ReproError` — never tear down the
+    connection raw: :meth:`do_GET` / :meth:`do_POST` wrap their routing
+    in a last-resort handler that answers a structured ``InternalError``
+    500 and bumps ``repro_serve_internal_errors_total``.
+    """
 
     server_version = "repro-serve"
     protocol_version = "HTTP/1.1"
+    request_id: str = "-"
 
     # quiet by default; the metrics tell the traffic story
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
@@ -79,10 +90,53 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self) -> AnalysisService:
         return self.server.service  # type: ignore[attr-defined]
 
-    # -- GET ----------------------------------------------------------------
+    def _error_body(self, exc: BaseException) -> dict:
+        body = error_body(exc)
+        body["error"]["request_id"] = self.request_id
+        return body
+
+    def _internal_error(self, exc: BaseException, started: float) -> None:
+        """Last resort: a structured 500 that names the request id."""
+        obs.counter_add(
+            "repro_serve_internal_errors_total", 1,
+            "unexpected handler exceptions answered as structured 500s",
+            type=type(exc).__name__,
+        )
+        self._send_json(
+            500,
+            {"error": {
+                "type": "InternalError",
+                "message": f"{type(exc).__name__}: {exc}",
+                "exit_code": 1, "http_status": 500,
+                "request_id": self.request_id,
+            }},
+        )
 
     def do_GET(self) -> None:
+        self.request_id = uuid.uuid4().hex[:12]
         started = time.monotonic()
+        try:
+            self._route_get(started)
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self._internal_error(exc, started)
+            self._account("internal", 500, started)
+
+    def do_POST(self) -> None:
+        self.request_id = uuid.uuid4().hex[:12]
+        started = time.monotonic()
+        try:
+            self._route_post(started)
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self._internal_error(exc, started)
+            self._account("internal", 500, started)
+
+    # -- GET ----------------------------------------------------------------
+
+    def _route_get(self, started: float) -> None:
         if self.path == "/healthz":
             body = self.service.health()
             code = 200 if body["status"] == "ok" else 503
@@ -107,7 +161,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(
                 404, {"error": {"type": "UsageError",
                                 "message": f"no route {self.path!r}",
-                                "exit_code": 3, "http_status": 404}},
+                                "exit_code": 3, "http_status": 404,
+                                "request_id": self.request_id}},
             )
             self._account("unknown", 404, started)
 
@@ -119,7 +174,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "campaign orchestration is disabled "
                 "(start the service with --campaign-dir)"
             )
-            self._send_json(http_status_for(exc), error_body(exc))
+            self._send_json(http_status_for(exc), self._error_body(exc))
             self._account("campaign", http_status_for(exc), started)
             return
         suffix = self.path[len("/v1/campaign"):].strip("/")
@@ -133,7 +188,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(
                 404, {"error": {"type": "UsageError",
                                 "message": f"unknown campaign {suffix!r}",
-                                "exit_code": 3, "http_status": 404}},
+                                "exit_code": 3, "http_status": 404,
+                                "request_id": self.request_id}},
             )
             self._account("campaign", 404, started)
             return
@@ -142,8 +198,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- POST ---------------------------------------------------------------
 
-    def do_POST(self) -> None:
-        started = time.monotonic()
+    def _route_post(self, started: float) -> None:
         if self.path == "/v1/campaign":
             self._post_campaign(started)
             return
@@ -152,7 +207,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(
                 404, {"error": {"type": "UsageError",
                                 "message": f"no route {self.path!r}",
-                                "exit_code": 3, "http_status": 404}},
+                                "exit_code": 3, "http_status": 404,
+                                "request_id": self.request_id}},
             )
             self._account("unknown", 404, started)
             return
@@ -171,8 +227,15 @@ class _Handler(BaseHTTPRequestHandler):
         except BaseException as exc:
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                 raise
+            if not isinstance(exc, ReproError):
+                obs.counter_add(
+                    "repro_serve_internal_errors_total", 1,
+                    "unexpected handler exceptions answered as "
+                    "structured 500s",
+                    type=type(exc).__name__,
+                )
             status = http_status_for(exc)
-            self._send_json(status, error_body(exc))
+            self._send_json(status, self._error_body(exc))
             self._account(endpoint, status, started)
 
     def _post_campaign(self, started: float) -> None:
@@ -193,8 +256,15 @@ class _Handler(BaseHTTPRequestHandler):
         except BaseException as exc:
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                 raise
+            if not isinstance(exc, ReproError):
+                obs.counter_add(
+                    "repro_serve_internal_errors_total", 1,
+                    "unexpected handler exceptions answered as "
+                    "structured 500s",
+                    type=type(exc).__name__,
+                )
             status = http_status_for(exc)
-            self._send_json(status, error_body(exc))
+            self._send_json(status, self._error_body(exc))
             self._account("campaign", status, started)
 
     def _read_body(self):
@@ -239,6 +309,8 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_response(code)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            if self.request_id != "-":
+                self.send_header("X-Request-Id", self.request_id)
             self.end_headers()
             self.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError):

@@ -11,8 +11,9 @@ import collections
 
 import pytest
 
+from repro.chaos import parse_schedule
 from repro.engine.core import EngineConfig, ExperimentEngine
-from repro.engine.faults import FaultPlan, corrupt_store_entries
+from repro.engine.faults import corrupt_store_entries
 from repro.engine.journal import RunJournal, read_journal
 from repro.engine.plan import collect_requests
 from repro.engine.store import CrashSafeStore
@@ -26,6 +27,14 @@ CHAOS_PROGRAMS = ("dot", "jacobi", "chol", "dgefa", "irr")
 
 TERMINAL = {"ok", "degraded", "cached", "failed"}
 
+# The unified chaos schedule (repro.chaos) this suite injects through;
+# the same JSON shape drives `repro serve --chaos` and `repro campaign
+# --chaos`, so passing here pins the shared plumbing too.
+CHAOS_SCHEDULE = {
+    "seed": 7,
+    "worker": {"hang": 0.10, "kill": 0.05, "error": 0.05, "corrupt": 0.05},
+}
+
 
 def _chaos_config(**overrides):
     defaults = dict(
@@ -33,7 +42,7 @@ def _chaos_config(**overrides):
         timeout=5.0,
         retries=2,
         backoff_base=0.0,
-        faults=FaultPlan(timeout=0.10, kill=0.05, error=0.05, corrupt=0.05, seed=7),
+        faults=parse_schedule(CHAOS_SCHEDULE).engine_plan(),
     )
     defaults.update(overrides)
     return EngineConfig(**defaults)

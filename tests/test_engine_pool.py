@@ -71,6 +71,26 @@ class TestWorkerPool:
             pool.lease(1)
         pool.close()  # idempotent
 
+    def test_lease_is_atomic_when_spawn_fails(self):
+        # regression: a spawn failure mid-lease used to leak the workers
+        # already gathered — neither idle nor counted as leased, silently
+        # shrinking the pool forever
+        with WorkerPool(jobs=4) as pool:
+            pool.warm(2)
+
+            def failing_spawn():
+                raise OSError("fork failed")
+
+            pool._spawn = failing_spawn
+            with pytest.raises(OSError, match="fork failed"):
+                pool.lease(4)  # 2 warm + 2 spawns, the spawns blow up
+            assert pool.leased_count == 0
+            assert pool.idle_count == 2  # gathered workers went back warm
+            del pool.__dict__["_spawn"]
+            leased = pool.lease(4)  # the pool still works at full size
+            assert len(leased) == 4
+            pool.release(leased)
+
     def test_release_after_close_kills(self):
         pool = WorkerPool(jobs=1)
         leased = pool.lease(1)

@@ -1,0 +1,266 @@
+"""Self-healing pool machinery: breaker, supervisor, degraded answers."""
+
+import os
+import signal
+
+import pytest
+
+from repro.chaos import clock
+from repro.engine import EngineConfig, ExperimentEngine, WorkerPool
+from repro.errors import EngineError
+from repro.experiments.runner import DEFAULT_RUNNER
+from repro.obs import runtime as obs
+from repro.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    PoolSupervisor,
+    degraded_run_record,
+    degraded_simulate_source,
+)
+
+pytestmark = [pytest.mark.engine]
+
+FAST = EngineConfig(jobs=2, timeout=120, retries=0, backoff_base=0)
+
+
+def make_supervisor(jobs=2, **kwargs):
+    kwargs.setdefault("heartbeat_s", 0.2)
+    kwargs.setdefault("ping_timeout_s", 2.0)
+    return PoolSupervisor(WorkerPool(jobs=jobs), **kwargs)
+
+
+class TestCircuitBreaker:
+    POLICY = BreakerPolicy(failure_threshold=2, cooldown_s=1.0,
+                           cooldown_factor=2.0, cooldown_cap_s=8.0)
+
+    def test_closed_until_threshold(self):
+        breaker = CircuitBreaker(self.POLICY)
+        assert breaker.allow(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state == "closed"
+        breaker.record_failure(0.0)
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+
+    def test_open_blocks_until_cooldown_then_one_probe(self):
+        breaker = CircuitBreaker(self.POLICY)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        assert not breaker.allow(0.5)
+        assert breaker.allow(1.1)          # cooldown elapsed: the probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow(1.1)      # only one probe at a time
+
+    def test_probe_success_closes_and_resets_cooldown(self):
+        breaker = CircuitBreaker(self.POLICY)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.1)
+        breaker.record_success()
+        assert breaker.state == "closed"
+        # cooldown is back at the base, not the doubled value
+        breaker.record_failure(2.0)
+        breaker.record_failure(2.0)
+        assert not breaker.allow(2.5)
+        assert breaker.allow(3.1)
+
+    def test_probe_failure_reopens_with_doubled_cooldown(self):
+        breaker = CircuitBreaker(self.POLICY)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(1.1)
+        breaker.record_failure(1.1)        # failed probe
+        assert breaker.state == "open"
+        assert not breaker.allow(2.5)      # 2s cooldown now, not 1s
+        assert breaker.allow(3.2)
+
+    def test_cooldown_caps(self):
+        breaker = CircuitBreaker(self.POLICY)
+        now = 0.0
+        for _ in range(8):                 # would be 256s uncapped
+            breaker.record_failure(now)
+            breaker.record_failure(now)
+            now += 100.0
+            assert breaker.allow(now)
+            breaker.record_failure(now)    # probe fails, cooldown doubles
+        assert breaker.describe()["cooldown_s"] == 8.0
+
+    def test_bad_policy_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            CircuitBreaker(BreakerPolicy(failure_threshold=0))
+        with pytest.raises(ConfigError):
+            CircuitBreaker(BreakerPolicy(cooldown_s=0))
+
+
+class TestSupervisorHeartbeat:
+    def test_clean_sweep_pings_every_idle_worker(self):
+        with make_supervisor() as sup:
+            sup.warm()
+            report = sup.sweep()
+            assert report == {"pinged": 2, "wedged": 0, "dead": 0,
+                              "respawned": 0}
+            assert sup.idle_count == 2
+
+    def test_wedged_worker_detected_and_respawned_in_one_sweep(self):
+        obs.enable()
+        obs.reset()
+        with make_supervisor(ping_timeout_s=0.5) as sup:
+            sup.warm()
+            victim = sup.pool._idle[0]
+            os.kill(victim.proc.pid, signal.SIGSTOP)  # alive but wedged
+            try:
+                report = sup.sweep()
+            finally:
+                try:
+                    os.kill(victim.proc.pid, signal.SIGCONT)
+                except ProcessLookupError:
+                    pass
+            assert report["wedged"] == 1
+            assert report["respawned"] == 1
+            assert sup.idle_count == 2  # capacity restored immediately
+            health = sup.health()
+            assert health["wedged_total"] == 1
+            assert health["respawns_total"] == 1
+            # the proof the SLO gate relies on: the metrics moved
+            names = {c["name"] for c in obs.snapshot()["counters"]}
+            assert "repro_resilience_wedged_total" in names
+            assert "repro_resilience_respawns_total" in names
+
+    def test_dead_worker_culled_and_replaced(self):
+        with make_supervisor() as sup:
+            sup.warm()
+            victim = sup.pool._idle[0]
+            victim.proc.kill()
+            victim.proc.join(timeout=10)
+            report = sup.sweep()
+            assert report["dead"] == 1
+            assert report["respawned"] == 1
+            assert sup.idle_count == 2
+
+    def test_respawn_budget_bounds_a_crash_loop(self):
+        with make_supervisor(jobs=1, max_respawns=2,
+                             respawn_backoff_s=0.0) as sup:
+            sup.warm()
+            for _ in range(2):
+                sup.pool._idle[0].proc.kill()
+                sup.pool._idle[0].proc.join(timeout=10)
+                sup.sweep()
+            assert sup.health()["respawn_budget"] == 0
+            assert not sup.health()["healthy"]
+            # budget refills one credit per clean sweep: self-recovery
+            sup.sweep()
+            assert sup.health()["respawn_budget"] == 1
+            assert sup.health()["healthy"]
+
+    def test_background_thread_sweeps(self):
+        import time
+
+        with make_supervisor(heartbeat_s=0.05) as sup:
+            sup.warm()
+            sup.start()
+            deadline = time.monotonic() + 5
+            while sup.health()["sweeps"] == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert sup.health()["sweeps"] > 0
+
+    def test_heartbeat_leaves_no_stale_pong_behind(self):
+        # a sweep immediately followed by a real engine dispatch must not
+        # desync the worker pipes
+        with make_supervisor() as sup:
+            sup.warm()
+            sup.sweep()
+            engine = ExperimentEngine(FAST, pool=sup)
+            request = DEFAULT_RUNNER.request_for("mult", "original", size=24)
+            assert engine.run_many([request])[0].status == "ok"
+
+
+class TestSupervisorBreakers:
+    def test_release_feedback_trips_a_slot(self):
+        policy = BreakerPolicy(failure_threshold=1, cooldown_s=60.0)
+        with make_supervisor(jobs=1, breaker_policy=policy) as sup:
+            [worker] = sup.lease(1)
+            worker.proc.kill()
+            worker.proc.join(timeout=10)
+            sup.release([worker])  # dead at release = breaker failure
+            health = sup.health()
+            assert health["breakers_open"] == 1
+            assert not health["healthy"]
+            with pytest.raises(EngineError, match="quarantined"):
+                sup.lease(1)
+
+    def test_half_open_probe_recovers_the_slot(self):
+        policy = BreakerPolicy(failure_threshold=1, cooldown_s=30.0)
+        with make_supervisor(jobs=1, breaker_policy=policy) as sup:
+            [worker] = sup.lease(1)
+            worker.proc.kill()
+            worker.proc.join(timeout=10)
+            sup.release([worker])
+            try:
+                clock.set_skew(31.0)  # cooldown elapses instantly
+                leased = sup.lease(1)  # the half-open probe
+                sup.release(leased)    # clean release closes the breaker
+            finally:
+                clock.clear()
+            assert sup.health()["breakers_open"] == 0
+            assert sup.health()["healthy"]
+
+    def test_clean_release_records_success(self):
+        with make_supervisor(jobs=1) as sup:
+            with sup.leased(1):
+                pass
+            assert sup.health()["breakers_open"] == 0
+
+
+class TestDegradedAnswers:
+    CONFLICT_SOURCE = (
+        "program clash\n"
+        "param N = 512\n"
+        "real*8 A(N, N), B(N, N)\n"
+        "do j = 1, N\n"
+        "  do i = 1, N\n"
+        "    A(i, j) = A(i, j) + B(i, j)\n"
+        "  end do\n"
+        "end do\n"
+        "end\n"
+    )
+
+    def test_degraded_run_record_shape(self):
+        request = DEFAULT_RUNNER.request_for("jacobi", "pad", size=64)
+        record = degraded_run_record(request)
+        assert record["status"] == "degraded"
+        assert record["degraded"] is True
+        assert record["stats"] is None
+        assert record["estimate"]["total_refs"] > 0
+        assert record["error_bound_pct"] >= 0.0
+
+    def test_cached_stats_beat_the_estimator(self):
+        request = DEFAULT_RUNNER.request_for("mult", "original", size=24)
+        stats = DEFAULT_RUNNER.execute(request)
+        record = degraded_run_record(request, cached_stats=stats)
+        assert record["status"] == "cached"
+        assert record["stats"]["misses"] == stats.misses
+        assert "degraded" not in record
+
+    def test_degraded_source_carries_error_bound(self):
+        from repro.cache.config import CacheConfig
+
+        conflict_source = self.CONFLICT_SOURCE
+
+        class Request:
+            source = conflict_source
+            params = {}
+            heuristic = "pad"
+            m_lines = 4
+            cache = CacheConfig(16 * 1024, 32)
+
+        response = degraded_simulate_source(Request)
+        assert response["status"] == "degraded"
+        assert response["degraded"] is True
+        # a 512x512 double array under a 16K direct-mapped cache: columns
+        # alias, the estimator must flag conflicts and the bound is the
+        # conflict-attributable share
+        assert response["original"]["estimate"]["severe"]
+        assert response["error_bound_pct"] > 0.0
+        assert response["improvement_pct"] >= 0.0
