@@ -33,6 +33,15 @@ instead of auto-numbering::
 
     PYTHONPATH=src python scripts/bench_snapshot.py \
         --compare --number 7 --min-speedup 5 [--repeats 3] [--out DIR]
+
+``--compare --predict`` instead gates the analytic miss-prediction tier:
+every case in :func:`repro.analysis.predict_corpus.eligible_corpus` is
+simulated end to end (trace JIT + fast cache engine) and predicted in
+closed form, the two results are required to be byte-identical, and the
+aggregate simulate/predict throughput ratio must clear ``--min-speedup``::
+
+    PYTHONPATH=src python scripts/bench_snapshot.py \
+        --compare --predict --number 9 --min-speedup 50 [--out DIR]
 """
 
 import argparse
@@ -162,6 +171,94 @@ def compare_main(args, out_dir: pathlib.Path) -> int:
     return 0
 
 
+def predict_compare_main(args, out_dir: pathlib.Path) -> int:
+    """Analytic tier before/after: simulate and predict the eligible
+    corpus, require byte-identical counts, gate on throughput ratio."""
+    from repro.analysis.predict import predict_misses
+    from repro.analysis.predict_corpus import eligible_corpus
+    from repro.cache.fastsim import make_simulator
+    from repro.jit import make_interpreter
+
+    obs.reset()
+    obs.enable()
+
+    def simulate(case):
+        sim = make_simulator(case.cache)
+        return sim.access_stream(
+            make_interpreter(case.prog, case.layout, jit="on").trace()
+        )
+
+    cases = []
+    total_sim = total_pred = 0.0
+    for case in eligible_corpus():
+        sim_samples, pred_samples = [], []
+        sim_stats = outcome = None
+        for _ in range(max(1, args.repeats)):
+            sim_stats, elapsed = timed(lambda c=case: simulate(c))
+            sim_samples.append(elapsed)
+            outcome, elapsed = timed(
+                lambda c=case: predict_misses(c.prog, c.layout, c.cache)
+            )
+            pred_samples.append(elapsed)
+        if not outcome.analyzable:
+            reasons = "; ".join(b.render() for b in outcome.bailouts)
+            print(f"error: {case.name}: predictor bailed out of an "
+                  f"eligible case ({reasons}); refusing to snapshot",
+                  file=sys.stderr)
+            return 1
+        if outcome.prediction.stats != sim_stats:
+            print(f"error: {case.name}: predicted counts diverge from "
+                  f"simulation; refusing to snapshot", file=sys.stderr)
+            return 1
+        best_sim = min(sim_samples)
+        best_pred = min(pred_samples)
+        total_sim += best_sim
+        total_pred += best_pred
+        pred = outcome.prediction
+        cases.append({
+            "name": case.name,
+            "accesses": pred.stats.accesses,
+            "sim_s": round(best_sim, 6),
+            "predict_s": round(best_pred, 6),
+            "speedup": round(best_sim / best_pred, 3),
+            "fold_ratio": round(pred.fold_ratio, 2),
+            "replayed_accesses": pred.replayed_accesses,
+        })
+        print(f"  {case.name:20s} {pred.stats.accesses:>9d} accesses  "
+              f"sim {best_sim:.3f}s  predict {best_pred:.3f}s  "
+              f"{best_sim / best_pred:.1f}x  (fold {pred.fold_ratio:.0f}x)")
+
+    aggregate = total_sim / total_pred if total_pred else 0.0
+    snap = obs.snapshot()
+    document = {
+        "schema": 1,
+        "kind": "predict-compare",
+        "label": args.label,
+        "repeats": max(1, args.repeats),
+        "cases": cases,
+        "aggregate_speedup": round(aggregate, 3),
+        "min_speedup": args.min_speedup,
+        "predict_counters": {
+            "requests": counter_total(snap, "repro_predict_requests_total"),
+            "predictions": counter_total(
+                snap, "repro_predict_predictions_total"),
+            "bailouts": counter_total(snap, "repro_predict_bailouts_total"),
+        },
+    }
+    if args.number is not None:
+        path = out_dir / f"BENCH_{args.number}.json"
+    else:
+        path = next_snapshot_path(out_dir)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    print(f"  aggregate: {aggregate:.1f}x simulation throughput")
+    if args.min_speedup and aggregate < args.min_speedup:
+        print(f"error: aggregate speedup {aggregate:.2f}x below the "
+              f"--min-speedup {args.min_speedup}x gate", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=str(ROOT),
@@ -176,6 +273,10 @@ def main() -> int:
                         help="free-form note stored in the snapshot")
     parser.add_argument("--compare", action="store_true",
                         help="JIT before/after mode over the perf corpus")
+    parser.add_argument("--predict", action="store_true",
+                        help="with --compare: gate the analytic miss-"
+                             "prediction tier against simulation over "
+                             "the eligible corpus")
     parser.add_argument("--number", type=int, default=None,
                         help="write BENCH_<number>.json instead of "
                              "auto-numbering")
@@ -191,7 +292,12 @@ def main() -> int:
     if not out_dir.is_dir():
         print(f"error: --out {out_dir} is not a directory", file=sys.stderr)
         return 2
+    if args.predict and not args.compare:
+        print("error: --predict requires --compare", file=sys.stderr)
+        return 2
     if args.compare:
+        if args.predict:
+            return predict_compare_main(args, out_dir)
         return compare_main(args, out_dir)
     benchmarks = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
 

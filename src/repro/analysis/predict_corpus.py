@@ -1,0 +1,327 @@
+"""Seeded corpora for the analytic miss predictor.
+
+Two populations:
+
+* :func:`random_affine_case` — randomized programs drawn from exactly the
+  predictor's analyzable class (constant bounds, affine subscripts,
+  perfect nests and sequence loops, mixed steps and strides) paired with
+  randomized cache geometries and write policies.  The differential
+  battery replays each against :class:`repro.cache.sim.ReferenceCache`
+  and requires byte-identical counters.
+
+* :func:`bailout_case` — the same skeletons with exactly one unanalyzable
+  feature injected (triangular bound, indirect subscript, imperfect
+  body, symbolic bound), used to pin the precondition report.
+
+* :func:`eligible_corpus` — large streaming/stencil kernels on which the
+  analytic tier is expected to fold heavily; ``scripts/bench_snapshot.py
+  --mode predict`` uses it to gate tier-0 throughput against simulation.
+
+Subscripts are always generated in-bounds (dims are sized to cover the
+iteration ranges) so every program passes IR validation and the cases
+double as interpreter fixtures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cache.config import CacheConfig
+from repro.frontend import parse_program
+from repro.ir import builder as b
+from repro.ir.expr import AffineExpr, IndirectExpr
+from repro.ir.loops import Loop
+from repro.ir.program import Program
+from repro.ir.refs import ArrayRef
+from repro.ir.stmts import Statement
+from repro.layout.layout import MemoryLayout, original_layout
+
+
+@dataclass(frozen=True)
+class PredictCase:
+    """One corpus entry: a program, its layout, and a cache geometry."""
+
+    name: str
+    seed: int
+    prog: Program
+    layout: MemoryLayout
+    cache: CacheConfig
+    expect_reason: Optional[str] = None  # set for bailout cases
+
+
+_BAILOUT_KINDS = ("triangular", "indirect", "imperfect", "symbolic")
+
+
+def _random_cache(rng: random.Random) -> CacheConfig:
+    size = rng.choice((1024, 2048, 4096, 8192))
+    line = rng.choice((16, 32, 64))
+    assoc = rng.choice((1, 1, 2, 4))  # bias to the paper's direct-mapped
+    return CacheConfig(
+        size_bytes=size,
+        line_bytes=line,
+        associativity=assoc,
+        write_allocate=rng.random() < 0.9,
+        write_back=rng.random() < 0.8,
+    )
+
+
+class _CaseBuilder:
+    """Grows declarations while emitting loops with in-bounds subscripts."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.dims: dict = {}       # name -> [(min, max)] per dimension
+        self.elem: dict = {}
+        self.counter = 0
+
+    def _array(self, rank: int) -> str:
+        name = f"A{len(self.dims)}"
+        self.dims[name] = [(0, 0)] * rank
+        self.elem[name] = self.rng.choice((4, 8, 8))
+        return name
+
+    def _subscript(self, var_ranges) -> Tuple[AffineExpr, Tuple[int, int]]:
+        rng = self.rng
+        if var_ranges and rng.random() < 0.85:
+            var, (lo, hi) = rng.choice(var_ranges)
+            coef = rng.choice((1, 1, 1, 2, -1))
+            off = rng.randint(-2, 2)
+            vals = sorted((coef * lo + off, coef * hi + off))
+            return b.idx(var, off, coef), (vals[0], vals[1])
+        val = rng.randint(0, 3)
+        return b.const(val), (val, val)
+
+    def ref(self, var_ranges, arrays: List[str], is_write: bool) -> ArrayRef:
+        rng = self.rng
+        if arrays and rng.random() < 0.7:
+            name = rng.choice(arrays)
+            rank = len(self.dims[name])
+        else:
+            rank = rng.choice((1, 1, 2, 2, 3))
+            name = self._array(rank)
+            arrays.append(name)
+        subs = []
+        for d in range(rank):
+            sub, (lo, hi) = self._subscript(var_ranges)
+            cur_lo, cur_hi = self.dims[name][d]
+            self.dims[name][d] = (min(cur_lo, lo), max(cur_hi, hi))
+            subs.append(sub)
+        return ArrayRef(name, subs, is_write=is_write)
+
+    def statement(self, var_ranges, arrays: List[str]) -> Statement:
+        rng = self.rng
+        nrefs = rng.randint(1, 3)
+        refs = [
+            self.ref(var_ranges, arrays, rng.random() < 0.3)
+            for _ in range(nrefs)
+        ]
+        return Statement(refs)
+
+    def nest(self, var_ranges, arrays: List[str], depth: int) -> Loop:
+        rng = self.rng
+        var = f"v{self.counter}"
+        self.counter += 1
+        lo = rng.randint(0, 2)
+        trips = rng.randint(2, 9)
+        step = rng.choice((1, 1, 1, 2, -1))
+        if step > 0:
+            hi = lo + (trips - 1) * step
+            rng_lo, rng_hi = lo, hi
+        else:
+            hi = lo
+            lo = hi + (trips - 1)
+            rng_lo, rng_hi = hi, lo
+            lo, hi = rng_hi, rng_lo  # do v = hi_val, low_val, -1
+        inner_ranges = var_ranges + [(var, (rng_lo, rng_hi))]
+        if depth <= 1:
+            body = [
+                self.statement(inner_ranges, arrays)
+                for _ in range(rng.randint(1, 2))
+            ]
+        else:
+            body = [self.nest(inner_ranges, arrays, depth - 1)]
+        return Loop(var, lo, hi, body, step=step)
+
+    def seq_loop(self, arrays: List[str]) -> Loop:
+        """A time-style loop over sibling sub-nests."""
+        rng = self.rng
+        var = f"t{self.counter}"
+        self.counter += 1
+        trips = rng.randint(3, 7)
+        children = []
+        ranges = [(var, (1, trips))]
+        for _ in range(rng.randint(2, 3)):
+            children.append(self.nest(ranges, arrays, rng.choice((1, 2))))
+        return Loop(var, 1, trips, children)
+
+    def build(self, name: str) -> Program:
+        rng = self.rng
+        arrays: List[str] = []
+        body = []
+        for _ in range(rng.randint(1, 3)):
+            kind = rng.random()
+            if kind < 0.6:
+                body.append(self.nest([], arrays, rng.choice((1, 2, 2, 3))))
+            elif kind < 0.85:
+                body.append(self.seq_loop(arrays))
+            else:
+                body.append(self.statement([], arrays))
+        if not arrays:  # degenerate: ensure at least one reference
+            body.append(self.nest([], arrays, 1))
+        decls = [
+            self._decl(arr, dim_ranges)
+            for arr, dim_ranges in self.dims.items()
+        ]
+        return b.program(name, decls, body)
+
+    def _decl(self, arr: str, dim_ranges):
+        from repro.ir.arrays import ArrayDecl, Dim
+        from repro.ir.types import ElementType
+
+        dims = [Dim(hi - lo + 1, lower=lo) for lo, hi in dim_ranges]
+        etype = ElementType.REAL8 if self.elem[arr] == 8 else ElementType.REAL4
+        return ArrayDecl(arr, dims, etype)
+
+
+def random_affine_case(seed: int) -> PredictCase:
+    """One seeded, fully-analyzable program with a random cache."""
+    rng = random.Random(seed * 0x9E3779B1 + 7)
+    builder = _CaseBuilder(rng)
+    prog = builder.build(f"affine_{seed}")
+    return PredictCase(
+        name=prog.name,
+        seed=seed,
+        prog=prog,
+        layout=original_layout(prog),
+        cache=_random_cache(rng),
+    )
+
+
+def bailout_case(kind: str, seed: int = 0) -> PredictCase:
+    """An unanalyzable program whose first bailout has a known reason."""
+    rng = random.Random(seed * 0x51ED2701 + 3)
+    cache = _random_cache(rng)
+    if kind == "triangular":
+        prog = b.program(
+            "tri",
+            [b.real8("A", 12, 12)],
+            [b.loop("i", 1, 10, [
+                b.loop("j", "i", 10, [b.stmt(b.w("A", "j", "i"))]),
+            ])],
+        )
+        reason = "symbolic_bounds"
+    elif kind == "indirect":
+        prog = b.program(
+            "gather",
+            [b.real8("X", 16), b.int4("IDX", 16)],
+            [b.loop("i", 1, 16, [
+                Statement([ArrayRef("X", [b.indirect("IDX", b.idx("i"))])]),
+            ])],
+        )
+        reason = "indirect"
+    elif kind == "imperfect":
+        prog = b.program(
+            "mixed",
+            [b.real8("A", 16), b.real8("B", 16)],
+            [b.loop("i", 1, 8, [
+                b.stmt(b.w("A", "i")),
+                b.loop("j", 1, 8, [b.stmt(b.w("B", "j"))]),
+            ])],
+        )
+        reason = "imperfect"
+    elif kind == "symbolic":
+        # A bound over a variable no loop binds: the front end only emits
+        # this for unresolved params, so build the IR without validation.
+        prog = Program(
+            "symbolic",
+            [b.real8("A", 32)],
+            [Loop("i", 1, AffineExpr.var("n"), [b.stmt(b.w("A", "i"))])],
+        )
+        reason = "symbolic_bounds"
+    else:
+        raise ValueError(f"unknown bailout kind {kind!r}; "
+                         f"known: {_BAILOUT_KINDS}")
+    return PredictCase(
+        name=f"bailout_{kind}",
+        seed=seed,
+        prog=prog,
+        layout=original_layout(prog),
+        cache=cache,
+        expect_reason=reason,
+    )
+
+
+_TRIAD_SRC = """program triad
+  param N = {n}
+  real*8 A(N), B(N), C(N)
+  do i = 1, N
+    A(i) = B(i) + C(i)
+  end do
+end
+"""
+
+_STEPPED_SRC = """program stepped
+  param N = {n}
+  param T = {t}
+  real*8 A(N,N), B(N,N)
+  do t = 1, T
+    do i = 2, N-1
+      do j = 2, N-1
+        B(j,i) = 0.25 * (A(j-1,i) + A(j,i-1) + A(j+1,i) + A(j,i+1))
+      end do
+    end do
+    do i = 2, N-1
+      do j = 2, N-1
+        A(j,i) = B(j,i)
+      end do
+    end do
+  end do
+end
+"""
+
+_SWEEP_SRC = """program sweep
+  param N = {n}
+  real*8 A(N), B(N), C(N), D(N)
+  do i = 1, N
+    A(i) = B(i) * C(i) + D(i)
+  end do
+  do i = 1, N
+    D(i) = A(i) + B(i)
+  end do
+end
+"""
+
+
+def eligible_corpus() -> List[PredictCase]:
+    """Analytic-eligible simulate requests for the tier-0 throughput gate.
+
+    Long affine streams and time-stepped stencils: the shapes the memo
+    hierarchy's tier 0 exists for.  Every case folds heavily, so the
+    predictor answers from a short replayed prefix while the simulator
+    pays for the full trace.
+    """
+    from repro.cache.config import base_cache
+
+    cases: List[PredictCase] = []
+
+    def add(name: str, source: str, cache=None) -> None:
+        prog = parse_program(source)
+        cases.append(PredictCase(
+            name=name,
+            seed=0,
+            prog=prog,
+            layout=original_layout(prog),
+            cache=cache or base_cache(),
+        ))
+
+    add("triad_4m", _TRIAD_SRC.format(n=1 << 22))
+    add("sweep_2m", _SWEEP_SRC.format(n=1 << 21))
+    add("stepped_64x1024", _STEPPED_SRC.format(n=64, t=1024))
+    add(
+        "stepped_96x512_a2",
+        _STEPPED_SRC.format(n=96, t=512),
+        base_cache().with_associativity(2),
+    )
+    return cases

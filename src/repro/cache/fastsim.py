@@ -46,6 +46,13 @@ def make_simulator(config: CacheConfig):
     return FastSetAssociative(config)
 
 
+#: "Empty set" sentinel for the direct-mapped resident-line table.  Must
+#: be a value no real access can produce as a line address: -1 would be
+#: wrong, since traces over invalid (out-of-bounds) subscripts reach
+#: negative addresses and line -1 is attainable.
+_EMPTY_LINE = np.iinfo(np.int64).min
+
+
 def _as_chunk(addresses, writes, length_check: bool = True):
     addrs = np.ascontiguousarray(addresses, dtype=np.int64)
     if writes is None:
@@ -71,8 +78,9 @@ class FastDirectMapped:
         self.stats = CacheStats()
         self._line_shift = config.line_bytes.bit_length() - 1
         self._set_mask = config.num_sets - 1
-        # Resident line address per set; -1 = empty.  Parallel dirty flags.
-        self._resident = np.full(config.num_sets, -1, dtype=np.int64)
+        # Resident line address per set; _EMPTY_LINE = empty.  Parallel
+        # dirty flags.
+        self._resident = np.full(config.num_sets, _EMPTY_LINE, dtype=np.int64)
         self._dirty = np.zeros(config.num_sets, dtype=bool)
         self._seen_lines: set = set()
 
@@ -87,7 +95,7 @@ class FastDirectMapped:
     def reset(self) -> None:
         """Clear contents and statistics."""
         self.stats = CacheStats()
-        self._resident.fill(-1)
+        self._resident.fill(_EMPTY_LINE)
         self._dirty.fill(False)
         self._seen_lines = set()
 
@@ -162,7 +170,10 @@ class FastDirectMapped:
             prev_run_dirty = np.zeros(len(run_starts), dtype=bool)
             prev_run_dirty[1:] = run_dirty[:-1]
             # First run in group evicting the carried line:
-            first_evicts = run_group_first & run_is_miss & (self._resident[run_sets] >= 0)
+            first_evicts = (
+                run_group_first & run_is_miss
+                & (self._resident[run_sets] != _EMPTY_LINE)
+            )
             writebacks += int(np.sum(first_evicts & self._dirty[run_sets]))
             # Later runs evicting the previous run's line:
             later_evicts = ~run_group_first & run_is_miss

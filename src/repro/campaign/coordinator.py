@@ -67,7 +67,7 @@ class ItemOutcome:
     """Terminal state of one work item in this coordinator run."""
 
     item: WorkItem
-    status: str              # ok | degraded | cached | failed
+    status: str              # ok | analytic | degraded | cached | failed
     stats: Optional[object] = None  # CacheStats when successful
     attempts: int = 0
     duration: float = 0.0
@@ -460,11 +460,13 @@ class Coordinator:
                 return
             task.total_time += time.monotonic() - task.started_at
             worker_guard = msg[5] if len(msg) > 5 else None
+            worker_tier = msg[6] if len(msg) > 6 else None
             self._journal_guard(journal, task, worker_guard)
             status = (
                 "rolled_back"
                 if worker_guard and worker_guard.get("status") == "rolled_back"
                 else "degraded" if task.simulator == "reference"
+                else "analytic" if worker_tier == "analytic"
                 else "ok"
             )
             commit(task, stats, status)
@@ -590,7 +592,7 @@ class Coordinator:
             worker.conn.send(
                 (
                     "task", task.index, task.item.request, task.simulator,
-                    fault, collect, guard,
+                    fault, collect, guard, "auto", policy.tier,
                 )
             )
         except (BrokenPipeError, OSError):  # pragma: no cover - instant death

@@ -48,6 +48,7 @@ _SPEC_FIELDS = (
 )
 _POLICY_FIELDS = (
     "retries", "timeout_s", "backoff_base_s", "backoff_cap_s", "fallback",
+    "tier",
 )
 
 
@@ -60,6 +61,7 @@ class CampaignPolicy:
     backoff_base_s: float = 0.25   # 0 disables waiting (tests)
     backoff_cap_s: float = 30.0
     fallback: bool = True          # degrade to the reference simulator
+    tier: str = "sim"              # analytic tier-0 policy workers apply
 
     def to_record(self) -> Dict[str, object]:
         """JSON-safe form, part of the canonical (addressed) spec."""
@@ -69,6 +71,7 @@ class CampaignPolicy:
             "backoff_base_s": self.backoff_base_s,
             "backoff_cap_s": self.backoff_cap_s,
             "fallback": self.fallback,
+            "tier": self.tier,
         }
 
 
@@ -343,12 +346,20 @@ def _parse_policy(body: dict) -> CampaignPolicy:
     fallback = raw.get("fallback", True)
     if not isinstance(fallback, bool):
         raise UsageError("policy.fallback: expected a boolean")
+    from repro.experiments.runner import Runner
+
+    tier = raw.get("tier", "sim")
+    if tier not in Runner.PREDICT_MODES:
+        raise UsageError(
+            f"policy.tier: expected one of {list(Runner.PREDICT_MODES)}"
+        )
     return CampaignPolicy(
         retries=_number(raw, "retries", 2, minimum=0, integer=True),
         timeout_s=float(_number(raw, "timeout_s", 120.0, minimum=0.001)),
         backoff_base_s=float(_number(raw, "backoff_base_s", 0.25, minimum=0.0)),
         backoff_cap_s=float(_number(raw, "backoff_cap_s", 30.0, minimum=0.0)),
         fallback=fallback,
+        tier=tier,
     )
 
 

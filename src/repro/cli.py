@@ -138,6 +138,17 @@ def _add_jit_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_tier_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tier", choices=("analytic", "auto", "sim"), default="sim",
+        help="analytic tier-0 policy: consult the closed-form miss "
+             "predictor before simulating (auto), require it and fail "
+             "loudly on unanalyzable programs (analytic), or always "
+             "simulate (sim, default); analytic answers are exact, so "
+             "every mode returns identical counts",
+    )
+
+
 def _add_guard_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--guard", choices=("off", "warn", "strict"), default="off",
@@ -266,14 +277,37 @@ def cmd_simulate(args) -> int:
 
     prog = _load_program(args)
     cache = _cache_from_args(args)
+    tier = getattr(args, "tier", "sim")
+
+    def answer(p, layout):
+        """(stats, tier) per the --tier policy; analytic is exact."""
+        if tier != "sim":
+            from repro.analysis.predict import predict_misses
+
+            outcome = predict_misses(p, layout, cache)
+            if outcome.analyzable:
+                return outcome.prediction.stats, "analytic"
+            if tier == "analytic":
+                outcome.require()
+        return simulate_program(p, layout, cache, jit=args.jit), "sim"
+
     baseline = original(prog)
-    before = simulate_program(prog, baseline.layout, cache, jit=args.jit)
+    before, before_tier = answer(prog, baseline.layout)
     print(f"cache {cache.describe()}")
-    print(f"original: {before.describe()}")
+    suffix = " [analytic]" if before_tier == "analytic" else ""
+    print(f"original: {before.describe()}{suffix}")
     if args.heuristic != "original":
         result = _run_heuristic(prog, args.heuristic, cache, args.m)
         guard = guard_runtime.active_config()
         if guard is not None:
+            if tier == "analytic":
+                from repro.errors import PredictError
+
+                raise PredictError(
+                    "--tier analytic cannot run under an active "
+                    "transformation guard: guard verdicts need the "
+                    "simulation pipeline"
+                )
             from repro.guard import check_transform
 
             report, after = check_transform(
@@ -284,14 +318,77 @@ def cmd_simulate(args) -> int:
                 baseline_stats=before,
                 dropped=result.guard.dropped if result.guard else (),
             )
+            after_tier = "sim"
             print(f"guard: {report.describe()}")
         else:
-            after = simulate_program(
-                result.prog, result.layout, cache, jit=args.jit
-            )
-        print(f"{args.heuristic}: {after.describe()}")
+            after, after_tier = answer(result.prog, result.layout)
+        suffix = " [analytic]" if after_tier == "analytic" else ""
+        print(f"{args.heuristic}: {after.describe()}{suffix}")
         print(
             f"improvement: {before.miss_rate_pct - after.miss_rate_pct:.2f} points"
+        )
+    return 0
+
+
+def cmd_predict(args) -> int:
+    """Analytic miss prediction: closed-form counts or an explicit bailout."""
+    import dataclasses
+    import json
+
+    from repro.analysis.predict import predict_misses
+    from repro.padding.drivers import original
+
+    prog = _load_program(args)
+    cache = _cache_from_args(args)
+    result = (
+        original(prog)
+        if args.heuristic == "original"
+        else _run_heuristic(prog, args.heuristic, cache, args.m)
+    )
+    kwargs = {} if args.budget is None else {"budget": args.budget}
+    outcome = predict_misses(result.prog, result.layout, cache, **kwargs)
+    if args.format == "json":
+        record = {
+            "program": prog.name,
+            "heuristic": args.heuristic,
+            "cache": cache.describe(),
+            "analyzable": outcome.analyzable,
+        }
+        if outcome.analyzable:
+            pred = outcome.prediction
+            record.update(
+                stats=dataclasses.asdict(pred.stats),
+                miss_rate_pct=round(pred.stats.miss_rate_pct, 4),
+                per_array=pred.per_array,
+                per_ref=[dataclasses.asdict(r) for r in pred.per_ref],
+                replayed_accesses=pred.replayed_accesses,
+                folded_accesses=pred.folded_accesses,
+                fold_ratio=round(pred.fold_ratio, 2),
+            )
+        else:
+            record["bailouts"] = [
+                dataclasses.asdict(b) for b in outcome.bailouts
+            ]
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0 if outcome.analyzable else 2
+    print(f"cache {cache.describe()}")
+    if not outcome.analyzable:
+        print(f"{prog.name} ({args.heuristic}): not analyzable")
+        for bailout in outcome.bailouts:
+            print(f"  - {bailout.render()}")
+        return 2
+    pred = outcome.prediction
+    print(f"{prog.name} ({args.heuristic}): {pred.stats.describe()}")
+    print(
+        f"replayed {pred.replayed_accesses} of {pred.stats.accesses} "
+        f"accesses (fold {pred.fold_ratio:.1f}x)"
+    )
+    print("per-array:")
+    for array, row in pred.per_array.items():
+        print(
+            f"  {array}: accesses={row['accesses']} misses={row['misses']} "
+            f"cold={row['cold_misses']} self={row['self_conflict_misses']} "
+            f"cross={row['cross_conflict_misses']}"
         )
     return 0
 
@@ -396,6 +493,7 @@ def cmd_run_all(args) -> int:
         faults=faults,
         guard=guard_runtime.active_config(),
         jit=args.jit,
+        tier=getattr(args, "tier", "sim"),
     )
     report = run_figures(
         figures=tuple(args.figures) if args.figures else DEFAULT_FIGURES,
@@ -652,9 +750,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--heuristic", default="pad")
     p.add_argument("--m", type=int, default=4)
     _add_jit_arg(p)
+    _add_tier_arg(p)
     _add_metrics_arg(p)
     _add_guard_args(p)
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser(
+        "predict",
+        help="closed-form miss prediction (exact or explicit bailout)",
+    )
+    _add_program_args(p)
+    _add_cache_args(p)
+    p.add_argument("--heuristic", default="original",
+                   help="layout to analyze (default original)")
+    p.add_argument("--m", type=int, default=4)
+    p.add_argument("--budget", type=int, default=None, metavar="ACCESSES",
+                   help="replayed-access budget before the predictor bails "
+                        "out with exceeds_budget (default 4194304)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format (default text)")
+    _add_metrics_arg(p)
+    p.set_defaults(fn=cmd_predict)
 
     p = sub.add_parser("conflicts", help="diagnose conflicting reference pairs")
     _add_program_args(p)
@@ -716,6 +832,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-fallback", action="store_true",
                    help="fail instead of degrading to the reference simulator")
     _add_jit_arg(p)
+    _add_tier_arg(p)
     _add_metrics_arg(p)
     _add_guard_args(p)
     p.set_defaults(fn=cmd_run_all)

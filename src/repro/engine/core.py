@@ -72,6 +72,7 @@ class EngineConfig:
     faults: Optional[FaultPlan] = None
     guard: Optional[GuardConfig] = None  # transformation guardrail policy
     jit: str = "auto"  # trace-engine policy workers apply (repro.jit)
+    tier: str = "sim"  # analytic tier-0 policy (repro.analysis.predict)
 
 
 @dataclass
@@ -85,6 +86,8 @@ class RunOutcome:
     duration: float = 0.0  # wall clock across all attempts
     error: Optional[str] = None
     guard: Optional[dict] = None  # GuardReport record, when a guard ran
+    tier: Optional[str] = None  # where the worker's answer came from
+    # ("analytic"/"memory"/"sim"/... — None for failures and old workers)
 
     @property
     def key(self) -> str:
@@ -243,7 +246,8 @@ class ExperimentEngine:
         remaining = len(tasks)
 
         def finish(
-            task: _Task, status: str, stats=None, error=None, guard=None
+            task: _Task, status: str, stats=None, error=None, guard=None,
+            tier=None,
         ) -> None:
             nonlocal remaining
             outcomes[task.key] = RunOutcome(
@@ -252,12 +256,14 @@ class ExperimentEngine:
                 duration=round(task.total_time, 6),
                 error=error,
                 guard=guard,
+                tier=tier,
             )
             journal.emit(
                 "finish", run=task.key, status=status,
                 attempts=task.total_attempts,
                 duration=round(task.total_time, 6),
                 **({"error": error} if error else {}),
+                **({"tier": tier} if tier else {}),
             )
             if stats is not None and store is not None:
                 store.put(task.key, pack_record(stats, status))
@@ -321,6 +327,7 @@ class ExperimentEngine:
                 except Exception:  # never fail a run over metrics
                     pass
             guard_record = msg[5] if len(msg) > 5 else None
+            tier = msg[6] if len(msg) > 6 else None
             stats = validate_payload(payload, digest)
             if stats is None:
                 attempt_failed(
@@ -332,7 +339,7 @@ class ExperimentEngine:
             status = STATUS_DEGRADED if task.simulator == "reference" else STATUS_OK
             if guard_record and guard_record.get("status") == "rolled_back":
                 status = STATUS_ROLLED_BACK
-            finish(task, status, stats=stats, guard=guard_record)
+            finish(task, status, stats=stats, guard=guard_record, tier=tier)
 
         try:
             while remaining > 0:
@@ -459,7 +466,7 @@ class ExperimentEngine:
             worker.conn.send(
                 (
                     "task", task.index, task.request, task.simulator,
-                    fault, collect, guard_record, cfg.jit,
+                    fault, collect, guard_record, cfg.jit, cfg.tier,
                 )
             )
         except (BrokenPipeError, OSError):  # pragma: no cover - instant death

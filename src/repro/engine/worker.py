@@ -5,20 +5,22 @@ Each worker owns a private memoizing :class:`~repro.experiments.runner.Runner`
 to the parent over a pipe:
 
 * parent -> worker: ``("task", task_id, RunRequest, simulator, fault,
-  collect, guard, jit)``, ``("ping", token)`` or ``("stop",)``;
+  collect, guard, jit, tier)``, ``("ping", token)`` or ``("stop",)``;
   ``fault`` is ``None`` or ``(kind, param)`` from the fault-injection
   plan (a ``layout`` fault's param names the corruption kind, a
   ``slow`` fault's is the stall in seconds), ``collect`` asks the
   worker to gather a metrics snapshot for the task, ``guard`` is a
-  :class:`~repro.guard.config.GuardConfig` record or ``None``, and
-  ``jit`` is the trace-engine policy (default ``"auto"``; older parents
-  may omit the trailing fields).  A ``ping`` is the pool supervisor's
-  heartbeat (:mod:`repro.resilience`): a live, unwedged worker echoes
+  :class:`~repro.guard.config.GuardConfig` record or ``None``, ``jit``
+  is the trace-engine policy (default ``"auto"``) and ``tier`` the
+  analytic tier-0 policy (default ``"sim"``; older parents may omit
+  trailing fields).  A ``ping`` is the pool supervisor's heartbeat
+  (:mod:`repro.resilience`): a live, unwedged worker echoes
   ``("pong", token)`` immediately.
 * worker -> parent: ``("ok", task_id, stats_payload, checksum, metrics,
-  guard_report)`` (``metrics`` is a registry snapshot or ``None``;
+  guard_report, tier)`` (``metrics`` is a registry snapshot or ``None``;
   ``guard_report`` is a :class:`~repro.guard.config.GuardReport` record
-  or ``None``) or ``("error", task_id, message)``.
+  or ``None``; ``tier`` says where the runner's answer came from, e.g.
+  ``"analytic"`` or ``"sim"``) or ``("error", task_id, message)``.
 
 The checksum is computed *before* any injected corruption, so a mangled
 payload is detectable by the parent — exactly like a worker whose memory
@@ -80,6 +82,7 @@ def worker_main(conn) -> None:
         collect = bool(msg[5]) if len(msg) > 5 else False
         guard_record = msg[6] if len(msg) > 6 else None
         runner.jit = msg[7] if len(msg) > 7 else "auto"
+        runner.predict = msg[8] if len(msg) > 8 else "sim"
         kind, param = fault if fault else (None, None)
         if kind == "kill":
             os._exit(KILL_EXIT_CODE)
@@ -134,10 +137,13 @@ def worker_main(conn) -> None:
             digest = checksum(payload)
             if kind == "corrupt":
                 payload = dict(payload, misses=payload["misses"] ^ 0x5A5A)
+            tier = runner.last_tier
             if kind == "torn":
-                _send_torn(conn, ("ok", task_id, payload, digest, metrics, report))
+                _send_torn(
+                    conn, ("ok", task_id, payload, digest, metrics, report, tier)
+                )
                 continue
-            _send(conn, ("ok", task_id, payload, digest, metrics, report))
+            _send(conn, ("ok", task_id, payload, digest, metrics, report, tier))
         except MemoryError:  # pragma: no cover - needs a real OOM
             os._exit(OOM_EXIT_CODE)
         except BaseException as exc:

@@ -74,6 +74,10 @@ class NotUniformError(AnalysisError):
     """A reference pair is not uniformly generated (no constant distance)."""
 
 
+class PredictError(AnalysisError):
+    """The analytic miss predictor was required but had to bail out."""
+
+
 class LayoutError(ReproError):
     """Inconsistent memory layout (overlap, missing variable, bad pad)."""
 

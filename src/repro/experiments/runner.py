@@ -26,7 +26,7 @@ from repro.cache.config import CacheConfig, base_cache
 from repro.cache.fastsim import make_simulator
 from repro.cache.sim import ReferenceCache
 from repro.cache.stats import CacheStats
-from repro.errors import ConfigError
+from repro.errors import ConfigError, PredictError
 from repro.guard import runtime as guard_runtime
 from repro.ir.program import Program
 from repro.jit import make_interpreter, resolve_mode
@@ -124,13 +124,37 @@ class Runner:
     see :mod:`repro.jit`).  It is execution policy, not part of the memo
     key: every mode emits the identical address stream, so results cache
     and compare across modes.
+
+    ``predict`` is the analytic tier-0 policy (``"analytic"``/``"auto"``/
+    ``"sim"``, see :mod:`repro.analysis.predict`).  In ``auto`` the
+    static miss predictor is consulted before every memo tier and the
+    simulator; when the program is analyzable its closed-form counts —
+    exact by construction — are served without simulating.  ``analytic``
+    *requires* the predictor (a bailout raises
+    :class:`~repro.errors.PredictError`); ``sim`` (default) never
+    consults it.  Like ``jit`` it is execution policy, not part of the
+    memo key: analytic answers equal simulated ones bit for bit.
     """
 
+    #: recognised analytic tier-0 policies
+    PREDICT_MODES = ("analytic", "auto", "sim")
+
     def __init__(self, cache_dir: Optional[str] = None, tier=None,
-                 jit: str = "auto"):
+                 jit: str = "auto", predict: str = "sim"):
         #: trace-engine policy; mutable so engine workers can follow the
         #: per-task mode their parent sends
         self.jit = resolve_mode(jit)
+        if predict not in self.PREDICT_MODES:
+            raise ConfigError(
+                f"unknown predict mode {predict!r}; known: "
+                f"{self.PREDICT_MODES}"
+            )
+        #: analytic tier-0 policy; mutable like :attr:`jit`
+        self.predict = predict
+        #: where the most recent :meth:`run` answer came from
+        #: (``analytic``/``memory``/``disk``/``sqlite``/``sim``, or None)
+        self.last_tier: Optional[str] = None
+        self._predictions: Dict[Tuple[RunRequest, Optional[int]], object] = {}
         self._stats: Dict[RunRequest, CacheStats] = {}
         self._programs: Dict[Tuple[str, Optional[int]], Program] = {}
         self._paddings: Dict[Tuple, PaddingResult] = {}
@@ -230,9 +254,37 @@ class Runner:
         request = self.request_for(
             name, heuristic, cache, size, pad_cache, m_lines, max_outer, seed
         )
+        if self.predict != "sim":
+            # Tier 0: closed-form miss counts, consulted before the memo
+            # tiers.  Analytic answers are exact, so they are also primed
+            # into the memo and written through to the durable layers.
+            analytic = self.analytic_lookup(request)
+            if analytic is not None:
+                if self._disk is not None:
+                    self._disk.put(request, analytic, status="analytic")
+                if self._tier is not None:
+                    self._tier.put(
+                        request_key(request),
+                        pack_record(analytic, "analytic"),
+                    )
+                return analytic
+            if self.predict == "analytic":
+                # forced analytic: surface the bailout report instead of
+                # silently falling back to simulation
+                if (
+                    guard_runtime.active_config() is not None
+                    and heuristic != "original"
+                ):
+                    raise PredictError(
+                        "predict mode 'analytic' cannot run under an "
+                        "active transformation guard: guard verdicts "
+                        "need the simulation pipeline"
+                    )
+                self.predict_request(request).require()
         cached = self.memo_lookup(request)
         if cached is not None:
             return cached
+        self.last_tier = "sim"
         stats, report = self.execute_guarded(request, simulator=simulator)
         self._stats[request] = stats
         if report is not None:
@@ -337,6 +389,74 @@ class Runner:
             )
             return stats, report
 
+    def materialize(self, request: RunRequest) -> Tuple[Program, MemoryLayout]:
+        """The resolved ``(prog, layout)`` a request would simulate.
+
+        Applies the requested padding heuristic, the benchmark's outer
+        truncation, and the layout rebinding — exactly the inputs
+        :meth:`execute_guarded` hands the simulator, so static analyses
+        (the miss predictor, the degraded estimator) see the same program
+        the trace engine would.
+        """
+        result = self.padding(
+            request.program, request.heuristic, request.size,
+            request.pad_cache, request.m_lines,
+        )
+        prog, layout = result.prog, result.layout
+        if request.max_outer is not None:
+            prog = truncate_outer_loops(prog, request.max_outer)
+            layout = _rebind_layout(layout, prog)
+        return prog, layout
+
+    def predict_request(self, request: RunRequest, budget: Optional[int] = None):
+        """Memoized analytic prediction outcome for a resolved request.
+
+        Returns a :class:`repro.analysis.predict.PredictOutcome`; callers
+        check ``.analyzable`` (or ``.require()``).  Outcomes are cached
+        per ``(request, budget)`` so repeated consultations — the serve
+        micro-batcher peeks here on every eligible request — cost one
+        dictionary probe.
+        """
+        from repro.analysis.predict import predict_misses
+
+        key = (request, budget)
+        cached = self._predictions.get(key)
+        if cached is not None:
+            return cached
+        prog, layout = self.materialize(request)
+        kwargs = {} if budget is None else {"budget": budget}
+        outcome = predict_misses(prog, layout, request.cache, **kwargs)
+        self._predictions[key] = outcome
+        return outcome
+
+    def analytic_lookup(
+        self, request: RunRequest, budget: Optional[int] = None
+    ) -> Optional[CacheStats]:
+        """Tier 0: exact closed-form stats, or ``None`` on bailout.
+
+        Counts an ``analytic`` memo-tier hit and primes the in-memory
+        memo on success.  Guarded transformed runs always return
+        ``None`` — guard verdicts (sanitizer, regression rollback) need
+        the simulation pipeline.
+        """
+        if (
+            guard_runtime.active_config() is not None
+            and request.heuristic != "original"
+        ):
+            return None
+        outcome = self.predict_request(request, budget=budget)
+        if not outcome.analyzable:
+            return None
+        stats = outcome.prediction.stats
+        obs.counter_add(
+            "repro_runner_memo_hits_total", 1,
+            "simulation results served from memory", tier="analytic",
+        )
+        self.last_tier = "analytic"
+        self._stats[request] = stats
+        self.last_guard = None
+        return stats
+
     def memo_lookup(self, request: RunRequest) -> Optional[CacheStats]:
         """Memoized stats for a resolved request, or ``None`` on a miss.
 
@@ -351,6 +471,7 @@ class Runner:
                 "repro_runner_memo_hits_total", 1,
                 "simulation results served from memory", tier="memory",
             )
+            self.last_tier = "memory"
             self.last_guard = self._guard_reports.get(request)
             return self._stats[request]
         if self._disk is not None:
@@ -360,6 +481,7 @@ class Runner:
                     "repro_runner_memo_hits_total", 1,
                     "simulation results served from memory", tier="disk",
                 )
+                self.last_tier = "disk"
                 self._stats[request] = stored
                 self.last_guard = None
                 return stored
@@ -376,6 +498,7 @@ class Runner:
                         "simulation results served from memory",
                         tier="sqlite",
                     )
+                    self.last_tier = "sqlite"
                     self._stats[request] = stats
                     self.last_guard = None
                     return stats
@@ -409,10 +532,12 @@ class Runner:
     def clear(self) -> None:
         """Drop all cached results."""
         self._stats.clear()
+        self._predictions.clear()
         self._programs.clear()
         self._paddings.clear()
         self._guard_reports.clear()
         self.last_guard = None
+        self.last_tier = None
 
 
 class _DiskStore:

@@ -52,6 +52,7 @@ class LintContext:
         self._severe = None
         self._linalg = None
         self._safety = None
+        self._prediction = None
 
     @property
     def severe_findings(self):
@@ -79,6 +80,27 @@ class LintContext:
 
             self._safety = analyze_safety(self.prog)
         return self._safety
+
+    #: replay budget for :attr:`prediction`: lint must stay interactive,
+    #: so the predictor gets a fraction of its default budget and big
+    #: kernels simply bail out (C006 then stays silent).
+    PREDICT_BUDGET = 1 << 18
+
+    @property
+    def prediction(self):
+        """Analytic miss-prediction outcome for this layout (cached).
+
+        A :class:`repro.analysis.predict.PredictOutcome`; rules check
+        ``.analyzable`` before using the per-reference provenance.
+        """
+        if self._prediction is None:
+            from repro.analysis.predict import predict_misses
+
+            self._prediction = predict_misses(
+                self.prog, self.layout, self.cache,
+                budget=self.PREDICT_BUDGET,
+            )
+        return self._prediction
 
     def column_bytes(self, name: str) -> int:
         """Byte size of one column of ``name`` under the linted layout."""

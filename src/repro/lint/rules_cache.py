@@ -259,3 +259,46 @@ def check_stride_loop_order(ctx) -> Iterator[Finding]:
                     array=ref.array,
                     nest_index=nest_index,
                 )
+
+
+#: C006 fires when at least this share of a reference's accesses are
+#: predicted conflict misses — the reference loses most of its reuse.
+C006_CONFLICT_SHARE = 0.5
+
+#: ...and the reference is touched at least this often, so a couple of
+#: boundary evictions on a tiny nest do not read as thrashing.
+C006_MIN_ACCESSES = 16
+
+
+@rule(
+    "C006",
+    "predicted-conflict-thrashing",
+    Severity.WARNING,
+    CACHE_HAZARD,
+    "analytic prediction: most of a reference's accesses are conflict misses",
+    "The closed-form miss predictor (repro.analysis.predict) replays the "
+    "exact access stream: when over half of a reference's touches are "
+    "predicted to be conflict misses, the layout is evicting its reuse — "
+    "ground truth for the heuristics C001-C004 approximate.  Silent on "
+    "programs the predictor cannot analyze.",
+)
+def check_predicted_thrashing(ctx) -> Iterator[Finding]:
+    """Flag refs whose predicted conflict-miss share crosses the threshold."""
+    r = get_rule("C006")
+    outcome = ctx.prediction
+    if not outcome.analyzable:
+        return
+    for ref in outcome.prediction.per_ref:
+        if ref.accesses < C006_MIN_ACCESSES:
+            continue
+        share = ref.conflict_misses / ref.accesses
+        if share < C006_CONFLICT_SHARE:
+            continue
+        yield r.finding(
+            f"{ref.ref}: {ref.conflict_misses} of {ref.accesses} accesses "
+            f"({100.0 * share:.0f}%) are predicted conflict misses "
+            f"({ref.self_conflict_misses} self, "
+            f"{ref.cross_conflict_misses} cross) on {ctx.cache.describe()}",
+            line=ref.line,
+            array=ref.array,
+        )

@@ -16,6 +16,15 @@ full-fidelity counterparts, with three honest differences:
   estimate (everything above the streaming floor), i.e. how far the
   model can be off if it mis-classified every conflicting pair.
 
+Brownout is not always inexact, though: when the analytic miss
+predictor (:mod:`repro.analysis.predict`) can prove the program
+analyzable, the record is *upgraded* to its closed-form counts —
+``"status": "analytic"``, ``"degraded": false, "tier": "analytic"``,
+real ``stats``, ``error_bound_pct`` 0 — indistinguishable from a
+simulated answer because it is exact by construction.  When the
+predictor bails out, the estimator answers as before and the record's
+``"bailout"`` field says why exactness was unavailable.
+
 Handlers here are pure (no HTTP, no service state) so the unit tests
 drive them directly, mirroring :mod:`repro.serve.handlers`.
 """
@@ -24,18 +33,25 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.extensions.estimate import ConflictEstimate, estimate_conflicts
+from repro.extensions.estimate import (
+    PREDICT_BUDGET,
+    ConflictEstimate,
+    estimate_conflicts,
+)
 
 
 def estimate_record(est: ConflictEstimate) -> dict:
     """JSON-safe rendering of one conflict estimate."""
-    return {
+    record = {
         "miss_rate_pct": round(est.miss_rate_pct, 4),
         "streaming_floor_pct": round(est.streaming_floor_pct, 4),
         "conflicting_refs": est.conflicting_refs,
         "total_refs": est.total_refs,
         "severe": est.severe,
     }
+    if est.bailout is not None:
+        record["bailout"] = est.bailout
+    return record
 
 
 def _layout_for(prog, heuristic: str, cache, m_lines: int):
@@ -52,17 +68,75 @@ def _layout_for(prog, heuristic: str, cache, m_lines: int):
     return result.prog, result.layout
 
 
+def _analytic_simulate_source(request, prog, baseline) -> tuple:
+    """Try the exact analytic upgrade for an inline-source request.
+
+    Returns ``(response, None)`` on success — shaped like the
+    full-fidelity :func:`~repro.serve.handlers.handle_simulate_source`
+    answer, since the counts are identical — or ``(None, reason)`` when
+    the predictor bailed out.  Guarded transformed requests never
+    upgrade: guard verdicts need the simulation pipeline.
+    """
+    from repro.analysis.predict import predict_misses
+    from repro.guard import runtime as guard_runtime
+    from repro.serve import handlers
+
+    if (
+        guard_runtime.active_config() is not None
+        and request.heuristic != "original"
+    ):
+        return None, None
+    before = predict_misses(
+        prog, baseline.layout, request.cache, budget=PREDICT_BUDGET
+    )
+    if not before.analyzable:
+        return None, before.reason
+    response = {
+        "program": prog.name,
+        "heuristic": request.heuristic,
+        "cache": request.cache.describe(),
+        "status": "analytic",
+        "degraded": False,
+        "tier": "analytic",
+        "error_bound_pct": 0.0,
+        "original": handlers.stats_record(before.prediction.stats),
+    }
+    if request.heuristic == "original":
+        return response, None
+    padded_prog, layout = _layout_for(
+        prog, request.heuristic, request.cache, request.m_lines
+    )
+    after = predict_misses(
+        padded_prog, layout, request.cache, budget=PREDICT_BUDGET
+    )
+    if not after.analyzable:
+        return None, after.reason
+    response["padded"] = handlers.stats_record(after.prediction.stats)
+    response["improvement_pct"] = round(
+        before.prediction.stats.miss_rate_pct
+        - after.prediction.stats.miss_rate_pct,
+        4,
+    )
+    return response, None
+
+
 def degraded_simulate_source(request) -> dict:
     """Estimator-backed answer for an inline-source simulate request.
 
     Shaped like :func:`repro.serve.handlers.handle_simulate_source`,
-    with estimates where the simulated stats would be.
+    with estimates where the simulated stats would be — unless the
+    analytic predictor can answer exactly, in which case the record is
+    the upgraded full-fidelity shape (``degraded: false``,
+    ``tier: "analytic"``).
     """
     from repro.frontend import parse_program
     from repro.padding.drivers import original
 
     prog = parse_program(request.source, params=request.params or None)
     baseline = original(prog)
+    analytic, bailout = _analytic_simulate_source(request, prog, baseline)
+    if analytic is not None:
+        return analytic
     before = estimate_conflicts(prog, baseline.layout, request.cache)
     response = {
         "program": prog.name,
@@ -73,6 +147,8 @@ def degraded_simulate_source(request) -> dict:
         "original": {"estimate": estimate_record(before)},
         "error_bound_pct": round(before.error_bound_pct, 4),
     }
+    if bailout is not None:
+        response["bailout"] = bailout
     if request.heuristic == "original":
         return response
     padded_prog, layout = _layout_for(
@@ -89,13 +165,17 @@ def degraded_simulate_source(request) -> dict:
     return response
 
 
-def degraded_run_record(run_request, cached_stats=None) -> dict:
+def degraded_run_record(run_request, cached_stats=None, runner=None) -> dict:
     """Estimator-backed record for one benchmark run request.
 
     Shaped like :func:`repro.serve.handlers.outcome_record`.  When the
     memo tier already holds an exact answer pass it as ``cached_stats``
     — exact beats estimated even in brownout, and the record keeps the
-    ``cached`` status so callers see no degradation happened.
+    ``cached`` status so callers see no degradation happened.  With a
+    ``runner`` the analytic predictor is consulted next (through
+    :meth:`~repro.experiments.runner.Runner.analytic_lookup`, so
+    truncation and padding match the real run exactly): analyzable
+    requests upgrade to exact closed-form stats instead of estimates.
     """
     from repro.serve import handlers
 
@@ -108,6 +188,24 @@ def degraded_run_record(run_request, cached_stats=None) -> dict:
             "attempts": 0,
             "stats": handlers.stats_record(cached_stats),
         }
+    bailout = None
+    if runner is not None:
+        stats = runner.analytic_lookup(run_request, budget=PREDICT_BUDGET)
+        if stats is not None:
+            return {
+                "program": run_request.program,
+                "heuristic": run_request.heuristic,
+                "size": run_request.size,
+                "status": "analytic",
+                "degraded": False,
+                "tier": "analytic",
+                "attempts": 0,
+                "stats": handlers.stats_record(stats),
+                "error_bound_pct": 0.0,
+            }
+        bailout = runner.predict_request(
+            run_request, budget=PREDICT_BUDGET
+        ).reason
     from repro.bench.suites import get_spec
 
     prog = get_spec(run_request.program).build(run_request.size)
@@ -115,7 +213,7 @@ def degraded_run_record(run_request, cached_stats=None) -> dict:
         prog, run_request.heuristic, run_request.pad_cache, run_request.m_lines
     )
     est = estimate_conflicts(prog, layout, run_request.cache)
-    return {
+    record = {
         "program": run_request.program,
         "heuristic": run_request.heuristic,
         "size": run_request.size,
@@ -126,3 +224,6 @@ def degraded_run_record(run_request, cached_stats=None) -> dict:
         "estimate": estimate_record(est),
         "error_bound_pct": round(est.error_bound_pct, 4),
     }
+    if bailout is not None:
+        record["bailout"] = bailout
+    return record

@@ -636,7 +636,9 @@ class AnalysisService:
 
         records = [
             degraded_run_record(
-                request, cached_stats=self.runner.memo_lookup(request)
+                request,
+                cached_stats=self.runner.memo_lookup(request),
+                runner=self.runner,
             )
             for request in requests
         ]

@@ -123,12 +123,12 @@ class TestLintResult:
 
 
 class TestRegistry:
-    def test_ten_rules_registered(self):
+    def test_eleven_rules_registered(self):
         ids = [r.rule_id for r in all_rules()]
         assert ids == sorted(ids)
-        assert {"C001", "C002", "C003", "C004", "C005"} <= set(ids)
+        assert {"C001", "C002", "C003", "C004", "C005", "C006"} <= set(ids)
         assert {"I001", "I002", "I003", "I004", "I005"} <= set(ids)
-        assert len(ids) == 10
+        assert len(ids) == 11
 
     def test_get_rule(self):
         assert get_rule("I001").severity is Severity.ERROR
@@ -145,7 +145,7 @@ class TestRegistry:
     def test_ignore_wins_over_select(self):
         rules = resolve_selection(select=("C",), ignore=("C001",))
         assert "C001" not in {r.rule_id for r in rules}
-        assert len(rules) == 4
+        assert len(rules) == 5
 
     def test_default_is_everything(self):
         assert len(resolve_selection()) == len(all_rules())

@@ -26,15 +26,15 @@ EXAMPLES_DIR = os.path.join(
 CORPUS_EXPECTATIONS = {
     "bad_loop_order.dsl": {"C005"},
     "blocked_interchange.dsl": {"C005", "I004"},
-    "conflict_pair.dsl": {"C001", "C004"},
+    "conflict_pair.dsl": {"C001", "C004", "C006"},
     "dead_index.dsl": {"C003", "I003", "I004"},
     "linalg_bad_ld.dsl": {"C002"},
-    "multi_defect.dsl": {"C001", "C004", "I001", "I002"},
+    "multi_defect.dsl": {"C001", "C004", "C006", "I001", "I002"},
     "oob_lower.dsl": {"I001"},
     "oob_upper.dsl": {"I001"},
     "pow2_leading_dim.dsl": {"C003"},
-    "set_pressure.dsl": {"C001", "C004"},
-    "unsafe_pad.dsl": {"C001", "C004", "I005"},
+    "set_pressure.dsl": {"C001", "C004", "C006"},
+    "unsafe_pad.dsl": {"C001", "C004", "C006", "I005"},
     "unused_array.dsl": {"I002"},
 }
 

@@ -235,6 +235,18 @@ class TestDegradedAnswers:
         assert record["estimate"]["total_refs"] > 0
         assert record["error_bound_pct"] >= 0.0
 
+    def test_run_record_upgrades_with_runner(self):
+        request = DEFAULT_RUNNER.request_for("jacobi", "original", size=64)
+        record = degraded_run_record(request, runner=DEFAULT_RUNNER)
+        assert record["status"] == "analytic"
+        assert record["degraded"] is False
+        assert record["tier"] == "analytic"
+        assert record["error_bound_pct"] == 0.0
+        # exact: byte-identical to what the simulator reports
+        stats = DEFAULT_RUNNER.execute(request)
+        assert record["stats"]["misses"] == stats.misses
+        assert record["stats"]["accesses"] == stats.accesses
+
     def test_cached_stats_beat_the_estimator(self):
         request = DEFAULT_RUNNER.request_for("mult", "original", size=24)
         stats = DEFAULT_RUNNER.execute(request)
@@ -243,7 +255,12 @@ class TestDegradedAnswers:
         assert record["stats"]["misses"] == stats.misses
         assert "degraded" not in record
 
-    def test_degraded_source_carries_error_bound(self):
+    # the same kernel with a triangular inner bound: the analytic
+    # predictor bails (symbolic_bounds), so brownout falls back to the
+    # heuristic estimator and the answer is genuinely degraded
+    TRIANGULAR_SOURCE = CONFLICT_SOURCE.replace("do i = 1, N", "do i = j, N")
+
+    def test_analyzable_source_upgrades_to_analytic(self):
         from repro.cache.config import CacheConfig
 
         conflict_source = self.CONFLICT_SOURCE
@@ -255,9 +272,35 @@ class TestDegradedAnswers:
             m_lines = 4
             cache = CacheConfig(16 * 1024, 32)
 
+        # The brownout ladder upgrades analyzable sources to the exact
+        # analytic tier: same counts the simulator would produce, so the
+        # answer is not degraded and the error bound is zero.
+        response = degraded_simulate_source(Request)
+        assert response["status"] == "analytic"
+        assert response["degraded"] is False
+        assert response["tier"] == "analytic"
+        assert response["error_bound_pct"] == 0.0
+        assert response["original"]["misses"] > 0
+        assert response["padded"]["misses"] < response["original"]["misses"]
+        assert response["improvement_pct"] > 0.0  # pad removes the aliasing
+
+    def test_degraded_source_carries_error_bound(self):
+        from repro.cache.config import CacheConfig
+
+        triangular_source = self.TRIANGULAR_SOURCE
+
+        class Request:
+            source = triangular_source
+            params = {}
+            heuristic = "pad"
+            m_lines = 4
+            cache = CacheConfig(16 * 1024, 32)
+
         response = degraded_simulate_source(Request)
         assert response["status"] == "degraded"
         assert response["degraded"] is True
+        # the predictor cannot analyze the triangular nest and must say why
+        assert response["bailout"] == "symbolic_bounds"
         # a 512x512 double array under a 16K direct-mapped cache: columns
         # alias, the estimator must flag conflicts and the bound is the
         # conflict-attributable share

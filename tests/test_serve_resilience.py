@@ -35,6 +35,10 @@ SOURCE = (
     "end\n"
 )
 
+# Same kernel, triangular inner bound: the analytic predictor bails
+# (symbolic_bounds), so brownout answers fall back to the estimator.
+TRIANGULAR_SOURCE = SOURCE.replace("do i = 1, N", "do i = j, N")
+
 
 @contextlib.contextmanager
 def serving(config):
@@ -77,21 +81,35 @@ class TestBrownout:
     def test_forced_brownout_degrades_simulate_classes(self):
         config = ServeConfig(port=0, workers=2, engine_jobs=1, brownout=True)
         with serving(config) as server:
+            # analyzable kernels upgrade to the exact analytic tier
+            # instead of answering degraded
             code, body, _ = _post(
                 server, "/v1/simulate", {"program": "jacobi", "size": 64}
             )
             assert code == 200
-            assert body["status"] == "degraded"
-            assert body["degraded"] is True
-            assert body["error_bound_pct"] >= 0.0
-            assert body["stats"] is None
+            assert body["status"] == "analytic"
+            assert body["degraded"] is False
+            assert body["error_bound_pct"] == 0.0
+            assert body["stats"]["misses"] > 0
 
             code, body, _ = _post(
                 server, "/v1/simulate",
                 {"source": SOURCE, "heuristic": "pad"},
             )
             assert code == 200
+            assert body["status"] == "analytic"
+            assert body["degraded"] is False
+            assert body["error_bound_pct"] == 0.0
+
+            # a triangular bound defeats the predictor: the answer really
+            # is degraded, with the bailout reason and an error band
+            code, body, _ = _post(
+                server, "/v1/simulate",
+                {"source": TRIANGULAR_SOURCE, "heuristic": "pad"},
+            )
+            assert code == 200
             assert body["degraded"] is True
+            assert body["bailout"] == "symbolic_bounds"
             assert body["error_bound_pct"] > 0.0  # 512x512 vs 16K aliases
 
             code, body, _ = _post(
@@ -99,8 +117,8 @@ class TestBrownout:
                 {"items": [{"program": "dot"}, {"program": "jacobi"}]},
             )
             assert code == 200
-            assert body["degraded"] is True
-            assert body["counts"].get("degraded", 0) + body["counts"].get(
+            assert body["degraded"] is True  # the batch ran under brownout
+            assert body["counts"].get("analytic", 0) + body["counts"].get(
                 "cached", 0
             ) == 2
 
@@ -155,11 +173,13 @@ class TestAdmissionLadder:
             code, body, _ = _post(server, "/v1/pad", {"source": SOURCE})
             assert code == 200 and "degraded" not in body
 
-            # simulate answers, but degraded
+            # simulate still answers: the analytic tier serves the exact
+            # counts without touching the flooded engine queue
             code, body, _ = _post(
                 server, "/v1/simulate", {"program": "jacobi", "size": 64}
             )
-            assert code == 200 and body["degraded"] is True
+            assert code == 200 and body["status"] == "analytic"
+            assert body["degraded"] is False
 
     def test_flood_below_shed_threshold_only_degrades(self):
         chaos = parse_schedule({"serve": {"queue_flood": 12}})
@@ -220,11 +240,12 @@ class TestProbesUnderFailure:
             assert body["resilience"]["breakers_open"] == 1
             assert body["resilience"]["healthy"] is False
 
-            # simulate answers degraded instead of 5xx
+            # simulate answers from the analytic tier instead of 5xx
             code, body, _ = _post(
                 server, "/v1/simulate", {"program": "jacobi", "size": 64}
             )
-            assert code == 200 and body["degraded"] is True
+            assert code == 200 and body["status"] == "analytic"
+            assert body["degraded"] is False
 
     def test_readyz_unready_when_queue_full(self):
         chaos = parse_schedule({"serve": {"queue_flood": 16}})
