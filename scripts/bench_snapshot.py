@@ -42,6 +42,16 @@ aggregate simulate/predict throughput ratio must clear ``--min-speedup``::
 
     PYTHONPATH=src python scripts/bench_snapshot.py \
         --compare --predict --number 9 --min-speedup 50 [--out DIR]
+
+``--compare --optimize`` gates the layout search (``pad --optimize``)
+against greedy padding over the seeded corpus
+(:data:`repro.optimize.corpus.CORPUS`): the search must never predict
+more conflict misses than the greedy incumbent on ANY kernel, must
+strictly beat it on every ``expect_win`` kernel, and every emitted
+layout must be guard-clean::
+
+    PYTHONPATH=src python scripts/bench_snapshot.py \
+        --compare --optimize --number 10 [--out DIR]
 """
 
 import argparse
@@ -259,6 +269,105 @@ def predict_compare_main(args, out_dir: pathlib.Path) -> int:
     return 0
 
 
+def optimize_compare_main(args, out_dir: pathlib.Path) -> int:
+    """Search vs greedy over the seeded corpus: never worse anywhere,
+    strictly better on every expect_win kernel, guard-clean layouts."""
+    from repro.optimize import CORPUS, optimize_layout, vet_layout
+
+    obs.reset()
+    obs.enable()
+
+    cases = []
+    wins = regressions = unsound = missed_wins = 0
+    for kernel in CORPUS:
+        prog = kernel.program()
+        params = kernel.pad_params()
+        result, elapsed = timed(lambda: optimize_layout(
+            prog, params, beam=8, budget=32, heuristic=kernel.heuristic,
+        ))
+        greedy = result.incumbent_score.conflicts
+        winner = result.winner_score.conflicts
+        violations = vet_layout(prog, result.layout)
+        if winner > greedy:
+            regressions += 1
+        if violations:
+            unsound += 1
+        if winner < greedy:
+            wins += 1
+        elif kernel.expect_win:
+            missed_wins += 1
+        cases.append({
+            "name": kernel.name,
+            "heuristic": kernel.heuristic,
+            "expect_win": kernel.expect_win,
+            "greedy_conflicts": greedy,
+            "search_conflicts": winner,
+            "improvement": greedy - winner,
+            "winner_from": result.winner_from,
+            "scored_predict": result.scored_predict,
+            "scored_sim": result.scored_sim,
+            "prunes": result.prunes,
+            "guard_clean": not violations,
+            "elapsed_s": round(elapsed, 3),
+        })
+        verdict = ("WIN" if winner < greedy
+                   else "tie" if winner == greedy else "REGRESSION")
+        print(f"  {kernel.name:16s} greedy {greedy:>7d}  "
+              f"search {winner:>7d}  {verdict:10s} "
+              f"({result.winner_from}, {elapsed:.1f}s)")
+
+    snap = obs.snapshot()
+    document = {
+        "schema": 1,
+        "kind": "optimize-compare",
+        "label": args.label,
+        "cases": cases,
+        "aggregate": {
+            "kernels": len(cases),
+            "strict_wins": wins,
+            "regressions": regressions,
+            "unsound_layouts": unsound,
+            "missed_expected_wins": missed_wins,
+        },
+        "optimize_counters": {
+            "runs": counter_total(snap, "repro_optimize_runs_total"),
+            "candidates_predict": counter_total(
+                snap, "repro_optimize_candidates_total", scorer="predict"),
+            "candidates_sim": counter_total(
+                snap, "repro_optimize_candidates_total", scorer="sim"),
+            "prunes": counter_total(snap, "repro_optimize_prunes_total"),
+            "improvements": counter_total(
+                snap, "repro_optimize_improvements_total"),
+        },
+    }
+    if args.number is not None:
+        path = out_dir / f"BENCH_{args.number}.json"
+    else:
+        path = next_snapshot_path(out_dir)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    print(f"  {wins} strict win(s) on {len(cases)} kernel(s), "
+          f"{regressions} regression(s)")
+    failed = False
+    if regressions:
+        print(f"error: the search regressed greedy on {regressions} "
+              f"kernel(s) — the incumbent rule is broken", file=sys.stderr)
+        failed = True
+    if missed_wins:
+        print(f"error: {missed_wins} expect_win kernel(s) did not "
+              f"strictly beat greedy", file=sys.stderr)
+        failed = True
+    if unsound:
+        print(f"error: {unsound} emitted layout(s) failed the guard "
+              f"vet", file=sys.stderr)
+        failed = True
+    if wins < 3:
+        print(f"error: only {wins} strict win(s); the corpus gate "
+              f"requires at least 3", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=str(ROOT),
@@ -277,6 +386,10 @@ def main() -> int:
                         help="with --compare: gate the analytic miss-"
                              "prediction tier against simulation over "
                              "the eligible corpus")
+    parser.add_argument("--optimize", action="store_true",
+                        help="with --compare: gate the layout search "
+                             "against greedy padding over the seeded "
+                             "corpus (never worse, >= 3 strict wins)")
     parser.add_argument("--number", type=int, default=None,
                         help="write BENCH_<number>.json instead of "
                              "auto-numbering")
@@ -295,9 +408,18 @@ def main() -> int:
     if args.predict and not args.compare:
         print("error: --predict requires --compare", file=sys.stderr)
         return 2
+    if args.optimize and not args.compare:
+        print("error: --optimize requires --compare", file=sys.stderr)
+        return 2
+    if args.predict and args.optimize:
+        print("error: --predict and --optimize are mutually exclusive",
+              file=sys.stderr)
+        return 2
     if args.compare:
         if args.predict:
             return predict_compare_main(args, out_dir)
+        if args.optimize:
+            return optimize_compare_main(args, out_dir)
         return compare_main(args, out_dir)
     benchmarks = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
 

@@ -37,9 +37,10 @@ auto-roll back miss-rate regressions (see :mod:`repro.guard`).
 Exit codes: 0 success, 1 partial results (some runs failed), 2 usage or
 library error, 3 impossible invocation (e.g. an output path in a
 nonexistent directory), 4-7 for engine failures, 8 for a strict-mode
-guard violation, 9 for lint findings at or above ``--fail-on``, and 10
-for campaign orchestration failures (see :data:`EXIT_CODES` and the
-table in :mod:`repro.errors`).
+guard violation, 9 for lint findings at or above ``--fail-on``, 10
+for campaign orchestration failures, and 11 for layout-optimization
+(``pad --optimize``) failures (see :data:`EXIT_CODES` and the table in
+:mod:`repro.errors`).
 """
 
 from __future__ import annotations
@@ -55,6 +56,7 @@ from repro.errors import (
     EngineError,
     GuardError,
     LintError,
+    OptimizeError,
     ReproError,
     RunTimeout,
     StoreCorruption,
@@ -64,6 +66,7 @@ from repro.errors import (
 from repro.experiments.runner import HEURISTICS
 
 EXIT_CODES = (
+    (OptimizeError, 11),
     (CampaignError, 10),
     (LintError, 9),
     (GuardError, 8),
@@ -237,6 +240,8 @@ def cmd_pad(args) -> int:
 
         lint_runtime.activate(LintConfig(cache=cache, select=("C",)))
     try:
+        if getattr(args, "optimize", False):
+            return _cmd_pad_optimize(args, prog, cache)
         result = _run_heuristic(prog, args.heuristic, cache, args.m)
     finally:
         if lint_on:
@@ -248,7 +253,11 @@ def cmd_pad(args) -> int:
         if d.pad_bytes:
             print(f"  inter {d.unit}: +{d.pad_bytes} bytes (at {d.final})")
         if d.gave_up:
-            print(f"  inter {d.unit}: gave up, kept original address")
+            print(f"  inter {d.unit}: GAVE UP, kept original address "
+                  f"{d.final} (no satisfying address exists)")
+        elif d.abandoned:
+            print(f"  inter {d.unit}: abandoned unsatisfiable condition "
+                  f"source(s): {', '.join(d.abandoned)}")
     print("\nlayout:")
     for decl in result.prog.decls:
         dims = ""
@@ -257,6 +266,11 @@ def cmd_pad(args) -> int:
         print(f"  {decl.name}{dims} @ {result.layout.base(decl.name)}")
     print()
     print(format_table2([table2_row(result)]))
+    failures = result.inter_failures
+    if failures:
+        print()
+        print(f"give-ups: {len(failures)} placement(s) kept a conflicting "
+              f"address: {', '.join(failures)}")
     if lint_on and result.lint is not None:
         print()
         if result.lint.clean:
@@ -266,6 +280,45 @@ def cmd_pad(args) -> int:
                   f"hazard(s) in the padded layout:")
             for finding in result.lint.findings:
                 print(f"  {finding.describe()}")
+        if failures:
+            print(f"lint: note: placement gave up on {', '.join(failures)} "
+                  f"— hazards at their original addresses persist "
+                  f"(pad --optimize searches past greedy give-ups)")
+    return 0
+
+
+def _cmd_pad_optimize(args, prog, cache) -> int:
+    """``pad --optimize``: joint search over the padding constraint net."""
+    from repro.optimize import optimize_layout
+    from repro.padding.common import PadParams
+
+    params = PadParams.for_cache(cache, m_lines=args.m)
+    result = optimize_layout(
+        prog, params,
+        beam=args.beam, budget=args.budget, objective=args.objective,
+        heuristic=args.heuristic, guard=_guard_config_from_args(args),
+    )
+    print(f"targeting {cache.describe()}")
+    for line in result.describe():
+        print(line)
+    if result.improved and result.assignment:
+        print("\nwinning assignment:")
+        for (kind, name), value in sorted(result.assignment.items()):
+            what = ("element(s) on dim 0" if kind == "intra"
+                    else "byte(s) skipped before base")
+            print(f"  {kind} {name}: +{value} {what}")
+    print("\nlayout:")
+    for decl in prog.arrays:
+        dims = "(" + ",".join(
+            map(str, result.layout.dim_sizes(decl.name))
+        ) + ")"
+        print(f"  {decl.name}{dims} @ {result.layout.base(decl.name)}")
+    failures = result.incumbent.inter_failures
+    if failures and not result.improved:
+        print()
+        print(f"note: greedy gave up on {', '.join(failures)} and the "
+              f"search found nothing strictly better — widen --beam or "
+              f"--budget to explore further")
     return 0
 
 
@@ -742,6 +795,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lint", action="store_true",
                    help="annotate the report with residual cache hazards "
                         "(C rules) found in the padded layout")
+    p.add_argument("--optimize", action="store_true",
+                   help="search inter/intra pads jointly (beam + "
+                        "branch-and-bound over a conflict-constraint "
+                        "network); the greedy result stays the incumbent, "
+                        "so the search never does worse")
+    p.add_argument("--beam", type=int, default=8,
+                   help="beam width for --optimize (default 8)")
+    p.add_argument("--budget", type=int, default=64,
+                   help="max candidate layouts --optimize scores "
+                        "(default 64)")
+    p.add_argument("--objective", choices=("miss", "bytes"), default="miss",
+                   help="--optimize ranking: fewest predicted conflict "
+                        "misses (miss, default) or smallest footprint "
+                        "among layouts that do not regress misses (bytes)")
+    _add_guard_args(p)
     p.set_defaults(fn=cmd_pad)
 
     p = sub.add_parser("simulate", help="simulate a kernel before/after padding")

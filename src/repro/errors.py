@@ -25,6 +25,9 @@ code   class                       meaning
 10     :class:`CampaignError`      a campaign failed to start/resume, or
                                    finished with failures and no
                                    ``--allow-partial``
+11     :class:`OptimizeError`      search-based layout optimization was
+                                   misconfigured or could not produce a
+                                   guard-clean layout
 =====  ==========================  =========================================
 """
 
@@ -129,6 +132,12 @@ class LintFindingsError(LintError):
     def __init__(self, message: str, findings=()):
         super().__init__(message)
         self.findings = tuple(findings)
+
+
+class OptimizeError(ReproError):
+    """Search-based layout optimization (``pad --optimize``) failure:
+    bad search knobs (beam width, candidate budget, objective) or any
+    other misuse of :mod:`repro.optimize`."""
 
 
 class ServeError(ReproError):

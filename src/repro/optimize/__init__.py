@@ -1,0 +1,54 @@
+"""Search-based layout optimization (``pad --optimize``).
+
+The paper's PAD/PADLITE heuristics fix one variable at a time; this
+package treats inter-variable base addresses and intra-variable
+dimension pads as one constraint network and searches it jointly —
+beam search plus branch-and-bound refinement — scoring candidates with
+the analytic miss predictor (JIT simulation as fallback).  The greedy
+result is always the incumbent: the search can improve on it, never
+regress it, and every emitted layout is guard-clean.
+
+See ``docs/OPTIMIZE.md`` for the full design.
+"""
+
+from repro.optimize.constraints import (
+    ColumnConstraint,
+    ConstraintNetwork,
+    GIVE_UP_LINE_CHOICES,
+    INTER_LINE_CHOICES,
+    INTRA_CHOICES,
+    PadVar,
+    PairConstraint,
+    build_network,
+)
+from repro.optimize.corpus import CORPUS, CorpusKernel, corpus_kernel
+from repro.optimize.search import (
+    LayoutScore,
+    OBJECTIVES,
+    OptimizeResult,
+    enumerate_candidates,
+    optimize_layout,
+    score_layout,
+    vet_layout,
+)
+
+__all__ = [
+    "CORPUS",
+    "ColumnConstraint",
+    "ConstraintNetwork",
+    "CorpusKernel",
+    "corpus_kernel",
+    "GIVE_UP_LINE_CHOICES",
+    "INTER_LINE_CHOICES",
+    "INTRA_CHOICES",
+    "LayoutScore",
+    "OBJECTIVES",
+    "OptimizeResult",
+    "PadVar",
+    "PairConstraint",
+    "build_network",
+    "enumerate_candidates",
+    "optimize_layout",
+    "score_layout",
+    "vet_layout",
+]

@@ -1,0 +1,351 @@
+"""The constraint network behind ``pad --optimize``.
+
+The paper's heuristics decide one variable (or one dimension) at a time
+and keep the first address clearing the pad conditions, so layouts that
+require *joint* choices — a column pad here enabling a smaller base pad
+there — are out of reach.  Following the constraint-network formulation
+of memory layout optimization (Chen & Kandemir), this module expresses
+the whole layout as one assignment problem:
+
+* one **intra variable** per safely-paddable array: how many elements to
+  add to its leading dimension (the paper's column pad), and
+* one **inter variable** per placement unit: how many bytes to skip
+  before its base address.
+
+Conflict constraints are seeded from the hot spots the rest of the
+pipeline already knows about: the severe uniformly generated pairs that
+lint's C001 reports, pathological ``FirstConflict`` leading dimensions
+(C002/C003), and the units greedy placement *gave up* on — exactly the
+residual hazards ``pad`` cannot fix one decision at a time.
+
+A partial assignment's **penalty** (violated constraints among the
+already-placed prefix) is monotone nondecreasing as the assignment is
+extended, which is what makes it usable both as a beam ranking and as an
+admissible branch-and-bound pruning bound (see
+:mod:`repro.optimize.search`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.conflict import severe_conflict
+from repro.analysis.euclid import first_conflict
+from repro.analysis.linearize import linearized_distance
+from repro.analysis.safety import safe_arrays
+from repro.errors import OptimizeError
+from repro.ir.program import Program
+from repro.ir.refs import ArrayRef
+from repro.layout.layout import (
+    MemoryLayout,
+    placement_units,
+    place_unit,
+)
+from repro.padding.common import PaddingResult, PadParams
+
+#: leading-dimension pads a search considers per array (elements)
+INTRA_CHOICES = (0, 1, 2, 3, 4, 8)
+
+#: base-address pads a search considers per unit, in cache lines
+INTER_LINE_CHOICES = (0, 1, 2, 4, 8, 16)
+
+#: extra inter choices (in lines) for units greedy gave up on — a wider
+#: window, since the greedy sweep already proved the narrow one barren
+GIVE_UP_LINE_CHOICES = (24, 32, 48, 64)
+
+
+@dataclass(frozen=True)
+class PadVar:
+    """One decision variable of the network."""
+
+    kind: str  # "intra" (elements on dim 0) or "inter" (bytes skipped)
+    name: str  # array name (intra) or placement-unit label (inter)
+    domain: Tuple[int, ...]
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.kind, self.name)
+
+
+@dataclass(frozen=True)
+class PairConstraint:
+    """A uniformly generated reference pair that must not conflict."""
+
+    array_a: str
+    ref_a: ArrayRef
+    array_b: str
+    ref_b: ArrayRef
+    source: str  # where the seed came from: "lint:C001", "severe", ...
+
+    def violated(self, prog: Program, layout: MemoryLayout,
+                 caches: Sequence) -> bool:
+        """True when the pair's constant distance severely conflicts.
+
+        Inactive (returns ``False``) until both arrays are placed, and
+        for pairs whose linearized distance is not constant under the
+        candidate layout.
+        """
+        if not (layout.has_base(self.array_a) and layout.has_base(self.array_b)):
+            return False
+        delta = linearized_distance(
+            self.ref_a, prog.array(self.array_a),
+            self.ref_b, prog.array(self.array_b),
+            layout.dim_sizes(self.array_a), layout.dim_sizes(self.array_b),
+            layout.base(self.array_a), layout.base(self.array_b),
+        )
+        if not delta.is_constant:
+            return False
+        return any(
+            severe_conflict(delta.const, c.size_bytes, c.line_bytes)
+            for c in caches
+        )
+
+
+@dataclass(frozen=True)
+class ColumnConstraint:
+    """A leading dimension whose columns fold onto few cache locations.
+
+    Violated while ``FirstConflict(Cs, Col, Ls)`` stays below the number
+    of columns a nest actually sweeps — the C002 pathology.
+    """
+
+    array: str
+    min_first_conflict: int
+    source: str
+
+    def violated(self, prog: Program, layout: MemoryLayout,
+                 caches: Sequence) -> bool:
+        """True when the padded column still folds before the sweep ends.
+
+        Inactive (returns ``False``) until the array is placed.
+        """
+        if not layout.has_base(self.array):
+            return False
+        col = layout.column_size_bytes(self.array)
+        return any(
+            first_conflict(c.size_bytes, col, c.line_bytes)
+            < self.min_first_conflict
+            for c in caches
+        )
+
+
+@dataclass
+class ConstraintNetwork:
+    """Decision variables plus the conflict constraints that bind them."""
+
+    prog: Program
+    params: PadParams
+    variables: List[PadVar] = field(default_factory=list)
+    constraints: List[object] = field(default_factory=list)
+    #: seed provenance, for reports: source tag -> count
+    seeds: Dict[str, int] = field(default_factory=dict)
+    #: placement-unit labels in placement order
+    unit_labels: Tuple[str, ...] = ()
+
+    def penalty(self, layout: MemoryLayout) -> int:
+        """Violated constraints under a (possibly partially placed) layout."""
+        return sum(
+            1 for c in self.constraints
+            if c.violated(self.prog, layout, self.params.caches)
+        )
+
+    def materialize(
+        self, assignment: Dict[Tuple[str, str], int],
+        placed_units: Optional[int] = None,
+    ) -> MemoryLayout:
+        """Build the layout a (possibly partial) assignment describes.
+
+        Intra pads apply first (they change unit sizes and strides),
+        then units are placed in declaration order, each skipping its
+        assigned pad bytes.  ``placed_units`` truncates placement for
+        partial-penalty evaluation.  All pads are nonnegative, so the
+        result is grow-only and overlap-free by construction.
+        """
+        layout = MemoryLayout(self.prog)
+        for var in self.variables:
+            if var.kind != "intra":
+                continue
+            pad = assignment.get(var.key, 0)
+            if pad:
+                layout.pad_dim(var.name, 0, pad)
+        cursor = 0
+        units = placement_units(self.prog, layout)
+        if placed_units is not None:
+            units = units[:placed_units]
+        for unit in units:
+            pad = assignment.get(("inter", unit.label), 0)
+            address = _align(cursor + pad, unit.alignment)
+            place_unit(layout, unit, address)
+            cursor = address + unit.size_bytes
+        return layout
+
+
+def _align(value: int, alignment: int) -> int:
+    if alignment <= 1:
+        return value
+    return (value + alignment - 1) // alignment * alignment
+
+
+def _line_domain(params: PadParams, lines: Sequence[int]) -> Tuple[int, ...]:
+    ls = max(c.line_bytes for c in params.caches)
+    return tuple(sorted({n * ls for n in lines}))
+
+
+def build_network(
+    prog: Program,
+    params: PadParams,
+    greedy: Optional[PaddingResult] = None,
+) -> ConstraintNetwork:
+    """Seed the constraint network for one (already globalized) program.
+
+    ``greedy`` is the incumbent PAD result: its residual lint findings
+    and give-ups widen the domains exactly where the one-at-a-time pass
+    failed, and its chosen pads are grafted into the domains so the
+    search space always contains the incumbent's neighborhood.
+    """
+    network = ConstraintNetwork(prog=prog, params=params)
+    cache = params.primary
+
+    def seed(tag: str, n: int = 1) -> None:
+        network.seeds[tag] = network.seeds.get(tag, 0) + n
+
+    # -- constraints: severe pairs of the *greedy* layout (hot spots) ------
+    greedy_layout = greedy.layout if greedy is not None else None
+    if greedy_layout is not None:
+        from repro.analysis.diagnostics import severe_conflicts
+
+        seen = set()
+        for f in severe_conflicts(prog, greedy_layout, cache):
+            sig = (f.array_a, str(f.ref_a), f.array_b, str(f.ref_b))
+            if sig in seen:
+                continue
+            seen.add(sig)
+            network.constraints.append(
+                PairConstraint(f.array_a, f.ref_a, f.array_b, f.ref_b,
+                               source="severe")
+            )
+            seed("severe")
+
+    # -- constraints: every uniformly generated cross-array pair -----------
+    # (the search must KEEP the pairs greedy already cleared clear; these
+    # are cheap to test and make the static penalty meaningful)
+    from repro.analysis.uniform import uniform_groups
+
+    seen_pairs = set()
+    for nest in prog.loop_nests():
+        for group in uniform_groups(prog, nest):
+            members = group.refs
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    name_a, ref_a = members[i]
+                    name_b, ref_b = members[j]
+                    sig = (name_a, str(ref_a.subscripts),
+                           name_b, str(ref_b.subscripts))
+                    if name_a == name_b or sig in seen_pairs:
+                        continue
+                    seen_pairs.add(sig)
+                    network.constraints.append(
+                        PairConstraint(name_a, ref_a, name_b, ref_b,
+                                       source="uniform")
+                    )
+                    seed("uniform")
+
+    # -- constraints and hints from lint's C-family hot spots --------------
+    lint_hot: Dict[str, List[str]] = {}
+    if greedy is not None and greedy.lint is not None:
+        findings = greedy.lint.findings
+    else:
+        from repro.lint import LintConfig
+        from repro.lint.engine import lint_program
+
+        findings = lint_program(
+            prog, config=LintConfig(cache=cache, select=("C",)),
+            layout=greedy_layout,
+        ).findings
+    for finding in findings:
+        if finding.array:
+            lint_hot.setdefault(finding.array, []).append(finding.rule)
+            seed(f"lint:{finding.rule}")
+
+    # -- constraints: pathological leading dimensions (FirstConflict) ------
+    paddable = safe_arrays(prog)
+    columns_swept = _columns_swept(prog)
+    for decl in prog.arrays:
+        if decl.rank < 2:
+            continue
+        swept = columns_swept.get(decl.name, 0)
+        if swept < 2:
+            continue
+        fc = first_conflict(
+            cache.size_bytes, decl.dim_sizes[0] * decl.element_size,
+            cache.line_bytes,
+        )
+        if fc < swept:
+            network.constraints.append(
+                ColumnConstraint(decl.name, min(swept, fc * 2),
+                                 source="first-conflict")
+            )
+            seed("first-conflict")
+
+    # -- decision variables -------------------------------------------------
+    for decl in prog.arrays:
+        if decl.name not in paddable or decl.rank < 2:
+            continue
+        domain = set(INTRA_CHOICES)
+        if greedy is not None:
+            # graft the incumbent's intra choice into the domain
+            domain.add(sum(
+                d.elements for d in greedy.intra_decisions
+                if d.array == decl.name and d.dim_index == 0
+            ))
+        limit = params.intra_pad_limit
+        domain = tuple(sorted(p for p in domain if 0 <= p <= limit))
+        network.variables.append(PadVar("intra", decl.name, domain))
+
+    base_layout = MemoryLayout(prog)
+    gave_up = set(greedy.inter_failures) if greedy is not None else set()
+    greedy_inter = {
+        d.unit: d.pad_bytes for d in (greedy.inter_decisions if greedy else [])
+    }
+    units = placement_units(prog, base_layout)
+    network.unit_labels = tuple(u.label for u in units)
+    for index, unit in enumerate(units):
+        if index == 0 and len(units) > 1:
+            # the first unit's base is the origin; padding it only
+            # translates the whole layout
+            continue
+        lines = list(INTER_LINE_CHOICES)
+        if unit.label in gave_up or any(n in lint_hot for n in unit.names):
+            lines += list(GIVE_UP_LINE_CHOICES)
+        domain = set(_line_domain(params, lines))
+        domain.add(greedy_inter.get(unit.label, 0))
+        network.variables.append(
+            PadVar("inter", unit.label, tuple(sorted(domain)))
+        )
+
+    if not network.variables:
+        raise OptimizeError(
+            f"{prog.name}: no controllable layout decisions to search "
+            "(no safely paddable arrays and a single placement unit)"
+        )
+    return network
+
+
+def _columns_swept(prog: Program) -> Dict[str, int]:
+    """Upper-bound columns each array's references sweep in any nest."""
+    swept: Dict[str, int] = {}
+    for nest in prog.loop_nests():
+        trip = 1
+        for loop in (nest, *nest.inner_loops()):
+            if loop.lower.is_constant and loop.upper.is_constant:
+                count = max(
+                    0, (loop.upper.const - loop.lower.const)
+                    // abs(loop.step) + 1,
+                )
+                trip = max(trip, count)
+        for ref in nest.refs():
+            if len(ref.subscripts) < 2:
+                continue
+            swept[ref.array] = max(swept.get(ref.array, 0), min(trip, 4096))
+    return swept

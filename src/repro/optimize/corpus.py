@@ -1,0 +1,199 @@
+"""Seeded corpus of kernels where greedy padding provably loses.
+
+Each entry pins a (kernel, cache geometry, incumbent heuristic) where
+the paper's one-decision-at-a-time padding leaves conflict misses that
+the joint search removes — or, for the regression entries, where greedy
+is already optimal and the search must *tie*, never regress.  The CI
+``optimize`` gate (``scripts/bench_snapshot.py --compare --optimize``)
+and ``tests/test_optimize_search.py`` both consume this module, so the
+claims stay pinned to executable kernels rather than prose.
+
+Why greedy loses on the win entries:
+
+* ``jacobi-pow2`` / ``stencil5`` / ``colsweep`` — power-of-two leading
+  dimensions at a power-of-two cache: INTRAPAD and INTERPAD each fix
+  the hazard they can see, but the composition needs a *joint* choice
+  of column pads and base offsets across arrays.
+* ``transpose`` — the ``B(i,j) = A(j,i)`` pair is not uniformly
+  generated, so INTERPAD's constant-distance analysis is blind to it;
+  the predictor scoring the search counts its cross-conflicts exactly.
+* ``matmul`` — three arrays with different reuse directions; any
+  single-array pad greedy commits to forecloses the pair it did not
+  look at.
+* ``giveup-sweep`` / ``triad-pow2`` — regression pins: greedy's answer
+  is already conflict-optimal (``giveup-sweep`` even gives up on C, yet
+  the kept address is fine).  The search must keep the incumbent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.cache.config import CacheConfig
+from repro.ir.program import Program
+from repro.padding.common import PadParams
+
+
+@dataclass(frozen=True)
+class CorpusKernel:
+    """One corpus entry: source, geometry, incumbent, and expectation."""
+
+    name: str
+    source: str
+    cache_bytes: int
+    line_bytes: int
+    m_lines: int = 4
+    heuristic: str = "pad"
+    #: True when the search must *strictly* beat greedy's conflict count
+    expect_win: bool = False
+    params: Dict[str, int] = field(default_factory=dict)
+    why: str = ""
+
+    def program(self) -> Program:
+        """Parse the kernel source into a fresh ``Program``."""
+        from repro.frontend import parse_program
+
+        return parse_program(self.source, params=self.params or None)
+
+    def cache(self) -> CacheConfig:
+        """The cache geometry the kernel is pinned against."""
+        return CacheConfig(size_bytes=self.cache_bytes,
+                           line_bytes=self.line_bytes)
+
+    def pad_params(self) -> PadParams:
+        """Padding parameters derived from :meth:`cache`."""
+        return PadParams.for_cache(self.cache(), m_lines=self.m_lines)
+
+
+CORPUS: Tuple[CorpusKernel, ...] = (
+    CorpusKernel(
+        name="jacobi-pow2",
+        source="""
+program jacobi
+  param N = 128
+  real*8 A(N,N), B(N,N)
+  do i = 2, N-1
+    do j = 2, N-1
+      B(j,i) = A(j-1,i) + A(j,i-1) + A(j+1,i) + A(j,i+1)
+    end do
+  end do
+end
+""",
+        cache_bytes=8192, line_bytes=32, heuristic="pad", expect_win=True,
+        why="pow2 columns at a pow2 cache need a joint intra+inter choice",
+    ),
+    CorpusKernel(
+        name="transpose",
+        source="""
+program transpose
+  param N = 64
+  real*8 A(N,N), B(N,N)
+  do i = 1, N
+    do j = 1, N
+      B(i,j) = A(j,i)
+    end do
+  end do
+end
+""",
+        cache_bytes=4096, line_bytes=32, heuristic="pad", expect_win=True,
+        why="the A/B pair is not uniformly generated, so INTERPAD is blind",
+    ),
+    CorpusKernel(
+        name="matmul",
+        source="""
+program matmul
+  param N = 32
+  real*8 A(N,N), B(N,N), C(N,N)
+  do i = 1, N
+    do k = 1, N
+      do j = 1, N
+        C(j,i) = C(j,i) + A(j,k) * B(k,i)
+      end do
+    end do
+  end do
+end
+""",
+        cache_bytes=2048, line_bytes=32, heuristic="pad", expect_win=True,
+        why="three reuse directions; each greedy pad forecloses another pair",
+    ),
+    CorpusKernel(
+        name="stencil5",
+        source="""
+program stencil5
+  param N = 64
+  real*8 A(N,N), B(N,N), C(N,N)
+  do i = 2, N-1
+    do j = 2, N-1
+      C(j,i) = A(j,i) + B(j,i) + A(j-1,i) + B(j,i-1)
+    end do
+  end do
+end
+""",
+        cache_bytes=4096, line_bytes=32, heuristic="pad", expect_win=True,
+        why="cross-array stencil reuse across pow2 columns",
+    ),
+    CorpusKernel(
+        name="colsweep",
+        source="""
+program colsweep
+  param N = 128
+  real*8 A(N,N), B(N,N)
+  do j = 1, N
+    do i = 1, N
+      B(j,i) = A(j,i) * 2.0
+    end do
+  end do
+end
+""",
+        cache_bytes=8192, line_bytes=32, heuristic="pad", expect_win=True,
+        why="row-order sweep over pow2 columns folds every row onto one set",
+    ),
+    CorpusKernel(
+        name="giveup-sweep",
+        source="""
+program giveup
+  real*8 A(8), B(8), C(8)
+  do t = 1, 8
+    do i = 1, 8
+      C(i) = A(i) + B(i)
+    end do
+  end do
+end
+""",
+        cache_bytes=256, line_bytes=32, m_lines=4, heuristic="padlite",
+        expect_win=False,
+        why="PADLITE gives up on C (M = Cs/2 is unsatisfiable for a third "
+            "array) but the kept address is conflict-free: the search "
+            "must tie, not regress",
+    ),
+    CorpusKernel(
+        name="triad-pow2",
+        source="""
+program triad
+  param N = 32
+  real*8 A(N,N), B(N,N), C(N,N)
+  do i = 1, N
+    do j = 1, N
+      C(j,i) = A(j,i) + B(j,i)
+    end do
+  end do
+end
+""",
+        cache_bytes=2048, line_bytes=32, heuristic="pad", expect_win=False,
+        why="greedy already reaches zero conflicts: the incumbent must hold",
+    ),
+)
+
+
+def corpus_kernel(name: str) -> CorpusKernel:
+    """Look up one corpus entry by name (OptimizeError if unknown)."""
+    for kernel in CORPUS:
+        if kernel.name == name:
+            return kernel
+    from repro.errors import OptimizeError
+
+    raise OptimizeError(
+        f"unknown corpus kernel {name!r}; known: "
+        f"{[k.name for k in CORPUS]}"
+    )

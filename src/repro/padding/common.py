@@ -90,13 +90,22 @@ class IntraPadDecision:
 
 @dataclass
 class InterPadDecision:
-    """One inter-variable placement: how far a unit was advanced."""
+    """One inter-variable placement: how far a unit was advanced.
+
+    ``abandoned`` names the condition sources (cache configurations)
+    whose pad conditions turned out unsatisfiable for this unit: the
+    final address still clears every other cache's conditions.  When
+    *every* source is unsatisfiable the placement keeps the original
+    address and ``gave_up`` is set — a residual hazard, not a clean
+    placement, even though ``final == tentative``.
+    """
 
     unit: str
     tentative: int
     final: int
     heuristic: str
     gave_up: bool = False
+    abandoned: Tuple[str, ...] = ()
 
     @property
     def pad_bytes(self) -> int:
@@ -163,6 +172,11 @@ class PaddingResult:
         """Units for which greedy placement found no satisfying address."""
         return [d.unit for d in self.inter_decisions if d.gave_up]
 
+    @property
+    def partial_placements(self) -> List[InterPadDecision]:
+        """Placements that abandoned at least one condition source."""
+        return [d for d in self.inter_decisions if d.abandoned]
+
     def size_increase_pct(self) -> float:
         """Percent growth of total variable size (Table 2: % SIZE INCR)."""
         orig = self.prog.total_data_bytes()
@@ -173,9 +187,16 @@ class PaddingResult:
 
     def describe(self) -> str:
         """One-line summary of the padding applied."""
-        return (
+        text = (
             f"{self.heuristic}({self.prog.name}): "
             f"{len(self.arrays_padded)} arrays intra-padded "
             f"(total {self.total_intra_increment} elements), "
             f"{self.bytes_skipped} bytes skipped inter-variable"
         )
+        failures = self.inter_failures
+        if failures:
+            text += (
+                f", {len(failures)} placement(s) gave up "
+                f"({', '.join(failures)})"
+            )
+        return text

@@ -5,16 +5,25 @@ units) receive base addresses one at a time, in declaration order.  Each
 unit starts at the next available address; while some pad condition holds
 against an already-placed variable, the tentative address advances by the
 needed pad and every condition is retested (one increment can create new
-conflicts).  If the address drifts more than the cache size past its
-original position no satisfactory address exists and the original is kept.
+conflicts).
 
-The two heuristics differ only in ``needed_pad_fn``, mirroring the paper's
-abstract ``neededPad`` function.
+Pad conditions are periodic in the base address with the period of the
+cache that generated them, so each condition *source* (cache level) gets
+its own drift bound: once a source has pushed the address a full cache
+size past the tentative position, no address satisfies it and the source
+is abandoned — the surviving caches' conditions are still honored from a
+fresh sweep.  Only when every source is unsatisfiable does the placement
+give up entirely and keep the original address.  (A single global bound
+taken from the largest cache let one small cache's unsatisfiable
+condition abandon an address every other cache had already cleared.)
+
+The two heuristics differ only in ``needed_pads_fn``, mirroring the
+paper's abstract ``neededPad`` function generalized to multilevel caches.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.safety import controllable_variables
 from repro.ir.program import Program
@@ -26,7 +35,11 @@ from repro.layout.layout import (
 )
 from repro.padding.common import InterPadDecision, PadParams
 
-NeededPadFn = Callable[[MemoryLayout, PlacementUnit, int], int]
+#: ``fn(layout, unit, tentative_address)`` maps a cache index (into
+#: ``params.caches``) to the largest byte increment required to clear that
+#: cache's pad conditions between the unit at that address and the
+#: already-placed variables; sources demanding nothing may be omitted.
+NeededPadsFn = Callable[[MemoryLayout, PlacementUnit, int], Dict[int, int]]
 
 
 def _align(value: int, alignment: int) -> int:
@@ -35,35 +48,64 @@ def _align(value: int, alignment: int) -> int:
     return (value + alignment - 1) // alignment * alignment
 
 
+def _sweep(
+    unit: PlacementUnit,
+    layout: MemoryLayout,
+    params: PadParams,
+    needed_pads_fn: NeededPadsFn,
+    tentative: int,
+    active: List[int],
+) -> Tuple[int, Optional[int]]:
+    """One greedy sweep honoring only the ``active`` condition sources.
+
+    Returns ``(address, None)`` on success, or ``(tentative, source)``
+    naming the source whose per-source drift bound was exhausted.
+    """
+    address = tentative
+    drift: Dict[int, int] = {}
+    while True:
+        pads = needed_pads_fn(layout, unit, address)
+        pads = {s: p for s, p in pads.items() if p > 0 and s in active}
+        if not pads:
+            return address, None
+        # Advance by the worst active demand, attributed to its source.
+        source = max(pads, key=lambda s: (pads[s], -s))
+        advanced = _align(address + pads[source], unit.alignment)
+        drift[source] = drift.get(source, 0) + (advanced - address)
+        address = advanced
+        if drift[source] > params.caches[source].size_bytes:
+            return tentative, source
+
+
 def greedy_place(
     prog: Program,
     layout: MemoryLayout,
     params: PadParams,
-    needed_pad_fn: NeededPadFn,
+    needed_pads_fn: NeededPadsFn,
     heuristic: str,
 ) -> List[InterPadDecision]:
-    """Assign base addresses to every placement unit of the program.
-
-    ``needed_pad_fn(layout, unit, tentative_address)`` returns the largest
-    byte increment required to clear any pad condition between the unit at
-    that address and the already-placed variables (0 when none).
-    """
+    """Assign base addresses to every placement unit of the program."""
     decisions: List[InterPadDecision] = []
     controllable = controllable_variables(prog)
-    give_up_distance = max(c.size_bytes for c in params.caches)
     cursor = 0
     for unit in placement_units(prog, layout):
         tentative = _align(cursor, unit.alignment)
         address = tentative
         gave_up = False
+        abandoned: List[int] = []
         if all(name in controllable for name in unit.names):
+            active = list(range(len(params.caches)))
             while True:
-                pad = needed_pad_fn(layout, unit, address)
-                if pad == 0:
+                address, exhausted = _sweep(
+                    unit, layout, params, needed_pads_fn, tentative, active
+                )
+                if exhausted is None:
                     break
-                address = _align(address + pad, unit.alignment)
-                if address - tentative > give_up_distance:
-                    address = tentative
+                # Drop the unsatisfiable source and restart the sweep so
+                # the surviving caches' conditions are still met.
+                active.remove(exhausted)
+                abandoned.append(exhausted)
+                if not active:
                     gave_up = True
                     break
         place_unit(layout, unit, address)
@@ -74,6 +116,9 @@ def greedy_place(
                 final=address,
                 heuristic=heuristic,
                 gave_up=gave_up,
+                abandoned=tuple(
+                    params.caches[s].describe() for s in sorted(abandoned)
+                ),
             )
         )
         cursor = address + unit.size_bytes

@@ -61,11 +61,11 @@ def _collect_pairs(prog: Program) -> Dict[Tuple[str, str], List[Tuple[ArrayRef, 
     return pairs
 
 
-def _needed_pad_fn(prog: Program, params: PadParams):
+def _needed_pads_fn(prog: Program, params: PadParams):
     pairs = _collect_pairs(prog)
 
-    def fn(layout: MemoryLayout, unit: PlacementUnit, address: int) -> int:
-        worst = 0
+    def fn(layout: MemoryLayout, unit: PlacementUnit, address: int):
+        worst = {}
         computed = 0
         placed = set(layout.placed_names)
         for name, offset in zip(unit.names, unit.offsets):
@@ -91,12 +91,12 @@ def _needed_pad_fn(prog: Program, params: PadParams):
                     )
                     if not delta.is_constant:
                         continue
-                    for cache in params.caches:
+                    for index, cache in enumerate(params.caches):
                         pad = severe_needed_pad(
                             delta.const, cache.size_bytes, cache.line_bytes
                         )
-                        if pad > worst:
-                            worst = pad
+                        if pad > worst.get(index, 0):
+                            worst[index] = pad
         if computed:
             obs.counter_add(
                 "repro_padding_conflict_distances_total", computed,
@@ -112,4 +112,4 @@ def interpad(
     prog: Program, layout: MemoryLayout, params: PadParams
 ) -> List[InterPadDecision]:
     """Place all variables so no uniformly generated pair conflicts."""
-    return greedy_place(prog, layout, params, _needed_pad_fn(prog, params), HEURISTIC)
+    return greedy_place(prog, layout, params, _needed_pads_fn(prog, params), HEURISTIC)

@@ -24,11 +24,11 @@ from repro.padding.greedy import greedy_place
 HEURISTIC = "INTERPADLITE"
 
 
-def _needed_pad_fn(prog: Program, params: PadParams):
+def _needed_pads_fn(prog: Program, params: PadParams):
     array_names = {d.name for d in prog.arrays}
 
-    def fn(layout: MemoryLayout, unit: PlacementUnit, address: int) -> int:
-        worst = 0
+    def fn(layout: MemoryLayout, unit: PlacementUnit, address: int):
+        worst = {}
         computed = 0
         for name, offset in zip(unit.names, unit.offsets):
             if name not in array_names:
@@ -42,14 +42,14 @@ def _needed_pad_fn(prog: Program, params: PadParams):
                     continue
                 delta = base_a - layout.base(placed)
                 computed += 1
-                for cache in params.caches:
+                for index, cache in enumerate(params.caches):
                     pad = needed_pad(
                         delta,
                         cache.size_bytes,
                         params.min_separation_bytes(cache),
                     )
-                    if pad > worst:
-                        worst = pad
+                    if pad > worst.get(index, 0):
+                        worst[index] = pad
         if computed:
             obs.counter_add(
                 "repro_padding_conflict_distances_total", computed,
@@ -65,4 +65,4 @@ def interpadlite(
     prog: Program, layout: MemoryLayout, params: PadParams
 ) -> List[InterPadDecision]:
     """Place all variables, separating equally sized arrays by >= M lines."""
-    return greedy_place(prog, layout, params, _needed_pad_fn(prog, params), HEURISTIC)
+    return greedy_place(prog, layout, params, _needed_pads_fn(prog, params), HEURISTIC)

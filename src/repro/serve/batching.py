@@ -111,7 +111,7 @@ class _Job:
 
 
 #: endpoints executed on worker threads (everything else micro-batches)
-_IN_PROCESS = ("pad", "lint", "simulate-source")
+_IN_PROCESS = ("pad", "lint", "simulate-source", "optimize")
 
 #: admission ladder priority classes: 1 = interactive (never shed before
 #: the queue is literally full), 2 = batch (degrades under brownout),
@@ -121,11 +121,12 @@ _PRIORITY = {
     "lint": 1,
     "simulate-source": 1,
     "simulate-program": 2,
+    "optimize": 2,
     "run": 3,
 }
 
 #: endpoints with a degraded (estimator-backed) answer available
-_DEGRADABLE = ("simulate-source", "simulate-program", "run")
+_DEGRADABLE = ("simulate-source", "simulate-program", "run", "optimize")
 
 
 class AnalysisService:
@@ -473,6 +474,10 @@ class AnalysisService:
             return handlers.handle_pad(job.request)
         if job.endpoint == "lint":
             return handlers.handle_lint(job.request)
+        if job.endpoint == "optimize":
+            # degraded answer = the greedy incumbent, no search
+            return handlers.handle_optimize(job.request,
+                                            degrade=job.degrade)
         if job.endpoint == "simulate-source":
             if job.degrade:
                 from repro.resilience.degrade import degraded_simulate_source

@@ -25,6 +25,7 @@ from repro.experiments.runner import HEURISTICS
 from repro.ir.program import Program
 from repro.serve.schemas import (
     LintRequest,
+    OptimizeRequest,
     PadRequest,
     SimulateRequest,
 )
@@ -84,7 +85,7 @@ def handle_pad(request: PadRequest) -> dict:
         ],
         "inter": [
             {"unit": d.unit, "pad_bytes": d.pad_bytes, "base": d.final,
-             "gave_up": d.gave_up}
+             "gave_up": d.gave_up, "abandoned": list(d.abandoned)}
             for d in result.inter_decisions
         ],
         "layout": {
@@ -112,6 +113,101 @@ def handle_pad(request: PadRequest) -> dict:
             "clean": lint.clean,
             "findings": [finding_record(f) for f in lint.findings],
         }
+    return response
+
+
+def _score_record(score) -> dict:
+    return {
+        "conflict_misses": score.conflicts,
+        "total_bytes": score.total_bytes,
+        "scorer": score.scorer,
+        "miss_rate_pct": round(score.miss_rate_pct, 4),
+    }
+
+
+def handle_optimize(request: OptimizeRequest, degrade: bool = False) -> dict:
+    """Joint inter/intra pad search; degraded = greedy incumbent only.
+
+    Under brownout the admission ladder answers with just the greedy
+    heuristic's layout (the search incumbent — still a sound, guarded
+    answer) and flags the response ``degraded`` so clients can retry
+    for the full search later.
+    """
+    from repro.optimize import optimize_layout, score_layout
+    from repro.padding.common import PadParams
+
+    prog = _build_program(request.source, request.params)
+    params = PadParams.for_cache(request.cache, m_lines=request.m_lines)
+
+    if degrade:
+        result = HEURISTICS[request.heuristic](prog, params)
+        score = score_layout(prog, result.layout, params)
+        layout = result.layout
+        response = {
+            "program": prog.name,
+            "degraded": True,
+            "objective": request.objective,
+            "heuristic": request.heuristic,
+            "cache": request.cache.describe(),
+            "winner_from": "incumbent",
+            "improved": False,
+            "incumbent": _score_record(score),
+            "winner": _score_record(score),
+            "layout": {
+                decl.name: {
+                    "base": layout.base(decl.name),
+                    "dims": list(layout.dim_sizes(decl.name)),
+                }
+                for decl in prog.arrays
+            },
+            "total_bytes": layout.end_address(),
+        }
+        return response
+
+    result = optimize_layout(
+        prog, params,
+        beam=request.beam, budget=request.budget,
+        objective=request.objective, heuristic=request.heuristic,
+    )
+    layout = result.layout
+    response = {
+        "program": result.program,
+        "degraded": False,
+        "objective": result.objective,
+        "heuristic": result.heuristic,
+        "cache": request.cache.describe(),
+        "winner_from": result.winner_from,
+        "improved": result.improved,
+        "improvement": result.improvement,
+        "incumbent": _score_record(result.incumbent_score),
+        "winner": _score_record(result.winner_score),
+        "assignment": [
+            {"kind": kind, "name": name, "value": value}
+            for (kind, name), value in sorted(result.assignment.items())
+        ],
+        "search": {
+            "beam": result.beam,
+            "budget": result.budget,
+            "enumerated": result.enumerated,
+            "scored": result.scored,
+            "scored_predict": result.scored_predict,
+            "scored_sim": result.scored_sim,
+            "prunes": result.prunes,
+            "variables": result.variables,
+            "constraints": result.constraints,
+            "seeds": result.seeds,
+        },
+        "layout": {
+            decl.name: {
+                "base": layout.base(decl.name),
+                "dims": list(layout.dim_sizes(decl.name)),
+            }
+            for decl in prog.arrays
+        },
+        "total_bytes": layout.end_address(),
+    }
+    if result.guard is not None:
+        response["guard"] = result.guard.to_record()
     return response
 
 

@@ -22,6 +22,7 @@ HTTP   class                      meaning
 =====  =========================  ======================================
 400    UsageError / ConfigError   malformed body, field, or cache shape
 400    LintError                  bad rule selection / lint misuse
+400    OptimizeError              bad search knobs (beam, budget, ...)
 409    GuardError                 strict-mode guardrail violation
 409    CampaignError              campaign cannot start/resume (backlog
                                   full, orchestration disabled, ...)
@@ -47,6 +48,7 @@ from repro.errors import (
     FrontendError,
     GuardError,
     LintError,
+    OptimizeError,
     PayloadTooLarge,
     QueueFullError,
     ReproError,
@@ -67,6 +69,7 @@ HTTP_STATUS = (
     (GuardError, 409),
     (CampaignError, 409),
     (LintError, 400),
+    (OptimizeError, 400),
     (FrontendError, 422),
     (UsageError, 400),
     (ConfigError, 400),
@@ -263,6 +266,21 @@ class PadRequest:
 
 
 @dataclass(frozen=True)
+class OptimizeRequest:
+    """POST /v1/optimize — joint inter/intra pad search for one kernel."""
+
+    source: str
+    cache: CacheConfig
+    heuristic: str = "pad"
+    m_lines: int = 4
+    beam: int = 8
+    budget: int = 64
+    objective: str = "miss"
+    params: Dict[str, int] = field(default_factory=dict)
+    timeout_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
 class LintRequest:
     """POST /v1/lint — statically analyze one DSL kernel."""
 
@@ -354,6 +372,51 @@ def validate_pad(body) -> PadRequest:
         m_lines=_integer(body, "m_lines", default=4, minimum=1),
         params=_params(body),
         lint=_boolean(body, "lint"),
+        timeout_s=_timeout(body, None),
+    )
+
+
+#: service-side ceilings on the optimize search knobs — a giant beam is
+#: a CPU-burn vector through an otherwise-cheap endpoint
+MAX_OPTIMIZE_BEAM = 64
+MAX_OPTIMIZE_BUDGET = 512
+
+
+def validate_optimize(body) -> OptimizeRequest:
+    """Typed ``/v1/optimize`` request from a decoded JSON body."""
+    from repro.optimize import OBJECTIVES
+
+    body = _require_dict(body)
+    _reject_unknown(
+        body,
+        ("source", "cache", "heuristic", "m_lines", "beam", "budget",
+         "objective", "params", "timeout_s"),
+        "/v1/optimize",
+    )
+    beam = _integer(body, "beam", default=8, minimum=1)
+    if beam > MAX_OPTIMIZE_BEAM:
+        raise UsageError(
+            f"beam: must be <= {MAX_OPTIMIZE_BEAM}, got {beam}"
+        )
+    budget = _integer(body, "budget", default=64, minimum=1)
+    if budget > MAX_OPTIMIZE_BUDGET:
+        raise UsageError(
+            f"budget: must be <= {MAX_OPTIMIZE_BUDGET}, got {budget}"
+        )
+    objective = _string(body, "objective", default="miss")
+    if objective not in OBJECTIVES:
+        raise UsageError(
+            f"objective: unknown {objective!r}; known: {list(OBJECTIVES)}"
+        )
+    return OptimizeRequest(
+        source=_source(body),
+        cache=parse_cache(body),
+        heuristic=_heuristic(body),
+        m_lines=_integer(body, "m_lines", default=4, minimum=1),
+        beam=beam,
+        budget=budget,
+        objective=objective,
+        params=_params(body),
         timeout_s=_timeout(body, None),
     )
 

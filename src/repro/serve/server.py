@@ -51,6 +51,7 @@ from repro.serve.schemas import (
     http_status_for,
     validate_campaign,
     validate_lint,
+    validate_optimize,
     validate_pad,
     validate_run,
     validate_simulate,
@@ -60,6 +61,7 @@ from repro.serve.schemas import (
 #: re-labelled per request form (source vs program) after validation.
 _ROUTES = {
     "/v1/pad": ("pad", validate_pad),
+    "/v1/optimize": ("optimize", validate_optimize),
     "/v1/lint": ("lint", validate_lint),
     "/v1/simulate": ("simulate", validate_simulate),
     "/v1/run": ("run", validate_run),

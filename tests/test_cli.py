@@ -52,6 +52,60 @@ class TestCommands:
         assert "layout" in out
         assert "jacobi" in out
 
+    def test_pad_report_surfaces_give_ups(self, tmp_path, capsys):
+        # Three equal arrays under PADLITE with M = Cs/2: the only
+        # address clearing A also conflicts with B, so placing C gives
+        # up.  The report must say so — a give-up used to render
+        # exactly like "no pad needed" (final == tentative).
+        path = tmp_path / "giveup.dsl"
+        path.write_text(
+            "program giveup\n"
+            "real*8 A(40), B(40), C(40)\n"
+            "do i = 1, 40\n"
+            "  C(i) = A(i) + B(i)\n"
+            "end do\n"
+            "end\n"
+        )
+        rc = main(["pad", str(path), "--heuristic", "padlite",
+                   "--cache", "256", "--line", "32", "--m", "4", "--lint"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert ("inter C: GAVE UP, kept original address 704 "
+                "(no satisfying address exists)") in out
+        assert ("give-ups: 1 placement(s) kept a conflicting "
+                "address: C") in out
+        assert ("lint: note: placement gave up on C — hazards at their "
+                "original addresses persist "
+                "(pad --optimize searches past greedy give-ups)") in out
+
+    def test_pad_report_silent_without_give_ups(self, kernel_file, capsys):
+        rc = main(["pad", kernel_file, "--param", "N=512",
+                   "--cache", "16K"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "GAVE UP" not in out
+        assert "give-ups:" not in out
+
+    def test_pad_optimize_beats_greedy(self, kernel_file, capsys):
+        # jacobi at a pow2 geometry: greedy PAD provably loses, the
+        # joint search must report a strict win and a guarded layout
+        rc = main(["pad", kernel_file, "--param", "N=128",
+                   "--cache", "8K", "--optimize", "--beam", "4",
+                   "--budget", "16"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OPTIMIZE jacobi" in out
+        assert "winner search" in out
+        assert "improvement" in out
+        assert "guard: passed" in out
+        assert "winning assignment" in out
+
+    def test_pad_optimize_bad_knobs_exit_11(self, kernel_file, capsys):
+        rc = main(["pad", kernel_file, "--cache", "8K",
+                   "--optimize", "--beam", "0"])
+        assert rc == 11
+        assert "beam width" in capsys.readouterr().err
+
     def test_simulate(self, kernel_file, capsys):
         rc = main(["simulate", kernel_file, "--param", "N=128", "--cache", "2K"])
         out = capsys.readouterr().out

@@ -1,0 +1,124 @@
+"""Property suite for the optimize candidate generator.
+
+Two invariants guard the search's blast radius:
+
+1. **Everything enumerated is sound.**  Every candidate layout the
+   search would score passes the layout invariant checker AND the
+   semantic sanitizer — materialization is grow-only by construction,
+   and this suite is the executable proof.
+2. **Nothing corrupt survives.**  All 11 layout-corruption kinds from
+   the chaos plane, injected into the candidate generator's output,
+   must be caught by the per-candidate vet at a 100% rate.
+"""
+
+import pytest
+
+from repro.engine.faults import LAYOUT_CORRUPTIONS, corrupt_layout
+from repro.errors import ConfigError
+from repro.optimize import (
+    CORPUS,
+    build_network,
+    corpus_kernel,
+    enumerate_candidates,
+    vet_layout,
+)
+
+pytestmark = pytest.mark.optimize
+
+#: generous for any legitimate pad on these kernels, far under explosion
+BUDGET_BYTES = 1 << 22
+
+#: corpus entries the property sweeps run on: one multi-array kernel
+#: with intra+inter variables, one give-up kernel, one three-array one
+PROPERTY_KERNELS = ("jacobi-pow2", "giveup-sweep", "triad-pow2")
+
+
+def _candidates(name, beam=4, budget=24):
+    kernel = corpus_kernel(name)
+    prog = kernel.program()
+    params = kernel.pad_params()
+    from repro.experiments.runner import HEURISTICS
+
+    greedy = HEURISTICS[kernel.heuristic](prog, params)
+    network = build_network(prog, params, greedy)
+    candidates, _prunes = enumerate_candidates(network, beam, budget)
+    return prog, network, candidates
+
+
+class TestEveryCandidateIsSound:
+    @pytest.mark.parametrize("name", PROPERTY_KERNELS)
+    def test_all_enumerated_layouts_pass_the_guard_slice(self, name):
+        prog, network, candidates = _candidates(name)
+        assert candidates, "the generator enumerated nothing"
+        for assignment, _penalty in candidates:
+            layout = network.materialize(assignment)
+            violations = vet_layout(
+                prog, layout, budget_bytes=BUDGET_BYTES
+            )
+            assert violations == [], (
+                f"candidate {assignment} is unsound: "
+                f"{[v.message for v in violations]}"
+            )
+
+    @pytest.mark.parametrize("name", PROPERTY_KERNELS)
+    def test_candidates_are_deduplicated(self, name):
+        _prog, _network, candidates = _candidates(name)
+        signatures = [
+            tuple(sorted(assignment.items()))
+            for assignment, _ in candidates
+        ]
+        assert len(signatures) == len(set(signatures))
+
+    @pytest.mark.parametrize("name", PROPERTY_KERNELS)
+    def test_budget_truncates_enumeration(self, name):
+        _prog, _network, candidates = _candidates(name, budget=3)
+        assert len(candidates) <= 3
+
+
+class TestEveryCorruptionIsCaught:
+    @pytest.mark.parametrize("kind", LAYOUT_CORRUPTIONS)
+    def test_corrupted_candidates_never_pass_the_vet(self, kind):
+        # inject each chaos-plane corruption into the generator's
+        # output; the per-candidate vet must flag 100% of them
+        prog, network, candidates = _candidates("jacobi-pow2", budget=4)
+        caught = attempted = 0
+        for assignment, _penalty in candidates:
+            committed = network.materialize(assignment)
+            layout = committed.copy()
+            try:
+                corrupt_layout(prog, layout, kind)
+            except ConfigError:
+                # corruption not applicable to this layout shape
+                continue
+            attempted += 1
+            if vet_layout(prog, layout, budget_bytes=BUDGET_BYTES,
+                          reference_layout=committed):
+                caught += 1
+        assert attempted > 0, f"{kind} never applied to any candidate"
+        assert caught == attempted, (
+            f"{kind}: only {caught}/{attempted} corrupted candidates "
+            "were caught"
+        )
+
+    def test_all_kinds_covered(self):
+        # the chaos plane and this suite must not drift apart
+        assert len(LAYOUT_CORRUPTIONS) == 11
+
+
+class TestPenaltyMonotonicity:
+    def test_prefix_penalty_never_decreases(self):
+        # the branch-and-bound bound is only admissible if placing more
+        # units can never remove a violation
+        prog, network, candidates = _candidates("jacobi-pow2", budget=8)
+        units = len(network.unit_labels)
+        for assignment, _penalty in candidates:
+            previous = 0
+            for placed in range(1, units + 1):
+                layout = network.materialize(assignment,
+                                             placed_units=placed)
+                penalty = network.penalty(layout)
+                assert penalty >= previous, (
+                    f"penalty dropped from {previous} to {penalty} at "
+                    f"prefix {placed} under {assignment}"
+                )
+                previous = penalty

@@ -1,0 +1,158 @@
+"""The ``pad --optimize`` search engine against its seeded corpus.
+
+The headline contracts, straight from the corpus docstring:
+
+* on every ``expect_win`` kernel the search finds strictly fewer
+  predicted conflict misses than the greedy incumbent;
+* on NO kernel does it ever do worse than greedy (the incumbent rule);
+* every layout it emits is guard-clean in strict mode.
+"""
+
+import pytest
+
+from repro.errors import OptimizeError
+from repro.obs import runtime as obs
+from repro.optimize import (
+    CORPUS,
+    corpus_kernel,
+    optimize_layout,
+    score_layout,
+    vet_layout,
+)
+
+pytestmark = pytest.mark.optimize
+
+
+def _optimize(kernel, **overrides):
+    prog = kernel.program()
+    params = kernel.pad_params()
+    knobs = dict(beam=8, budget=32, heuristic=kernel.heuristic)
+    knobs.update(overrides)
+    return prog, params, optimize_layout(prog, params, **knobs)
+
+
+class TestCorpus:
+    @pytest.mark.parametrize(
+        "name", [k.name for k in CORPUS if k.expect_win]
+    )
+    def test_search_strictly_beats_greedy(self, name):
+        kernel = corpus_kernel(name)
+        _, _, result = _optimize(kernel)
+        assert result.winner_from == "search"
+        assert (result.winner_score.conflicts
+                < result.incumbent_score.conflicts)
+
+    @pytest.mark.parametrize("name", [k.name for k in CORPUS])
+    def test_search_never_regresses_greedy(self, name):
+        kernel = corpus_kernel(name)
+        _, _, result = _optimize(kernel)
+        assert (result.winner_score.conflicts
+                <= result.incumbent_score.conflicts)
+        assert result.winner_score.total_bytes <= max(
+            result.incumbent_score.total_bytes,
+            result.winner_score.total_bytes,
+        )
+
+    def test_corpus_has_at_least_three_wins(self):
+        # the acceptance floor: the corpus must keep pinning >= 3
+        # kernels where greedy provably loses
+        assert sum(1 for k in CORPUS if k.expect_win) >= 3
+
+    @pytest.mark.parametrize("name", [k.name for k in CORPUS])
+    def test_emitted_layout_is_guard_clean(self, name):
+        kernel = corpus_kernel(name)
+        prog, _, result = _optimize(kernel)
+        assert vet_layout(prog, result.layout) == []
+
+    def test_give_up_kernel_really_gives_up(self):
+        # pin the corpus premise: greedy PADLITE abandons C, and the
+        # search holds (never regresses) the incumbent
+        kernel = corpus_kernel("giveup-sweep")
+        _, _, result = _optimize(kernel)
+        assert result.incumbent.inter_failures == ["C"]
+        assert (result.winner_score.conflicts
+                <= result.incumbent_score.conflicts)
+
+
+class TestObjectives:
+    def test_bytes_objective_never_trades_misses_for_footprint(self):
+        kernel = corpus_kernel("jacobi-pow2")
+        _, _, result = _optimize(kernel, objective="bytes")
+        assert (result.winner_score.conflicts
+                <= result.incumbent_score.conflicts)
+
+    def test_miss_objective_reports_improvement(self):
+        kernel = corpus_kernel("stencil5")
+        _, _, result = _optimize(kernel, objective="miss")
+        assert result.improved
+        assert result.improvement > 0
+        lines = "\n".join(result.describe())
+        assert "winner search" in lines
+        assert f"improvement {result.improvement}" in lines
+
+
+class TestKnobValidation:
+    def test_bad_beam(self):
+        kernel = corpus_kernel("triad-pow2")
+        with pytest.raises(OptimizeError, match="beam width"):
+            _optimize(kernel, beam=0)
+
+    def test_bad_budget(self):
+        kernel = corpus_kernel("triad-pow2")
+        with pytest.raises(OptimizeError, match="budget"):
+            _optimize(kernel, budget=0)
+
+    def test_bad_objective(self):
+        kernel = corpus_kernel("triad-pow2")
+        with pytest.raises(OptimizeError, match="objective"):
+            _optimize(kernel, objective="speed")
+
+    def test_bad_heuristic(self):
+        kernel = corpus_kernel("triad-pow2")
+        with pytest.raises(OptimizeError, match="heuristic"):
+            _optimize(kernel, heuristic="bogus")
+
+    def test_unknown_corpus_kernel(self):
+        with pytest.raises(OptimizeError, match="unknown corpus kernel"):
+            corpus_kernel("nope")
+
+
+class TestScoring:
+    def test_predictor_scoring_matches_simulation(self):
+        # the predictor is exact: forcing the sim fallback on an
+        # analyzable kernel must count the same conflicts
+        kernel = corpus_kernel("triad-pow2")
+        prog = kernel.program()
+        params = kernel.pad_params()
+        from repro import simulate_program
+        from repro.layout.layout import original_layout
+
+        layout = original_layout(prog)
+        predicted = score_layout(prog, layout, params)
+        assert predicted.scorer == "predict"
+        stats = simulate_program(prog, layout, params.primary)
+        assert predicted.conflicts == stats.misses - stats.cold_misses
+
+
+class TestObservability:
+    def test_counters_cover_the_search(self):
+        obs.enable()
+        obs.reset()
+        try:
+            kernel = corpus_kernel("stencil5")
+            _optimize(kernel)
+            snapshot = obs.snapshot()
+            names = {
+                (m["name"], tuple(sorted(m.get("labels", {}).items())))
+                for m in snapshot["counters"]
+            }
+            flat = {m["name"] for m in snapshot["counters"]}
+            assert "repro_optimize_runs_total" in flat
+            assert "repro_optimize_candidates_total" in flat
+            assert "repro_optimize_improvements_total" in flat
+            assert (
+                "repro_optimize_candidates_total",
+                (("scorer", "predict"),),
+            ) in names
+        finally:
+            obs.disable()

@@ -136,6 +136,111 @@ class TestInterPad:
         assert layout.base("B") == 1024
 
 
+class TestGreedyPerSourceGiveUp:
+    """Regression: the give-up drift bound is per condition source.
+
+    With a multi-cache config, an unsatisfiable pad condition from one
+    (small) cache used to push the address past the single global
+    give-up distance and abandon the placement entirely — including the
+    address every *other* cache's conditions had already cleared.  Now
+    each cache's conditions are bounded by that cache's own size: an
+    unsatisfiable source is abandoned alone and the survivors are still
+    honored from a fresh sweep.
+    """
+
+    @staticmethod
+    def _two_array_prog():
+        return b.program(
+            "p",
+            decls=[b.byte_array("A", 256), b.byte_array("B", 256)],
+            body=[b.loop("i", 1, 256, [b.stmt(b.w("B", "i"), b.r("A", "i"))])],
+        )
+
+    def test_small_cache_cannot_abandon_cleared_addresses(self):
+        from repro.padding.greedy import greedy_place
+
+        small = CacheConfig(256, 16, 1)
+        large = CacheConfig(4096, 16, 1)
+        params = PadParams(caches=(small, large))
+        prog = self._two_array_prog()
+        layout = MemoryLayout(prog)
+
+        def needed_pads(lay, unit, address):
+            if unit.names != ("B",):
+                return {}
+            pads = {}
+            # Source 0 (small cache): never satisfied, always wants more.
+            pads[0] = 32
+            # Source 1 (large cache): cleared once B starts at >= 512.
+            if address < 512:
+                pads[1] = 512 - address
+            return pads
+
+        decisions = greedy_place(prog, layout, params, needed_pads, "TEST")
+        d = {dec.unit: dec for dec in decisions}["B"]
+        assert not d.gave_up
+        assert layout.base("B") == 512  # the large cache's condition held
+        assert d.abandoned == (small.describe(),)
+
+    def test_gives_up_only_when_every_source_is_unsatisfiable(self):
+        from repro.padding.greedy import greedy_place
+
+        small = CacheConfig(256, 16, 1)
+        large = CacheConfig(1024, 16, 1)
+        params = PadParams(caches=(small, large))
+        prog = self._two_array_prog()
+        layout = MemoryLayout(prog)
+
+        def needed_pads(lay, unit, address):
+            # Both sources demand pads forever.
+            return {0: 32, 1: 64} if unit.names == ("B",) else {}
+
+        decisions = greedy_place(prog, layout, params, needed_pads, "TEST")
+        d = {dec.unit: dec for dec in decisions}["B"]
+        assert d.gave_up
+        assert d.final == d.tentative == 256
+        assert d.pad_bytes == 0
+        assert set(d.abandoned) == {small.describe(), large.describe()}
+
+    def test_single_cache_behavior_unchanged(self):
+        from repro.padding.greedy import greedy_place
+
+        cache = CacheConfig(256, 16, 1)
+        params = PadParams.for_cache(cache)
+        prog = self._two_array_prog()
+        layout = MemoryLayout(prog)
+
+        def needed_pads(lay, unit, address):
+            return {0: 16} if unit.names == ("B",) else {}
+
+        decisions = greedy_place(prog, layout, params, needed_pads, "TEST")
+        d = {dec.unit: dec for dec in decisions}["B"]
+        assert d.gave_up
+        assert d.final == d.tentative
+        assert d.abandoned == (cache.describe(),)
+
+    def test_two_cache_interpadlite_keeps_both_levels_clear(self):
+        # Equal arrays exactly one large-cache size apart: both levels'
+        # separation conditions are satisfiable, and the placement must
+        # clear both without giving up.
+        prog = b.program(
+            "p",
+            decls=[b.byte_array(n, 1024) for n in ("A", "B")],
+            body=[b.loop("i", 1, 1024, [b.stmt(b.w("B", "i"), b.r("A", "i"))])],
+        )
+        small = CacheConfig(256, 4, 1)
+        large = CacheConfig(1024, 4, 1)
+        params = PadParams(caches=(small, large), m_lines=4)
+        layout = MemoryLayout(prog)
+        decisions = interpadlite(prog, layout, params)
+        assert not any(d.gave_up for d in decisions)
+        delta = layout.base("B") - layout.base("A")
+        for cache in (small, large):
+            residue = delta % cache.size_bytes
+            dist = min(residue, cache.size_bytes - residue)
+            assert dist >= params.min_separation_bytes(cache)
+
+
 class TestIntraPadLite:
     def test_column_on_cache_multiple(self):
         decl = ArrayDecl("A", (1024, 16), ElementType.BYTE)

@@ -342,3 +342,87 @@ class TestAnalysisService:
         service.start()
         service.stop()
         service.stop()
+
+
+OPTIMIZE_KERNEL = """
+program stencil5
+  param N = 64
+  real*8 A(N,N), B(N,N), C(N,N)
+  do i = 2, N-1
+    do j = 2, N-1
+      C(j,i) = A(j,i) + B(j,i) + A(j-1,i) + B(j,i-1)
+    end do
+  end do
+end
+"""
+
+
+class TestOptimizeEndpoint:
+    def _request(self, **overrides):
+        from repro.serve.schemas import validate_optimize
+
+        body = {"source": OPTIMIZE_KERNEL,
+                "cache": {"size": "4K", "line": 32},
+                "beam": 4, "budget": 12}
+        body.update(overrides)
+        return validate_optimize(body)
+
+    def test_validation_rejects_bad_knobs(self):
+        with pytest.raises(UsageError, match="beam"):
+            self._request(beam=0)
+        with pytest.raises(UsageError, match="beam"):
+            self._request(beam=10_000)
+        with pytest.raises(UsageError, match="budget"):
+            self._request(budget=10_000)
+        with pytest.raises(UsageError, match="objective"):
+            self._request(objective="speed")
+        with pytest.raises(UsageError, match="unknown field"):
+            self._request(bogus=1)
+
+    def test_optimize_error_maps_to_400(self):
+        from repro.errors import OptimizeError
+
+        assert http_status_for(OptimizeError("x")) == 400
+        body = error_body(OptimizeError("x"))
+        assert body["error"]["exit_code"] == 11
+        assert body["error"]["http_status"] == 400
+
+    def test_handler_beats_greedy(self):
+        from repro.serve import handlers
+
+        response = handlers.handle_optimize(self._request())
+        assert response["degraded"] is False
+        assert response["improved"] is True
+        assert (response["winner"]["conflict_misses"]
+                < response["incumbent"]["conflict_misses"])
+        assert response["search"]["scored"] >= 1
+        assert response["guard"]["status"] == "passed"
+
+    def test_degraded_answer_is_the_incumbent(self):
+        from repro.serve import handlers
+
+        response = handlers.handle_optimize(self._request(), degrade=True)
+        assert response["degraded"] is True
+        assert response["winner_from"] == "incumbent"
+        assert response["winner"] == response["incumbent"]
+        assert "layout" in response
+
+    def test_service_routes_optimize(self):
+        service = _service()
+        service.start()
+        try:
+            response = service.submit("optimize", self._request())
+            assert response["program"] == "stencil5"
+            assert response["degraded"] is False
+        finally:
+            service.stop()
+
+    def test_brownout_degrades_optimize(self):
+        service = _service(brownout=True)
+        service.start()
+        try:
+            response = service.submit("optimize", self._request())
+            assert response["degraded"] is True
+            assert response["winner_from"] == "incumbent"
+        finally:
+            service.stop()
